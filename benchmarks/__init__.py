@@ -1,0 +1,3 @@
+"""Benchmark harness regenerating every quantitative claim and figure of the
+paper (see DESIGN.md for the experiment index E1-E15 and EXPERIMENTS.md for
+the measured results)."""

@@ -1,0 +1,86 @@
+"""A3 (ablation) — MLP connectivity and number-format ablation (reference [3]).
+
+Design choice examined: the paper plans to apply the architecture to "other
+important neural models [3]"; reference [3] studies MLPs whose fan-in is
+bounded by the per-core memory and whose weights live in ARM fixed-point
+registers.  This ablation trains the same MLP on a synthetic task under a
+sweep of fan-in caps and weight formats, and reports the accuracy cost of
+each hardware constraint.
+"""
+
+from __future__ import annotations
+
+from repro.neuron.mlp import (
+    MLP,
+    FixedPointFormat,
+    synthetic_classification_task,
+)
+
+from .reporting import print_table
+
+LAYERS = [16, 32, 4]
+EPOCHS = 40
+FAN_INS = (None, 8, 4, 2)
+FORMATS = {
+    "float": None,
+    "s8.7 (16-bit)": FixedPointFormat(integer_bits=8, fractional_bits=7),
+    "s4.3 (8-bit)": FixedPointFormat(integer_bits=4, fractional_bits=3),
+    "s1.0 (2-bit)": FixedPointFormat(integer_bits=1, fractional_bits=0),
+}
+
+
+def _fan_in_sweep():
+    inputs, labels = synthetic_classification_task(
+        n_classes=LAYERS[-1], n_features=LAYERS[0], n_samples_per_class=50,
+        noise=0.25, seed=13)
+    fan_in_rows = []
+    reference = None
+    for fan_in in FAN_INS:
+        mlp = MLP(LAYERS, fan_in=fan_in, seed=13)
+        result = mlp.train(inputs, labels, epochs=EPOCHS, learning_rate=0.3,
+                           seed=13)
+        fan_in_rows.append({
+            "fan_in": "full" if fan_in is None else fan_in,
+            "connections": mlp.total_connections(),
+            "accuracy": result.final_accuracy,
+        })
+        if fan_in is None:
+            reference = mlp
+    format_rows = []
+    for name, weight_format in FORMATS.items():
+        model = reference if weight_format is None else reference.quantised(
+            weight_format)
+        format_rows.append({"format": name,
+                            "accuracy": model.accuracy(inputs, labels)})
+    return fan_in_rows, format_rows
+
+
+def test_a3_mlp_fan_in_and_precision(benchmark):
+    fan_in_rows, format_rows = benchmark(_fan_in_sweep)
+
+    print_table("A3a: accuracy vs hidden-layer fan-in (%s MLP, %d epochs)"
+                % ("x".join(str(s) for s in LAYERS), EPOCHS),
+                [(row["fan_in"], row["connections"], "%.3f" % row["accuracy"])
+                 for row in fan_in_rows],
+                headers=("fan-in cap", "synapses", "train accuracy"))
+    print_table("A3b: accuracy vs weight number format (fully-connected MLP)",
+                [(row["format"], "%.3f" % row["accuracy"])
+                 for row in format_rows],
+                headers=("weight format", "train accuracy"))
+
+    by_fan_in = {row["fan_in"]: row for row in fan_in_rows}
+    by_format = {row["format"]: row for row in format_rows}
+
+    # The dense network learns the task and moderate sparsity is nearly free
+    # (the "optimal connectivity" claim of reference [3]): a fan-in of 8 out
+    # of 16 inputs keeps almost all of the accuracy with half the synapses.
+    assert by_fan_in["full"]["accuracy"] > 0.9
+    assert by_fan_in[8]["accuracy"] > by_fan_in["full"]["accuracy"] - 0.1
+    assert by_fan_in[8]["connections"] < by_fan_in["full"]["connections"]
+    # Extreme sparsity costs accuracy.
+    assert by_fan_in[2]["accuracy"] <= by_fan_in["full"]["accuracy"]
+    # 16-bit fixed point is accuracy-neutral; 2-bit weights are not.
+    assert by_format["s8.7 (16-bit)"]["accuracy"] > \
+        by_format["float"]["accuracy"] - 0.05
+    assert by_format["s1.0 (2-bit)"]["accuracy"] < \
+        by_format["float"]["accuracy"]

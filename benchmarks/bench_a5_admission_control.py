@@ -1,0 +1,90 @@
+"""A5 (ablation) — QoS admission control on the best-effort fabric (ref [12]).
+
+Design choice examined: Section 4 notes that "the GALS approach is also
+capable of supporting traffic service management [12]".  The ablation
+subjects a chip's injection port to a best-effort flood with and without
+the admission controller in front of it and measures what happens to the
+reserved real-time spike traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.admission import (
+    BEST_EFFORT,
+    AdmissionController,
+    TrafficClass,
+)
+
+from .reporting import print_table
+
+SIMULATED_MS = 50
+REALTIME_RATE = 20.0          # packets/ms a core's neurons are entitled to
+FLOOD_RATE = 400              # best-effort packets offered per millisecond
+LINK_CAPACITY = 100.0         # packets/ms the chip's links can carry
+
+
+def _run_window(with_admission_control):
+    realtime = TrafficClass(name="realtime-spikes",
+                            guaranteed_rate_packets_per_ms=REALTIME_RATE,
+                            burst_packets=8, priority=1)
+    controller = AdmissionController(
+        link_capacity_packets_per_ms=LINK_CAPACITY,
+        reservable_fraction=0.75)
+    if with_admission_control:
+        controller.register("neural-core", realtime)
+
+    realtime_admitted = 0
+    flood_admitted = 0
+    realtime_offered = 0
+    for step in range(SIMULATED_MS * 10):
+        now = step * 0.1
+        flood_admitted += controller.admit_burst("noisy-core", "best-effort",
+                                                 now, FLOOD_RATE // 10)
+        offered = int(REALTIME_RATE / 10)
+        realtime_offered += offered
+        for _ in range(offered):
+            decision = controller.request("neural-core",
+                                          "realtime-spikes" if
+                                          with_admission_control else
+                                          "best-effort", now)
+            if decision.admitted:
+                realtime_admitted += 1
+    return {
+        "realtime_offered": realtime_offered,
+        "realtime_admitted": realtime_admitted,
+        "realtime_fraction": realtime_admitted / max(1, realtime_offered),
+        "flood_admitted": flood_admitted,
+        "total_admitted_per_ms": (realtime_admitted + flood_admitted)
+        / SIMULATED_MS,
+    }
+
+
+def _admission_study():
+    return {
+        "admission control ON": _run_window(True),
+        "admission control OFF": _run_window(False),
+    }
+
+
+def test_a5_admission_control(benchmark):
+    results = benchmark(_admission_study)
+    rows = [(name, s["realtime_offered"], s["realtime_admitted"],
+             "%.3f" % s["realtime_fraction"], s["flood_admitted"],
+             "%.1f" % s["total_admitted_per_ms"])
+            for name, s in results.items()]
+    print_table("A5: %d ms of best-effort flood (%d pkts/ms offered) against "
+                "a %g pkts/ms real-time reservation"
+                % (SIMULATED_MS, FLOOD_RATE, REALTIME_RATE), rows,
+                headers=("scenario", "rt offered", "rt admitted",
+                         "rt fraction", "flood admitted", "admitted/ms"))
+
+    protected = results["admission control ON"]
+    unprotected = results["admission control OFF"]
+    # With a reservation the real-time traffic gets essentially all of its
+    # contracted rate despite the flood; without one it fights the flood for
+    # spare capacity and loses a substantial share.
+    assert protected["realtime_fraction"] > 0.95
+    assert unprotected["realtime_fraction"] < protected["realtime_fraction"]
+    # The controller never admits more than the link can carry.
+    assert protected["total_admitted_per_ms"] <= LINK_CAPACITY * 1.05
+    assert unprotected["total_admitted_per_ms"] <= LINK_CAPACITY * 1.05

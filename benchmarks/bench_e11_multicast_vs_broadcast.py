@@ -1,0 +1,85 @@
+"""E11 — Multicast routing versus bus-style broadcast AER (Section 4).
+
+Paper claim: "In the past AER has been used principally in bus-based
+broadcast communication between neurons, but here we employ a
+packet-switched multicast mechanism to reduce total communication loading."
+The benchmark runs the same network with multicast-tree routing tables and
+with broadcast (flood-to-every-chip) tables and compares link traffic.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.traffic import link_traffic_summary
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.neuron.connectors import FixedProbabilityConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.application import NeuralApplication
+from repro.runtime.boot import BootController
+
+from .reporting import print_table
+
+DURATION_MS = 150.0
+
+
+def _build_network(seed, suffix):
+    network = Network(seed=seed)
+    stimulus = SpikeSourcePoisson(60, rate_hz=60.0, label="b-stim-%s" % suffix)
+    excitatory = Population(120, "lif", label="b-exc-%s" % suffix)
+    excitatory.record()
+    network.connect(stimulus, excitatory,
+                    FixedProbabilityConnector(0.15, weight=0.9,
+                                              delay_range=(1, 4)))
+    network.connect(excitatory, excitatory,
+                    FixedProbabilityConnector(0.05, weight=0.3))
+    return network
+
+
+def _run(broadcast, suffix):
+    machine = SpiNNakerMachine(MachineConfig(width=6, height=6,
+                                             cores_per_chip=4))
+    BootController(machine, seed=9).boot()
+    application = NeuralApplication(machine, _build_network(66, suffix),
+                                    max_neurons_per_core=16, seed=66)
+    application.prepare(broadcast_routing=broadcast)
+    result = application.run(DURATION_MS)
+    traffic = link_traffic_summary(machine)
+    return result, traffic
+
+
+def _compare():
+    multicast_result, multicast_traffic = _run(False, "mc")
+    broadcast_result, broadcast_traffic = _run(True, "bc")
+    return (multicast_result, multicast_traffic,
+            broadcast_result, broadcast_traffic)
+
+
+def test_e11_multicast_vs_broadcast(benchmark):
+    (multicast_result, multicast_traffic,
+     broadcast_result, broadcast_traffic) = benchmark(_compare)
+
+    rows = [
+        ("multicast trees", multicast_result.packets_sent,
+         multicast_traffic.total_packets, multicast_traffic.active_links,
+         multicast_traffic.max_link_packets,
+         f"{multicast_traffic.total_packets / max(multicast_result.packets_sent, 1):.2f}"),
+        ("broadcast (bus-style AER)", broadcast_result.packets_sent,
+         broadcast_traffic.total_packets, broadcast_traffic.active_links,
+         broadcast_traffic.max_link_packets,
+         f"{broadcast_traffic.total_packets / max(broadcast_result.packets_sent, 1):.2f}"),
+    ]
+    print_table("E11: link traffic, multicast vs broadcast (6x6 machine, "
+                "%.0f ms)" % DURATION_MS, rows,
+                headers=("routing", "spike packets", "link transits",
+                         "active links", "busiest link", "transits/packet"))
+
+    # Both configurations deliver a comparable amount of neural activity.
+    assert multicast_result.total_spikes("b-exc-mc") > 0
+    assert broadcast_result.total_spikes("b-exc-bc") > 0
+    # Broadcast floods the whole torus, so its per-packet link loading is
+    # several times that of the multicast trees.
+    multicast_per_packet = (multicast_traffic.total_packets /
+                            max(multicast_result.packets_sent, 1))
+    broadcast_per_packet = (broadcast_traffic.total_packets /
+                            max(broadcast_result.packets_sent, 1))
+    assert broadcast_per_packet > 3.0 * multicast_per_packet

@@ -1,0 +1,66 @@
+"""E13 — Retinal ganglion model and graceful degradation (Section 5.4).
+
+Paper claims: ganglion cells with overlapping Mexican-hat receptive fields
+and lateral inhibition encode the image redundantly; "if a neuron fails it
+will cease to generate output and also cease to generate lateral
+inhibition, so a near-neighbour with a similar receptive field will take
+over and very little information will be lost" — which is part of why the
+brain tolerates losing a neuron every second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.retina import RetinaModel, RetinaParameters
+
+from .reporting import print_table
+
+IMAGE_SHAPE = (16, 16)
+FAILURE_FRACTIONS = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5)
+TRIALS = 3
+
+
+def _degradation_sweep():
+    images = [RetinaModel.make_test_image(IMAGE_SHAPE, kind)
+              for kind in ("spot", "bars")]
+    rows = []
+    for fraction in FAILURE_FRACTIONS:
+        similarities = []
+        active_counts = []
+        for trial in range(TRIALS):
+            retina = RetinaModel(IMAGE_SHAPE,
+                                 RetinaParameters(scales=(1.0, 2.0)))
+            rng = np.random.default_rng(100 + trial)
+            retina.fail_cells(fraction, rng)
+            for image in images:
+                similarities.append(retina.reconstruction_similarity(image))
+                active_counts.append(len(retina.encode_latencies(image)))
+        rows.append((fraction, float(np.mean(similarities)),
+                     float(np.mean(active_counts))))
+    return rows
+
+
+def test_e13_retina_fault_tolerance(benchmark):
+    rows = benchmark(_degradation_sweep)
+
+    print_table("E13: image reconstruction vs ganglion-cell failure rate",
+                [(f"{fraction:.2f}", f"{similarity:.3f}", f"{active:.0f}")
+                 for fraction, similarity, active in rows],
+                headers=("failed fraction", "reconstruction similarity",
+                         "active cells per salvo"))
+
+    baseline = rows[0][1]
+    by_fraction = {fraction: similarity for fraction, similarity, _ in rows}
+
+    # The intact retina reconstructs the stimulus well.
+    assert baseline > 0.6
+    # Graceful, sub-linear degradation: losing 20 % of the cells costs far
+    # less than 20 % of the reconstruction quality...
+    assert by_fraction[0.2] > 0.9 * baseline
+    # ...and even at 50 % loss the stimulus is still largely recoverable.
+    assert by_fraction[0.5] > 0.6 * baseline
+    # Quality decreases monotonically (within a small tolerance) as more
+    # cells die — there is degradation, it is just graceful.
+    similarities = [similarity for _, similarity, _ in rows]
+    assert similarities[-1] <= similarities[0] + 0.02

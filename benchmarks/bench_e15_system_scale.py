@@ -1,0 +1,45 @@
+"""E15 — Machine-scale arithmetic (Introduction, Section 3.3, Conclusions).
+
+Paper claims: the full machine has more than a million ARM cores in a
+two-dimensional toroidal mesh, delivers around 200 teraIPS, simulates a
+billion spiking neurons in biological real time (about 1 % of the human
+brain), and each 20-core node costs around $20 and draws under 1 W.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineConfig
+from repro.energy.model import MachineScaleModel
+
+from .reporting import print_metrics
+
+
+def _scale_summary():
+    config = MachineConfig.full_machine()
+    scale = MachineScaleModel()
+    summary = scale.summary()
+    summary["config_chips"] = float(config.n_chips)
+    summary["config_cores"] = float(config.n_cores)
+    summary["config_links"] = float(config.n_links)
+    summary["node_power_w"] = scale.node_power_w
+    summary["node_cost_usd"] = scale.node_cost_usd
+    return summary
+
+
+def test_e15_system_scale(benchmark):
+    summary = benchmark(_scale_summary)
+    print_metrics("E15: full-machine scale accounting", summary)
+
+    # "more than a million embedded processors"
+    assert summary["config_cores"] > 1_000_000
+    assert summary["total_cores"] > 1_000_000
+    # "around 200 teraIPS"
+    assert 100.0 < summary["total_tera_ips"] < 400.0
+    # "a billion spiking neurons ... only 1% of a human brain"
+    assert summary["total_neurons"] >= 1e9
+    assert 0.005 < summary["brain_fraction"] < 0.02
+    # "a component cost of around $20 and a power consumption under 1 Watt"
+    assert summary["node_cost_usd"] <= 25.0
+    assert summary["node_power_w"] < 1.0
+    # The 2-D toroidal mesh wiring: six links per chip.
+    assert summary["config_links"] == summary["config_chips"] * 6

@@ -1,0 +1,32 @@
+"""E1 — MIPS/mm² and MIPS/W: embedded node versus high-end desktop (Sec. 2).
+
+Paper claims: on MIPS/mm² the two are roughly equal ("a SpiNNaker chip with
+20 ARM cores delivers about the same throughput as a high-end desktop
+processor"); on MIPS/W the embedded part wins "by an order of magnitude".
+"""
+
+from __future__ import annotations
+
+from repro.energy.model import EMBEDDED_NODE, HIGH_END_DESKTOP, EnergyModel
+
+from .reporting import print_metrics
+
+
+def test_e1_processor_efficiency_metrics(benchmark):
+    model = EnergyModel()
+    summary = benchmark(model.comparison)
+
+    print_metrics("E1: MIPS/mm2 and MIPS/W (embedded vs desktop)", {
+        "embedded MIPS/mm2": summary["embedded_mips_per_mm2"],
+        "desktop MIPS/mm2": summary["desktop_mips_per_mm2"],
+        "area-efficiency ratio (embedded/desktop)": summary["area_efficiency_ratio"],
+        "embedded MIPS/W": summary["embedded_mips_per_watt"],
+        "desktop MIPS/W": summary["desktop_mips_per_watt"],
+        "energy-efficiency ratio (embedded/desktop)": summary["energy_efficiency_ratio"],
+        "node power (W)": EMBEDDED_NODE.power_w,
+        "desktop power (W)": HIGH_END_DESKTOP.power_w,
+    })
+
+    # Shape checks from the paper.
+    assert 0.5 < summary["area_efficiency_ratio"] < 4.0
+    assert summary["energy_efficiency_ratio"] >= 10.0

@@ -1,0 +1,43 @@
+"""E2 — Ownership cost: purchase versus energy (Section 3.3).
+
+Paper claims: a $1,000 / 300 W PC's energy bill equals its purchase price
+after "a little more than three years"; embedded processors reduce the
+capital and energy costs of a given level of compute by about an order of
+magnitude (a SpiNNaker node is ~$20 and under 1 W for PC-class throughput).
+"""
+
+from __future__ import annotations
+
+from repro.energy.cost import OwnershipCostModel
+
+from .reporting import print_metrics, print_table
+
+
+def _cost_sweep():
+    pc = OwnershipCostModel.typical_pc()
+    node = OwnershipCostModel.spinnaker_node()
+    years = [0.0, 1.0, 2.0, 3.0, 3.33, 4.0, 5.0]
+    rows = []
+    for year in years:
+        rows.append((year, pc.energy_cost(year), pc.total_cost(year),
+                     node.total_cost(year)))
+    return pc, node, rows
+
+
+def test_e2_ownership_cost_crossover(benchmark):
+    pc, node, rows = benchmark(_cost_sweep)
+
+    print_table("E2: cumulative ownership cost over time (USD)",
+                [(f"{year:.2f}", f"{energy:.0f}", f"{pc_total:.0f}",
+                  f"{node_total:.2f}")
+                 for year, energy, pc_total, node_total in rows],
+                headers=("years", "PC energy", "PC total", "SpiNNaker node total"))
+
+    summary = OwnershipCostModel.ownership_comparison(lifetime_years=3.0)
+    print_metrics("E2: headline comparison (3-year life)", summary)
+
+    # Shape checks: crossover a little over three years; ~10x ownership win.
+    assert 3.0 < pc.crossover_years < 4.0
+    assert node.crossover_years > 10.0
+    assert summary["ownership_cost_ratio"] > 10.0
+    assert summary["cost_per_throughput_ratio"] > 10.0

@@ -1,0 +1,46 @@
+"""E3 — 2-of-7 NRZ versus 3-of-6 RTZ link codes (Section 5.1).
+
+Paper claims: the NRZ chip-to-chip code spends 3 off-chip wire transitions
+per 4-bit symbol against 8 for the RTZ code, and needs one handshake
+round-trip per symbol against two — "twice the performance for less than
+half the energy per 4-bit symbol".
+"""
+
+from __future__ import annotations
+
+from repro.link.codes import LinkPerformanceModel, three_of_six_rtz, two_of_seven_nrz
+
+from .reporting import print_metrics, print_table
+
+
+def _link_comparison():
+    model = LinkPerformanceModel(wire_delay_ns=2.0, energy_per_transition_pj=6.0)
+    nrz = two_of_seven_nrz()
+    rtz = three_of_six_rtz()
+    rows = []
+    for code in (rtz, nrz):
+        rows.append((code.name,
+                     code.data_transitions_per_symbol(),
+                     code.ack_transitions_per_symbol(),
+                     code.transitions_per_symbol(),
+                     code.handshake_round_trips_per_symbol(),
+                     round(model.throughput_mbit_per_s(code), 1),
+                     round(model.energy_per_symbol_pj(code), 1)))
+    return model, rows
+
+
+def test_e3_nrz_vs_rtz_codes(benchmark):
+    model, rows = benchmark(_link_comparison)
+
+    print_table("E3: delay-insensitive code comparison (per 4-bit symbol)",
+                rows,
+                headers=("code", "data transitions", "ack transitions",
+                         "total transitions", "round trips",
+                         "throughput (Mbit/s)", "energy (pJ)"))
+    print_metrics("E3: headline ratios", model.comparison())
+
+    summary = model.comparison()
+    assert summary["nrz_transitions_per_symbol"] == 3
+    assert summary["rtz_transitions_per_symbol"] == 8
+    assert summary["throughput_ratio_nrz_over_rtz"] == 2.0
+    assert summary["energy_ratio_nrz_over_rtz"] < 0.5

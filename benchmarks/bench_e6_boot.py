@@ -1,0 +1,57 @@
+"""E6 — Boot: monitor arbitration and neighbour repair (Section 5.2).
+
+Paper claims: every chip elects exactly one Monitor Processor through the
+read-sensitive register even though all cores are identical; a node that
+fails to boot is detected by its neighbours, which copy boot code into its
+System RAM over nn packets and re-elect its monitor.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.runtime.boot import BootController
+
+from .reporting import print_table
+
+FAILURE_RATES = (0.0, 0.1, 0.2, 0.4)
+
+
+def _boot_sweep():
+    rows = []
+    for rate in FAILURE_RATES:
+        machine = SpiNNakerMachine(MachineConfig(width=6, height=6,
+                                                 cores_per_chip=8))
+        controller = BootController(machine,
+                                    core_failure_probability=0.02,
+                                    chip_boot_failure_probability=rate,
+                                    repairable_fraction=1.0, seed=17)
+        result = controller.boot()
+        monitors_per_chip = [
+            sum(1 for core in chip.cores if core.state.value == "monitor")
+            for chip in machine]
+        rows.append((rate, result.chips_booted_unaided, result.chips_repaired,
+                     result.chips_dead, result.monitors_elected,
+                     max(monitors_per_chip), result.nn_packets_sent,
+                     round(result.coordinate_flood_time_us, 1)))
+    return rows
+
+
+def test_e6_boot_with_failures(benchmark):
+    rows = benchmark(_boot_sweep)
+
+    print_table("E6: boot of a 6x6 machine under chip boot-failure rates",
+                rows,
+                headers=("chip fail rate", "booted unaided", "repaired",
+                         "dead", "monitors", "max monitors/chip",
+                         "nn packets", "coord flood time (us)"))
+
+    for rate, unaided, repaired, dead, monitors, max_monitors, _, _ in rows:
+        # Exactly one monitor per operational chip, never more than one.
+        assert max_monitors <= 1
+        assert monitors == unaided + repaired
+        # With fully repairable failures, every chip ends up operational.
+        assert dead == 0
+        assert monitors == 36
+    # Repairs only happen when failures are injected.
+    assert rows[0][2] == 0
+    assert rows[-1][2] > 0

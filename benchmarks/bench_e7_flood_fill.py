@@ -1,0 +1,72 @@
+"""E7 — Flood-fill load time versus machine size and redundancy (Sec. 5.2).
+
+Paper claim (ref [15]): flood-fill "give[s] load times almost independent
+of the size of the machine, with trade-offs between load time and the
+degree of fault-tolerance, which can be controlled by the number of times a
+node receives each component of the application".
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.runtime.boot import BootController
+from repro.runtime.flood_fill import ApplicationImage, FloodFillLoader
+
+from .reporting import print_table
+
+MACHINE_SIZES = ((2, 2), (4, 4), (6, 6), (10, 10))
+REDUNDANCIES = (1, 2, 3)
+
+
+def _load(width, height, redundancy):
+    machine = SpiNNakerMachine(MachineConfig(width=width, height=height,
+                                             cores_per_chip=2))
+    BootController(machine, seed=1).boot()
+    loader = FloodFillLoader(machine, redundancy=redundancy)
+    return loader.load(ApplicationImage(n_blocks=8, block_words=256))
+
+
+def _size_sweep():
+    size_rows = []
+    for width, height in MACHINE_SIZES:
+        result = _load(width, height, redundancy=1)
+        size_rows.append((f"{width}x{height}", width * height,
+                          round(result.load_time_us, 1), result.complete,
+                          round(result.mean_copies_received, 2),
+                          result.nn_packets_sent))
+    redundancy_rows = []
+    for redundancy in REDUNDANCIES:
+        result = _load(6, 6, redundancy)
+        redundancy_rows.append((redundancy, round(result.load_time_us, 1),
+                                round(result.mean_copies_received, 2),
+                                round(result.min_copies_received, 2),
+                                result.nn_packets_sent))
+    return size_rows, redundancy_rows
+
+
+def test_e7_flood_fill_scaling(benchmark):
+    size_rows, redundancy_rows = benchmark(_size_sweep)
+
+    print_table("E7a: load time vs machine size (8-block image, redundancy 1)",
+                size_rows,
+                headers=("machine", "chips", "load time (us)", "complete",
+                         "mean copies/block", "nn packets"))
+    print_table("E7b: load time vs redundancy (6x6 machine)",
+                redundancy_rows,
+                headers=("redundancy", "load time (us)", "mean copies/block",
+                         "min copies/block", "nn packets"))
+
+    # Load time is nearly flat in machine size: 25x more chips must cost
+    # far less than 25x the time (the paper says "almost independent").
+    times = [row[2] for row in size_rows]
+    chips = [row[1] for row in size_rows]
+    assert all(row[3] for row in size_rows)
+    assert times[-1] / times[0] < (chips[-1] / chips[0]) / 5
+    assert times[-1] / times[0] < 3.0
+
+    # Redundancy buys more copies per block (fault tolerance) at a modest
+    # cost in time and a linear cost in traffic.
+    copies = [row[2] for row in redundancy_rows]
+    packets = [row[4] for row in redundancy_rows]
+    assert copies[-1] > copies[0]
+    assert packets[-1] > packets[0]

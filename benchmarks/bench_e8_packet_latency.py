@@ -1,0 +1,84 @@
+"""E8 — Multicast packet latency versus distance (Sections 3.1 and 5.3).
+
+Paper claims: spike packets are delivered "well within a 1ms time window to
+any target processor in the system" and "in significantly under 1 ms,
+whatever the distance from source to destination"; communication delays are
+negligible on the millisecond timescale of the neural model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import latency_by_distance, latency_summary
+from repro.core.geometry import ChipCoordinate
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.core.packets import MulticastPacket
+from repro.core.processor import ProcessorState
+
+from .reporting import print_table
+
+MESH = 12           # 12x12 chips: maximum hop distance 12 on the torus
+PACKETS_PER_DISTANCE = 40
+
+
+def _latency_sweep():
+    machine = SpiNNakerMachine(MachineConfig(width=MESH, height=MESH,
+                                             cores_per_chip=2))
+    source = ChipCoordinate(0, 0)
+    latencies = []
+    distances = []
+    key = 1
+    targets = []
+    for x in range(MESH):
+        target = ChipCoordinate(x, 0)
+        if target == source:
+            continue
+        # Install the route for this key along the dimension-ordered path.
+        route = machine.geometry.route(source, target)
+        current = source
+        for direction in route:
+            machine.chips[current].router.table.add(key=key, mask=0xFFFFFFFF,
+                                                    links=[direction])
+            current = current.neighbour(direction, MESH, MESH)
+        chip = machine.chips[target]
+        chip.router.table.add(key=key, mask=0xFFFFFFFF, cores=[1])
+        core = chip.cores[1]
+        core.run_self_test(True)
+        core.start_application()
+
+        def handler(packet, _target=target):
+            latencies.append(machine.kernel.now - packet.timestamp)
+            distances.append(machine.geometry.distance(source, _target))
+
+        core.on_packet(handler)
+        targets.append((key, target))
+        key += 1
+
+    for key, _target in targets:
+        for _ in range(PACKETS_PER_DISTANCE):
+            machine.inject_multicast(source, MulticastPacket(
+                key=key, timestamp=machine.kernel.now, source=source))
+        machine.run()
+    return latencies, distances
+
+
+def test_e8_packet_latency_vs_distance(benchmark):
+    latencies, distances = benchmark(_latency_sweep)
+
+    by_distance = latency_by_distance(latencies, distances)
+    rows = [(distance, group.count, f"{group.mean_us:.2f}",
+             f"{group.p99_us:.2f}", f"{group.max_us:.2f}")
+            for distance, group in by_distance.items()]
+    print_table("E8: multicast delivery latency vs hop distance (12x12 torus)",
+                rows,
+                headers=("hops", "packets", "mean (us)", "p99 (us)", "max (us)"))
+
+    overall = latency_summary(latencies)
+    # Even the worst-case delivery is far below the 1 ms window.
+    assert overall.max_us < 1000.0
+    assert overall.max_us < 100.0
+    # Latency grows gently (roughly linearly) with distance, so the longest
+    # path costs only a few times the single-hop latency.
+    first = by_distance[min(by_distance)]
+    last = by_distance[max(by_distance)]
+    assert last.mean_us > first.mean_us
+    assert last.mean_us < 20 * first.mean_us

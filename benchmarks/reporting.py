@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints a small table of the quantities the paper reports so
+that EXPERIMENTS.md can be filled in directly from the benchmark output,
+and uses pytest-benchmark to time the underlying workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+
+def print_table(title: str, rows: Iterable[Sequence], headers: Sequence[str]) -> None:
+    """Print a fixed-width results table to the benchmark log."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+              else len(headers[i]) for i in range(len(headers))]
+    print("\n== %s ==" % title)
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def print_metrics(title: str, metrics: Dict[str, float]) -> None:
+    """Print a name/value metric block to the benchmark log."""
+    print_table(title, [(name, _format(value)) for name, value in metrics.items()],
+                headers=("metric", "value"))
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return "%.3e" % value
+        return "%.4g" % value
+    return str(value)

@@ -1,0 +1,78 @@
+"""Boot and neighbour repair of a machine with faulty nodes (Section 5.2).
+
+SpiNNaker is a homogeneous machine with no privileged processors, so boot
+has to break symmetry by itself: every core self-tests and bids for the
+Monitor Processor role through a read-sensitive register; nodes that fail
+to boot are repaired by their neighbours over nearest-neighbour packets;
+the Ethernet-attached origin then floods coordinates through the mesh so
+every chip can build its point-to-point routing table; finally the
+application image is flood-filled into every chip.
+
+Run with:  python examples/boot_and_repair.py
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.host.host_system import HostSystem
+from repro.runtime.boot import BootController
+from repro.runtime.flood_fill import ApplicationImage, FloodFillLoader
+
+WIDTH = HEIGHT = 6
+CORE_FAILURE_PROBABILITY = 0.05
+CHIP_BOOT_FAILURE_PROBABILITY = 0.25
+
+
+def main() -> None:
+    machine = SpiNNakerMachine(MachineConfig(width=WIDTH, height=HEIGHT,
+                                             cores_per_chip=18))
+    print("Machine: %d chips x %d cores = %d processors"
+          % (machine.n_chips, machine.config.cores_per_chip, machine.n_cores))
+    print("Injected fault model: %.0f%% of cores fail self-test, %.0f%% of "
+          "chips fail to boot unaided.\n"
+          % (100 * CORE_FAILURE_PROBABILITY,
+             100 * CHIP_BOOT_FAILURE_PROBABILITY))
+
+    controller = BootController(
+        machine,
+        core_failure_probability=CORE_FAILURE_PROBABILITY,
+        chip_boot_failure_probability=CHIP_BOOT_FAILURE_PROBABILITY,
+        repairable_fraction=1.0, seed=4)
+    result = controller.boot()
+
+    print("Phase 1 - self-test and monitor arbitration:")
+    print("  %d chips booted unaided, %d cores failed self-test"
+          % (result.chips_booted_unaided, result.failed_cores))
+    print("Phase 1b - neighbour repair over nn packets:")
+    print("  %d chips repaired by neighbours, %d remain dead"
+          % (result.chips_repaired, result.chips_dead))
+    print("Phase 2 - coordinate flood from the Ethernet origin (0,0):")
+    print("  positional information reached every chip by t=%.1f us using "
+          "%d nn packets" % (result.coordinate_flood_time_us,
+                             result.nn_packets_sent))
+    print("Phase 3 - p2p routing tables: %d chips configured"
+          % result.p2p_tables_configured)
+    print("  machine fully operational: %s\n" % result.all_chips_operational)
+
+    # Application loading with two redundancy settings.
+    for redundancy in (1, 3):
+        loader = FloodFillLoader(machine, redundancy=redundancy)
+        load = loader.load(ApplicationImage(n_blocks=16, block_words=512,
+                                            name="demo-app"))
+        print("Flood-fill load (redundancy %d): %.1f us, %d/%d chips "
+              "complete, each chip saw every block %.1f times on average"
+              % (redundancy, load.load_time_us, load.chips_complete,
+                 load.n_chips, load.mean_copies_received))
+
+    # The host can now interrogate every chip through chip (0,0).
+    host = HostSystem(machine)
+    survey = host.survey_machine()
+    print("\nHost survey over Ethernet + p2p: %s" % survey)
+    print("\nEvery monitor was elected by the read-sensitive register "
+          "(exactly one winner per chip), failed chips were re-booted by "
+          "their neighbours, and load time is dominated by the image size "
+          "rather than the machine size — the boot story of Section 5.2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Fabric congestion analysis and routing-table compression (Sections 4, 5.3).
+
+The paper's communications fabric is meant to run "in a lightly-loaded
+regime" and to fit each chip's multicast routes into a 1024-entry CAM.
+This example maps a three-population network onto a simulated machine,
+runs it in biological real time, and then
+
+* prints the congestion picture (per-link utilisation, hotspots, whether
+  the machine stayed in the lightly-loaded regime), and
+* compresses every routing table against the allocated key population and
+  reports the CAM occupancy saved.
+
+Run with::
+
+    python examples/congestion_and_compression.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.congestion import (
+    congestion_report,
+    hotspot_chips,
+    saturation_injection_rate,
+)
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.mapping.compression import compress_machine
+from repro.neuron.connectors import FixedProbabilityConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.application import NeuralApplication
+from repro.runtime.boot import BootController
+
+WIDTH = HEIGHT = 4
+NEURONS = 150
+DURATION_MS = 100.0
+
+
+def build_network(seed: int = 29) -> Network:
+    """A stimulus-driven excitatory/inhibitory network."""
+    network = Network(seed=seed)
+    stimulus = SpikeSourcePoisson(NEURONS, rate_hz=50.0, label="stimulus")
+    excitatory = Population(NEURONS, "lif", label="excitatory")
+    inhibitory = Population(NEURONS // 4, "lif", label="inhibitory")
+    excitatory.record(spikes=True)
+    network.connect(stimulus, excitatory,
+                    FixedProbabilityConnector(p_connect=0.12, weight=0.6,
+                                              delay_range=(1, 4)))
+    network.connect(excitatory, inhibitory,
+                    FixedProbabilityConnector(p_connect=0.1, weight=0.5))
+    network.connect(inhibitory, excitatory,
+                    FixedProbabilityConnector(p_connect=0.1, weight=-0.7))
+    return network
+
+
+def main() -> None:
+    machine = SpiNNakerMachine(MachineConfig(width=WIDTH, height=HEIGHT,
+                                             cores_per_chip=8))
+    BootController(machine, seed=1).boot()
+
+    application = NeuralApplication(machine, build_network(),
+                                    max_neurons_per_core=20, seed=29)
+    result = application.run(DURATION_MS)
+    print("Ran %.0f ms: %d spikes, %d packets sent, %d dropped"
+          % (DURATION_MS, result.total_spikes(), result.packets_sent,
+             result.packets_dropped))
+
+    report = congestion_report(machine)
+    print("\n-- Congestion picture --")
+    print("  mean link utilisation: %.4f" % report.mean_utilisation)
+    print("  peak link utilisation: %.4f" % report.peak_utilisation)
+    print("  refused (back-pressure): %d" % report.total_refused)
+    print("  emergency invocations:   %d" % report.emergency_invocations)
+    print("  lightly loaded:          %s"
+          % ("yes" if report.lightly_loaded else "no"))
+    print("  busiest chips:")
+    for coordinate, packets in hotspot_chips(machine, top=3):
+        print("    %s  %d packets" % (coordinate, packets))
+
+    budget = saturation_injection_rate(WIDTH, HEIGHT, cores_per_chip=8)
+    print("  saturation budget: %.1f packets/ms per core" % budget)
+
+    print("\n-- Routing-table compression --")
+    reports = compress_machine(machine, application.keys)
+    before = sum(r.entries_before for r in reports.values())
+    after = sum(r.entries_after for r in reports.values())
+    worst = max(r.entries_after for r in reports.values())
+    print("  entries before: %d" % before)
+    print("  entries after:  %d (worst chip %d of 1024)" % (after, worst))
+    print("  saved:          %d (%.0f %%)"
+          % (before - after, 100.0 * (before - after) / max(1, before)))
+
+
+if __name__ == "__main__":
+    main()

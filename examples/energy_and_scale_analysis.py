@@ -1,0 +1,99 @@
+"""Energy-frugality and machine-scale analysis (Sections 2, 3.3 and 6).
+
+Reproduces the paper's cost-effectiveness arguments:
+
+* MIPS/mm² parity and the ~10x MIPS/W advantage of embedded processors;
+* the ownership-cost crossover ("the energy cost of a PC equals the
+  purchase cost after a little more than three years");
+* the full-machine arithmetic: >10^6 cores, ~200 teraIPS, a billion neurons
+  in real time for roughly 1 % of a human brain;
+* the NRZ-vs-RTZ link-code trade-off that halves off-chip signalling energy
+  while doubling throughput.
+
+Run with:  python examples/energy_and_scale_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.energy.cost import OwnershipCostModel
+from repro.energy.model import (
+    EMBEDDED_NODE,
+    HIGH_END_DESKTOP,
+    EnergyModel,
+    MachineScaleModel,
+)
+from repro.link.codes import LinkPerformanceModel, three_of_six_rtz, two_of_seven_nrz
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Processor efficiency metrics (Section 2).
+    # ------------------------------------------------------------------
+    print("Processor cost-effectiveness metrics")
+    print("  %-28s %10s %10s %10s" % ("", "MIPS", "MIPS/mm2", "MIPS/W"))
+    for spec in (EMBEDDED_NODE, HIGH_END_DESKTOP):
+        print("  %-28s %10.0f %10.1f %10.1f"
+              % (spec.name, spec.mips, spec.mips_per_mm2, spec.mips_per_watt))
+    summary = EnergyModel().comparison()
+    print("  -> area efficiency ratio %.2f (roughly equal), energy "
+          "efficiency ratio %.0fx (an order of magnitude)\n"
+          % (summary["area_efficiency_ratio"],
+             summary["energy_efficiency_ratio"]))
+
+    # ------------------------------------------------------------------
+    # Ownership cost (Section 3.3).
+    # ------------------------------------------------------------------
+    pc = OwnershipCostModel.typical_pc()
+    node = OwnershipCostModel.spinnaker_node()
+    print("Ownership cost ($1/W/year electricity)")
+    print("  %-22s %12s %12s %12s" % ("platform", "purchase $", "power W",
+                                      "crossover yr"))
+    print("  %-22s %12.0f %12.0f %12.2f" % ("typical PC", pc.purchase_cost_usd,
+                                            pc.power_w, pc.crossover_years))
+    print("  %-22s %12.0f %12.1f %12.1f" % ("SpiNNaker node",
+                                            node.purchase_cost_usd,
+                                            node.power_w,
+                                            node.crossover_years))
+    for years in (1.0, 3.0, 5.0):
+        print("  after %.0f years: PC total $%.0f, node total $%.1f"
+              % (years, pc.total_cost(years), node.total_cost(years)))
+    comparison = OwnershipCostModel.ownership_comparison(3.0)
+    print("  -> over a 3-year life the ownership cost per unit throughput "
+          "is %.0fx lower for the embedded node\n"
+          % comparison["cost_per_throughput_ratio"])
+
+    # ------------------------------------------------------------------
+    # Link-code energetics (Section 5.1).
+    # ------------------------------------------------------------------
+    model = LinkPerformanceModel()
+    print("Chip-to-chip link codes (per 4-bit symbol)")
+    for code in (three_of_six_rtz(), two_of_seven_nrz()):
+        print("  %-12s %d wire transitions, %d handshake round trip(s), "
+              "%.0f Mbit/s, %.0f pJ"
+              % (code.name, code.transitions_per_symbol(),
+                 code.handshake_round_trips_per_symbol(),
+                 model.throughput_mbit_per_s(code),
+                 model.energy_per_symbol_pj(code)))
+    ratios = model.comparison()
+    print("  -> 2-of-7 NRZ delivers %.1fx the throughput for %.0f%% of the "
+          "energy of 3-of-6 RTZ\n"
+          % (ratios["throughput_ratio_nrz_over_rtz"],
+             100 * ratios["energy_ratio_nrz_over_rtz"]))
+
+    # ------------------------------------------------------------------
+    # Full-machine arithmetic (Introduction / Conclusions).
+    # ------------------------------------------------------------------
+    scale = MachineScaleModel()
+    print("Full machine (256 x 256 chips, 20 cores each)")
+    print("  cores:            %12s" % format(scale.total_cores, ","))
+    print("  throughput:       %12.0f teraIPS" % scale.total_tera_ips)
+    print("  neurons (real time): %9.1e  (%.1f%% of a human brain)"
+          % (scale.total_neurons, 100 * scale.brain_fraction))
+    print("  synapses:         %12.1e" % scale.total_synapses)
+    print("  power:            %12.1f kW" % scale.total_power_kw)
+    print("  node component cost: $%.0f, machine nodes total $%.1fM"
+          % (scale.node_cost_usd, scale.total_cost_usd / 1e6))
+
+
+if __name__ == "__main__":
+    main()

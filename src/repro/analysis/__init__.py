@@ -1,0 +1,53 @@
+"""Analysis utilities used by the tests, examples and benchmarks.
+
+* :mod:`repro.analysis.metrics` — spike-train statistics (rates, ISI
+  coefficient of variation, rasters) and latency-distribution summaries.
+* :mod:`repro.analysis.traffic` — inter-chip link traffic statistics used
+  by the multicast-versus-broadcast and congestion experiments.
+* :mod:`repro.analysis.information` — entropy, mutual-information and
+  code-capacity estimators used by the neural-coding experiments of
+  Section 5.4.
+"""
+
+from repro.analysis.information import (
+    ChannelStatistics,
+    channel_statistics,
+    entropy,
+    entropy_from_counts,
+    joint_entropy,
+    mutual_information,
+    n_of_m_capacity_bits,
+    population_sparseness,
+    rank_order_capacity_bits,
+    rate_code_capacity_bits,
+    redundancy,
+)
+from repro.analysis.metrics import (
+    LatencySummary,
+    isi_coefficient_of_variation,
+    latency_summary,
+    mean_firing_rate,
+    spike_raster,
+)
+from repro.analysis.traffic import TrafficSummary, link_traffic_summary
+
+__all__ = [
+    "ChannelStatistics",
+    "channel_statistics",
+    "entropy",
+    "entropy_from_counts",
+    "joint_entropy",
+    "mutual_information",
+    "n_of_m_capacity_bits",
+    "population_sparseness",
+    "rank_order_capacity_bits",
+    "rate_code_capacity_bits",
+    "redundancy",
+    "LatencySummary",
+    "isi_coefficient_of_variation",
+    "latency_summary",
+    "mean_firing_rate",
+    "spike_raster",
+    "TrafficSummary",
+    "link_traffic_summary",
+]

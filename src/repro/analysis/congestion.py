@@ -1,0 +1,195 @@
+"""Congestion analysis of the inter-chip fabric (Section 5.3).
+
+The paper states that the communications fabric is "intended to operate in
+a lightly-loaded regime to minimize congestion", that spike traffic is
+bursty, and that "the failure of an inter-chip link will cause major local
+congestion".  This module provides the measurement side of those claims:
+
+* :func:`link_load_matrix` — the per-link load as a ``(width, height, 6)``
+  array suitable for heat-map inspection;
+* :func:`link_utilisations` — per-link utilisation over an observation
+  window, using each link's modelled bandwidth;
+* :func:`congestion_report` — aggregate utilisation, refusal and emergency
+  statistics with the hotspot links spelled out;
+* :func:`hotspot_chips` — the chips whose attached links carry the most
+  traffic, which is where the monitor processor would intervene;
+* :func:`saturation_injection_rate` — the analytic per-core injection rate
+  at which the bisection of a torus saturates, used by the scale studies to
+  show why the lightly-loaded regime is required.
+
+All measurement functions are read-only: they never modify machine state,
+so they can be called repeatedly during a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import SpiNNakerMachine
+
+__all__ = [
+    "LinkLoad",
+    "CongestionReport",
+    "link_load_matrix",
+    "link_utilisations",
+    "congestion_report",
+    "hotspot_chips",
+    "saturation_injection_rate",
+]
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """The observed load of one unidirectional inter-chip link."""
+
+    source: ChipCoordinate
+    direction: Direction
+    packets: int
+    refused: int
+    utilisation: float
+    failed: bool
+
+    @property
+    def description(self) -> str:
+        """Human-readable link label used in reports."""
+        return "%s -%s->" % (self.source, self.direction.name)
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Aggregate congestion statistics for one observation window."""
+
+    elapsed_us: float
+    total_packets: int
+    total_refused: int
+    mean_utilisation: float
+    peak_utilisation: float
+    links_above_threshold: int
+    failed_links: int
+    emergency_invocations: int
+    dropped_packets: int
+    hotspots: Tuple[LinkLoad, ...]
+
+    @property
+    def refusal_ratio(self) -> float:
+        """Fraction of link offers that were refused (congestion back-pressure)."""
+        offered = self.total_packets + self.total_refused
+        if offered == 0:
+            return 0.0
+        return self.total_refused / offered
+
+    @property
+    def lightly_loaded(self) -> bool:
+        """True when the fabric is in the paper's lightly-loaded regime."""
+        return self.peak_utilisation < 0.5 and self.total_refused == 0
+
+
+def link_load_matrix(machine: SpiNNakerMachine) -> np.ndarray:
+    """Per-link packet counts as a ``(width, height, 6)`` array.
+
+    Index ``[x, y, d]`` is the number of packets carried by the link leaving
+    chip ``(x, y)`` in direction ``d`` since the machine was built.
+    """
+    shape = (machine.config.width, machine.config.height, len(Direction))
+    matrix = np.zeros(shape, dtype=int)
+    for (coordinate, direction), link in machine.links.items():
+        matrix[coordinate.x, coordinate.y, direction.value] = link.packets_carried
+    return matrix
+
+
+def link_utilisations(machine: SpiNNakerMachine,
+                      elapsed_us: Optional[float] = None) -> List[LinkLoad]:
+    """Per-link utilisation over ``elapsed_us`` (defaults to the kernel time)."""
+    if elapsed_us is None:
+        elapsed_us = machine.kernel.now
+    if elapsed_us < 0:
+        raise ValueError("the observation window must be non-negative")
+    loads: List[LinkLoad] = []
+    for (coordinate, direction), link in machine.links.items():
+        loads.append(LinkLoad(source=coordinate, direction=direction,
+                              packets=link.packets_carried,
+                              refused=link.packets_refused,
+                              utilisation=link.utilisation(elapsed_us),
+                              failed=link.failed))
+    return loads
+
+
+def congestion_report(machine: SpiNNakerMachine,
+                      elapsed_us: Optional[float] = None,
+                      utilisation_threshold: float = 0.5,
+                      n_hotspots: int = 5) -> CongestionReport:
+    """Build the aggregate congestion picture of the machine.
+
+    ``utilisation_threshold`` defines what counts as a congested link;
+    ``n_hotspots`` bounds how many of the worst links are listed.
+    """
+    if not 0.0 < utilisation_threshold <= 1.0:
+        raise ValueError("utilisation threshold must lie in (0, 1]")
+    if elapsed_us is None:
+        elapsed_us = machine.kernel.now
+    loads = link_utilisations(machine, elapsed_us)
+    utilisations = np.array([load.utilisation for load in loads]) \
+        if loads else np.zeros(1)
+    hotspots = tuple(sorted((load for load in loads if load.packets > 0),
+                            key=lambda load: -load.utilisation)[:n_hotspots])
+    return CongestionReport(
+        elapsed_us=elapsed_us,
+        total_packets=sum(load.packets for load in loads),
+        total_refused=sum(load.refused for load in loads),
+        mean_utilisation=float(utilisations.mean()),
+        peak_utilisation=float(utilisations.max()),
+        links_above_threshold=sum(1 for load in loads
+                                  if load.utilisation >= utilisation_threshold),
+        failed_links=sum(1 for load in loads if load.failed),
+        emergency_invocations=machine.total_emergency_invocations(),
+        dropped_packets=machine.total_dropped_packets(),
+        hotspots=hotspots)
+
+
+def hotspot_chips(machine: SpiNNakerMachine,
+                  top: int = 5) -> List[Tuple[ChipCoordinate, int]]:
+    """Chips ranked by the traffic on their outgoing links (busiest first)."""
+    if top < 1:
+        raise ValueError("need at least one hotspot")
+    per_chip: Dict[ChipCoordinate, int] = {}
+    for (coordinate, _direction), link in machine.links.items():
+        per_chip[coordinate] = per_chip.get(coordinate, 0) + link.packets_carried
+    ranked = sorted(per_chip.items(), key=lambda item: -item[1])
+    return [(coordinate, packets) for coordinate, packets in ranked[:top]
+            if packets > 0]
+
+
+def saturation_injection_rate(width: int, height: int,
+                              link_packets_per_us: float = 6.0,
+                              cores_per_chip: int = 20,
+                              mean_hops: Optional[float] = None) -> float:
+    """Per-core injection rate (packets/ms) at which the torus saturates.
+
+    The aggregate link bandwidth of a ``width x height`` torus is
+    ``6 * width * height * link_packets_per_us``; uniformly-destined traffic
+    with a mean path length of ``mean_hops`` consumes that many link
+    traversals per packet, so the sustainable aggregate injection rate is
+    the ratio of the two.  Dividing by the number of application cores
+    gives the per-core rate the lightly-loaded design point must stay well
+    below.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("the mesh must have positive dimensions")
+    if link_packets_per_us <= 0 or cores_per_chip < 2:
+        raise ValueError("need positive link bandwidth and at least two "
+                         "cores per chip (one monitor, one application)")
+    if mean_hops is None:
+        # Mean shortest-path hop count of a uniform random pair on a torus
+        # is approximately (width + height) / 4 for rectangular tori.
+        mean_hops = (width + height) / 4.0
+    if mean_hops <= 0:
+        raise ValueError("the mean hop count must be positive")
+    total_link_rate_per_us = len(Direction) * width * height * link_packets_per_us
+    aggregate_injection_per_us = total_link_rate_per_us / mean_hops
+    application_cores = width * height * (cores_per_chip - 1)
+    per_core_per_us = aggregate_injection_per_us / application_cores
+    return per_core_per_us * 1000.0

@@ -1,0 +1,200 @@
+"""Information-theoretic measures for neural codes (Section 5.4).
+
+The paper's discussion of biological concurrency turns on how much
+information a population of spiking neurons can convey: rate codes,
+N-of-M population codes and rank-order codes trade spike count against
+capacity, and the retina's lateral inhibition "reduces the information
+redundancy in the resultant stream of spikes".  This module provides the
+small set of estimators the coding benchmarks use to make those
+statements quantitative:
+
+* discrete entropy and mutual information between a stimulus variable
+  and the decoded response;
+* the theoretical capacity of N-of-M and rank-order codes
+  (``log2 C(M, N)`` and ``log2 M!/(M-N)!`` respectively);
+* a redundancy measure over a set of response channels, used to show
+  that lateral inhibition decorrelates the ganglion-cell outputs.
+
+All estimators work on plain sequences or numpy arrays and are
+deliberately simple (plug-in estimators with optional bias correction);
+the benchmarks use hundreds-to-thousands of samples where plug-in
+estimates are adequate for the comparative claims being reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "entropy",
+    "entropy_from_counts",
+    "joint_entropy",
+    "mutual_information",
+    "n_of_m_capacity_bits",
+    "rank_order_capacity_bits",
+    "rate_code_capacity_bits",
+    "redundancy",
+    "population_sparseness",
+    "ChannelStatistics",
+    "channel_statistics",
+]
+
+
+def _probabilities(counts: Iterable[int]) -> np.ndarray:
+    """Normalise a count vector into a probability vector."""
+    array = np.asarray(list(counts), dtype=float)
+    total = array.sum()
+    if total <= 0:
+        return np.zeros(0)
+    return array[array > 0] / total
+
+
+def entropy_from_counts(counts: Iterable[int]) -> float:
+    """Shannon entropy (bits) of a distribution given as occurrence counts."""
+    probabilities = _probabilities(counts)
+    if probabilities.size == 0:
+        return 0.0
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def entropy(samples: Sequence[Hashable]) -> float:
+    """Plug-in Shannon entropy (bits) of a sequence of discrete samples."""
+    if not samples:
+        return 0.0
+    return entropy_from_counts(Counter(samples).values())
+
+
+def joint_entropy(first: Sequence[Hashable], second: Sequence[Hashable]) -> float:
+    """Entropy (bits) of the joint distribution of two aligned sample streams."""
+    if len(first) != len(second):
+        raise ValueError("joint entropy needs aligned sample sequences")
+    return entropy(list(zip(first, second)))
+
+
+def mutual_information(stimulus: Sequence[Hashable],
+                       response: Sequence[Hashable]) -> float:
+    """Mutual information (bits) between aligned stimulus and response samples.
+
+    ``I(S; R) = H(S) + H(R) - H(S, R)`` with plug-in entropies.  The result
+    is clipped at zero: tiny negative values can appear through floating-
+    point cancellation when the variables are independent.
+    """
+    information = (entropy(stimulus) + entropy(response)
+                   - joint_entropy(stimulus, response))
+    return max(0.0, information)
+
+
+def n_of_m_capacity_bits(n_active: int, population: int) -> float:
+    """Capacity (bits) of an unordered N-of-M code: ``log2 C(M, N)``."""
+    if not 0 <= n_active <= population:
+        raise ValueError("need 0 <= N <= M")
+    return math.log2(math.comb(population, n_active)) if population else 0.0
+
+
+def rank_order_capacity_bits(n_active: int, population: int) -> float:
+    """Capacity (bits) of a rank-order code: ``log2 (M! / (M-N)!)``.
+
+    The N active neurons convey information both in *which* neurons fire
+    and in the *order* in which they fire [20], so the codebook is the set
+    of ordered selections of N neurons out of M.
+    """
+    if not 0 <= n_active <= population:
+        raise ValueError("need 0 <= N <= M")
+    return (math.lgamma(population + 1) - math.lgamma(population - n_active + 1)) / math.log(2)
+
+
+def rate_code_capacity_bits(max_rate_hz: float, window_ms: float,
+                            rate_resolution_hz: float = 1.0) -> float:
+    """Capacity (bits) of a single-neuron rate code over an observation window.
+
+    A rate code observed for ``window_ms`` can distinguish at most
+    ``max_rate * window`` spike counts, i.e. roughly
+    ``log2(1 + max_rate * window)`` bits; with a coarser resolvable rate
+    step the number of distinguishable levels shrinks accordingly.  This is
+    the quantity that collapses to ~1 bit when "there is time for any
+    neuron ... to fire no more than once".
+    """
+    if max_rate_hz < 0 or window_ms < 0:
+        raise ValueError("rate and window must be non-negative")
+    if rate_resolution_hz <= 0:
+        raise ValueError("rate resolution must be positive")
+    max_count = max_rate_hz * window_ms / 1000.0
+    levels = 1.0 + max_count / max(1.0, rate_resolution_hz * window_ms / 1000.0)
+    return math.log2(levels)
+
+
+def redundancy(channels: Sequence[Sequence[Hashable]]) -> float:
+    """Multi-channel redundancy: ``sum_i H(X_i) - H(X_1, ..., X_n)`` in bits.
+
+    Zero means the channels are statistically independent (no redundancy);
+    larger values mean the channels repeat each other's information.  The
+    retina benchmark uses this to show lateral inhibition lowers the
+    redundancy of neighbouring ganglion-cell outputs.
+    """
+    if not channels:
+        return 0.0
+    lengths = {len(channel) for channel in channels}
+    if len(lengths) != 1:
+        raise ValueError("all channels must have the same number of samples")
+    marginal = sum(entropy(list(channel)) for channel in channels)
+    joint = entropy(list(zip(*channels)))
+    return max(0.0, marginal - joint)
+
+
+def population_sparseness(activity: Sequence[float]) -> float:
+    """Treves–Rolls population sparseness of an activity vector in [0, 1].
+
+    1 means maximally sparse (a single unit carries all the activity);
+    0 means perfectly uniform activity.  Sparse population activity is the
+    regime in which N-of-M codes with small N operate.
+    """
+    values = np.asarray(activity, dtype=float)
+    if values.size == 0:
+        return 0.0
+    values = np.abs(values)
+    total = values.sum()
+    if total <= 0:
+        return 0.0
+    mean = values.mean()
+    mean_square = (values ** 2).mean()
+    if mean_square <= 0:
+        return 0.0
+    treves_rolls = (mean ** 2) / mean_square
+    n = values.size
+    if n == 1:
+        return 0.0
+    sparseness = (1.0 - treves_rolls) / (1.0 - 1.0 / n)
+    # Floating-point cancellation can push perfectly uniform activity a few
+    # ulps outside [0, 1]; clamp so callers can rely on the documented range.
+    return float(min(1.0, max(0.0, sparseness)))
+
+
+@dataclass(frozen=True)
+class ChannelStatistics:
+    """Summary statistics of a discrete response channel."""
+
+    entropy_bits: float
+    n_symbols: int
+    n_samples: int
+    most_common_symbol: Hashable
+    most_common_fraction: float
+
+
+def channel_statistics(samples: Sequence[Hashable]) -> ChannelStatistics:
+    """Entropy and symbol statistics of one response channel."""
+    if not samples:
+        return ChannelStatistics(entropy_bits=0.0, n_symbols=0, n_samples=0,
+                                 most_common_symbol=None,
+                                 most_common_fraction=0.0)
+    counts = Counter(samples)
+    symbol, count = counts.most_common(1)[0]
+    return ChannelStatistics(entropy_bits=entropy(samples),
+                             n_symbols=len(counts),
+                             n_samples=len(samples),
+                             most_common_symbol=symbol,
+                             most_common_fraction=count / len(samples))

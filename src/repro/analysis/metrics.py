@@ -1,0 +1,91 @@
+"""Spike-train and latency statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def mean_firing_rate(spike_counts: Sequence[int], duration_ms: float) -> float:
+    """Mean firing rate in Hz of a population given per-neuron spike counts."""
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    counts = np.asarray(spike_counts, dtype=float)
+    if counts.size == 0:
+        return 0.0
+    return float(counts.mean() * 1000.0 / duration_ms)
+
+
+def isi_coefficient_of_variation(spike_times_ms: Sequence[float]) -> float:
+    """Coefficient of variation of the inter-spike intervals of one train.
+
+    Returns 0.0 for trains with fewer than three spikes (no meaningful
+    interval statistics).  A Poisson train has CV close to 1; a regular
+    train has CV close to 0.
+    """
+    times = np.sort(np.asarray(spike_times_ms, dtype=float))
+    if times.size < 3:
+        return 0.0
+    intervals = np.diff(times)
+    mean = intervals.mean()
+    if mean == 0:
+        return 0.0
+    return float(intervals.std() / mean)
+
+
+def spike_raster(spikes: Sequence[Tuple[float, int]], n_neurons: int,
+                 duration_ms: float, bin_ms: float = 1.0) -> np.ndarray:
+    """Bin ``(time, neuron)`` spike pairs into a (neurons x bins) raster."""
+    if bin_ms <= 0 or duration_ms <= 0:
+        raise ValueError("bin and duration must be positive")
+    n_bins = int(np.ceil(duration_ms / bin_ms))
+    raster = np.zeros((n_neurons, n_bins), dtype=int)
+    for time_ms, neuron in spikes:
+        if 0 <= neuron < n_neurons and 0 <= time_ms < duration_ms:
+            raster[neuron, int(time_ms // bin_ms)] += 1
+    return raster
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency distribution (microseconds)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    def within(self, deadline_us: float) -> bool:
+        """True if even the maximum observed latency meets ``deadline_us``."""
+        return self.max_us <= deadline_us
+
+
+def latency_summary(latencies_us: Sequence[float]) -> LatencySummary:
+    """Build a :class:`LatencySummary` from raw samples."""
+    if not len(latencies_us):
+        return LatencySummary(count=0, mean_us=0.0, p50_us=0.0, p95_us=0.0,
+                              p99_us=0.0, max_us=0.0)
+    data = np.asarray(latencies_us, dtype=float)
+    return LatencySummary(
+        count=int(data.size),
+        mean_us=float(data.mean()),
+        p50_us=float(np.percentile(data, 50)),
+        p95_us=float(np.percentile(data, 95)),
+        p99_us=float(np.percentile(data, 99)),
+        max_us=float(data.max()))
+
+
+def latency_by_distance(latencies_us: Sequence[float],
+                        distances: Sequence[int]) -> Dict[int, LatencySummary]:
+    """Group latency samples by hop distance (experiment E8)."""
+    if len(latencies_us) != len(distances):
+        raise ValueError("latencies and distances must be the same length")
+    groups: Dict[int, List[float]] = {}
+    for latency, distance in zip(latencies_us, distances):
+        groups.setdefault(int(distance), []).append(latency)
+    return {distance: latency_summary(samples)
+            for distance, samples in sorted(groups.items())}

@@ -1,0 +1,87 @@
+"""Inter-chip link traffic statistics.
+
+The communications fabric is "intended to operate in a lightly-loaded
+regime to minimize congestion" (Section 5.3), and the multicast router
+exists "to reduce total communication loading" relative to broadcast AER
+(Section 4).  These helpers summarise what the links actually carried so
+the benchmarks can quantify both claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.machine import SpiNNakerMachine
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate link-traffic statistics for one run."""
+
+    total_packets: int
+    total_bits: int
+    active_links: int
+    n_links: int
+    max_link_packets: int
+    mean_link_packets: float
+    gini_concentration: float
+    refused_packets: int
+
+    @property
+    def mean_packets_per_active_link(self) -> float:
+        """Average load over the links that carried any traffic."""
+        if self.active_links == 0:
+            return 0.0
+        return self.total_packets / self.active_links
+
+
+def link_traffic_summary(machine: SpiNNakerMachine) -> TrafficSummary:
+    """Summarise the traffic carried by every inter-chip link so far."""
+    loads = np.array([link.packets_carried for link in machine.links.values()],
+                     dtype=float)
+    bits = sum(link.bits_carried for link in machine.links.values())
+    refused = sum(link.packets_refused for link in machine.links.values())
+    active = int(np.count_nonzero(loads))
+    return TrafficSummary(
+        total_packets=int(loads.sum()),
+        total_bits=int(bits),
+        active_links=active,
+        n_links=loads.size,
+        max_link_packets=int(loads.max()) if loads.size else 0,
+        mean_link_packets=float(loads.mean()) if loads.size else 0.0,
+        gini_concentration=_gini(loads),
+        refused_packets=int(refused))
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of the load distribution (0 = even, 1 = concentrated)."""
+    if values.size == 0:
+        return 0.0
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    sorted_values = np.sort(values)
+    cumulative = np.cumsum(sorted_values)
+    n = values.size
+    # Standard discrete Gini formula.
+    return float((n + 1 - 2 * np.sum(cumulative) / cumulative[-1]) / n)
+
+
+def busiest_links(machine: SpiNNakerMachine,
+                  top: int = 10) -> List[Tuple[str, int]]:
+    """The ``top`` most heavily loaded links as ``(description, packets)``."""
+    rows = [("%s -%s-> %s" % (link.source, link.direction.name, link.target),
+             link.packets_carried)
+            for link in machine.links.values() if link.packets_carried > 0]
+    rows.sort(key=lambda item: -item[1])
+    return rows[:top]
+
+
+def per_chip_injection(machine: SpiNNakerMachine) -> Dict[str, int]:
+    """Packets injected locally (by cores or the host) at each chip's router."""
+    return {str(coordinate): chip.router.stats.injected_local
+            for coordinate, chip in machine.chips.items()
+            if chip.router.stats.injected_local > 0}

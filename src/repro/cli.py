@@ -1,0 +1,211 @@
+"""Command-line interface to the SpiNNaker reproduction.
+
+The CLI is a thin layer over the library: each subcommand builds the same
+objects a script would and prints a concise textual report.  It is the
+quickest way to sanity-check an installation::
+
+    spinnaker-repro info                      # machine-scale arithmetic
+    spinnaker-repro boot --width 8 --height 8 # run the boot protocol
+    spinnaker-repro codes                     # NRZ vs RTZ link codes
+    spinnaker-repro run --duration 200        # a small SNN on the machine
+    spinnaker-repro saturation --width 48     # lightly-loaded-regime check
+
+All output goes to stdout; the exit status is zero unless a subcommand
+fails (for example a boot in which chips stay dead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.congestion import congestion_report, saturation_injection_rate
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.energy.cost import OwnershipCostModel
+from repro.energy.model import EnergyModel, MachineScaleModel
+from repro.link.codes import LinkPerformanceModel
+from repro.neuron.connectors import FixedProbabilityConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.application import NeuralApplication
+from repro.runtime.boot import BootController
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_table(rows: Sequence[Sequence[str]], header: Sequence[str]) -> None:
+    """Print a small fixed-width table (no external dependencies)."""
+    widths = [max(len(str(row[column])) for row in [header, *rows])
+              for column in range(len(header))]
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(width)
+                         for cell, width in zip(row, widths))
+    print(render(header))
+    print(render(["-" * width for width in widths]))
+    for row in rows:
+        print(render(row))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_info(_args: argparse.Namespace) -> int:
+    """Print the machine-scale and cost-effectiveness headline numbers."""
+    scale = MachineScaleModel()
+    comparison = EnergyModel().comparison()
+    ownership = OwnershipCostModel.ownership_comparison()
+    print("SpiNNaker full-machine scale (Section 6):")
+    for key, value in scale.summary().items():
+        print("  %-22s %g" % (key, value))
+    print("\nEmbedded vs desktop processors (Section 2):")
+    for key, value in comparison.items():
+        print("  %-28s %.2f" % (key, value))
+    print("\nOwnership cost over three years (Section 3.3):")
+    for key, value in ownership.items():
+        print("  %-28s %.2f" % (key, value))
+    return 0
+
+
+def cmd_boot(args: argparse.Namespace) -> int:
+    """Boot a machine and report the result of the boot protocol."""
+    machine = SpiNNakerMachine(MachineConfig(width=args.width,
+                                             height=args.height,
+                                             cores_per_chip=args.cores))
+    result = BootController(machine, seed=args.seed).boot()
+    print("Booted %dx%d machine (%d chips, %d cores/chip)"
+          % (args.width, args.height, result.n_chips, args.cores))
+    print("  booted unaided:      %d" % result.chips_booted_unaided)
+    print("  repaired by nn:      %d" % result.chips_repaired)
+    print("  dead:                %d" % result.chips_dead)
+    print("  monitors elected:    %d" % result.monitors_elected)
+    print("  p2p tables built:    %d" % result.p2p_tables_configured)
+    print("  boot complete at:    %.1f us" % result.boot_complete_time_us)
+    return 0 if result.all_chips_operational else 1
+
+
+def cmd_codes(_args: argparse.Namespace) -> int:
+    """Compare the 2-of-7 NRZ and 3-of-6 RTZ link codes (Section 5.1)."""
+    model = LinkPerformanceModel()
+    comparison = model.comparison()
+    rows = [
+        ["transitions / 4-bit symbol",
+         "%.0f" % comparison["nrz_transitions_per_symbol"],
+         "%.0f" % comparison["rtz_transitions_per_symbol"]],
+        ["throughput ratio (NRZ/RTZ)",
+         "%.2f" % comparison["throughput_ratio_nrz_over_rtz"], ""],
+        ["energy ratio (NRZ/RTZ)",
+         "%.2f" % comparison["energy_ratio_nrz_over_rtz"], ""],
+    ]
+    _print_table(rows, header=["metric", "2-of-7 NRZ", "3-of-6 RTZ"])
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Map a small random SNN onto a machine and run it in simulated real time."""
+    machine = SpiNNakerMachine(MachineConfig(width=args.width,
+                                             height=args.height,
+                                             cores_per_chip=args.cores))
+    BootController(machine, seed=args.seed).boot()
+
+    network = Network(seed=args.seed)
+    stimulus = SpikeSourcePoisson(args.neurons, rate_hz=args.rate,
+                                  label="stimulus")
+    excitatory = Population(args.neurons, "lif", label="excitatory")
+    excitatory.record(spikes=True)
+    network.connect(stimulus, excitatory,
+                    FixedProbabilityConnector(p_connect=0.15, weight=0.8,
+                                              delay_range=(1, 4)))
+    application = NeuralApplication(machine, network,
+                                    max_neurons_per_core=args.neurons_per_core,
+                                    seed=args.seed)
+    result = application.run(args.duration)
+
+    print("Ran %d+%d neurons for %.0f ms on a %dx%d machine"
+          % (args.neurons, args.neurons, args.duration,
+             args.width, args.height))
+    print("  spikes (excitatory): %d" % result.total_spikes("excitatory"))
+    print("  mean rate:           %.1f Hz" % result.mean_rate_hz("excitatory"))
+    print("  packets sent:        %d" % result.packets_sent)
+    print("  packets dropped:     %d" % result.packets_dropped)
+    print("  mean delivery:       %.1f us" % result.mean_delivery_latency_us())
+    print("  worst delivery:      %.1f us" % result.max_delivery_latency_us())
+    report = congestion_report(machine)
+    print("  peak link load:      %.1f %%" % (100.0 * report.peak_utilisation))
+    print("  lightly loaded:      %s" % ("yes" if report.lightly_loaded else "no"))
+    return 0 if result.packets_dropped == 0 else 1
+
+
+def cmd_saturation(args: argparse.Namespace) -> int:
+    """Report the per-core injection rate at which the torus saturates."""
+    rate = saturation_injection_rate(args.width, args.height,
+                                     cores_per_chip=args.cores)
+    biological = args.neurons_per_core * args.mean_rate / 1000.0
+    print("Torus %dx%d, %d cores/chip:" % (args.width, args.height, args.cores))
+    print("  saturation injection rate: %.1f packets/ms per core" % rate)
+    print("  biological requirement:    %.1f packets/ms per core"
+          % biological)
+    headroom = rate / biological if biological > 0 else float("inf")
+    print("  headroom factor:           %.1fx" % headroom)
+    return 0 if headroom >= 1.0 else 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="spinnaker-repro",
+        description="SpiNNaker architecture reproduction (Furber & Brown, "
+                    "DATE 2011)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="machine-scale headline numbers")
+
+    boot = subparsers.add_parser("boot", help="boot a simulated machine")
+    boot.add_argument("--width", type=int, default=8)
+    boot.add_argument("--height", type=int, default=8)
+    boot.add_argument("--cores", type=int, default=18)
+    boot.add_argument("--seed", type=int, default=1)
+
+    subparsers.add_parser("codes", help="compare the inter-chip link codes")
+
+    run = subparsers.add_parser("run", help="run a small SNN on the machine")
+    run.add_argument("--width", type=int, default=4)
+    run.add_argument("--height", type=int, default=4)
+    run.add_argument("--cores", type=int, default=8)
+    run.add_argument("--neurons", type=int, default=100)
+    run.add_argument("--neurons-per-core", type=int, default=32)
+    run.add_argument("--rate", type=float, default=60.0)
+    run.add_argument("--duration", type=float, default=100.0)
+    run.add_argument("--seed", type=int, default=7)
+
+    saturation = subparsers.add_parser(
+        "saturation", help="lightly-loaded-regime headroom check")
+    saturation.add_argument("--width", type=int, default=48)
+    saturation.add_argument("--height", type=int, default=48)
+    saturation.add_argument("--cores", type=int, default=20)
+    saturation.add_argument("--neurons-per-core", type=int, default=1000)
+    saturation.add_argument("--mean-rate", type=float, default=10.0)
+    return parser
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "boot": cmd_boot,
+    "codes": cmd_codes,
+    "run": cmd_run,
+    "saturation": cmd_saturation,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by the ``spinnaker-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

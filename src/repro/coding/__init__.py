@@ -1,0 +1,49 @@
+"""Neural information coding (Section 5.4).
+
+The paper surveys how information might be represented by spiking neurons —
+firing rates, N-of-M population codes, rank-order codes — and describes the
+retinal ganglion-cell circuitry (centre-surround "Mexican hat" receptive
+fields with lateral inhibition) whose redundancy underlies the brain's
+graceful degradation when neurons die.  This package implements each of
+those codes plus the retinal encoder so that experiments E13 and E14 can
+reproduce the paper's qualitative claims.
+
+* :mod:`repro.coding.rate` — rate coding with Poisson spike generation and
+  window-count decoding.
+* :mod:`repro.coding.n_of_m` — N-of-M population codes and their capacity.
+* :mod:`repro.coding.rank_order` — rank-order codes [20]: the order of a
+  single wave of spikes carries the information.
+* :mod:`repro.coding.retina` — a difference-of-Gaussians retinal ganglion
+  layer with lateral inhibition, overlapping scales and neuron-failure
+  tolerance [21].
+* :mod:`repro.coding.rhythm` — background rhythms as rank-order salvo
+  separators: the paper's "rising surge of a rhythm / falling phase as a
+  symbol separator" speculation made executable.
+"""
+
+from repro.coding.n_of_m import NOfMCode
+from repro.coding.rank_order import RankOrderCode, RankOrderDecoder
+from repro.coding.rate import RateCode
+from repro.coding.retina import GanglionCellType, RetinaModel, RetinaParameters
+from repro.coding.rhythm import (
+    BackgroundRhythm,
+    RhythmicRankOrderChannel,
+    Salvo,
+    SalvoSegmenter,
+    TransmissionReport,
+)
+
+__all__ = [
+    "NOfMCode",
+    "RankOrderCode",
+    "RankOrderDecoder",
+    "RateCode",
+    "GanglionCellType",
+    "RetinaModel",
+    "RetinaParameters",
+    "BackgroundRhythm",
+    "RhythmicRankOrderChannel",
+    "Salvo",
+    "SalvoSegmenter",
+    "TransmissionReport",
+]

@@ -1,0 +1,127 @@
+"""N-of-M population codes.
+
+Section 5.4: "the information may be encoded in the choice of a subset of a
+population that is active at any time, which in its purest form is an
+N-of-M code familiar to the asynchronous design community (though with N
+and M values in the hundreds or thousands, rather than the low units as is
+common in engineered systems)."
+
+This module provides encoding (choose the N most strongly driven neurons of
+a population of M), decoding, validity checking and the information-
+capacity calculation ``log2 C(M, N)`` that quantifies why such codes are
+attractive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NOfMCode:
+    """An N-of-M population code.
+
+    Attributes
+    ----------
+    m:
+        Population size.
+    n:
+        Number of active neurons per symbol.
+    """
+
+    m: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise ValueError("M must be positive")
+        if not 0 < self.n <= self.m:
+            raise ValueError("N must satisfy 0 < N <= M")
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def codewords(self) -> int:
+        """Number of distinct codewords, C(M, N)."""
+        return math.comb(self.m, self.n)
+
+    @property
+    def capacity_bits(self) -> float:
+        """Information capacity of one symbol, log2 C(M, N)."""
+        return math.log2(self.codewords)
+
+    @property
+    def capacity_bits_per_spike(self) -> float:
+        """Capacity normalised by the number of spikes spent per symbol."""
+        return self.capacity_bits / self.n
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def encode(self, drive: Sequence[float]) -> FrozenSet[int]:
+        """Choose the N most strongly driven neurons as the active subset.
+
+        Ties are broken by neuron index so encoding is deterministic.
+        """
+        values = np.asarray(drive, dtype=float)
+        if values.shape != (self.m,):
+            raise ValueError("expected %d drive values, got %s"
+                             % (self.m, values.shape))
+        order = np.lexsort((np.arange(self.m), -values))
+        return frozenset(int(i) for i in order[:self.n])
+
+    def is_valid(self, active: Iterable[int]) -> bool:
+        """True if ``active`` is a legal codeword (exactly N in-range neurons)."""
+        active_set = set(active)
+        if len(active_set) != self.n:
+            return False
+        return all(0 <= i < self.m for i in active_set)
+
+    def overlap(self, first: Iterable[int], second: Iterable[int]) -> int:
+        """Number of active neurons two codewords share."""
+        return len(set(first) & set(second))
+
+    def similarity(self, first: Iterable[int], second: Iterable[int]) -> float:
+        """Normalised overlap in [0, 1] used for nearest-codeword decoding."""
+        return self.overlap(first, second) / self.n
+
+    def decode(self, active: Iterable[int],
+               codebook: Sequence[FrozenSet[int]]) -> int:
+        """Return the index of the nearest codebook entry to ``active``.
+
+        Decoding is by maximum overlap, which tolerates a few missing or
+        spurious spikes — the robustness property that motivates population
+        codes in the first place.
+        """
+        if not codebook:
+            raise ValueError("the codebook is empty")
+        active_set = set(active)
+        best_index = 0
+        best_overlap = -1
+        for index, codeword in enumerate(codebook):
+            overlap = len(active_set & set(codeword))
+            if overlap > best_overlap:
+                best_overlap = overlap
+                best_index = index
+        return best_index
+
+    def corrupt(self, active: FrozenSet[int], n_errors: int,
+                rng: Optional[np.random.Generator] = None) -> FrozenSet[int]:
+        """Flip ``n_errors`` active neurons to inactive ones (noise model)."""
+        rng = rng or np.random.default_rng()
+        active_list = sorted(active)
+        inactive = sorted(set(range(self.m)) - active)
+        n_errors = min(n_errors, len(active_list), len(inactive))
+        drop = rng.choice(len(active_list), size=n_errors, replace=False)
+        add = rng.choice(len(inactive), size=n_errors, replace=False)
+        result = set(active_list)
+        for index in drop:
+            result.discard(active_list[int(index)])
+        for index in add:
+            result.add(inactive[int(index)])
+        return frozenset(result)

@@ -1,0 +1,94 @@
+"""Rate coding.
+
+"The oldest theory is that information is encoded as the rate of spiking of
+a neuron" (Section 5.4).  The paper's point — reproduced by experiment
+E14 — is that rate codes need a long observation window: "it is hard to
+estimate a firing rate from a single spike!".  This module provides a
+straightforward Poisson rate encoder and a window-count decoder whose
+accuracy can be measured as a function of the observation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class RateCode:
+    """Encode analog values as firing rates and decode by counting spikes.
+
+    Parameters
+    ----------
+    max_rate_hz:
+        Firing rate corresponding to an input value of 1.0.
+    min_rate_hz:
+        Firing rate corresponding to an input value of 0.0 (spontaneous
+        background activity).
+    timestep_ms:
+        Simulation timestep used when generating spike trains.
+    """
+
+    max_rate_hz: float = 100.0
+    min_rate_hz: float = 0.0
+    timestep_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_rate_hz <= self.min_rate_hz:
+            raise ValueError("max_rate_hz must exceed min_rate_hz")
+        if self.timestep_ms <= 0:
+            raise ValueError("timestep must be positive")
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def rates_for(self, values: np.ndarray) -> np.ndarray:
+        """Map input values in [0, 1] to firing rates in Hz."""
+        clipped = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+        return self.min_rate_hz + clipped * (self.max_rate_hz - self.min_rate_hz)
+
+    def encode(self, values: np.ndarray, duration_ms: float,
+               rng: Optional[np.random.Generator] = None) -> List[List[float]]:
+        """Generate Poisson spike trains (per-neuron lists of spike times)."""
+        rng = rng or np.random.default_rng()
+        rates = self.rates_for(values)
+        n_ticks = int(round(duration_ms / self.timestep_ms))
+        trains: List[List[float]] = []
+        for rate in rates:
+            p = rate * self.timestep_ms / 1000.0
+            ticks = np.flatnonzero(rng.random(n_ticks) < p)
+            trains.append([float(t * self.timestep_ms) for t in ticks])
+        return trains
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, spike_trains: Sequence[Sequence[float]],
+               window_ms: float) -> np.ndarray:
+        """Estimate the encoded values from spikes within ``[0, window_ms)``.
+
+        The estimate inverts the rate mapping using the spike count in the
+        window; with a one-millisecond window a neuron can contribute at
+        most one spike, which is exactly why rate decoding fails at the
+        single-wave timescale highlighted by the paper.
+        """
+        if window_ms <= 0:
+            raise ValueError("window must be positive")
+        estimates = []
+        span = self.max_rate_hz - self.min_rate_hz
+        for train in spike_trains:
+            count = sum(1 for t in train if t < window_ms)
+            rate = count * 1000.0 / window_ms
+            estimates.append((rate - self.min_rate_hz) / span)
+        return np.clip(np.array(estimates), 0.0, 1.0)
+
+    def decoding_error(self, values: np.ndarray, window_ms: float,
+                       duration_ms: Optional[float] = None,
+                       rng: Optional[np.random.Generator] = None) -> float:
+        """Root-mean-square decoding error for a given observation window."""
+        duration = duration_ms if duration_ms is not None else window_ms
+        trains = self.encode(values, duration, rng)
+        estimates = self.decode(trains, window_ms)
+        return float(np.sqrt(np.mean((estimates - np.clip(values, 0, 1)) ** 2)))

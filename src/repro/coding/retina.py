@@ -1,0 +1,310 @@
+"""Retinal ganglion-cell model (Section 5.4, reference [21]).
+
+"In the retina ... the spiking ganglion cells have characteristic
+centre-on surround-off ('Mexican hat') or centre-off surround-on receptive
+fields, representing an array of two-dimensional filters that are applied
+to the image on the retina.  The filters cover the retina at different
+overlapping scales, and lateral inhibition reduces the information
+redundancy ...  If a neuron fails it will cease to generate output and also
+cease to generate lateral inhibition, so a near-neighbour with a similar
+receptive field will take over and very little information will be lost."
+
+The model implements exactly that chain:
+
+* difference-of-Gaussians (DoG) receptive fields, ON-centre and OFF-centre,
+  tiled over the image at several overlapping scales;
+* intensity-to-latency conversion so the layer emits a rank-order salvo;
+* divisive lateral inhibition between neighbouring cells of the same type
+  and scale;
+* a failure model in which dead neurons fall silent *and stop inhibiting*,
+  so their neighbours' responses grow — the takeover mechanism behind the
+  paper's graceful-degradation claim (experiment E13);
+* linear reconstruction of the image from the surviving responses, so the
+  information loss can be quantified as a function of the failure rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class GanglionCellType(Enum):
+    """Polarity of a ganglion cell's receptive field."""
+
+    ON_CENTRE = "on-centre"
+    OFF_CENTRE = "off-centre"
+
+
+@dataclass(frozen=True)
+class RetinaParameters:
+    """Parameters of the retinal ganglion layer.
+
+    Attributes
+    ----------
+    scales:
+        Centre Gaussian widths (in pixels) of the receptive-field scales.
+        The surround width is ``surround_ratio`` times the centre width.
+    surround_ratio:
+        Ratio of surround to centre Gaussian width (classically ~1.6-2).
+    stride_fraction:
+        Cell spacing as a fraction of the centre width; values below 2
+        give overlapping coverage.
+    inhibition_strength:
+        Strength of the divisive lateral inhibition between neighbouring
+        cells of the same type and scale.
+    inhibition_radius_cells:
+        Neighbourhood radius (in cell spacings) over which inhibition acts.
+    latency_max_ms:
+        Latency assigned to the weakest responding cell; the strongest
+        responds immediately (intensity-to-latency coding).
+    """
+
+    scales: Tuple[float, ...] = (1.0, 2.0)
+    surround_ratio: float = 1.6
+    stride_fraction: float = 1.0
+    inhibition_strength: float = 0.5
+    inhibition_radius_cells: float = 1.5
+    latency_max_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not self.scales:
+            raise ValueError("at least one receptive-field scale is required")
+        if any(s <= 0 for s in self.scales):
+            raise ValueError("receptive-field scales must be positive")
+        if self.surround_ratio <= 1.0:
+            raise ValueError("surround must be wider than the centre")
+        if not 0.0 <= self.inhibition_strength < 1.0:
+            raise ValueError("inhibition strength must be in [0, 1)")
+
+
+@dataclass
+class GanglionCell:
+    """One ganglion cell: position, scale, polarity and its current state."""
+
+    index: int
+    row: float
+    col: float
+    scale: float
+    cell_type: GanglionCellType
+    response: float = 0.0
+    failed: bool = False
+
+
+class RetinaModel:
+    """A retinal ganglion layer over a square grey-scale image."""
+
+    def __init__(self, image_shape: Tuple[int, int],
+                 parameters: Optional[RetinaParameters] = None) -> None:
+        if len(image_shape) != 2 or min(image_shape) < 3:
+            raise ValueError("image must be 2-D and at least 3x3 pixels")
+        self.image_shape = image_shape
+        self.parameters = parameters or RetinaParameters()
+        self.cells: List[GanglionCell] = []
+        self._kernels: Dict[int, np.ndarray] = {}
+        self._build_mosaic()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_mosaic(self) -> None:
+        """Tile ON- and OFF-centre cells of every scale over the image."""
+        rows, cols = self.image_shape
+        index = 0
+        for scale in self.parameters.scales:
+            stride = max(1.0, scale * self.parameters.stride_fraction)
+            positions_r = np.arange(0.0, rows - 1e-9, stride)
+            positions_c = np.arange(0.0, cols - 1e-9, stride)
+            for r in positions_r:
+                for c in positions_c:
+                    for cell_type in GanglionCellType:
+                        cell = GanglionCell(index=index, row=float(r),
+                                            col=float(c), scale=scale,
+                                            cell_type=cell_type)
+                        self._kernels[index] = self._make_kernel(cell)
+                        self.cells.append(cell)
+                        index += 1
+
+    def _make_kernel(self, cell: GanglionCell) -> np.ndarray:
+        """Difference-of-Gaussians kernel of one cell over the whole image."""
+        rows, cols = self.image_shape
+        p = self.parameters
+        rr, cc = np.mgrid[0:rows, 0:cols]
+        distance_sq = (rr - cell.row) ** 2 + (cc - cell.col) ** 2
+        centre_sigma = cell.scale
+        surround_sigma = cell.scale * p.surround_ratio
+        centre = np.exp(-distance_sq / (2 * centre_sigma ** 2))
+        surround = np.exp(-distance_sq / (2 * surround_sigma ** 2))
+        centre /= centre.sum()
+        surround /= surround.sum()
+        kernel = centre - surround
+        if cell.cell_type is GanglionCellType.OFF_CENTRE:
+            kernel = -kernel
+        return kernel
+
+    @property
+    def n_cells(self) -> int:
+        """Number of ganglion cells in the mosaic."""
+        return len(self.cells)
+
+    # ------------------------------------------------------------------
+    # Failure injection (experiment E13)
+    # ------------------------------------------------------------------
+    def fail_cells(self, fraction: float,
+                   rng: Optional[np.random.Generator] = None) -> List[int]:
+        """Mark a random ``fraction`` of cells as failed; return their indices."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("failure fraction must be in [0, 1]")
+        rng = rng or np.random.default_rng()
+        n_failures = int(round(fraction * self.n_cells))
+        failed = rng.choice(self.n_cells, size=n_failures, replace=False)
+        for index in failed:
+            self.cells[int(index)].failed = True
+        return [int(i) for i in failed]
+
+    def reset_failures(self) -> None:
+        """Restore every cell to working order."""
+        for cell in self.cells:
+            cell.failed = False
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def respond(self, image: np.ndarray) -> np.ndarray:
+        """Compute every cell's (rectified, laterally-inhibited) response.
+
+        Failed cells respond zero and contribute no inhibition, which is
+        what lets their neighbours take over.
+        """
+        image = np.asarray(image, dtype=float)
+        if image.shape != self.image_shape:
+            raise ValueError("expected image of shape %s, got %s"
+                             % (self.image_shape, image.shape))
+        raw = np.zeros(self.n_cells)
+        for cell in self.cells:
+            if cell.failed:
+                continue
+            raw[cell.index] = max(0.0, float(
+                np.sum(self._kernels[cell.index] * image)))
+
+        inhibited = self._lateral_inhibition(raw)
+        for cell in self.cells:
+            cell.response = inhibited[cell.index]
+        return inhibited
+
+    def _lateral_inhibition(self, responses: np.ndarray) -> np.ndarray:
+        """Divisive inhibition from same-type, same-scale neighbours."""
+        p = self.parameters
+        if p.inhibition_strength == 0.0:
+            return responses.copy()
+        inhibited = responses.copy()
+        # Group cells by (type, scale) so inhibition stays within a mosaic.
+        groups: Dict[Tuple[GanglionCellType, float], List[GanglionCell]] = {}
+        for cell in self.cells:
+            groups.setdefault((cell.cell_type, cell.scale), []).append(cell)
+        for (_, scale), group in groups.items():
+            radius = p.inhibition_radius_cells * max(
+                1.0, scale * p.stride_fraction)
+            for cell in group:
+                if cell.failed or responses[cell.index] == 0.0:
+                    continue
+                neighbour_sum = 0.0
+                neighbours = 0
+                for other in group:
+                    if other.index == cell.index or other.failed:
+                        continue
+                    distance = math.hypot(cell.row - other.row,
+                                          cell.col - other.col)
+                    if distance <= radius:
+                        neighbour_sum += responses[other.index]
+                        neighbours += 1
+                if neighbours:
+                    mean_neighbour = neighbour_sum / neighbours
+                    inhibited[cell.index] = responses[cell.index] / (
+                        1.0 + p.inhibition_strength * mean_neighbour)
+        return inhibited
+
+    def encode_latencies(self, image: np.ndarray) -> List[Tuple[int, float]]:
+        """Convert responses to a rank-order salvo of ``(cell, latency_ms)``.
+
+        Stronger responses fire earlier (intensity-to-latency coding);
+        silent and failed cells do not fire at all.
+        """
+        responses = self.respond(image)
+        active = [(index, response) for index, response in enumerate(responses)
+                  if response > 0.0]
+        if not active:
+            return []
+        active.sort(key=lambda item: (-item[1], item[0]))
+        strongest = active[0][1]
+        salvo = []
+        for index, response in active:
+            latency = self.parameters.latency_max_ms * (1.0 - response / strongest)
+            salvo.append((index, latency))
+        return salvo
+
+    # ------------------------------------------------------------------
+    # Reconstruction and information metrics
+    # ------------------------------------------------------------------
+    def reconstruct(self, responses: Optional[np.ndarray] = None) -> np.ndarray:
+        """Linear reconstruction of the image from cell responses.
+
+        Each cell adds its kernel weighted by its response; ON and OFF
+        kernels have opposite signs so the two mosaics cooperate.  The
+        output is normalised to zero mean, matching the DoG responses which
+        only carry contrast (not absolute luminance).
+        """
+        if responses is None:
+            responses = np.array([cell.response for cell in self.cells])
+        reconstruction = np.zeros(self.image_shape)
+        for cell in self.cells:
+            if cell.failed or responses[cell.index] == 0.0:
+                continue
+            reconstruction += responses[cell.index] * self._kernels[cell.index]
+        if np.any(reconstruction):
+            reconstruction -= reconstruction.mean()
+        return reconstruction
+
+    def reconstruction_similarity(self, image: np.ndarray) -> float:
+        """Correlation between the contrast image and its reconstruction.
+
+        Returns the Pearson correlation between the zero-mean input image
+        and the reconstruction from the current (possibly failure-degraded)
+        responses; 1.0 is a perfect contrast reconstruction.
+        """
+        image = np.asarray(image, dtype=float)
+        responses = self.respond(image)
+        reconstruction = self.reconstruct(responses)
+        contrast = image - image.mean()
+        denominator = np.linalg.norm(contrast) * np.linalg.norm(reconstruction)
+        if denominator == 0:
+            return 0.0
+        return float(np.sum(contrast * reconstruction) / denominator)
+
+    # ------------------------------------------------------------------
+    # Test imagery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_test_image(shape: Tuple[int, int], kind: str = "bars",
+                        rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Generate a synthetic stimulus (the paper's workloads are visual).
+
+        ``kind`` is one of ``"bars"`` (oriented gratings), ``"spot"`` (a
+        bright disc on a dark background) or ``"noise"``.
+        """
+        rows, cols = shape
+        rng = rng or np.random.default_rng(0)
+        if kind == "bars":
+            cc = np.tile(np.arange(cols), (rows, 1))
+            return 0.5 + 0.5 * np.sin(2 * np.pi * cc / max(4, cols // 4))
+        if kind == "spot":
+            rr, cc = np.mgrid[0:rows, 0:cols]
+            distance = np.hypot(rr - rows / 2.0, cc - cols / 2.0)
+            return (distance < min(rows, cols) / 4.0).astype(float)
+        if kind == "noise":
+            return rng.random(shape)
+        raise ValueError("unknown test image kind %r" % (kind,))

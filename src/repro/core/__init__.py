@@ -1,0 +1,78 @@
+"""Core machine model and discrete-event simulation kernel.
+
+The core package contains the substrate on which every other part of the
+reproduction is built:
+
+* :mod:`repro.core.event_kernel` — the discrete-event scheduler that plays
+  the role of "time models itself" (bounded asynchrony, Section 3.1).
+* :mod:`repro.core.geometry` — coordinates and link directions on the 2-D
+  toroidal triangular mesh (Figures 1 and 2).
+* :mod:`repro.core.packets` — the three router packet types: multicast
+  (AER spike events), point-to-point and nearest-neighbour (Section 5.2).
+* :mod:`repro.core.clock` — GALS clock domains (Figure 5).
+* :mod:`repro.core.sdram`, :mod:`repro.core.dma`, :mod:`repro.core.noc` —
+  the shared memory, the per-core DMA engine and the two NoC fabrics
+  (Figure 3).
+* :mod:`repro.core.processor` and :mod:`repro.core.chip` — the ARM968
+  processor subsystem (Figure 4) and the 20-core chip multiprocessor.
+* :mod:`repro.core.machine` — the full machine: a torus of chips plus the
+  host connection (Figure 1).
+* :mod:`repro.core.admission` — QoS admission control on the best-effort
+  GALS interconnect (the "traffic service management" of Section 4).
+"""
+
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStatistics,
+    BEST_EFFORT,
+    GUARANTEED_REALTIME,
+    TokenBucketRegulator,
+    TrafficClass,
+)
+from repro.core.chip import Chip
+from repro.core.clock import ClockDomain, GALSClockSystem
+from repro.core.dma import DMAController, DMARequest
+from repro.core.event_kernel import Event, EventKernel
+from repro.core.geometry import ChipCoordinate, Direction, TorusGeometry
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.core.noc import CommunicationsNoC, SystemNoC
+from repro.core.packets import (
+    MulticastPacket,
+    NearestNeighbourPacket,
+    Packet,
+    PointToPointPacket,
+)
+from repro.core.processor import ProcessorState, ProcessorSubsystem
+from repro.core.sdram import SDRAM
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStatistics",
+    "BEST_EFFORT",
+    "GUARANTEED_REALTIME",
+    "TokenBucketRegulator",
+    "TrafficClass",
+    "Chip",
+    "ClockDomain",
+    "GALSClockSystem",
+    "DMAController",
+    "DMARequest",
+    "Event",
+    "EventKernel",
+    "ChipCoordinate",
+    "Direction",
+    "TorusGeometry",
+    "MachineConfig",
+    "SpiNNakerMachine",
+    "CommunicationsNoC",
+    "SystemNoC",
+    "Packet",
+    "MulticastPacket",
+    "PointToPointPacket",
+    "NearestNeighbourPacket",
+    "ProcessorState",
+    "ProcessorSubsystem",
+    "SDRAM",
+]

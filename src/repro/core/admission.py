@@ -1,0 +1,281 @@
+"""Admission control for QoS on the best-effort GALS interconnect.
+
+Section 4 notes that "the GALS approach is also capable of supporting
+traffic service management [12]".  Reference [12] describes an admission
+control system that provides quality-of-service guarantees on top of the
+best-effort CHAIN fabric by regulating how fast each traffic source may
+inject packets.  This module reproduces that mechanism at the
+architectural level:
+
+* :class:`TrafficClass` — a named service class with a guaranteed
+  injection rate and a burst allowance;
+* :class:`TokenBucketRegulator` — the per-source regulator: a token
+  bucket that admits a packet only when a token is available, so a
+  source can never exceed its contracted rate for longer than its burst
+  allowance;
+* :class:`AdmissionController` — the per-chip controller that owns one
+  regulator per (source, class) pair, polices aggregate reserved
+  bandwidth against the link capacity, and reports admission statistics.
+
+The controller is deliberately independent of the router model: the
+benchmarks drive it with synthetic arrival processes and then feed only
+the *admitted* packets into the machine, which is how the real admission
+control sits in front of the router's injection port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TrafficClass",
+    "TokenBucketRegulator",
+    "AdmissionDecision",
+    "AdmissionStatistics",
+    "AdmissionController",
+    "BEST_EFFORT",
+    "GUARANTEED_REALTIME",
+]
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """A service class with a contracted injection rate.
+
+    Attributes
+    ----------
+    name:
+        Class label (for example ``"realtime-spikes"``).
+    guaranteed_rate_packets_per_ms:
+        Long-term injection rate the class is guaranteed.
+    burst_packets:
+        Number of packets the class may inject back-to-back beyond its
+        long-term rate (the token-bucket depth).
+    priority:
+        Smaller numbers are served first when the controller has to shed
+        load; purely ordinal.
+    """
+
+    name: str
+    guaranteed_rate_packets_per_ms: float
+    burst_packets: int = 8
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.guaranteed_rate_packets_per_ms < 0:
+            raise ValueError("guaranteed rate must be non-negative")
+        if self.burst_packets < 1:
+            raise ValueError("burst allowance must be at least one packet")
+
+
+#: Background best-effort traffic: no reservation, modest burst.
+BEST_EFFORT = TrafficClass(name="best-effort",
+                           guaranteed_rate_packets_per_ms=0.0,
+                           burst_packets=4, priority=9)
+
+#: Real-time spike traffic: reserved rate sized for a core's neurons
+#: firing at biologically plausible rates.
+GUARANTEED_REALTIME = TrafficClass(name="realtime-spikes",
+                                   guaranteed_rate_packets_per_ms=25.0,
+                                   burst_packets=16, priority=1)
+
+
+class TokenBucketRegulator:
+    """A token-bucket regulator for one traffic source.
+
+    Tokens accrue at the class's guaranteed rate up to the burst depth;
+    admitting a packet consumes one token.  A class with a zero guaranteed
+    rate never accrues tokens and is only admitted through the
+    controller's spare-capacity path.
+    """
+
+    def __init__(self, traffic_class: TrafficClass) -> None:
+        self.traffic_class = traffic_class
+        self._tokens = float(traffic_class.burst_packets)
+        self._last_update_ms = 0.0
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available."""
+        return self._tokens
+
+    def _refill(self, now_ms: float) -> None:
+        if now_ms < self._last_update_ms:
+            raise ValueError("time must not go backwards "
+                             "(%.3f < %.3f)" % (now_ms, self._last_update_ms))
+        elapsed = now_ms - self._last_update_ms
+        self._tokens = min(
+            float(self.traffic_class.burst_packets),
+            self._tokens + elapsed * self.traffic_class.guaranteed_rate_packets_per_ms)
+        self._last_update_ms = now_ms
+
+    def admit(self, now_ms: float) -> bool:
+        """Try to admit one packet at ``now_ms``."""
+        self._refill(now_ms)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def would_admit(self, now_ms: float) -> bool:
+        """True if a packet at ``now_ms`` would be admitted (no side effects)."""
+        elapsed = max(0.0, now_ms - self._last_update_ms)
+        projected = min(
+            float(self.traffic_class.burst_packets),
+            self._tokens + elapsed * self.traffic_class.guaranteed_rate_packets_per_ms)
+        return projected >= 1.0
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission request."""
+
+    source: str
+    traffic_class: str
+    time_ms: float
+    admitted: bool
+    reason: str
+
+
+@dataclass
+class AdmissionStatistics:
+    """Aggregate admission statistics for one controller."""
+
+    requests: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    admitted_on_reservation: int = 0
+    admitted_on_spare_capacity: int = 0
+
+    @property
+    def admission_ratio(self) -> float:
+        """Fraction of requests admitted."""
+        if self.requests == 0:
+            return 0.0
+        return self.admitted / self.requests
+
+
+class AdmissionController:
+    """Per-chip admission control in front of the router injection port.
+
+    Parameters
+    ----------
+    link_capacity_packets_per_ms:
+        Aggregate packet rate the chip's outgoing links can sustain; the
+        controller refuses to *reserve* more than ``reservable_fraction``
+        of it, keeping the fabric in the lightly-loaded regime the paper
+        says it is "intended to operate in".
+    reservable_fraction:
+        Fraction of the link capacity that may be promised to guaranteed
+        classes.
+    """
+
+    def __init__(self, link_capacity_packets_per_ms: float = 200.0,
+                 reservable_fraction: float = 0.75) -> None:
+        if link_capacity_packets_per_ms <= 0:
+            raise ValueError("link capacity must be positive")
+        if not 0.0 < reservable_fraction <= 1.0:
+            raise ValueError("reservable fraction must lie in (0, 1]")
+        self.link_capacity_packets_per_ms = link_capacity_packets_per_ms
+        self.reservable_fraction = reservable_fraction
+        self.stats = AdmissionStatistics()
+        self._regulators: Dict[Tuple[str, str], TokenBucketRegulator] = {}
+        self._classes: Dict[str, TrafficClass] = {}
+        self._spare_budget_per_ms = link_capacity_packets_per_ms
+        self._spare_used_in_window = 0.0
+        self._spare_window_start_ms = 0.0
+        self.decisions: List[AdmissionDecision] = []
+
+    # ------------------------------------------------------------------
+    # Reservation management
+    # ------------------------------------------------------------------
+    @property
+    def reserved_rate_packets_per_ms(self) -> float:
+        """Total rate currently promised to guaranteed classes."""
+        return sum(regulator.traffic_class.guaranteed_rate_packets_per_ms
+                   for regulator in self._regulators.values())
+
+    @property
+    def reservable_rate_packets_per_ms(self) -> float:
+        """Maximum rate the controller is willing to promise in total."""
+        return self.link_capacity_packets_per_ms * self.reservable_fraction
+
+    def register(self, source: str, traffic_class: TrafficClass) -> bool:
+        """Register a source under a traffic class.
+
+        Returns False (and registers nothing) if admitting the class's
+        guaranteed rate would over-subscribe the reservable capacity.
+        """
+        key = (source, traffic_class.name)
+        if key in self._regulators:
+            return True
+        new_total = (self.reserved_rate_packets_per_ms
+                     + traffic_class.guaranteed_rate_packets_per_ms)
+        if new_total > self.reservable_rate_packets_per_ms:
+            return False
+        self._regulators[key] = TokenBucketRegulator(traffic_class)
+        self._classes[traffic_class.name] = traffic_class
+        return True
+
+    def deregister(self, source: str, class_name: str) -> None:
+        """Remove a source's reservation (releases its guaranteed rate)."""
+        self._regulators.pop((source, class_name), None)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _spare_capacity_available(self, now_ms: float) -> bool:
+        # The spare pool is everything not reserved, accounted per 1 ms
+        # window; best-effort traffic beyond it is shed.
+        if now_ms - self._spare_window_start_ms >= 1.0:
+            self._spare_window_start_ms = now_ms
+            self._spare_used_in_window = 0.0
+        spare_rate = (self.link_capacity_packets_per_ms
+                      - self.reserved_rate_packets_per_ms)
+        return self._spare_used_in_window < spare_rate
+
+    def request(self, source: str, class_name: str,
+                now_ms: float) -> AdmissionDecision:
+        """Ask to inject one packet from ``source`` under ``class_name``."""
+        self.stats.requests += 1
+        key = (source, class_name)
+        regulator = self._regulators.get(key)
+
+        if regulator is not None and regulator.admit(now_ms):
+            decision = AdmissionDecision(source=source, traffic_class=class_name,
+                                         time_ms=now_ms, admitted=True,
+                                         reason="reservation")
+            self.stats.admitted += 1
+            self.stats.admitted_on_reservation += 1
+        elif self._spare_capacity_available(now_ms):
+            self._spare_used_in_window += 1.0
+            decision = AdmissionDecision(source=source, traffic_class=class_name,
+                                         time_ms=now_ms, admitted=True,
+                                         reason="spare-capacity")
+            self.stats.admitted += 1
+            self.stats.admitted_on_spare_capacity += 1
+        else:
+            decision = AdmissionDecision(source=source, traffic_class=class_name,
+                                         time_ms=now_ms, admitted=False,
+                                         reason="over-subscribed")
+            self.stats.rejected += 1
+        self.decisions.append(decision)
+        return decision
+
+    def admit_burst(self, source: str, class_name: str, now_ms: float,
+                    n_packets: int) -> int:
+        """Request ``n_packets`` back-to-back; returns how many were admitted."""
+        if n_packets < 0:
+            raise ValueError("packet count must be non-negative")
+        return sum(1 for _ in range(n_packets)
+                   if self.request(source, class_name, now_ms).admitted)
+
+    def admitted_rate_for(self, source: str, class_name: str) -> int:
+        """Packets admitted so far for one (source, class) reservation."""
+        regulator = self._regulators.get((source, class_name))
+        return regulator.admitted if regulator is not None else 0

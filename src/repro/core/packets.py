@@ -1,0 +1,252 @@
+"""Router packet formats (Sections 4 and 5.2).
+
+The SpiNNaker router supports three packet types:
+
+* **Multicast (mc)** packets carry neural spike events using Address Event
+  Representation: a 40-bit packet made of 8 bits of management data and a
+  32-bit routing key that identifies the neuron that fired.
+* **Point-to-point (p2p)** packets carry system-management traffic between
+  arbitrary chips, addressed by 16-bit source and destination chip
+  addresses, and are routed algorithmically.
+* **Nearest-neighbour (nn)** packets travel exactly one hop and are used
+  during boot for self-configuration and neighbour repair.
+
+All three are modelled here as small immutable dataclasses together with the
+bit-level pack/unpack helpers that enforce the 40-bit format of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from repro.core.geometry import ChipCoordinate, Direction
+
+#: Width of the multicast routing key (the AER neuron identifier).
+KEY_BITS = 32
+#: Width of the packet-management header.
+HEADER_BITS = 8
+#: Total multicast packet size quoted by the paper ("a 40-bit packet").
+MC_PACKET_BITS = KEY_BITS + HEADER_BITS
+#: Optional 32-bit payload extension supported by the real router.
+PAYLOAD_BITS = 32
+
+_sequence_counter = itertools.count()
+
+
+class PacketType(IntEnum):
+    """The packet type field carried in the management header."""
+
+    MULTICAST = 0
+    POINT_TO_POINT = 1
+    NEAREST_NEIGHBOUR = 2
+
+
+class EmergencyState(IntEnum):
+    """Emergency-routing state carried in the management header (Sec 5.3).
+
+    ``NORMAL`` packets follow their routing-table entry.  ``FIRST_LEG``
+    marks a packet that has been diverted onto the first side of the
+    emergency triangle; ``SECOND_LEG`` marks the second side, after which
+    the packet resumes normal routing.
+    """
+
+    NORMAL = 0
+    FIRST_LEG = 1
+    SECOND_LEG = 2
+
+
+@dataclass(frozen=True)
+class Packet:
+    """Common behaviour of all router packets."""
+
+    #: Monotonically increasing identifier used for tracing and statistics.
+    sequence: int = field(default_factory=lambda: next(_sequence_counter))
+
+    @property
+    def packet_type(self) -> PacketType:
+        raise NotImplementedError
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits on the wire (header + key, plus payload if any)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MulticastPacket(Packet):
+    """An AER spike-event packet (Section 4).
+
+    Attributes
+    ----------
+    key:
+        The 32-bit routing key: the identifier of the neuron that fired.
+    payload:
+        Optional 32-bit payload (not used for plain spike events).
+    emergency:
+        Emergency-routing state (Section 5.3).
+    timestamp:
+        Simulated time (microseconds) at which the spike was emitted; used
+        by the latency analysis, not part of the wire format.
+    source:
+        Coordinate of the chip that injected the packet (trace metadata).
+    """
+
+    key: int = 0
+    payload: Optional[int] = None
+    emergency: EmergencyState = EmergencyState.NORMAL
+    timestamp: float = 0.0
+    source: Optional[ChipCoordinate] = None
+    #: Router hops taken so far.  The real router stamps each packet with a
+    #: 2-bit "time phase" and drops packets whose phase has expired so that
+    #: default-routed packets cannot circulate forever; the simulation keeps
+    #: an explicit hop count with the same role.
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.key < (1 << KEY_BITS):
+            raise ValueError("multicast key %r does not fit in %d bits"
+                             % (self.key, KEY_BITS))
+        if self.payload is not None and not 0 <= self.payload < (1 << PAYLOAD_BITS):
+            raise ValueError("payload %r does not fit in %d bits"
+                             % (self.payload, PAYLOAD_BITS))
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.MULTICAST
+
+    @property
+    def bit_length(self) -> int:
+        return MC_PACKET_BITS + (PAYLOAD_BITS if self.payload is not None else 0)
+
+    def with_emergency(self, state: EmergencyState) -> "MulticastPacket":
+        """Return a copy of the packet with a new emergency-routing state."""
+        return replace(self, emergency=state)
+
+    def aged(self) -> "MulticastPacket":
+        """Return a copy of the packet with its hop count advanced by one."""
+        return replace(self, hops=self.hops + 1)
+
+    def pack(self) -> int:
+        """Pack the packet into its 40-bit wire representation.
+
+        The header layout used here is: bits [7:6] packet type, bits [5:4]
+        emergency state, bit [1] payload-present flag, other bits reserved.
+        """
+        header = (int(self.packet_type) << 6) | (int(self.emergency) << 4)
+        if self.payload is not None:
+            header |= 1 << 1
+        return (header << KEY_BITS) | self.key
+
+    @classmethod
+    def unpack(cls, word: int, payload: Optional[int] = None) -> "MulticastPacket":
+        """Reconstruct a packet from its 40-bit wire representation."""
+        if not 0 <= word < (1 << MC_PACKET_BITS):
+            raise ValueError("wire word %r does not fit in %d bits"
+                             % (word, MC_PACKET_BITS))
+        key = word & ((1 << KEY_BITS) - 1)
+        header = word >> KEY_BITS
+        emergency = EmergencyState((header >> 4) & 0x3)
+        has_payload = bool(header & (1 << 1))
+        if has_payload and payload is None:
+            raise ValueError("packet header indicates a payload but none given")
+        return cls(key=key, payload=payload if has_payload else None,
+                   emergency=emergency)
+
+
+@dataclass(frozen=True)
+class PointToPointPacket(Packet):
+    """A system-management packet with 16-bit source and destination addresses.
+
+    P2P addresses encode the chip coordinate as ``(x << 8) | y``, the
+    convention used by the real machine for meshes up to 256 x 256.
+    """
+
+    source_address: int = 0
+    destination_address: int = 0
+    payload: Optional[int] = None
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("source_address", self.source_address),
+                            ("destination_address", self.destination_address)):
+            if not 0 <= value < (1 << 16):
+                raise ValueError("%s %r does not fit in 16 bits" % (name, value))
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.POINT_TO_POINT
+
+    @property
+    def bit_length(self) -> int:
+        return MC_PACKET_BITS + (PAYLOAD_BITS if self.payload is not None else 0)
+
+    @staticmethod
+    def encode_address(coord: ChipCoordinate) -> int:
+        """Encode a chip coordinate as a 16-bit p2p address."""
+        if not (0 <= coord.x < 256 and 0 <= coord.y < 256):
+            raise ValueError("coordinate %s exceeds the 16-bit p2p address space"
+                             % (coord,))
+        return (coord.x << 8) | coord.y
+
+    @staticmethod
+    def decode_address(address: int) -> ChipCoordinate:
+        """Decode a 16-bit p2p address into a chip coordinate."""
+        if not 0 <= address < (1 << 16):
+            raise ValueError("p2p address %r does not fit in 16 bits" % (address,))
+        return ChipCoordinate(address >> 8, address & 0xFF)
+
+    @property
+    def source(self) -> ChipCoordinate:
+        """The source chip coordinate."""
+        return self.decode_address(self.source_address)
+
+    @property
+    def destination(self) -> ChipCoordinate:
+        """The destination chip coordinate."""
+        return self.decode_address(self.destination_address)
+
+    @classmethod
+    def between(cls, source: ChipCoordinate, destination: ChipCoordinate,
+                payload: Optional[int] = None,
+                timestamp: float = 0.0) -> "PointToPointPacket":
+        """Build a p2p packet from chip coordinates."""
+        return cls(source_address=cls.encode_address(source),
+                   destination_address=cls.encode_address(destination),
+                   payload=payload, timestamp=timestamp)
+
+
+class NNCommand(IntEnum):
+    """Nearest-neighbour packet commands used during boot (Section 5.2)."""
+
+    PROBE = 0              #: "Are you alive / booted?"
+    COORDINATE = 1         #: Propagate (x, y) position from the origin chip.
+    SET_MONITOR = 2        #: Force the choice of monitor processor.
+    WRITE_SYSTEM_RAM = 3   #: Copy boot code into the neighbour's System RAM.
+    REBOOT = 4             #: Instruct the neighbour to reboot from System RAM.
+    FLOOD_FILL_DATA = 5    #: A block of application data during flood-fill.
+    FLOOD_FILL_END = 6     #: End-of-load marker carrying a checksum.
+    PEEK = 7               #: Read a word of the neighbour's System RAM.
+    POKE = 8               #: Write a word of the neighbour's System RAM.
+    RESPONSE = 9           #: Reply to a PROBE/PEEK/POKE request.
+
+
+@dataclass(frozen=True)
+class NearestNeighbourPacket(Packet):
+    """A one-hop packet used for boot, repair and flood-fill (Section 5.2)."""
+
+    command: NNCommand = NNCommand.PROBE
+    payload: Tuple = ()
+    direction: Optional[Direction] = None
+    timestamp: float = 0.0
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType.NEAREST_NEIGHBOUR
+
+    @property
+    def bit_length(self) -> int:
+        # nn packets always carry a 32-bit payload word in the real machine.
+        return MC_PACKET_BITS + PAYLOAD_BITS

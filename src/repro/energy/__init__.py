@@ -1,0 +1,45 @@
+"""Energy, cost and scale models (Sections 2, 3.3 and the conclusions).
+
+"Processors are free; the real cost of computing is energy."  This package
+quantifies the paper's cost-effectiveness arguments:
+
+* :mod:`repro.energy.model` — MIPS/mm² and MIPS/W for embedded versus
+  high-end processors, per-event energy accounting and the machine-scale
+  arithmetic (>10⁶ cores, ~200 teraIPS, a billion neurons ≈ 1 % of brain).
+* :mod:`repro.energy.cost` — the ownership-cost model behind the claim
+  that a PC's energy bill overtakes its purchase price after about three
+  years, and the per-node comparison with a SpiNNaker node.
+* :mod:`repro.energy.scaling` — the GALS process-variability argument
+  (per-domain clocks beat a single worst-case clock) and per-domain DVFS
+  for the real-time workload.
+"""
+
+from repro.energy.cost import OwnershipCostModel
+from repro.energy.model import (
+    EnergyModel,
+    MachineScaleModel,
+    ProcessorSpec,
+    EMBEDDED_NODE,
+    HIGH_END_DESKTOP,
+)
+from repro.energy.scaling import (
+    DVFSDecision,
+    DVFSPolicy,
+    VariabilityOutcome,
+    VariabilityStudy,
+    dynamic_power_fraction,
+)
+
+__all__ = [
+    "OwnershipCostModel",
+    "EnergyModel",
+    "MachineScaleModel",
+    "ProcessorSpec",
+    "EMBEDDED_NODE",
+    "HIGH_END_DESKTOP",
+    "DVFSDecision",
+    "DVFSPolicy",
+    "VariabilityOutcome",
+    "VariabilityStudy",
+    "dynamic_power_fraction",
+]

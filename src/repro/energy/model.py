@@ -1,0 +1,197 @@
+"""Processing-efficiency metrics and machine-scale arithmetic (Section 2).
+
+"Two metrics determine the cost-effectiveness of a many-core architecture:
+MIPS/mm² — how much processing power can a unit of silicon area yield? —
+and MIPS/W — how much energy does it take to execute a given program?  On
+the first of these measures embedded and high-end processors are roughly
+equal — a SpiNNaker chip with 20 ARM cores delivers about the same
+throughput as a high-end desktop processor — but on energy-efficiency the
+embedded processors win by an order of magnitude."
+
+The default :class:`ProcessorSpec` values are representative 2010-era parts
+(an ARM968-based SpiNNaker node and a contemporary high-end desktop
+processor); experiment E1 regenerates the two metrics and their ratios, and
+:class:`MachineScaleModel` regenerates the headline machine-scale numbers
+quoted in the introduction and conclusions (>10⁶ cores, ~200 teraIPS, 10⁹
+neurons in real time, ~1 % of the human brain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Neurons in the human brain (the paper's 1 % arithmetic uses 10^11).
+HUMAN_BRAIN_NEURONS = 100e9
+#: Synapses per neuron assumed by the paper's connectivity arguments.
+SYNAPSES_PER_NEURON = 1000.0
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Throughput, power and area of one processing node.
+
+    Attributes
+    ----------
+    name:
+        Descriptive name.
+    mips:
+        Aggregate integer throughput of the node (millions of
+        instructions per second).
+    power_w:
+        Power drawn by the node under load.
+    area_mm2:
+        Silicon area of the node's processor die.
+    unit_cost_usd:
+        Component cost of the node.
+    """
+
+    name: str
+    mips: float
+    power_w: float
+    area_mm2: float
+    unit_cost_usd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0 or self.power_w <= 0 or self.area_mm2 <= 0:
+            raise ValueError("throughput, power and area must be positive")
+
+    @property
+    def mips_per_mm2(self) -> float:
+        """Throughput per unit silicon area."""
+        return self.mips / self.area_mm2
+
+    @property
+    def mips_per_watt(self) -> float:
+        """Throughput per watt (the energy-efficiency metric)."""
+        return self.mips / self.power_w
+
+
+#: A SpiNNaker node: 20 ARM968 cores at ~200 MHz (~1 MIPS/MHz each) in a
+#: ~100 mm² 130 nm die, drawing under 1 W for the whole node and costing
+#: around $20 in components (Section 3.3).
+EMBEDDED_NODE = ProcessorSpec(name="SpiNNaker 20-core node", mips=4000.0,
+                              power_w=0.9, area_mm2=100.0,
+                              unit_cost_usd=20.0)
+
+#: A contemporary high-end desktop processor: similar aggregate throughput
+#: from a ~250 mm² die at a ~90 W TDP.
+HIGH_END_DESKTOP = ProcessorSpec(name="high-end desktop processor",
+                                 mips=5000.0, power_w=90.0, area_mm2=250.0,
+                                 unit_cost_usd=300.0)
+
+
+@dataclass
+class EnergyModel:
+    """Per-event energy accounting for the machine model.
+
+    The defaults are order-of-magnitude figures for a 130 nm embedded
+    process; they matter only in ratio form (for example multicast versus
+    broadcast traffic energy in experiment E11).
+    """
+
+    energy_per_instruction_nj: float = 0.5
+    energy_per_packet_hop_nj: float = 10.0
+    energy_per_sdram_word_nj: float = 2.0
+    idle_power_per_core_mw: float = 5.0
+
+    def neuron_update_energy_nj(self, instructions_per_update: float = 200.0) -> float:
+        """Energy of one neuron-state update on an application core."""
+        return self.energy_per_instruction_nj * instructions_per_update
+
+    def spike_delivery_energy_nj(self, hops: int, synapses: int,
+                                 instructions_per_synapse: float = 10.0) -> float:
+        """Energy to deliver one spike over ``hops`` links into ``synapses``."""
+        if hops < 0 or synapses < 0:
+            raise ValueError("hops and synapses must be non-negative")
+        routing = self.energy_per_packet_hop_nj * hops
+        memory = self.energy_per_sdram_word_nj * synapses
+        processing = self.energy_per_instruction_nj * instructions_per_synapse * synapses
+        return routing + memory + processing
+
+    def comparison(self, embedded: ProcessorSpec = EMBEDDED_NODE,
+                   desktop: ProcessorSpec = HIGH_END_DESKTOP) -> Dict[str, float]:
+        """The E1 headline ratios: area efficiency parity, ~10x energy win."""
+        return {
+            "embedded_mips_per_mm2": embedded.mips_per_mm2,
+            "desktop_mips_per_mm2": desktop.mips_per_mm2,
+            "area_efficiency_ratio": embedded.mips_per_mm2 / desktop.mips_per_mm2,
+            "embedded_mips_per_watt": embedded.mips_per_watt,
+            "desktop_mips_per_watt": desktop.mips_per_watt,
+            "energy_efficiency_ratio": embedded.mips_per_watt / desktop.mips_per_watt,
+        }
+
+
+@dataclass
+class MachineScaleModel:
+    """The machine-scale arithmetic of the introduction and conclusions.
+
+    Defaults describe the full machine: 65 536 nodes of 20 cores (1 310 720
+    ARM cores > one million), each core simulating up to ~1000 neurons at
+    1000 synapses each in biological real time.
+    """
+
+    n_nodes: int = 65536
+    cores_per_node: int = 20
+    mips_per_core: float = 150.0
+    node_power_w: float = 0.9
+    node_cost_usd: float = 20.0
+    neurons_per_core: float = 1000.0
+    synapses_per_neuron: float = SYNAPSES_PER_NEURON
+
+    @property
+    def total_cores(self) -> int:
+        """Total ARM cores in the machine."""
+        return self.n_nodes * self.cores_per_node
+
+    @property
+    def total_mips(self) -> float:
+        """Aggregate machine throughput in MIPS."""
+        return self.total_cores * self.mips_per_core
+
+    @property
+    def total_tera_ips(self) -> float:
+        """Aggregate machine throughput in teraIPS (the paper quotes ~200)."""
+        return self.total_mips / 1e6
+
+    @property
+    def total_power_kw(self) -> float:
+        """Machine power in kilowatts."""
+        return self.n_nodes * self.node_power_w / 1000.0
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Component cost of the machine's nodes."""
+        return self.n_nodes * self.node_cost_usd
+
+    @property
+    def application_cores(self) -> int:
+        """Cores available for neurons (one monitor per node is set aside)."""
+        return self.n_nodes * (self.cores_per_node - 1)
+
+    @property
+    def total_neurons(self) -> float:
+        """Neurons the machine can simulate in real time."""
+        return self.application_cores * self.neurons_per_core
+
+    @property
+    def total_synapses(self) -> float:
+        """Synapses implied by the neuron count."""
+        return self.total_neurons * self.synapses_per_neuron
+
+    @property
+    def brain_fraction(self) -> float:
+        """Fraction of a human brain the machine represents (~1 %)."""
+        return self.total_neurons / HUMAN_BRAIN_NEURONS
+
+    def summary(self) -> Dict[str, float]:
+        """All the headline numbers in one dictionary (experiment E15)."""
+        return {
+            "total_cores": float(self.total_cores),
+            "total_tera_ips": self.total_tera_ips,
+            "total_power_kw": self.total_power_kw,
+            "total_cost_usd": self.total_cost_usd,
+            "total_neurons": self.total_neurons,
+            "total_synapses": self.total_synapses,
+            "brain_fraction": self.brain_fraction,
+        }

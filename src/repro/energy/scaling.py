@@ -1,0 +1,229 @@
+"""Frequency/voltage scaling and process-variability studies (Sections 4, 5.1).
+
+The paper motivates the GALS organisation of Figure 5 partly on energy
+grounds: it "decouples the clocks and power supply voltages at each of the
+clocked submodules, offering flexibility to the designers in coping with,
+and optimizing for, the increasing process variability expected in future
+deep submicron manufacturing processes".  This module turns that argument
+into two small quantitative models:
+
+* :class:`VariabilityStudy` — Monte-Carlo comparison of a globally-clocked
+  chip (every domain must run at the frequency of the *slowest* domain on
+  the die, i.e. worst-case margining) against a GALS chip (every domain
+  runs at its own achievable frequency).  The study reports the throughput
+  retained by each organisation as process spread grows.
+* :class:`DVFSPolicy` — per-domain dynamic voltage/frequency scaling for
+  the real-time neural workload: an application core only needs enough
+  cycles per millisecond to finish its neuron updates and synaptic
+  processing inside the tick, so any spare frequency headroom can be
+  converted into a quadratic energy saving (``P ∝ f·V²`` with ``V ∝ f``).
+
+Both models operate on the :class:`~repro.core.clock.ClockDomain` objects
+used by the chip model, so their conclusions apply directly to the
+simulated machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clock import ClockDomain, DEFAULT_CORE_FREQUENCY_MHZ
+
+__all__ = [
+    "VariabilityOutcome",
+    "VariabilityStudy",
+    "DVFSDecision",
+    "DVFSPolicy",
+    "dynamic_power_fraction",
+]
+
+
+def dynamic_power_fraction(frequency_fraction: float,
+                           voltage_tracks_frequency: bool = True) -> float:
+    """Dynamic power of a domain running at a fraction of nominal frequency.
+
+    With ``P ∝ C·V²·f`` and the supply voltage scaled proportionally to
+    frequency (the usual DVFS assumption), power falls with the *cube* of
+    the frequency fraction; with a fixed supply it falls only linearly.
+    """
+    if frequency_fraction < 0:
+        raise ValueError("frequency fraction must be non-negative")
+    if voltage_tracks_frequency:
+        return frequency_fraction ** 3
+    return frequency_fraction
+
+
+@dataclass(frozen=True)
+class VariabilityOutcome:
+    """Result of one Monte-Carlo process-variability trial."""
+
+    sigma_fraction: float
+    #: Sum of per-domain achievable frequencies (GALS harvests all of it).
+    gals_throughput_mhz: float
+    #: n_domains x slowest achievable frequency (global clock is margined
+    #: to the worst domain).
+    global_clock_throughput_mhz: float
+    slowest_domain_mhz: float
+    fastest_domain_mhz: float
+
+    @property
+    def gals_advantage(self) -> float:
+        """Throughput ratio GALS / globally-clocked (>= 1 by construction)."""
+        if self.global_clock_throughput_mhz <= 0:
+            return float("inf")
+        return self.gals_throughput_mhz / self.global_clock_throughput_mhz
+
+
+class VariabilityStudy:
+    """Monte-Carlo study of GALS versus global clocking under process spread."""
+
+    def __init__(self, n_domains: int = 20,
+                 nominal_frequency_mhz: float = DEFAULT_CORE_FREQUENCY_MHZ,
+                 seed: Optional[int] = None) -> None:
+        if n_domains < 1:
+            raise ValueError("a chip needs at least one clock domain")
+        self.n_domains = n_domains
+        self.nominal_frequency_mhz = nominal_frequency_mhz
+        self._rng = random.Random(seed)
+
+    def sample_domains(self, sigma_fraction: float) -> List[ClockDomain]:
+        """One die's worth of clock domains with process variation applied."""
+        domains = [ClockDomain(name="core-%d" % index,
+                               nominal_frequency_mhz=self.nominal_frequency_mhz)
+                   for index in range(self.n_domains)]
+        for domain in domains:
+            domain.apply_variation(sigma_fraction, self._rng)
+        return domains
+
+    def run_trial(self, sigma_fraction: float) -> VariabilityOutcome:
+        """Compare GALS and globally-clocked throughput on one sampled die."""
+        domains = self.sample_domains(sigma_fraction)
+        frequencies = [domain.actual_frequency_mhz for domain in domains]
+        slowest = min(frequencies)
+        fastest = max(frequencies)
+        return VariabilityOutcome(
+            sigma_fraction=sigma_fraction,
+            gals_throughput_mhz=sum(frequencies),
+            global_clock_throughput_mhz=self.n_domains * slowest,
+            slowest_domain_mhz=slowest,
+            fastest_domain_mhz=fastest)
+
+    def sweep(self, sigma_fractions: Sequence[float],
+              trials: int = 50) -> Dict[float, Dict[str, float]]:
+        """Average the GALS advantage over many dies for each spread level.
+
+        Returns, per sigma, the mean GALS and global-clock throughputs and
+        the mean advantage ratio.  The advantage grows with sigma: the more
+        the domains spread, the more a single worst-case clock costs.
+        """
+        if trials < 1:
+            raise ValueError("need at least one trial per sigma")
+        results: Dict[float, Dict[str, float]] = {}
+        for sigma in sigma_fractions:
+            outcomes = [self.run_trial(sigma) for _ in range(trials)]
+            results[sigma] = {
+                "gals_throughput_mhz": sum(o.gals_throughput_mhz
+                                           for o in outcomes) / trials,
+                "global_clock_throughput_mhz": sum(o.global_clock_throughput_mhz
+                                                   for o in outcomes) / trials,
+                "mean_advantage": sum(o.gals_advantage
+                                      for o in outcomes) / trials,
+            }
+        return results
+
+
+@dataclass(frozen=True)
+class DVFSDecision:
+    """The frequency chosen for one domain and the resulting power fraction."""
+
+    domain_name: str
+    required_cycles_per_tick: float
+    nominal_cycles_per_tick: float
+    frequency_fraction: float
+    power_fraction: float
+
+    @property
+    def headroom(self) -> float:
+        """Spare fraction of the tick at the chosen frequency (0 = exactly full)."""
+        if self.nominal_cycles_per_tick <= 0:
+            return 0.0
+        used = self.required_cycles_per_tick / (
+            self.nominal_cycles_per_tick * self.frequency_fraction)
+        return max(0.0, 1.0 - used)
+
+
+class DVFSPolicy:
+    """Choose per-domain frequencies that just meet the real-time deadline.
+
+    The real-time application model gives every core a fixed 1 ms budget
+    (Section 3.1).  A core whose work fits in a fraction of that budget at
+    nominal frequency can be slowed until the work *just* fits (plus a
+    safety margin), cutting dynamic power by roughly the cube of the
+    slow-down.  The monitor processor and router domains are left at
+    nominal frequency by default because their latency is on the packet
+    critical path.
+    """
+
+    def __init__(self, tick_us: float = 1000.0, safety_margin: float = 0.2,
+                 minimum_fraction: float = 0.25,
+                 voltage_tracks_frequency: bool = True) -> None:
+        if tick_us <= 0:
+            raise ValueError("the tick period must be positive")
+        if not 0.0 <= safety_margin < 1.0:
+            raise ValueError("safety margin must lie in [0, 1)")
+        if not 0.0 < minimum_fraction <= 1.0:
+            raise ValueError("minimum frequency fraction must lie in (0, 1]")
+        self.tick_us = tick_us
+        self.safety_margin = safety_margin
+        self.minimum_fraction = minimum_fraction
+        self.voltage_tracks_frequency = voltage_tracks_frequency
+
+    def decide(self, domain: ClockDomain,
+               required_cycles_per_tick: float) -> DVFSDecision:
+        """Pick the lowest frequency fraction that meets the deadline."""
+        if required_cycles_per_tick < 0:
+            raise ValueError("cycle requirement must be non-negative")
+        nominal_cycles = domain.nominal_frequency_mhz * self.tick_us
+        if nominal_cycles <= 0:
+            raise ValueError("domain %r has no nominal cycle budget"
+                             % (domain.name,))
+        needed_fraction = (required_cycles_per_tick / nominal_cycles
+                           / (1.0 - self.safety_margin))
+        fraction = min(1.0, max(self.minimum_fraction, needed_fraction))
+        return DVFSDecision(
+            domain_name=domain.name,
+            required_cycles_per_tick=required_cycles_per_tick,
+            nominal_cycles_per_tick=nominal_cycles,
+            frequency_fraction=fraction,
+            power_fraction=dynamic_power_fraction(
+                fraction, self.voltage_tracks_frequency))
+
+    def apply(self, domain: ClockDomain,
+              required_cycles_per_tick: float) -> DVFSDecision:
+        """Decide and apply the scaling factor to the domain."""
+        decision = self.decide(domain, required_cycles_per_tick)
+        domain.scale(decision.frequency_fraction)
+        return decision
+
+    def plan_chip(self, domains: Sequence[ClockDomain],
+                  cycle_requirements: Sequence[float]) -> List[DVFSDecision]:
+        """Plan scaling for every application domain on a chip.
+
+        ``cycle_requirements`` must be aligned with ``domains``; use a
+        requirement equal to the nominal budget (or larger) for domains
+        that must stay at full speed.
+        """
+        if len(domains) != len(cycle_requirements):
+            raise ValueError("domains and cycle requirements must be aligned")
+        return [self.decide(domain, requirement)
+                for domain, requirement in zip(domains, cycle_requirements)]
+
+    @staticmethod
+    def chip_power_fraction(decisions: Sequence[DVFSDecision]) -> float:
+        """Mean dynamic-power fraction across a chip's scaled domains."""
+        if not decisions:
+            return 1.0
+        return sum(decision.power_fraction
+                   for decision in decisions) / len(decisions)

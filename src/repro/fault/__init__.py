@@ -1,0 +1,16 @@
+"""Fault injection and fault-tolerance experiments (Section 2.2).
+
+"Designers are increasingly tasked with building reliable systems out of
+fundamentally unreliable components."  This package injects the three kinds
+of failure the paper discusses — inter-chip link failures, processor-core
+failures and neuron-level failures — and provides campaign helpers used by
+the fault-tolerance benchmarks (E6, E9, E13).
+"""
+
+from repro.fault.injection import FaultCampaign, FaultInjector, FaultPlan
+
+__all__ = [
+    "FaultCampaign",
+    "FaultInjector",
+    "FaultPlan",
+]

@@ -1,0 +1,145 @@
+"""Fault injection into the machine model.
+
+The injector operates on a :class:`~repro.core.machine.SpiNNakerMachine`
+and supports the failure modes the paper designs against:
+
+* **link failures** — an inter-chip link stops carrying packets (the event
+  that triggers emergency routing and, eventually, permanent re-routing by
+  the Monitor Processor);
+* **core failures** — a processor fails its self-test or is mapped out at
+  run time (the event the monitor-election and neighbour-repair mechanisms
+  must survive);
+* **neuron failures** — individual neurons fall silent (the biological
+  failure mode whose graceful degradation Section 5.4 describes).
+
+:class:`FaultCampaign` runs a caller-supplied experiment under a sweep of
+failure rates and collects the results, which is the shape of every
+fault-tolerance benchmark in the reproduction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import SpiNNakerMachine
+
+
+@dataclass
+class FaultPlan:
+    """A concrete set of faults to apply to a machine."""
+
+    failed_links: List[Tuple[ChipCoordinate, Direction]] = field(default_factory=list)
+    failed_cores: List[Tuple[ChipCoordinate, int]] = field(default_factory=list)
+
+    @property
+    def n_faults(self) -> int:
+        """Total number of injected faults."""
+        return len(self.failed_links) + len(self.failed_cores)
+
+
+class FaultInjector:
+    """Samples and applies fault plans to a machine."""
+
+    def __init__(self, machine: SpiNNakerMachine,
+                 seed: Optional[int] = None) -> None:
+        self.machine = machine
+        self.rng = random.Random(seed)
+        self.applied = FaultPlan()
+
+    # ------------------------------------------------------------------
+    # Link faults
+    # ------------------------------------------------------------------
+    def fail_link(self, coordinate: ChipCoordinate,
+                  direction: Direction) -> None:
+        """Fail one specific (bidirectional) inter-chip link."""
+        self.machine.fail_link(coordinate, direction)
+        self.applied.failed_links.append((coordinate, direction))
+
+    def fail_random_links(self, fraction: float) -> List[Tuple[ChipCoordinate, Direction]]:
+        """Fail a random ``fraction`` of all inter-chip links."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        all_links = list(self.machine.links.keys())
+        n_failures = int(round(fraction * len(all_links)))
+        chosen = self.rng.sample(all_links, n_failures)
+        for coordinate, direction in chosen:
+            self.fail_link(coordinate, direction)
+        return chosen
+
+    def repair_all_links(self) -> None:
+        """Undo every injected link failure."""
+        for coordinate, direction in self.applied.failed_links:
+            self.machine.repair_link(coordinate, direction)
+        self.applied.failed_links.clear()
+
+    # ------------------------------------------------------------------
+    # Core faults
+    # ------------------------------------------------------------------
+    def fail_core(self, coordinate: ChipCoordinate, core_id: int) -> None:
+        """Fail one specific processor core."""
+        self.machine.chips[coordinate].cores[core_id].run_self_test(False)
+        self.applied.failed_cores.append((coordinate, core_id))
+
+    def fail_random_cores(self, fraction: float) -> List[Tuple[ChipCoordinate, int]]:
+        """Fail a random ``fraction`` of all processor cores."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        all_cores = [(coordinate, core.core_id)
+                     for coordinate, chip in self.machine.chips.items()
+                     for core in chip.cores]
+        n_failures = int(round(fraction * len(all_cores)))
+        chosen = self.rng.sample(all_cores, n_failures)
+        for coordinate, core_id in chosen:
+            self.fail_core(coordinate, core_id)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Neuron faults (no machine needed; exposed here for symmetry)
+    # ------------------------------------------------------------------
+    def neuron_failure_mask(self, n_neurons: int, fraction: float) -> List[bool]:
+        """A boolean mask marking which of ``n_neurons`` have failed."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        n_failures = int(round(fraction * n_neurons))
+        failed = set(self.rng.sample(range(n_neurons), n_failures))
+        return [i in failed for i in range(n_neurons)]
+
+
+@dataclass
+class FaultCampaign:
+    """Run an experiment function across a sweep of failure rates.
+
+    The experiment callable receives ``(failure_rate, trial_index, seed)``
+    and returns a dictionary of metrics; the campaign collects one row per
+    (rate, trial) pair, which the fault-tolerance benchmarks tabulate.
+    """
+
+    failure_rates: Sequence[float]
+    trials_per_rate: int = 3
+    base_seed: int = 1234
+
+    def run(self, experiment: Callable[[float, int, int], Dict[str, float]]
+            ) -> List[Dict[str, float]]:
+        """Execute the sweep and return all result rows."""
+        rows: List[Dict[str, float]] = []
+        for rate in self.failure_rates:
+            for trial in range(self.trials_per_rate):
+                seed = self.base_seed + trial * 7919 + int(rate * 1e6)
+                metrics = experiment(rate, trial, seed)
+                row = {"failure_rate": rate, "trial": float(trial)}
+                row.update(metrics)
+                rows.append(row)
+        return rows
+
+    @staticmethod
+    def summarise(rows: List[Dict[str, float]],
+                  metric: str) -> List[Tuple[float, float]]:
+        """Mean of ``metric`` per failure rate, sorted by rate."""
+        by_rate: Dict[float, List[float]] = {}
+        for row in rows:
+            by_rate.setdefault(row["failure_rate"], []).append(row[metric])
+        return [(rate, sum(values) / len(values))
+                for rate, values in sorted(by_rate.items())]

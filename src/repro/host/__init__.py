@@ -1,0 +1,15 @@
+"""The host system attached to the machine over Ethernet (Figure 1).
+
+"SpiNNaker is conceived as a two-dimensional toroidal mesh of chip
+multiprocessors connected via Ethernet links to one or more host machines."
+After boot, "the Host System [can] communicate with any node using p2p
+packets via Ethernet and node (0, 0)".
+"""
+
+from repro.host.host_system import HostCommand, HostSystem, SDPMessage
+
+__all__ = [
+    "HostCommand",
+    "HostSystem",
+    "SDPMessage",
+]

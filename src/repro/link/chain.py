@@ -1,0 +1,308 @@
+"""A behavioural model of the CHAIN on-chip fabric (Section 5.1, ref [6]).
+
+The on-chip interconnect of the SpiNNaker MPSoC — both the Communications
+NoC and the System NoC of Figure 3 — is built from the CHAIN delay-
+insensitive fabric: packets are serialised into 3-of-6 RTZ symbols and
+pushed through a pipeline of self-timed stages, with merge arbiters where
+traffic streams join and steering elements where they fork.
+
+This module models the fabric at the symbol level:
+
+* :class:`ChainStage` — one self-timed pipeline stage with a forward
+  latency and a cycle time (the handshake limits how fast consecutive
+  symbols can follow each other);
+* :class:`ChainLink` — a series of stages; its latency is the sum of stage
+  latencies and its throughput is set by the slowest stage;
+* :class:`MergeArbiter` — an N-way merge that serialises competing
+  packets and records the waiting they suffer;
+* :class:`ChainFabric` — a complete initiator-to-target fabric (cores to
+  router and memory ports) assembled from links and arbiters, with
+  per-transfer latency accounting.
+
+The numbers are architectural, not electrical: stage delays default to
+values representative of a 130 nm CHAIN implementation, and only ratios
+and orderings are used by the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.link.codes import BITS_PER_SYMBOL, DelayInsensitiveCode, three_of_six_rtz
+
+__all__ = [
+    "ChainStage",
+    "ChainLink",
+    "MergeArbiter",
+    "FabricTransfer",
+    "ChainFabric",
+]
+
+#: Representative forward latency of one CHAIN pipeline stage (ns).
+DEFAULT_STAGE_LATENCY_NS = 1.0
+#: Representative cycle time of one CHAIN pipeline stage (ns per symbol).
+DEFAULT_STAGE_CYCLE_NS = 2.5
+
+
+@dataclass(frozen=True)
+class ChainStage:
+    """One self-timed pipeline stage of the CHAIN fabric.
+
+    Attributes
+    ----------
+    name:
+        Stage label, used in latency breakdowns.
+    forward_latency_ns:
+        Time for one symbol to traverse the stage when the pipeline ahead
+        is empty.
+    cycle_time_ns:
+        Minimum separation between consecutive symbols through the stage
+        (set by the request/acknowledge handshake loop).
+    """
+
+    name: str
+    forward_latency_ns: float = DEFAULT_STAGE_LATENCY_NS
+    cycle_time_ns: float = DEFAULT_STAGE_CYCLE_NS
+
+    def __post_init__(self) -> None:
+        if self.forward_latency_ns < 0 or self.cycle_time_ns <= 0:
+            raise ValueError("stage latency must be non-negative and cycle "
+                             "time positive")
+
+
+class ChainLink:
+    """A pipeline of CHAIN stages carrying serialised symbols."""
+
+    def __init__(self, name: str, stages: Sequence[ChainStage],
+                 code: Optional[DelayInsensitiveCode] = None) -> None:
+        if not stages:
+            raise ValueError("a CHAIN link needs at least one stage")
+        self.name = name
+        self.stages = list(stages)
+        self.code = code or three_of_six_rtz()
+        self.symbols_carried = 0
+        self._busy_until_ns = 0.0
+
+    @classmethod
+    def uniform(cls, name: str, n_stages: int,
+                stage_latency_ns: float = DEFAULT_STAGE_LATENCY_NS,
+                cycle_time_ns: float = DEFAULT_STAGE_CYCLE_NS) -> "ChainLink":
+        """A link of ``n_stages`` identical stages."""
+        stages = [ChainStage(name="%s-stage-%d" % (name, index),
+                             forward_latency_ns=stage_latency_ns,
+                             cycle_time_ns=cycle_time_ns)
+                  for index in range(n_stages)]
+        return cls(name, stages)
+
+    @property
+    def forward_latency_ns(self) -> float:
+        """Pipeline fill latency: time for the first symbol to emerge."""
+        return sum(stage.forward_latency_ns for stage in self.stages)
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Symbol issue interval, set by the slowest stage."""
+        return max(stage.cycle_time_ns for stage in self.stages)
+
+    def symbols_for_bits(self, n_bits: int) -> int:
+        """Symbols needed to carry ``n_bits`` of data plus the EOP marker."""
+        if n_bits < 0:
+            raise ValueError("bit count must be non-negative")
+        data_symbols = (n_bits + BITS_PER_SYMBOL - 1) // BITS_PER_SYMBOL
+        return data_symbols + 1
+
+    def transfer_time_ns(self, n_bits: int) -> float:
+        """Time to push a packet of ``n_bits`` through an empty link."""
+        n_symbols = self.symbols_for_bits(n_bits)
+        return self.forward_latency_ns + (n_symbols - 1) * self.cycle_time_ns
+
+    def throughput_mbit_per_s(self) -> float:
+        """Sustained data throughput of the link."""
+        return BITS_PER_SYMBOL / self.cycle_time_ns * 1e3
+
+    def accept(self, now_ns: float, n_bits: int) -> Tuple[float, float]:
+        """Accept a packet at ``now_ns`` and return (start, completion) times.
+
+        The link serialises packets: a packet arriving while a previous one
+        is still draining waits for the tail symbol of the predecessor.
+        """
+        n_symbols = self.symbols_for_bits(n_bits)
+        start = max(now_ns, self._busy_until_ns)
+        occupancy = n_symbols * self.cycle_time_ns
+        completion = start + self.forward_latency_ns + (n_symbols - 1) * self.cycle_time_ns
+        self._busy_until_ns = start + occupancy
+        self.symbols_carried += n_symbols
+        return start, completion
+
+    def reset_occupancy(self) -> None:
+        """Clear the busy state (used between independent experiments)."""
+        self._busy_until_ns = 0.0
+
+
+class MergeArbiter:
+    """An N-way self-timed merge element.
+
+    Where several initiators' streams join (for example all cores sending
+    to the router's packet input), a CHAIN merge arbiter serialises them.
+    The model is first-come-first-served with a fixed per-decision
+    overhead; it records how long each transfer waited so the fabric can
+    report contention statistics.
+    """
+
+    def __init__(self, name: str, n_inputs: int,
+                 decision_overhead_ns: float = 1.0) -> None:
+        if n_inputs < 1:
+            raise ValueError("an arbiter needs at least one input")
+        if decision_overhead_ns < 0:
+            raise ValueError("decision overhead must be non-negative")
+        self.name = name
+        self.n_inputs = n_inputs
+        self.decision_overhead_ns = decision_overhead_ns
+        self.grants = 0
+        self.total_wait_ns = 0.0
+        self.max_wait_ns = 0.0
+        self._busy_until_ns = 0.0
+
+    def request(self, now_ns: float, occupancy_ns: float) -> float:
+        """Request the arbiter at ``now_ns`` for ``occupancy_ns`` of service.
+
+        Returns the grant time.  The waiting time (grant - request) is
+        accumulated in the contention statistics.
+        """
+        if occupancy_ns < 0:
+            raise ValueError("occupancy must be non-negative")
+        grant = max(now_ns, self._busy_until_ns) + self.decision_overhead_ns
+        wait = grant - now_ns - self.decision_overhead_ns
+        self._busy_until_ns = grant + occupancy_ns
+        self.grants += 1
+        self.total_wait_ns += wait
+        self.max_wait_ns = max(self.max_wait_ns, wait)
+        return grant
+
+    @property
+    def mean_wait_ns(self) -> float:
+        """Mean arbitration wait over all grants."""
+        if self.grants == 0:
+            return 0.0
+        return self.total_wait_ns / self.grants
+
+    def reset(self) -> None:
+        """Clear occupancy and statistics."""
+        self.grants = 0
+        self.total_wait_ns = 0.0
+        self.max_wait_ns = 0.0
+        self._busy_until_ns = 0.0
+
+
+@dataclass(frozen=True)
+class FabricTransfer:
+    """The timing of one packet's journey through the fabric."""
+
+    initiator: str
+    target: str
+    n_bits: int
+    injected_ns: float
+    granted_ns: float
+    delivered_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Total injection-to-delivery latency."""
+        return self.delivered_ns - self.injected_ns
+
+    @property
+    def arbitration_wait_ns(self) -> float:
+        """Time spent waiting for the merge arbiter."""
+        return self.granted_ns - self.injected_ns
+
+
+class ChainFabric:
+    """An initiator-to-target CHAIN fabric (one chip's Communications NoC).
+
+    The fabric has one ingress link per initiator, a single merge arbiter
+    in front of each target, and one egress link per target — the simplest
+    topology that exhibits the latencies and contention behaviour of the
+    real fabric.  Both NoCs of Figure 3 can be modelled by choosing the
+    initiator/target sets appropriately (cores → router for the
+    Communications NoC; cores → SDRAM port for the System NoC).
+    """
+
+    def __init__(self, initiators: Sequence[str], targets: Sequence[str],
+                 ingress_stages: int = 3, egress_stages: int = 2,
+                 stage_latency_ns: float = DEFAULT_STAGE_LATENCY_NS,
+                 cycle_time_ns: float = DEFAULT_STAGE_CYCLE_NS,
+                 arbiter_overhead_ns: float = 1.0) -> None:
+        if not initiators or not targets:
+            raise ValueError("the fabric needs at least one initiator and one target")
+        self.ingress: Dict[str, ChainLink] = {
+            name: ChainLink.uniform("ingress-%s" % name, ingress_stages,
+                                    stage_latency_ns, cycle_time_ns)
+            for name in initiators}
+        self.egress: Dict[str, ChainLink] = {
+            name: ChainLink.uniform("egress-%s" % name, egress_stages,
+                                    stage_latency_ns, cycle_time_ns)
+            for name in targets}
+        self.arbiters: Dict[str, MergeArbiter] = {
+            name: MergeArbiter("arbiter-%s" % name, n_inputs=len(initiators),
+                               decision_overhead_ns=arbiter_overhead_ns)
+            for name in targets}
+        self.transfers: List[FabricTransfer] = []
+
+    def transfer(self, initiator: str, target: str, n_bits: int,
+                 now_ns: float = 0.0) -> FabricTransfer:
+        """Send a packet of ``n_bits`` from ``initiator`` to ``target``.
+
+        Raises
+        ------
+        KeyError
+            If the initiator or target is not part of the fabric.
+        """
+        ingress = self.ingress[initiator]
+        egress = self.egress[target]
+        arbiter = self.arbiters[target]
+
+        _start, ingress_done = ingress.accept(now_ns, n_bits)
+        occupancy = egress.symbols_for_bits(n_bits) * egress.cycle_time_ns
+        granted = arbiter.request(ingress_done, occupancy)
+        _egress_start, delivered = egress.accept(granted, n_bits)
+
+        record = FabricTransfer(initiator=initiator, target=target,
+                                n_bits=n_bits, injected_ns=now_ns,
+                                granted_ns=granted, delivered_ns=delivered)
+        self.transfers.append(record)
+        return record
+
+    def unloaded_latency_ns(self, initiator: str, target: str,
+                            n_bits: int = 40) -> float:
+        """Latency of a packet through an otherwise idle fabric."""
+        ingress = self.ingress[initiator]
+        egress = self.egress[target]
+        arbiter = self.arbiters[target]
+        return (ingress.transfer_time_ns(n_bits)
+                + arbiter.decision_overhead_ns
+                + egress.transfer_time_ns(n_bits))
+
+    def contention_summary(self) -> Dict[str, float]:
+        """Aggregate contention statistics across all target arbiters."""
+        grants = sum(arbiter.grants for arbiter in self.arbiters.values())
+        total_wait = sum(arbiter.total_wait_ns for arbiter in self.arbiters.values())
+        max_wait = max((arbiter.max_wait_ns for arbiter in self.arbiters.values()),
+                       default=0.0)
+        return {
+            "transfers": float(len(self.transfers)),
+            "grants": float(grants),
+            "mean_arbitration_wait_ns": total_wait / grants if grants else 0.0,
+            "max_arbitration_wait_ns": max_wait,
+            "mean_latency_ns": (sum(t.latency_ns for t in self.transfers)
+                                / len(self.transfers)) if self.transfers else 0.0,
+        }
+
+    def reset(self) -> None:
+        """Clear all occupancy and statistics."""
+        for link in list(self.ingress.values()) + list(self.egress.values()):
+            link.reset_occupancy()
+            link.symbols_carried = 0
+        for arbiter in self.arbiters.values():
+            arbiter.reset()
+        self.transfers.clear()

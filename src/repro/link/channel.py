@@ -1,0 +1,201 @@
+"""The single-token inter-chip channel and its reset protocol (Section 5.1).
+
+"The inter-chip link can be viewed as a cycle with a single token that is
+passed from end to end."  Resetting one end risks either destroying the
+token (deadlock) or creating a second one (malfunction).  SpiNNaker's
+solution: *both* transmitter and receiver inject a token when they exit
+from reset — deliberately creating the two-token problem — and rely on the
+transition-sensing input circuit to absorb the surplus token.
+
+The model tracks the tokens explicitly.  The invariant the tests and the
+E5 benchmark check is that after any sequence of resets of either or both
+ends the channel converges back to exactly one circulating token, and that
+data keeps flowing (no deadlock).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class ChannelState(Enum):
+    """Health of the token channel."""
+
+    RUNNING = "running"        #: Exactly one token is circulating.
+    ABSORBING = "absorbing"    #: A surplus token is in flight, being absorbed.
+    DEADLOCKED = "deadlocked"  #: No token remains: no data can ever flow.
+
+
+class _End(Enum):
+    TRANSMITTER = "transmitter"
+    RECEIVER = "receiver"
+
+
+@dataclass
+class TokenChannel:
+    """A chip-to-chip link modelled as a token-passing ring.
+
+    The transmitter holds the token while it prepares a symbol; sending the
+    symbol passes the token to the receiver; the acknowledge passes it
+    back.  :meth:`step` advances one half-cycle (one token hop).
+
+    Reset semantics (the design decision described in the paper):
+
+    * :meth:`reset_end` resets one end.  Any token currently held at that
+      end is destroyed (this is the hazard).  On exit from reset the end
+      *injects a fresh token*.
+    * If both ends are reset together, two tokens are injected.  The
+      receiving circuit absorbs a token that arrives while it already
+      holds one (the Figure 6 circuit "absorbs (and ignores) a second
+      token"), so the channel converges back to a single token.
+    """
+
+    #: Tokens currently held at each end (in flight tokens are attributed
+    #: to the end they are travelling towards at the next step).
+    tokens_at: Dict[_End, int] = field(
+        default_factory=lambda: {_End.TRANSMITTER: 1, _End.RECEIVER: 0})
+    symbols_transferred: int = 0
+    tokens_absorbed: int = 0
+    resets_performed: int = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_tokens(self) -> int:
+        """Number of tokens anywhere in the ring."""
+        return sum(self.tokens_at.values())
+
+    @property
+    def state(self) -> ChannelState:
+        """Current channel health."""
+        total = self.total_tokens
+        if total == 0:
+            return ChannelState.DEADLOCKED
+        if total > 1:
+            return ChannelState.ABSORBING
+        return ChannelState.RUNNING
+
+    @property
+    def deadlocked(self) -> bool:
+        """True when the channel can no longer transfer data."""
+        return self.state is ChannelState.DEADLOCKED
+
+    # ------------------------------------------------------------------
+    # Normal operation
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Advance one full handshake cycle.
+
+        The acknowledge phase runs first: any token at the receiver returns
+        to the transmitter.  A surplus token arriving at a transmitter that
+        already holds one — the deliberate two-token situation created when
+        both ends exit reset together — is absorbed, implementing the
+        Figure 6 behaviour ("absorb (and ignore) a second token that
+        arrives while it is awaiting data to send with the first token").
+        The data phase then moves the transmitter's token to the receiver,
+        transferring one symbol.  Returns ``True`` if a symbol moved.
+        """
+        if self.deadlocked:
+            return False
+
+        # Acknowledge phase: receiver-side tokens return to the transmitter.
+        if self.tokens_at[_End.RECEIVER] > 0:
+            self.tokens_at[_End.TRANSMITTER] += self.tokens_at[_End.RECEIVER]
+            self.tokens_at[_End.RECEIVER] = 0
+
+        # Absorption at the transmitter input circuit.
+        if self.tokens_at[_End.TRANSMITTER] > 1:
+            self.tokens_absorbed += self.tokens_at[_End.TRANSMITTER] - 1
+            self.tokens_at[_End.TRANSMITTER] = 1
+
+        # Data phase: the transmitter's token carries a symbol across.
+        transferred = False
+        if self.tokens_at[_End.TRANSMITTER] > 0:
+            self.tokens_at[_End.RECEIVER] += self.tokens_at[_End.TRANSMITTER]
+            self.tokens_at[_End.TRANSMITTER] = 0
+            self.symbols_transferred += 1
+            transferred = True
+
+        # Defensive absorption at the receiver (cannot normally exceed one).
+        if self.tokens_at[_End.RECEIVER] > 1:
+            self.tokens_absorbed += self.tokens_at[_End.RECEIVER] - 1
+            self.tokens_at[_End.RECEIVER] = 1
+        return transferred
+
+    def run(self, half_cycles: int) -> int:
+        """Run ``half_cycles`` steps; return the number of symbols moved."""
+        before = self.symbols_transferred
+        for _ in range(half_cycles):
+            self.step()
+        return self.symbols_transferred - before
+
+    # ------------------------------------------------------------------
+    # Reset protocol
+    # ------------------------------------------------------------------
+    def reset_end(self, end: str, inject_token_on_exit: bool = True) -> None:
+        """Reset one end of the link.
+
+        ``end`` is ``"transmitter"`` or ``"receiver"``.  Any token held at
+        that end is destroyed by the reset; if ``inject_token_on_exit`` is
+        True (the SpiNNaker design) a fresh token is injected as the end
+        leaves reset.  Setting it to False models the naive design the
+        paper argues against, in which resetting the end that happens to
+        hold the token deadlocks the link.
+        """
+        key = _End(end)
+        self.resets_performed += 1
+        self.tokens_at[key] = 0
+        if inject_token_on_exit:
+            self.tokens_at[key] = 1
+
+    def reset_both(self, inject_token_on_exit: bool = True) -> None:
+        """Reset both ends simultaneously (the deliberate two-token case)."""
+        self.reset_end("transmitter", inject_token_on_exit)
+        self.reset_end("receiver", inject_token_on_exit)
+
+    # ------------------------------------------------------------------
+    # Experiments
+    # ------------------------------------------------------------------
+    @staticmethod
+    def reset_storm(n_resets: int, inject_token_on_exit: bool = True,
+                    seed: Optional[int] = 1) -> Dict[str, float]:
+        """Subject a channel to ``n_resets`` random resets with traffic between.
+
+        Each iteration runs some traffic, resets a random choice of
+        transmitter, receiver or both, runs more traffic and records
+        whether the channel is still passing data and how many tokens are
+        circulating.  Returns summary statistics used by the E5 benchmark.
+        """
+        rng = random.Random(seed)
+        channel = TokenChannel()
+        deadlocks = 0
+        multi_token_cycles = 0
+        symbols = 0
+        for _ in range(n_resets):
+            symbols += channel.run(rng.randint(2, 10))
+            choice = rng.choice(["transmitter", "receiver", "both"])
+            if choice == "both":
+                channel.reset_both(inject_token_on_exit)
+            else:
+                channel.reset_end(choice, inject_token_on_exit)
+            symbols += channel.run(rng.randint(2, 10))
+            if channel.deadlocked:
+                deadlocks += 1
+                # A real system would escalate to a full link restart; for
+                # the statistics we restart the channel so later resets are
+                # still counted independently.
+                channel = TokenChannel()
+            elif channel.total_tokens > 1:
+                multi_token_cycles += 1
+        return {
+            "resets": float(n_resets),
+            "deadlocks": float(deadlocks),
+            "deadlock_fraction": deadlocks / n_resets if n_resets else 0.0,
+            "multi_token_cycles": float(multi_token_cycles),
+            "symbols_transferred": float(symbols),
+            "tokens_absorbed": float(channel.tokens_absorbed),
+        }

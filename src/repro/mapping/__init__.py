@@ -1,0 +1,34 @@
+"""Mapping neural networks onto the machine (Section 5.3, refs [18][19]).
+
+"Neurons must be mapped to processors, multicast routing tables computed,
+connectivity data constructed, and relevant input/output mechanisms
+deployed."  This package is that tool-chain:
+
+* :mod:`repro.mapping.placement` — split populations into core-sized
+  vertices and place them on application cores (virtualised topology:
+  any neuron may go to any processor, but locality is exploited when
+  possible);
+* :mod:`repro.mapping.keys` — allocate the 32-bit AER routing keys and
+  masks that identify each source neuron;
+* :mod:`repro.mapping.routing_generator` — build the per-chip multicast
+  routing tables that realise each projection as a multicast tree;
+* :mod:`repro.mapping.synaptic_matrix` — pack each projection's synaptic
+  rows into the target chip's SDRAM and build the master population table
+  used by the packet-received handler to find them.
+"""
+
+from repro.mapping.keys import KeyAllocator, KeySpace
+from repro.mapping.placement import Placement, Placer, Vertex
+from repro.mapping.routing_generator import RoutingTableGenerator
+from repro.mapping.synaptic_matrix import MasterPopulationTable, SynapticMatrixBuilder
+
+__all__ = [
+    "KeyAllocator",
+    "KeySpace",
+    "Placement",
+    "Placer",
+    "Vertex",
+    "RoutingTableGenerator",
+    "MasterPopulationTable",
+    "SynapticMatrixBuilder",
+]

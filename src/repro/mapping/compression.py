@@ -1,0 +1,206 @@
+"""Routing-table compression against the known key population (Section 5.3).
+
+The hardware multicast router has a fixed 1024-entry CAM, so the mapping
+tool-chain must keep each chip's table small.  :meth:`MulticastRoutingTable.minimise`
+performs the conservative pairwise merge (same route, same mask, keys one
+bit apart).  This module implements the stronger compression used by the
+production tool flow: because the tool-chain *knows* every routing key that
+will ever be presented to a router (they all come from the key allocator),
+entries can be merged far more aggressively — a merged entry only has to
+behave correctly for the keys that actually exist, not for all 2^32.
+
+The algorithm is a greedy aligned-block cover:
+
+1. evaluate the existing table against every known key to obtain the exact
+   key → route function the table implements (a miss / default route is a
+   route value of its own);
+2. group keys by route and cover each group with the largest possible
+   power-of-two aligned ternary blocks that contain no known key belonging
+   to a *different* route group (unknown keys may be absorbed freely —
+   they are never presented);
+3. emit one routing entry per block.  Keys whose route was "miss" get no
+   entry, preserving default routing for them.
+
+The result is behaviourally identical to the original table for every key
+in the known population, usually with far fewer entries — the property the
+tests verify exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import SpiNNakerMachine
+from repro.core.packets import KEY_BITS
+from repro.mapping.keys import KeyAllocator
+from repro.router.routing_table import MulticastRoutingTable, RoutingEntry
+
+__all__ = [
+    "Route",
+    "CompressionReport",
+    "TableCompressor",
+    "compress_machine",
+]
+
+_FULL_MASK = (1 << KEY_BITS) - 1
+
+#: A route: the (links, cores) output set of an entry.
+Route = Tuple[FrozenSet[Direction], FrozenSet[int]]
+
+
+@dataclass
+class CompressionReport:
+    """The outcome of compressing one routing table."""
+
+    entries_before: int
+    entries_after: int
+    keys_checked: int
+    blocks_emitted: int = 0
+
+    @property
+    def entries_removed(self) -> int:
+        """Net number of CAM entries saved."""
+        return self.entries_before - self.entries_after
+
+    @property
+    def compression_ratio(self) -> float:
+        """``entries_after / entries_before`` (1.0 means no gain)."""
+        if self.entries_before == 0:
+            return 1.0
+        return self.entries_after / self.entries_before
+
+
+class TableCompressor:
+    """Compress a multicast routing table against a known key population.
+
+    Parameters
+    ----------
+    known_keys:
+        Every routing key that can be presented to the table.  For a mapped
+        network this is the set of keys the key allocator handed out; the
+        convenience constructor :meth:`from_allocator` builds it.
+    """
+
+    def __init__(self, known_keys: Iterable[int]) -> None:
+        self.known_keys: List[int] = sorted(set(known_keys))
+        for key in self.known_keys:
+            if not 0 <= key <= _FULL_MASK:
+                raise ValueError("key 0x%x does not fit in %d bits"
+                                 % (key, KEY_BITS))
+
+    @classmethod
+    def from_allocator(cls, keys: KeyAllocator) -> "TableCompressor":
+        """Build a compressor from every key the allocator handed out."""
+        known: List[int] = []
+        for vertex, space in keys.all_key_spaces().items():
+            known.extend(space.key_for(index)
+                         for index in range(vertex.n_neurons))
+        return cls(known)
+
+    # ------------------------------------------------------------------
+    # Behaviour extraction
+    # ------------------------------------------------------------------
+    def observed_routes(self, table: MulticastRoutingTable
+                        ) -> Dict[int, Optional[Route]]:
+        """The key → route function the table currently implements.
+
+        Keys that miss every entry map to ``None`` (default routing).
+        Lookups are done directly on the entry list so the table's
+        lookup/miss statistics are not disturbed.
+        """
+        routes: Dict[int, Optional[Route]] = {}
+        entries = table.entries
+        for key in self.known_keys:
+            route: Optional[Route] = None
+            for entry in entries:
+                if entry.matches(key):
+                    route = entry.route
+                    break
+            routes[key] = route
+        return routes
+
+    # ------------------------------------------------------------------
+    # Block cover
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _aligned_block(key: int, wildcard_bits: int) -> Tuple[int, int]:
+        """The (base, mask) of the aligned 2**wildcard_bits block holding ``key``."""
+        mask = (_FULL_MASK >> wildcard_bits << wildcard_bits) & _FULL_MASK
+        return key & mask, mask
+
+    def cover_group(self, group: Set[int],
+                    foreign: Set[int]) -> List[Tuple[int, int]]:
+        """Cover ``group`` with maximal aligned blocks avoiding ``foreign`` keys.
+
+        Returns ``(base, mask)`` pairs.  Every key of ``group`` is inside
+        exactly one returned block and no key of ``foreign`` is inside any
+        of them; unknown keys may be absorbed.
+        """
+        remaining = set(group)
+        blocks: List[Tuple[int, int]] = []
+        while remaining:
+            key = min(remaining)
+            best = self._aligned_block(key, 0)
+            for wildcard_bits in range(1, KEY_BITS + 1):
+                base, mask = self._aligned_block(key, wildcard_bits)
+                conflict = any((other & mask) == base for other in foreign)
+                if conflict:
+                    break
+                best = (base, mask)
+            base, mask = best
+            blocks.append(best)
+            remaining = {other for other in remaining
+                         if (other & mask) != base}
+        return blocks
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compressed_entries(self, table: MulticastRoutingTable
+                           ) -> List[RoutingEntry]:
+        """The compressed entry list equivalent to ``table`` on the known keys."""
+        routes = self.observed_routes(table)
+        groups: Dict[Route, Set[int]] = {}
+        for key, route in routes.items():
+            if route is None:
+                continue
+            groups.setdefault(route, set()).add(key)
+
+        entries: List[RoutingEntry] = []
+        for route, group in sorted(groups.items(),
+                                   key=lambda item: min(item[1])):
+            foreign = {key for key, other_route in routes.items()
+                       if other_route != route}
+            for base, mask in self.cover_group(group, foreign):
+                links, cores = route
+                entries.append(RoutingEntry(key=base, mask=mask,
+                                            link_directions=links,
+                                            processor_ids=cores))
+        return entries
+
+    def compress(self, table: MulticastRoutingTable) -> CompressionReport:
+        """Replace the table's entries with the compressed equivalent."""
+        before = len(table)
+        entries = self.compressed_entries(table)
+        table.clear()
+        table.extend(entries)
+        return CompressionReport(entries_before=before,
+                                 entries_after=len(table),
+                                 keys_checked=len(self.known_keys),
+                                 blocks_emitted=len(entries))
+
+
+def compress_machine(machine: SpiNNakerMachine,
+                     keys: KeyAllocator) -> Dict[ChipCoordinate, CompressionReport]:
+    """Compress every chip's routing table against the allocated keys.
+
+    Returns a per-chip report; chips whose tables were already empty are
+    included with a zero-entry report so callers can aggregate totals.
+    """
+    compressor = TableCompressor.from_allocator(keys)
+    reports: Dict[ChipCoordinate, CompressionReport] = {}
+    for coordinate, chip in machine.chips.items():
+        reports[coordinate] = compressor.compress(chip.router.table)
+    return reports

@@ -1,0 +1,126 @@
+"""Routing-key allocation (Address Event Representation, Section 4).
+
+Every neuron that can emit a spike needs a unique 32-bit identifier: the
+AER routing key carried by its multicast packets.  The allocation scheme is
+the standard SpiNNaker one — the key encodes the placement of the source
+vertex, so routing tables can use a single masked entry per vertex:
+
+======  =====================================================
+bits    meaning
+======  =====================================================
+31..24  x coordinate of the source chip
+23..16  y coordinate of the source chip
+15..11  core id of the source vertex (0-31 fits in 5 bits)
+10..0   neuron index within the vertex (up to 2048 neurons)
+======  =====================================================
+
+The mask for a vertex keeps the chip/core bits and wildcards the neuron
+bits, so one routing entry covers every neuron of the vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.geometry import ChipCoordinate
+from repro.mapping.placement import Placement, Vertex
+
+#: Field widths of the key layout.
+NEURON_BITS = 11
+CORE_BITS = 5
+Y_BITS = 8
+X_BITS = 8
+
+NEURON_MASK = (1 << NEURON_BITS) - 1
+#: Mask that keeps the chip and core fields and wildcards the neuron index.
+VERTEX_MASK = 0xFFFFFFFF & ~NEURON_MASK
+
+
+@dataclass(frozen=True)
+class KeySpace:
+    """The key and mask assigned to one source vertex."""
+
+    base_key: int
+    mask: int = VERTEX_MASK
+
+    def key_for(self, neuron_index: int) -> int:
+        """The full routing key of one neuron of the vertex."""
+        if not 0 <= neuron_index <= NEURON_MASK:
+            raise ValueError("neuron index %d does not fit in %d bits"
+                             % (neuron_index, NEURON_BITS))
+        return self.base_key | neuron_index
+
+    def matches(self, key: int) -> bool:
+        """True if ``key`` belongs to this vertex's key space."""
+        return (key & self.mask) == self.base_key
+
+    def neuron_of(self, key: int) -> int:
+        """Extract the neuron index from a full key of this vertex."""
+        if not self.matches(key):
+            raise ValueError("key 0x%08x is not in this key space" % (key,))
+        return key & NEURON_MASK
+
+
+class KeyAllocator:
+    """Allocate placement-derived key spaces to every source vertex."""
+
+    def __init__(self, placement: Placement) -> None:
+        self.placement = placement
+        self._spaces: Dict[Vertex, KeySpace] = {}
+        self._allocate()
+
+    def _allocate(self) -> None:
+        for vertex, (chip, core) in self.placement.locations.items():
+            self._spaces[vertex] = KeySpace(self.pack_base(chip, core))
+
+    @staticmethod
+    def pack_base(chip: ChipCoordinate, core: int) -> int:
+        """Pack a (chip, core) location into the base key."""
+        if not 0 <= chip.x < (1 << X_BITS) or not 0 <= chip.y < (1 << Y_BITS):
+            raise ValueError("chip %s outside the addressable key space" % (chip,))
+        if not 0 <= core < (1 << CORE_BITS):
+            raise ValueError("core %d does not fit in %d bits" % (core, CORE_BITS))
+        return ((chip.x << (Y_BITS + CORE_BITS + NEURON_BITS)) |
+                (chip.y << (CORE_BITS + NEURON_BITS)) |
+                (core << NEURON_BITS))
+
+    @staticmethod
+    def unpack_base(key: int) -> Tuple[ChipCoordinate, int]:
+        """Recover the (chip, core) of a key's source vertex."""
+        core = (key >> NEURON_BITS) & ((1 << CORE_BITS) - 1)
+        y = (key >> (CORE_BITS + NEURON_BITS)) & ((1 << Y_BITS) - 1)
+        x = (key >> (Y_BITS + CORE_BITS + NEURON_BITS)) & ((1 << X_BITS) - 1)
+        return ChipCoordinate(x, y), core
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def key_space(self, vertex: Vertex) -> KeySpace:
+        """The key space of a vertex."""
+        return self._spaces[vertex]
+
+    def key_for_neuron(self, population_label: str, neuron: int) -> int:
+        """The routing key of one neuron identified by population and index."""
+        vertex, local_index = self.placement.vertex_for_neuron(
+            population_label, neuron)
+        return self._spaces[vertex].key_for(local_index)
+
+    def vertex_for_key(self, key: int) -> Optional[Vertex]:
+        """The source vertex whose key space contains ``key`` (or ``None``)."""
+        for vertex, space in self._spaces.items():
+            if space.matches(key):
+                return vertex
+        return None
+
+    def neuron_for_key(self, key: int) -> Optional[Tuple[str, int]]:
+        """Resolve a key back to ``(population_label, global_neuron_index)``."""
+        vertex = self.vertex_for_key(key)
+        if vertex is None:
+            return None
+        space = self._spaces[vertex]
+        return vertex.population_label, vertex.slice_start + space.neuron_of(key)
+
+    def all_key_spaces(self) -> Dict[Vertex, KeySpace]:
+        """Every vertex's key space (a copy)."""
+        return dict(self._spaces)

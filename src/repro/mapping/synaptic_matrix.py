@@ -1,0 +1,181 @@
+"""Synaptic-matrix construction and the master population table (Section 5.3).
+
+When a spike packet arrives at a core, the packet-received handler must
+"identify the spiking neuron, map this to the associated block of
+connectivity data in SDRAM, and then schedule a DMA to load that
+information" (Figure 7).  Two data structures make that possible:
+
+* the **master population table**: a per-core list of ``(key, mask) ->
+  (SDRAM base address, row stride)`` records, searched with the incoming
+  packet's routing key;
+* the **synaptic matrix**: for each source vertex a block of SDRAM holding
+  one packed synaptic row per source neuron, each row listing the synapses
+  onto the *local* neurons of the core (target indices rewritten to the
+  core-local numbering).
+
+The builder walks the network's projections, filters every source row down
+to the synapses that land on each destination vertex and writes the packed
+rows into the destination chip's SDRAM model, so the on-machine runtime
+fetches exactly the bytes a real SpiNNaker core would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.machine import SpiNNakerMachine
+from repro.mapping.keys import KeyAllocator, KeySpace
+from repro.mapping.placement import Placement, Vertex
+from repro.neuron.network import Network
+from repro.neuron.synapse import Synapse, SynapticRow
+
+
+@dataclass(frozen=True)
+class PopulationTableEntry:
+    """One record of a core's master population table."""
+
+    key: int
+    mask: int
+    sdram_address: int
+    row_stride_words: int
+    n_rows: int
+
+    def matches(self, packet_key: int) -> bool:
+        """True if the packet key belongs to this entry's source vertex."""
+        return (packet_key & self.mask) == self.key
+
+    def address_of(self, packet_key: int) -> Tuple[int, int]:
+        """SDRAM address and length (words) of the row for ``packet_key``."""
+        neuron_index = packet_key & ~self.mask & 0xFFFFFFFF
+        if neuron_index >= self.n_rows:
+            raise KeyError("key 0x%08x indexes row %d of a %d-row block"
+                           % (packet_key, neuron_index, self.n_rows))
+        return (self.sdram_address + 4 * neuron_index * self.row_stride_words,
+                self.row_stride_words)
+
+
+class MasterPopulationTable:
+    """The per-core lookup from routing key to synaptic-row address."""
+
+    def __init__(self) -> None:
+        self.entries: List[PopulationTableEntry] = []
+        self.lookups = 0
+        self.misses = 0
+
+    def add(self, entry: PopulationTableEntry) -> None:
+        """Register a source vertex's block."""
+        self.entries.append(entry)
+
+    def lookup(self, packet_key: int) -> Optional[Tuple[int, int]]:
+        """Resolve a packet key to ``(sdram_address, row_words)`` or ``None``."""
+        self.lookups += 1
+        for entry in self.entries:
+            if entry.matches(packet_key):
+                return entry.address_of(packet_key)
+        self.misses += 1
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class CoreSynapticData:
+    """Everything one application core needs to process incoming spikes."""
+
+    vertex: Vertex
+    population_table: MasterPopulationTable = field(
+        default_factory=MasterPopulationTable)
+    total_synapses: int = 0
+    total_sdram_words: int = 0
+
+
+class SynapticMatrixBuilder:
+    """Packs projection connectivity into SDRAM and builds population tables."""
+
+    def __init__(self, machine: SpiNNakerMachine, placement: Placement,
+                 keys: KeyAllocator) -> None:
+        self.machine = machine
+        self.placement = placement
+        self.keys = keys
+        #: (chip, core) -> CoreSynapticData, filled in by :meth:`build`.
+        self.core_data: Dict[Tuple, CoreSynapticData] = {}
+
+    def build(self, network: Network, seed: Optional[int] = None) -> Dict[Tuple, CoreSynapticData]:
+        """Construct and write every core's synaptic matrix.
+
+        Returns the per-core data, keyed by ``(chip_coordinate, core_id)``.
+        """
+        rng = np.random.default_rng(network.seed if seed is None else seed)
+        self.core_data = {}
+
+        # Initialise a record per placed vertex.
+        for vertex, (chip, core) in self.placement.locations.items():
+            self.core_data[(chip, core)] = CoreSynapticData(vertex=vertex)
+
+        for projection in network.projections:
+            rows = projection.build_rows(rng)
+            source_vertices = self.placement.vertices_of(projection.pre.label)
+            target_vertices = self.placement.vertices_of(projection.post.label)
+
+            for target_vertex in target_vertices:
+                target_location = self.placement.location_of(target_vertex)
+                data = self.core_data[target_location]
+                chip = self.machine.chips[target_location[0]]
+
+                for source_vertex in source_vertices:
+                    block_rows = self._filter_rows(rows, source_vertex,
+                                                   target_vertex)
+                    if not any(len(row) for row in block_rows):
+                        continue
+                    self._write_block(chip, data, source_vertex, block_rows)
+        return self.core_data
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _filter_rows(self, rows: Dict[int, List[Synapse]],
+                     source_vertex: Vertex,
+                     target_vertex: Vertex) -> List[SynapticRow]:
+        """One row per source neuron, restricted to the target vertex's neurons.
+
+        Target indices are rewritten into the target core's local numbering.
+        """
+        block: List[SynapticRow] = []
+        for source_neuron in range(source_vertex.slice_start,
+                                   source_vertex.slice_stop):
+            local_synapses = []
+            for synapse in rows.get(source_neuron, ()):
+                if (target_vertex.slice_start <= synapse.target
+                        < target_vertex.slice_stop):
+                    local_synapses.append(Synapse(
+                        synapse.target - target_vertex.slice_start,
+                        synapse.weight, synapse.delay_ticks))
+            block.append(SynapticRow(source_neuron, local_synapses))
+        return block
+
+    def _write_block(self, chip, data: CoreSynapticData,
+                     source_vertex: Vertex,
+                     block_rows: List[SynapticRow]) -> None:
+        """Write one source vertex's rows into the chip's SDRAM."""
+        space = self.keys.key_space(source_vertex)
+        # Fixed stride: every row occupies the same number of words so that
+        # the packet handler can compute the row address directly from the
+        # neuron index, as the real master population table does.
+        stride = max(row.n_words for row in block_rows)
+        region = chip.sdram.allocate(
+            4 * stride * len(block_rows),
+            tag="synapses:%s->%s" % (source_vertex, data.vertex))
+        for row_index, row in enumerate(block_rows):
+            words = row.pack()
+            words.extend([0] * (stride - len(words)))
+            chip.sdram.write_block(region.base + 4 * row_index * stride, words)
+            data.total_synapses += len(row)
+        data.total_sdram_words += stride * len(block_rows)
+        data.population_table.add(PopulationTableEntry(
+            key=space.base_key, mask=space.mask,
+            sdram_address=region.base, row_stride_words=stride,
+            n_rows=len(block_rows)))

@@ -1,0 +1,195 @@
+"""Connection-pattern generators.
+
+"Mapping the biological neural system onto the SpiNNaker machine is
+non-trivial ... connectivity data constructed" (Section 5.3).  A connector
+turns a (pre-population, post-population) pair into the list of synapses of
+each pre-synaptic neuron, i.e. the synaptic rows that the mapping layer
+packs into SDRAM.
+
+The connectors provided match the ones every SpiNNaker/PyNN workload uses:
+one-to-one, all-to-all, fixed-probability (the sparse random connectivity
+of cortical models) and distance-dependent (the local receptive-field
+connectivity of Section 5.4, where delay grows with Euclidean distance as
+in three-dimensional biological tissue).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.neuron.synapse import MAX_DELAY_TICKS, Synapse
+
+
+class Connector:
+    """Base class: builds per-source synapse lists for a projection."""
+
+    def build(self, n_pre: int, n_post: int,
+              rng: np.random.Generator) -> Dict[int, List[Synapse]]:
+        """Return a mapping from pre-synaptic index to its synapse list."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _clip_delay(delay_ticks: int) -> int:
+        return int(min(max(1, delay_ticks), MAX_DELAY_TICKS))
+
+
+@dataclass
+class OneToOneConnector(Connector):
+    """Connect neuron i of the source to neuron i of the target."""
+
+    weight: float = 1.0
+    delay_ticks: int = 1
+
+    def build(self, n_pre: int, n_post: int,
+              rng: np.random.Generator) -> Dict[int, List[Synapse]]:
+        n = min(n_pre, n_post)
+        return {i: [Synapse(i, self.weight, self._clip_delay(self.delay_ticks))]
+                for i in range(n)}
+
+
+@dataclass
+class AllToAllConnector(Connector):
+    """Connect every source neuron to every target neuron."""
+
+    weight: float = 1.0
+    delay_ticks: int = 1
+    allow_self_connections: bool = True
+
+    def build(self, n_pre: int, n_post: int,
+              rng: np.random.Generator) -> Dict[int, List[Synapse]]:
+        rows: Dict[int, List[Synapse]] = {}
+        delay = self._clip_delay(self.delay_ticks)
+        for pre in range(n_pre):
+            row = [Synapse(post, self.weight, delay)
+                   for post in range(n_post)
+                   if self.allow_self_connections or post != pre]
+            rows[pre] = row
+        return rows
+
+
+@dataclass
+class FixedProbabilityConnector(Connector):
+    """Connect each (pre, post) pair independently with probability ``p``.
+
+    Weights and delays may be fixed values or ranges; ranges are sampled
+    uniformly per synapse, which is how delays spread over several
+    milliseconds are usually specified in SpiNNaker workloads.
+    """
+
+    p_connect: float = 0.1
+    weight: float = 1.0
+    weight_range: Optional[Tuple[float, float]] = None
+    delay_ticks: int = 1
+    delay_range: Optional[Tuple[int, int]] = None
+    allow_self_connections: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_connect <= 1.0:
+            raise ValueError("p_connect must lie in [0, 1]")
+
+    def build(self, n_pre: int, n_post: int,
+              rng: np.random.Generator) -> Dict[int, List[Synapse]]:
+        rows: Dict[int, List[Synapse]] = {}
+        for pre in range(n_pre):
+            mask = rng.random(n_post) < self.p_connect
+            if not self.allow_self_connections and pre < n_post:
+                mask[pre] = False
+            targets = np.flatnonzero(mask)
+            row = []
+            for post in targets:
+                weight = (self.weight if self.weight_range is None
+                          else float(rng.uniform(*self.weight_range)))
+                delay = (self.delay_ticks if self.delay_range is None
+                         else int(rng.integers(self.delay_range[0],
+                                               self.delay_range[1] + 1)))
+                row.append(Synapse(int(post), weight, self._clip_delay(delay)))
+            rows[pre] = row
+        return rows
+
+
+@dataclass
+class DistanceDependentConnector(Connector):
+    """Connect neurons laid out on 2-D grids with distance-dependent rules.
+
+    Connection probability falls off as a Gaussian of the Euclidean
+    distance between the source and target grid positions, and the delay
+    grows linearly with distance — the property of three-dimensional
+    biological tissue that Section 3.2 says the soft-delay mechanism must
+    reproduce.
+
+    Both populations are interpreted as ``rows x cols`` grids; the target
+    grid is scaled onto the source grid when their shapes differ.
+    """
+
+    pre_shape: Tuple[int, int] = (1, 1)
+    post_shape: Tuple[int, int] = (1, 1)
+    sigma: float = 2.0
+    max_distance: float = 6.0
+    weight: float = 1.0
+    p_peak: float = 1.0
+    delay_per_unit_distance_ticks: float = 1.0
+    min_delay_ticks: int = 1
+
+    def _position(self, index: int, shape: Tuple[int, int]) -> Tuple[float, float]:
+        rows, cols = shape
+        return float(index // cols), float(index % cols)
+
+    def build(self, n_pre: int, n_post: int,
+              rng: np.random.Generator) -> Dict[int, List[Synapse]]:
+        pre_rows, pre_cols = self.pre_shape
+        post_rows, post_cols = self.post_shape
+        if pre_rows * pre_cols < n_pre or post_rows * post_cols < n_post:
+            raise ValueError("grid shapes are too small for the populations")
+        row_scale = pre_rows / post_rows
+        col_scale = pre_cols / post_cols
+
+        rows: Dict[int, List[Synapse]] = {}
+        for pre in range(n_pre):
+            pre_r, pre_c = self._position(pre, self.pre_shape)
+            synapses: List[Synapse] = []
+            for post in range(n_post):
+                post_r, post_c = self._position(post, self.post_shape)
+                # Map the target position into source-grid coordinates.
+                distance = math.hypot(pre_r - post_r * row_scale,
+                                      pre_c - post_c * col_scale)
+                if distance > self.max_distance:
+                    continue
+                probability = self.p_peak * math.exp(
+                    -(distance ** 2) / (2.0 * self.sigma ** 2))
+                if rng.random() >= probability:
+                    continue
+                delay = self.min_delay_ticks + int(
+                    round(distance * self.delay_per_unit_distance_ticks))
+                synapses.append(Synapse(post, self.weight,
+                                        self._clip_delay(delay)))
+            rows[pre] = synapses
+        return rows
+
+
+@dataclass
+class FromListConnector(Connector):
+    """Connect from an explicit list of ``(pre, post, weight, delay)`` tuples."""
+
+    connections: List[Tuple[int, int, float, int]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.connections is None:
+            self.connections = []
+
+    def build(self, n_pre: int, n_post: int,
+              rng: np.random.Generator) -> Dict[int, List[Synapse]]:
+        rows: Dict[int, List[Synapse]] = {}
+        for pre, post, weight, delay in self.connections:
+            if not 0 <= pre < n_pre:
+                raise IndexError("pre index %d outside population of %d"
+                                 % (pre, n_pre))
+            if not 0 <= post < n_post:
+                raise IndexError("post index %d outside population of %d"
+                                 % (post, n_post))
+            rows.setdefault(pre, []).append(
+                Synapse(post, weight, self._clip_delay(delay)))
+        return rows

@@ -1,0 +1,144 @@
+"""Leaky integrate-and-fire neurons.
+
+The LIF model is the simplest of the "simplified neuron models the
+architecture is optimized for" (Section 1).  The membrane equation
+
+    tau_m * dV/dt = -(V - V_rest) + R_m * I(t)
+
+is integrated with the exponential-Euler step used by the SpiNNaker neural
+kernel, once per 1 ms timer tick.  A neuron whose membrane potential
+crosses the threshold emits a spike, is reset, and is held refractory for a
+fixed number of ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """Parameters of a leaky integrate-and-fire population.
+
+    Attributes
+    ----------
+    tau_m_ms:
+        Membrane time constant.
+    v_rest_mv, v_reset_mv, v_threshold_mv:
+        Resting, post-spike reset and firing-threshold potentials.
+    r_m_mohm:
+        Membrane resistance (MOhm); input currents are in nA so
+        ``r_m_mohm * i_na`` is in mV.
+    tau_refrac_ms:
+        Absolute refractory period.
+    tau_syn_ms:
+        Time constant of the exponential synaptic current kernel.
+    """
+
+    tau_m_ms: float = 20.0
+    v_rest_mv: float = -65.0
+    v_reset_mv: float = -70.0
+    v_threshold_mv: float = -50.0
+    r_m_mohm: float = 10.0
+    tau_refrac_ms: float = 2.0
+    tau_syn_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.tau_m_ms <= 0:
+            raise ValueError("tau_m_ms must be positive")
+        if self.tau_syn_ms <= 0:
+            raise ValueError("tau_syn_ms must be positive")
+        if self.v_threshold_mv <= self.v_reset_mv:
+            raise ValueError("threshold must be above the reset potential")
+        if self.tau_refrac_ms < 0:
+            raise ValueError("tau_refrac_ms must be non-negative")
+
+
+class LIFPopulation:
+    """State and update rule for a population of LIF neurons.
+
+    The population is updated synchronously once per timestep (1 ms on the
+    real machine).  Synaptic input arrives as charge delivered into an
+    exponentially-decaying synaptic current, matching the "current
+    exponential" synapse type of the SpiNNaker software stack.
+    """
+
+    def __init__(self, size: int, parameters: Optional[LIFParameters] = None,
+                 timestep_ms: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if size <= 0:
+            raise ValueError("population size must be positive")
+        if timestep_ms <= 0:
+            raise ValueError("timestep must be positive")
+        self.size = size
+        self.parameters = parameters or LIFParameters()
+        self.timestep_ms = timestep_ms
+
+        p = self.parameters
+        self.v = np.full(size, p.v_rest_mv, dtype=float)
+        self.synaptic_current = np.zeros(size, dtype=float)
+        self.refractory_ticks_left = np.zeros(size, dtype=int)
+        self.refractory_ticks = int(round(p.tau_refrac_ms / timestep_ms))
+
+        # Exponential-Euler decay factors, computed once.
+        self._alpha_m = float(np.exp(-timestep_ms / p.tau_m_ms))
+        self._alpha_syn = float(np.exp(-timestep_ms / p.tau_syn_ms))
+
+        self.spike_count = np.zeros(size, dtype=int)
+        self._rng = rng or np.random.default_rng()
+
+    def randomise_membrane(self, low_mv: Optional[float] = None,
+                           high_mv: Optional[float] = None) -> None:
+        """Randomise initial membrane potentials to desynchronise the network."""
+        p = self.parameters
+        low = p.v_reset_mv if low_mv is None else low_mv
+        high = p.v_threshold_mv if high_mv is None else high_mv
+        self.v = self._rng.uniform(low, high, self.size)
+
+    def inject_synaptic_input(self, charge_na: np.ndarray) -> None:
+        """Add synaptic charge (one value per neuron) for the current tick."""
+        if charge_na.shape != (self.size,):
+            raise ValueError("expected input of shape (%d,), got %s"
+                             % (self.size, charge_na.shape))
+        self.synaptic_current += charge_na
+
+    def step(self, external_current_na: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance every neuron by one timestep.
+
+        Returns a boolean array marking the neurons that spiked this tick.
+        """
+        p = self.parameters
+        i_total = self.synaptic_current.copy()
+        if external_current_na is not None:
+            i_total = i_total + external_current_na
+
+        # Exponential-Euler integration towards the steady-state voltage.
+        v_infinity = p.v_rest_mv + p.r_m_mohm * i_total
+        new_v = v_infinity + (self.v - v_infinity) * self._alpha_m
+
+        # Refractory neurons are clamped at reset.
+        refractory = self.refractory_ticks_left > 0
+        new_v = np.where(refractory, p.v_reset_mv, new_v)
+        self.refractory_ticks_left = np.maximum(self.refractory_ticks_left - 1, 0)
+
+        spikes = new_v >= p.v_threshold_mv
+        new_v = np.where(spikes, p.v_reset_mv, new_v)
+        self.refractory_ticks_left = np.where(
+            spikes, self.refractory_ticks, self.refractory_ticks_left)
+
+        self.v = new_v
+        self.spike_count += spikes.astype(int)
+        # Synaptic current decays after being applied.
+        self.synaptic_current *= self._alpha_syn
+        return spikes
+
+    def reset(self) -> None:
+        """Return the population to its initial quiescent state."""
+        p = self.parameters
+        self.v[:] = p.v_rest_mv
+        self.synaptic_current[:] = 0.0
+        self.refractory_ticks_left[:] = 0
+        self.spike_count[:] = 0

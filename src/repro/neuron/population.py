@@ -1,0 +1,189 @@
+"""Populations, spike sources and projections (the network-description API).
+
+The user-facing model-description layer is deliberately PyNN-flavoured —
+the paper's stated goal is a machine "ready for use by neuroscientists and
+psychologists who do not wish to have to contend with concurrency issues at
+any level below the neurological model" (Section 6).  A network is a set of
+:class:`Population` objects (neuron groups or spike sources) joined by
+:class:`Projection` objects (a connector plus synapse parameters); the
+mapping layer then places it on the machine and the runtime executes it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.neuron.connectors import Connector
+from repro.neuron.izhikevich import IzhikevichParameters, IzhikevichPopulation
+from repro.neuron.lif import LIFParameters, LIFPopulation
+from repro.neuron.synapse import Synapse, SynapticRow
+
+_population_counter = itertools.count()
+
+
+class Population:
+    """A homogeneous group of neurons described by one model and parameter set.
+
+    Parameters
+    ----------
+    size:
+        Number of neurons.
+    model:
+        ``"lif"`` or ``"izhikevich"``, or an explicit parameters object
+        (:class:`LIFParameters` / :class:`IzhikevichParameters`).
+    label:
+        Optional human-readable name; an automatic one is generated when
+        omitted.
+    """
+
+    def __init__(self, size: int,
+                 model: Union[str, LIFParameters, IzhikevichParameters] = "lif",
+                 label: Optional[str] = None) -> None:
+        if size <= 0:
+            raise ValueError("population size must be positive")
+        self.size = size
+        self.label = label or "population-%d" % next(_population_counter)
+        if isinstance(model, str):
+            if model == "lif":
+                self.model_name = "lif"
+                self.parameters: Union[LIFParameters, IzhikevichParameters] = LIFParameters()
+            elif model == "izhikevich":
+                self.model_name = "izhikevich"
+                self.parameters = IzhikevichParameters()
+            else:
+                raise ValueError("unknown neuron model %r" % (model,))
+        elif isinstance(model, LIFParameters):
+            self.model_name = "lif"
+            self.parameters = model
+        elif isinstance(model, IzhikevichParameters):
+            self.model_name = "izhikevich"
+            self.parameters = model
+        else:
+            raise TypeError("model must be a name or a parameters object")
+        self.record_spikes = False
+        self.record_voltages = False
+        #: External bias current per neuron (nA), applied every tick.
+        self.bias_current_na = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, spikes: bool = True, voltages: bool = False) -> None:
+        """Request recording of spikes and/or membrane voltages."""
+        self.record_spikes = spikes
+        self.record_voltages = voltages
+
+    def build_state(self, timestep_ms: float,
+                    rng: np.random.Generator) -> Union[LIFPopulation,
+                                                       IzhikevichPopulation]:
+        """Instantiate the simulation state for this population."""
+        if self.model_name == "lif":
+            state = LIFPopulation(self.size, self.parameters, timestep_ms, rng)
+        else:
+            state = IzhikevichPopulation(self.size, self.parameters,
+                                         timestep_ms, rng)
+        return state
+
+    @property
+    def is_spike_source(self) -> bool:
+        """True for stimulus populations that generate rather than integrate."""
+        return False
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Population(%r, size=%d, model=%s)" % (self.label, self.size,
+                                                      self.model_name)
+
+
+class SpikeSourcePoisson(Population):
+    """A stimulus population emitting independent Poisson spike trains."""
+
+    def __init__(self, size: int, rate_hz: float,
+                 label: Optional[str] = None) -> None:
+        if rate_hz < 0:
+            raise ValueError("rate must be non-negative")
+        super().__init__(size, model="lif", label=label)
+        self.model_name = "poisson-source"
+        self.rate_hz = rate_hz
+
+    @property
+    def is_spike_source(self) -> bool:
+        return True
+
+    def spikes_for_tick(self, timestep_ms: float,
+                        rng: np.random.Generator) -> np.ndarray:
+        """Sample this tick's spike mask."""
+        probability = self.rate_hz * timestep_ms / 1000.0
+        return rng.random(self.size) < probability
+
+
+class SpikeSourceArray(Population):
+    """A stimulus population replaying explicit spike times (ms) per neuron."""
+
+    def __init__(self, spike_times_ms: Sequence[Sequence[float]],
+                 label: Optional[str] = None) -> None:
+        super().__init__(len(spike_times_ms), model="lif", label=label)
+        self.model_name = "array-source"
+        self.spike_times_ms = [sorted(times) for times in spike_times_ms]
+
+    @property
+    def is_spike_source(self) -> bool:
+        return True
+
+    def spikes_for_tick(self, tick: int, timestep_ms: float) -> np.ndarray:
+        """Spike mask for the tick covering ``[tick*dt, (tick+1)*dt)``."""
+        start = tick * timestep_ms
+        end = start + timestep_ms
+        mask = np.zeros(self.size, dtype=bool)
+        for neuron, times in enumerate(self.spike_times_ms):
+            for t in times:
+                if start <= t < end:
+                    mask[neuron] = True
+                    break
+        return mask
+
+
+@dataclass
+class Projection:
+    """A bundle of synapses from one population to another.
+
+    The connector is expanded lazily (per simulation / per mapping) so the
+    same network description can be instantiated with different seeds.
+    """
+
+    pre: Population
+    post: Population
+    connector: Connector
+    label: Optional[str] = None
+    #: Optional plasticity mechanism (see :mod:`repro.neuron.stdp`).
+    plasticity: Optional[object] = None
+    _rows_cache: Optional[Dict[int, List[Synapse]]] = field(
+        default=None, repr=False, compare=False)
+
+    def build_rows(self, rng: np.random.Generator,
+                   refresh: bool = False) -> Dict[int, List[Synapse]]:
+        """Expand the connector into per-source synapse lists (cached)."""
+        if self._rows_cache is None or refresh:
+            self._rows_cache = self.connector.build(self.pre.size,
+                                                    self.post.size, rng)
+        return self._rows_cache
+
+    def synaptic_rows(self, rng: np.random.Generator) -> Dict[int, SynapticRow]:
+        """Expand into :class:`SynapticRow` objects keyed by source index."""
+        rows = self.build_rows(rng)
+        return {pre: SynapticRow(pre, synapses)
+                for pre, synapses in rows.items()}
+
+    def n_synapses(self, rng: np.random.Generator) -> int:
+        """Total number of synapses in the projection."""
+        return sum(len(synapses) for synapses in self.build_rows(rng).values())
+
+    def max_delay(self, rng: np.random.Generator) -> int:
+        """Largest programmable delay used by the projection."""
+        rows = self.build_rows(rng)
+        return max((s.delay_ticks for synapses in rows.values()
+                    for s in synapses), default=0)

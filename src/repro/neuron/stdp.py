@@ -1,0 +1,128 @@
+"""Spike-timing-dependent plasticity.
+
+Section 5.3 notes that "if the connectivity data is modified, a DMA must be
+scheduled to write the changes back into SDRAM" — the write-back path that
+exists purely to support synaptic plasticity.  This module provides the
+standard additive pair-based STDP rule used by the SpiNNaker software
+stack, so that the write-back path and the learning experiments have a real
+workload to run.
+
+The rule keeps one exponentially-decaying trace per pre- and per
+post-synaptic neuron.  On a pre-synaptic spike each affected synapse is
+depressed in proportion to the post-synaptic trace; on a post-synaptic
+spike each incoming synapse is potentiated in proportion to the
+pre-synaptic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.neuron.synapse import Synapse
+
+
+@dataclass(frozen=True)
+class STDPParameters:
+    """Parameters of the additive pair-based STDP rule."""
+
+    tau_plus_ms: float = 20.0
+    tau_minus_ms: float = 20.0
+    a_plus: float = 0.05
+    a_minus: float = 0.06
+    w_min: float = 0.0
+    w_max: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.tau_plus_ms <= 0 or self.tau_minus_ms <= 0:
+            raise ValueError("STDP time constants must be positive")
+        if self.w_max < self.w_min:
+            raise ValueError("w_max must be at least w_min")
+
+
+class STDPMechanism:
+    """Additive pair-based STDP applied to a projection's synapse rows.
+
+    The mechanism mutates the ``weight`` of the :class:`Synapse` objects in
+    place (rebuilding the frozen dataclasses), which in the on-machine
+    runtime corresponds to modifying the row in DTCM and scheduling the
+    write-back DMA.
+    """
+
+    def __init__(self, n_pre: int, n_post: int,
+                 parameters: STDPParameters = STDPParameters(),
+                 timestep_ms: float = 1.0) -> None:
+        if n_pre <= 0 or n_post <= 0:
+            raise ValueError("population sizes must be positive")
+        self.parameters = parameters
+        self.timestep_ms = timestep_ms
+        self.pre_trace = np.zeros(n_pre)
+        self.post_trace = np.zeros(n_post)
+        self._decay_plus = float(np.exp(-timestep_ms / parameters.tau_plus_ms))
+        self._decay_minus = float(np.exp(-timestep_ms / parameters.tau_minus_ms))
+        self.potentiation_events = 0
+        self.depression_events = 0
+        self.rows_modified = 0
+
+    def update(self, rows: Dict[int, List[Synapse]], pre_spikes: np.ndarray,
+               post_spikes: np.ndarray, time_ms: float) -> None:
+        """Apply one tick of STDP given this tick's pre/post spike masks."""
+        p = self.parameters
+        # Decay the traces first (they represent activity *before* this tick).
+        self.pre_trace *= self._decay_plus
+        self.post_trace *= self._decay_minus
+
+        pre_indices = np.flatnonzero(pre_spikes)
+        post_indices = np.flatnonzero(post_spikes)
+
+        # Depression: pre-synaptic spike reads the post trace.
+        for pre in pre_indices:
+            row = rows.get(int(pre))
+            if not row:
+                continue
+            modified = False
+            for i, synapse in enumerate(row):
+                trace = self.post_trace[synapse.target]
+                if trace <= 0.0:
+                    continue
+                new_weight = max(p.w_min, synapse.weight - p.a_minus * trace)
+                if new_weight != synapse.weight:
+                    row[i] = Synapse(synapse.target, new_weight,
+                                     synapse.delay_ticks)
+                    self.depression_events += 1
+                    modified = True
+            if modified:
+                self.rows_modified += 1
+
+        # Potentiation: post-synaptic spike reads the pre trace.
+        post_spiking = set(int(i) for i in post_indices)
+        if post_spiking:
+            for pre, row in rows.items():
+                trace = self.pre_trace[pre]
+                if trace <= 0.0 or not row:
+                    continue
+                modified = False
+                for i, synapse in enumerate(row):
+                    if synapse.target not in post_spiking:
+                        continue
+                    new_weight = min(p.w_max, synapse.weight + p.a_plus * trace)
+                    if new_weight != synapse.weight:
+                        row[i] = Synapse(synapse.target, new_weight,
+                                         synapse.delay_ticks)
+                        self.potentiation_events += 1
+                        modified = True
+                if modified:
+                    self.rows_modified += 1
+
+        # Finally the spikes of this tick bump their own traces.
+        self.pre_trace[pre_indices] += 1.0
+        self.post_trace[post_indices] += 1.0
+
+    def mean_weight(self, rows: Dict[int, List[Synapse]]) -> float:
+        """Mean synaptic weight across all rows (for the learning benches)."""
+        weights = [s.weight for row in rows.values() for s in row]
+        if not weights:
+            return 0.0
+        return float(np.mean(weights))

@@ -1,0 +1,221 @@
+"""Synapses, synaptic rows and the deferred-event ("soft delay") model.
+
+Section 3.2 of the paper: electronic communication is effectively
+instantaneous on biological timescales, but biological axonal/synaptic
+delays "are almost certainly functional, so they can't simply be eliminated
+in the model.  Instead, they are made 'soft'.  Each synapse has a
+programmable delay associated with its input, which is re-inserted
+algorithmically at the target neuron."  The paper also notes this is "one
+of the most expensive functions of the neuron models in terms of the cost
+of data storage held locally".
+
+This module provides:
+
+* :class:`Synapse` — one connection: target neuron, weight, programmable
+  delay in timesteps;
+* :class:`SynapticRow` — all the synapses sourced from one pre-synaptic
+  neuron, which is exactly the block of data fetched from SDRAM by DMA
+  when that neuron's spike packet arrives (Section 5.3);
+* :class:`DeferredEventBuffer` — the circular post-synaptic input buffer
+  indexed by ``(arrival_tick mod max_delay)`` that implements the
+  algorithmic re-insertion of the delay at the target neuron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+#: Number of delay slots supported by the deferred-event buffer.  The
+#: SpiNNaker synaptic-word format reserves 4 bits for the delay, giving a
+#: maximum programmable delay of 16 timesteps (16 ms at the 1 ms tick).
+MAX_DELAY_TICKS = 16
+#: Bit widths of the packed synaptic word (weight, delay, target index).
+WEIGHT_BITS = 16
+DELAY_BITS = 4
+INDEX_BITS = 12
+#: Fixed-point scaling of the 16-bit weight field.
+WEIGHT_FIXED_POINT = 1 << 4
+
+
+@dataclass(frozen=True)
+class Synapse:
+    """One synaptic connection from an implicit source neuron.
+
+    Attributes
+    ----------
+    target:
+        Index of the post-synaptic neuron within its population/core.
+    weight:
+        Synaptic efficacy (nA of charge delivered per pre-synaptic spike;
+        negative for inhibitory synapses).
+    delay_ticks:
+        Programmable delay in whole timesteps (1..MAX_DELAY_TICKS).
+    """
+
+    target: int
+    weight: float
+    delay_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ValueError("synapse target index must be non-negative")
+        if not 1 <= self.delay_ticks <= MAX_DELAY_TICKS:
+            raise ValueError("delay must be in 1..%d ticks, got %d"
+                             % (MAX_DELAY_TICKS, self.delay_ticks))
+
+    # ------------------------------------------------------------------
+    # The packed SDRAM word format (Section 5.3's "connectivity data")
+    # ------------------------------------------------------------------
+    def pack(self) -> int:
+        """Pack the synapse into the 32-bit SDRAM synaptic word."""
+        if self.target >= (1 << INDEX_BITS):
+            raise ValueError("target index %d does not fit in %d bits"
+                             % (self.target, INDEX_BITS))
+        weight_fixed = int(round(abs(self.weight) * WEIGHT_FIXED_POINT))
+        weight_fixed = min(weight_fixed, (1 << (WEIGHT_BITS - 1)) - 1)
+        if self.weight < 0:
+            weight_fixed |= 1 << (WEIGHT_BITS - 1)
+        return ((weight_fixed << (DELAY_BITS + INDEX_BITS)) |
+                ((self.delay_ticks - 1) << INDEX_BITS) |
+                self.target)
+
+    @classmethod
+    def unpack(cls, word: int) -> "Synapse":
+        """Reconstruct a synapse from its packed 32-bit word."""
+        target = word & ((1 << INDEX_BITS) - 1)
+        delay = ((word >> INDEX_BITS) & ((1 << DELAY_BITS) - 1)) + 1
+        weight_field = word >> (DELAY_BITS + INDEX_BITS)
+        magnitude = (weight_field & ((1 << (WEIGHT_BITS - 1)) - 1)) / WEIGHT_FIXED_POINT
+        sign = -1.0 if weight_field & (1 << (WEIGHT_BITS - 1)) else 1.0
+        return cls(target=target, weight=sign * magnitude, delay_ticks=delay)
+
+
+class SynapticRow:
+    """All synapses sourced from one pre-synaptic neuron.
+
+    A row is the unit of DMA transfer: when the spike packet of the source
+    neuron arrives at a core, the core fetches that neuron's row from SDRAM
+    into local memory and applies every synapse in it.
+    """
+
+    def __init__(self, source_key: int,
+                 synapses: Iterable[Synapse] = ()) -> None:
+        self.source_key = source_key
+        self.synapses: List[Synapse] = list(synapses)
+
+    def add(self, synapse: Synapse) -> None:
+        """Append one synapse to the row."""
+        self.synapses.append(synapse)
+
+    def __len__(self) -> int:
+        return len(self.synapses)
+
+    def __iter__(self):
+        return iter(self.synapses)
+
+    @property
+    def n_words(self) -> int:
+        """Size of the row in 32-bit SDRAM words (header word + synapses)."""
+        return 1 + len(self.synapses)
+
+    def pack(self) -> List[int]:
+        """Pack the row for SDRAM: a count header followed by synapse words."""
+        return [len(self.synapses)] + [s.pack() for s in self.synapses]
+
+    @classmethod
+    def unpack(cls, source_key: int, words: Sequence[int]) -> "SynapticRow":
+        """Rebuild a row from its packed SDRAM representation."""
+        if not words:
+            raise ValueError("a packed synaptic row has at least a header word")
+        count = words[0]
+        if count > len(words) - 1:
+            raise ValueError("row header claims %d synapses but only %d words follow"
+                             % (count, len(words) - 1))
+        return cls(source_key,
+                   (Synapse.unpack(word) for word in words[1:count + 1]))
+
+    def total_charge(self) -> float:
+        """Sum of synaptic weights (the charge one spike ultimately delivers)."""
+        return sum(s.weight for s in self.synapses)
+
+    def max_delay(self) -> int:
+        """Largest programmable delay in the row (0 for an empty row)."""
+        return max((s.delay_ticks for s in self.synapses), default=0)
+
+
+class DeferredEventBuffer:
+    """The post-synaptic input ring buffer (the deferred-event model).
+
+    The buffer holds one row per future timestep (up to ``max_delay``
+    ticks ahead) and one column per neuron on the core.  When a synaptic
+    row is processed at tick ``t``, each synapse's weight is accumulated
+    into slot ``(t + delay) mod (max_delay + 1)``; at the start of each
+    timer tick the current slot is drained into the neuron model and
+    cleared.  This is how the programmable delay is "re-inserted
+    algorithmically at the target neuron" (Section 3.2).
+    """
+
+    def __init__(self, n_neurons: int,
+                 max_delay_ticks: int = MAX_DELAY_TICKS) -> None:
+        if n_neurons <= 0:
+            raise ValueError("n_neurons must be positive")
+        if max_delay_ticks < 1:
+            raise ValueError("max_delay_ticks must be at least 1")
+        self.n_neurons = n_neurons
+        self.max_delay_ticks = max_delay_ticks
+        self.n_slots = max_delay_ticks + 1
+        self._buffer = np.zeros((self.n_slots, n_neurons), dtype=float)
+        self._current_tick = 0
+        self.events_deferred = 0
+        self.saturations = 0
+
+    @property
+    def current_tick(self) -> int:
+        """The tick whose inputs will be drained next."""
+        return self._current_tick
+
+    def add_synapse(self, synapse: Synapse) -> None:
+        """Defer one synaptic event by its programmable delay."""
+        self.add_input(synapse.target, synapse.weight, synapse.delay_ticks)
+
+    def add_input(self, target: int, weight: float, delay_ticks: int) -> None:
+        """Accumulate ``weight`` for ``target`` to arrive ``delay_ticks`` ahead."""
+        if not 0 <= target < self.n_neurons:
+            raise IndexError("target %d outside population of %d neurons"
+                             % (target, self.n_neurons))
+        if not 1 <= delay_ticks <= self.max_delay_ticks:
+            raise ValueError("delay %d outside 1..%d" % (delay_ticks,
+                                                         self.max_delay_ticks))
+        slot = (self._current_tick + delay_ticks) % self.n_slots
+        self._buffer[slot, target] += weight
+        self.events_deferred += 1
+
+    def add_row(self, row: SynapticRow) -> None:
+        """Defer every synapse of a freshly-fetched row."""
+        for synapse in row:
+            self.add_synapse(synapse)
+
+    def drain(self) -> np.ndarray:
+        """Return and clear the inputs scheduled for the current tick.
+
+        Advances the buffer to the next tick, exactly as the timer-interrupt
+        handler does before integrating the neuron equations.
+        """
+        slot = self._current_tick % self.n_slots
+        inputs = self._buffer[slot].copy()
+        self._buffer[slot] = 0.0
+        self._current_tick += 1
+        return inputs
+
+    def pending_charge(self) -> float:
+        """Total charge currently waiting in the buffer (for tests)."""
+        return float(np.sum(self._buffer))
+
+    def reset(self) -> None:
+        """Clear the buffer and rewind the tick counter."""
+        self._buffer[:] = 0.0
+        self._current_tick = 0
+        self.events_deferred = 0

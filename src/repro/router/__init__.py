@@ -1,0 +1,43 @@
+"""The SpiNNaker packet router (Sections 4, 5.2 and 5.3).
+
+The router is "the feature of the architecture that renders it uniquely
+suited to modeling large-scale systems of spiking neurons".  This package
+models it at the architectural level:
+
+* :mod:`repro.router.routing_table` — ternary key/mask multicast routing
+  entries and the 1024-entry CAM table, including table minimisation.
+* :mod:`repro.router.multicast` — the router proper: table lookup, default
+  routing, the emergency-routing state machine of Figure 8 and the
+  wait-then-drop deadlock-avoidance policy.
+* :mod:`repro.router.p2p` — the algorithmic point-to-point routing tables
+  used for system-management traffic.
+* :mod:`repro.router.nn` — the nearest-neighbour management protocol
+  (probe, peek, poke, neighbourhood census) used for neighbour repair.
+"""
+
+from repro.router.multicast import Router, RouterConfig, RouterStatistics, RoutingDecision
+from repro.router.nn import (
+    NeighbourhoodService,
+    NeighbourhoodStatistics,
+    NeighbourReply,
+)
+from repro.router.p2p import P2PRoutingTable
+from repro.router.routing_table import (
+    MulticastRoutingTable,
+    RoutingEntry,
+    RoutingTableFullError,
+)
+
+__all__ = [
+    "Router",
+    "RouterConfig",
+    "RouterStatistics",
+    "RoutingDecision",
+    "P2PRoutingTable",
+    "NeighbourhoodService",
+    "NeighbourhoodStatistics",
+    "NeighbourReply",
+    "MulticastRoutingTable",
+    "RoutingEntry",
+    "RoutingTableFullError",
+]

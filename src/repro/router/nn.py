@@ -1,0 +1,225 @@
+"""The nearest-neighbour management protocol (Section 5.2).
+
+Nearest-neighbour (nn) packets "allow processors on one chip to communicate
+with any of the six chips to which there is a direct connection".  The boot
+and flood-fill layers use them for coordinate propagation and application
+loading; this module provides the remaining management operations the paper
+attributes to the nn fabric — the ones a monitor processor uses to inspect
+and repair its neighbourhood:
+
+* **probe** — ask a neighbour whether it has booted and elected a monitor
+  (the liveness check behind "if any node fails to boot correctly its
+  neighbours will detect this");
+* **peek / poke** — read and write words of a neighbour's System RAM (the
+  mechanism used to "copy boot code into the failed node's System RAM and
+  instruct it to reboot from there");
+* **census** — probe all six neighbours and summarise which are alive.
+
+The service installs a dispatching nn handler on every chip.  Any handler
+previously installed (for example by :class:`~repro.runtime.boot.BootController`)
+is preserved and still receives the commands this service does not consume,
+so the service can coexist with the boot and flood-fill layers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.packets import NearestNeighbourPacket, NNCommand
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (chip -> router)
+    from repro.core.machine import SpiNNakerMachine
+
+__all__ = [
+    "NeighbourReply",
+    "NeighbourhoodStatistics",
+    "NeighbourhoodService",
+]
+
+#: Commands consumed (handled and not forwarded) by the service.
+_SERVICE_COMMANDS = frozenset({NNCommand.PROBE, NNCommand.PEEK,
+                               NNCommand.POKE, NNCommand.RESPONSE})
+
+
+@dataclass(frozen=True)
+class NeighbourReply:
+    """A reply received from a neighbouring chip."""
+
+    request_id: int
+    command: NNCommand
+    alive: bool
+    value: Optional[int] = None
+
+
+@dataclass
+class NeighbourhoodStatistics:
+    """Counts of nn management traffic handled by the service."""
+
+    probes_sent: int = 0
+    peeks_sent: int = 0
+    pokes_sent: int = 0
+    replies_received: int = 0
+    requests_served: int = 0
+    requests_unanswered: int = 0
+
+
+class NeighbourhoodService:
+    """Monitor-processor view of the six adjacent chips.
+
+    Parameters
+    ----------
+    machine:
+        The machine whose chips the service manages.
+    run_kernel:
+        If True (the default), every request runs the event kernel to
+        quiescence so the reply is available synchronously.  Set it to
+        False when the caller drives the kernel itself (for example inside
+        a larger scripted simulation).
+    """
+
+    def __init__(self, machine: "SpiNNakerMachine", run_kernel: bool = True) -> None:
+        self.machine = machine
+        self.run_kernel = run_kernel
+        self.stats = NeighbourhoodStatistics()
+        self._request_ids = itertools.count()
+        self._replies: Dict[int, NeighbourReply] = {}
+        self._previous_handlers: Dict[ChipCoordinate, Optional[Callable]] = {}
+        self._install_handlers()
+
+    # ------------------------------------------------------------------
+    # Handler installation
+    # ------------------------------------------------------------------
+    def _install_handlers(self) -> None:
+        for coordinate, chip in self.machine.chips.items():
+            self._previous_handlers[coordinate] = chip._nn_handler
+            chip.on_nearest_neighbour(self._make_handler(coordinate))
+
+    def _make_handler(self, coordinate: ChipCoordinate):
+        def handler(packet: NearestNeighbourPacket, arrival: Direction) -> None:
+            if packet.command in _SERVICE_COMMANDS:
+                self._serve(coordinate, packet, arrival)
+            else:
+                previous = self._previous_handlers.get(coordinate)
+                if previous is not None:
+                    previous(packet, arrival)
+        return handler
+
+    def uninstall(self) -> None:
+        """Restore the nn handlers that were installed before the service."""
+        for coordinate, chip in self.machine.chips.items():
+            chip.on_nearest_neighbour(self._previous_handlers.get(coordinate))
+
+    # ------------------------------------------------------------------
+    # Request serving (runs "on" the neighbour chip)
+    # ------------------------------------------------------------------
+    def _serve(self, coordinate: ChipCoordinate,
+               packet: NearestNeighbourPacket, arrival: Direction) -> None:
+        chip = self.machine.chips[coordinate]
+        if packet.command is NNCommand.RESPONSE:
+            request_id, alive_flag, value = packet.payload
+            self.stats.replies_received += 1
+            self._replies[request_id] = NeighbourReply(
+                request_id=request_id, command=NNCommand.RESPONSE,
+                alive=bool(alive_flag),
+                value=None if value is None else int(value))
+            return
+
+        request_id = packet.payload[0]
+        alive = chip.state.booted and chip.monitor_core_id is not None
+        value: Optional[int] = None
+        if packet.command is NNCommand.PEEK and alive:
+            address = packet.payload[1]
+            if 0 <= address < len(chip.system_ram):
+                value = chip.system_ram[address]
+        elif packet.command is NNCommand.POKE and alive:
+            address, word = packet.payload[1], packet.payload[2]
+            if address >= 0:
+                if address >= len(chip.system_ram):
+                    chip.system_ram.extend(
+                        [0] * (address + 1 - len(chip.system_ram)))
+                chip.system_ram[address] = word
+                value = word
+        self.stats.requests_served += 1
+        reply = NearestNeighbourPacket(
+            command=NNCommand.RESPONSE,
+            payload=(request_id, 1 if alive else 0, value),
+            timestamp=self.machine.kernel.now)
+        # The reply goes back out of the link the request arrived on.
+        chip.send_nearest_neighbour(arrival, reply)
+
+    # ------------------------------------------------------------------
+    # Requests (issued by the local monitor processor)
+    # ------------------------------------------------------------------
+    def _transact(self, source: ChipCoordinate, direction: Direction,
+                  command: NNCommand,
+                  payload: Tuple) -> Optional[NeighbourReply]:
+        request_id = next(self._request_ids)
+        packet = NearestNeighbourPacket(command=command,
+                                        payload=(request_id,) + payload,
+                                        timestamp=self.machine.kernel.now)
+        sent = self.machine.send_nearest_neighbour(source, direction, packet)
+        if not sent:
+            self.stats.requests_unanswered += 1
+            return None
+        if self.run_kernel:
+            self.machine.kernel.run()
+        reply = self._replies.pop(request_id, None)
+        if reply is None:
+            self.stats.requests_unanswered += 1
+        return reply
+
+    def probe(self, source: ChipCoordinate,
+              direction: Direction) -> bool:
+        """True if the neighbour in ``direction`` is booted with a monitor."""
+        self.stats.probes_sent += 1
+        reply = self._transact(source, direction, NNCommand.PROBE, ())
+        return reply is not None and reply.alive
+
+    def peek(self, source: ChipCoordinate, direction: Direction,
+             address: int) -> Optional[int]:
+        """Read one word of the neighbour's System RAM (None if unavailable)."""
+        if address < 0:
+            raise ValueError("System RAM address must be non-negative")
+        self.stats.peeks_sent += 1
+        reply = self._transact(source, direction, NNCommand.PEEK, (address,))
+        if reply is None or not reply.alive:
+            return None
+        return reply.value
+
+    def poke(self, source: ChipCoordinate, direction: Direction,
+             address: int, value: int) -> bool:
+        """Write one word of the neighbour's System RAM; True on success."""
+        if address < 0:
+            raise ValueError("System RAM address must be non-negative")
+        self.stats.pokes_sent += 1
+        reply = self._transact(source, direction, NNCommand.POKE,
+                               (address, value))
+        return reply is not None and reply.alive and reply.value == value
+
+    def census(self, source: ChipCoordinate) -> Dict[Direction, bool]:
+        """Probe all six neighbours of ``source`` and report their liveness."""
+        return {direction: self.probe(source, direction)
+                for direction in Direction}
+
+    def dead_neighbours(self, source: ChipCoordinate) -> List[Direction]:
+        """Directions whose neighbour failed the probe."""
+        return [direction for direction, alive in self.census(source).items()
+                if not alive]
+
+    def copy_boot_code(self, source: ChipCoordinate, direction: Direction,
+                       words: List[int]) -> int:
+        """Poke a boot image word-by-word into a neighbour's System RAM.
+
+        Returns the number of words successfully written.  This is the
+        peek/poke realisation of the paper's "copy boot code into the
+        failed node's System RAM" repair path; it requires the target chip
+        to be alive enough to answer nn traffic.
+        """
+        written = 0
+        for address, word in enumerate(words):
+            if self.poke(source, direction, address, word):
+                written += 1
+        return written

@@ -1,0 +1,37 @@
+"""Run-time layers: the event-driven application model, boot and loading.
+
+* :mod:`repro.runtime.application` — the real-time event-driven neural
+  application of Figure 7: packet-received, DMA-complete and millisecond-
+  timer handlers running on every application core.
+* :mod:`repro.runtime.boot` — the two-phase boot protocol of Section 5.2:
+  self-test, monitor-processor arbitration, nearest-neighbour repair of
+  failed nodes, coordinate propagation and p2p table configuration.
+* :mod:`repro.runtime.flood_fill` — flood-fill application loading with a
+  configurable redundancy factor.
+* :mod:`repro.runtime.monitor` — Monitor Processor services: collecting
+  router notifications, permanent re-routing around failed links and
+  mapping out failed cores.
+* :mod:`repro.runtime.migration` — run-time functional migration: moving
+  the work of suspect cores to spares while keeping routing keys stable.
+"""
+
+from repro.runtime.application import ApplicationResult, CoreRuntime, NeuralApplication
+from repro.runtime.boot import BootController, BootResult
+from repro.runtime.flood_fill import ApplicationImage, FloodFillLoader, FloodFillResult
+from repro.runtime.migration import FunctionalMigrator, MigrationError, MigrationReport
+from repro.runtime.monitor import MonitorService
+
+__all__ = [
+    "ApplicationResult",
+    "CoreRuntime",
+    "NeuralApplication",
+    "BootController",
+    "BootResult",
+    "ApplicationImage",
+    "FloodFillLoader",
+    "FloodFillResult",
+    "FunctionalMigrator",
+    "MigrationError",
+    "MigrationReport",
+    "MonitorService",
+]

@@ -1,0 +1,338 @@
+"""The event-driven real-time neural application (Figure 7).
+
+Every active application core executes the same three interrupt-driven
+tasks:
+
+* **Packet received** (priority 1): identify the spiking neuron from the
+  packet key, look it up in the master population table and schedule a DMA
+  of the corresponding synaptic row from SDRAM.
+* **DMA complete** (priority 2): process the fetched synaptic row — defer
+  each synapse's charge into the input ring buffer at the slot selected by
+  its programmable delay.
+* **Millisecond timer** (priority 3): drain the current ring-buffer slot,
+  integrate the neuron equations and emit a multicast packet for every
+  neuron that fired.
+
+When all tasks are complete the core sleeps in the low-power
+wait-for-interrupt state.  :class:`NeuralApplication` wires a
+population/projection network onto a machine using the mapping layer and
+runs it in (simulated) biological real time; spike-delivery latencies are
+recorded so experiments E8 and E10 can check the paper's sub-millisecond
+delivery claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dma import DMARequest
+from repro.core.event_kernel import EventKernel, milliseconds
+from repro.core.geometry import ChipCoordinate
+from repro.core.machine import SpiNNakerMachine
+from repro.core.packets import MulticastPacket
+from repro.core.processor import ProcessorSubsystem
+from repro.mapping.keys import KeyAllocator, KeySpace
+from repro.mapping.placement import Placement, Placer, Vertex
+from repro.mapping.routing_generator import RoutingTableGenerator
+from repro.mapping.synaptic_matrix import CoreSynapticData, SynapticMatrixBuilder
+from repro.neuron.network import Network
+from repro.neuron.population import (
+    Population,
+    SpikeSourceArray,
+    SpikeSourcePoisson,
+)
+from repro.neuron.synapse import MAX_DELAY_TICKS, DeferredEventBuffer, SynapticRow
+
+#: The biological real-time tick of the application model.
+TIMER_PERIOD_US = 1000.0
+
+
+@dataclass
+class ApplicationResult:
+    """Spike records and timing statistics from an on-machine run."""
+
+    duration_ms: float
+    spikes: Dict[str, List[Tuple[float, int]]] = field(default_factory=dict)
+    spike_counts: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-delivery latency samples in microseconds (send to processing).
+    delivery_latencies_us: List[float] = field(default_factory=list)
+    #: Per-delivery hop distances, aligned with ``delivery_latencies_us``.
+    delivery_distances: List[int] = field(default_factory=list)
+    packets_sent: int = 0
+    packets_dropped: int = 0
+    emergency_invocations: int = 0
+
+    def total_spikes(self, label: Optional[str] = None) -> int:
+        """Total spikes of one population, or of all populations."""
+        if label is not None:
+            return int(self.spike_counts[label].sum())
+        return int(sum(c.sum() for c in self.spike_counts.values()))
+
+    def mean_rate_hz(self, label: str) -> float:
+        """Mean firing rate of a population over the run."""
+        seconds = self.duration_ms / 1000.0
+        if seconds <= 0:
+            return 0.0
+        return float(self.spike_counts[label].mean() / seconds)
+
+    def max_delivery_latency_us(self) -> float:
+        """Worst spike-delivery latency observed (0 if nothing delivered)."""
+        return max(self.delivery_latencies_us, default=0.0)
+
+    def mean_delivery_latency_us(self) -> float:
+        """Mean spike-delivery latency."""
+        if not self.delivery_latencies_us:
+            return 0.0
+        return float(np.mean(self.delivery_latencies_us))
+
+    def within_deadline_fraction(self, deadline_us: float = 1000.0) -> float:
+        """Fraction of deliveries completed within ``deadline_us``."""
+        if not self.delivery_latencies_us:
+            return 1.0
+        hits = sum(1 for latency in self.delivery_latencies_us
+                   if latency <= deadline_us)
+        return hits / len(self.delivery_latencies_us)
+
+
+class CoreRuntime:
+    """The application kernel running on one core (one placed vertex)."""
+
+    def __init__(self, application: "NeuralApplication", core: ProcessorSubsystem,
+                 chip_coordinate: ChipCoordinate, vertex: Vertex,
+                 population: Population, key_space: KeySpace,
+                 synaptic_data: CoreSynapticData,
+                 rng: np.random.Generator,
+                 has_outgoing_projections: bool = True) -> None:
+        self.application = application
+        self.core = core
+        self.chip_coordinate = chip_coordinate
+        self.vertex = vertex
+        self.population = population
+        self.key_space = key_space
+        self.synaptic_data = synaptic_data
+        self.rng = rng
+        #: Vertices of populations with no outgoing projections have no
+        #: routing entries for their keys; the mapping layer therefore does
+        #: not emit spike packets for them (their spikes are still recorded
+        #: locally), mirroring the real tool-chain.
+        self.has_outgoing_projections = has_outgoing_projections
+
+        self.is_source = population.is_spike_source
+        self.neuron_state = None
+        if not self.is_source:
+            self.neuron_state = _VertexState(population, vertex,
+                                             application.timestep_ms, rng)
+        self.buffer = DeferredEventBuffer(vertex.n_neurons, MAX_DELAY_TICKS)
+        self.tick = 0
+
+        core.on_packet(self._on_packet)
+        core.on_dma_complete(self._on_dma_complete)
+        core.on_timer(self._on_timer)
+        core.start_application()
+
+    # ------------------------------------------------------------------
+    # Figure 7, priority 1: packet received
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: MulticastPacket) -> None:
+        lookup = self.synaptic_data.population_table.lookup(packet.key)
+        if lookup is None:
+            # No connectivity block for this key: a routing-table error.
+            self.application.unmatched_packets += 1
+            return
+        address, row_words = lookup
+        self.core.dma.read(address, row_words,
+                           on_complete=self.core.dma_completed,
+                           context=packet)
+
+    # ------------------------------------------------------------------
+    # Figure 7, priority 2: DMA complete
+    # ------------------------------------------------------------------
+    def _on_dma_complete(self, request: DMARequest) -> None:
+        packet: MulticastPacket = request.context
+        row = SynapticRow.unpack(packet.key, request.data)
+        self.core.charge_cycles(
+            self.core.costs.dma_complete_cycles_per_word * len(row))
+        for synapse in row:
+            self.buffer.add_synapse(synapse)
+        latency = self.application.kernel.now - packet.timestamp
+        self.application.result.delivery_latencies_us.append(latency)
+        if packet.source is not None:
+            distance = self.application.machine.geometry.distance(
+                packet.source, self.chip_coordinate)
+            self.application.result.delivery_distances.append(distance)
+
+    # ------------------------------------------------------------------
+    # Figure 7, priority 3: millisecond timer
+    # ------------------------------------------------------------------
+    def _on_timer(self) -> None:
+        time_ms = self.tick * self.application.timestep_ms
+        if self.is_source:
+            spikes = self._source_spikes()
+        else:
+            inputs = self.buffer.drain()
+            state = self.neuron_state
+            state.population_state.inject_synaptic_input(inputs)
+            bias = None
+            if self.population.bias_current_na:
+                bias = np.full(self.vertex.n_neurons,
+                               self.population.bias_current_na)
+            spikes = state.population_state.step(bias)
+            self.core.charge_cycles(
+                self.core.costs.timer_cycles_per_neuron * self.vertex.n_neurons)
+
+        spiking = np.flatnonzero(spikes)
+        if spiking.size:
+            self.application.record_spikes(self.population.label, self.vertex,
+                                           time_ms, spiking)
+            if self.has_outgoing_projections:
+                for local_index in spiking:
+                    packet = MulticastPacket(
+                        key=self.key_space.key_for(int(local_index)),
+                        timestamp=self.application.kernel.now,
+                        source=self.chip_coordinate)
+                    self.core.send_multicast(packet)
+                    self.application.result.packets_sent += 1
+        self.tick += 1
+
+    def _source_spikes(self) -> np.ndarray:
+        population = self.population
+        if isinstance(population, SpikeSourcePoisson):
+            probability = population.rate_hz * self.application.timestep_ms / 1000.0
+            return self.rng.random(self.vertex.n_neurons) < probability
+        if isinstance(population, SpikeSourceArray):
+            mask = population.spikes_for_tick(self.tick,
+                                              self.application.timestep_ms)
+            return mask[self.vertex.slice_start:self.vertex.slice_stop]
+        return np.zeros(self.vertex.n_neurons, dtype=bool)
+
+
+class _VertexState:
+    """Neuron-model state for the slice of a population on one core."""
+
+    def __init__(self, population: Population, vertex: Vertex,
+                 timestep_ms: float, rng: np.random.Generator) -> None:
+        # The slice reuses the population's model and parameters but only
+        # instantiates the vertex's neurons.
+        sliced = Population(vertex.n_neurons, population.parameters,
+                            label="%s-state-%d" % (population.label, vertex.index))
+        self.population_state = sliced.build_state(timestep_ms, rng)
+
+
+class NeuralApplication:
+    """Maps a network onto a machine and runs it under the event kernel."""
+
+    def __init__(self, machine: SpiNNakerMachine, network: Network,
+                 max_neurons_per_core: int = 256,
+                 placement_strategy: str = "locality",
+                 seed: Optional[int] = None) -> None:
+        self.machine = machine
+        self.network = network
+        self.kernel: EventKernel = machine.kernel
+        self.timestep_ms = network.timestep_ms
+        self.seed = seed if seed is not None else (network.seed or 0)
+        self.max_neurons_per_core = max_neurons_per_core
+        self.placement_strategy = placement_strategy
+
+        self.placement: Optional[Placement] = None
+        self.keys: Optional[KeyAllocator] = None
+        self.core_runtimes: List[CoreRuntime] = []
+        self.result = ApplicationResult(duration_ms=0.0)
+        self.unmatched_packets = 0
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Mapping and configuration
+    # ------------------------------------------------------------------
+    def prepare(self, broadcast_routing: bool = False) -> None:
+        """Run the full mapping tool-chain and configure every core.
+
+        ``broadcast_routing`` selects the bus-style AER baseline of
+        experiment E11 instead of multicast trees.
+        """
+        placer = Placer(self.machine, self.max_neurons_per_core,
+                        self.placement_strategy)
+        self.placement = placer.place(self.network)
+        self.keys = KeyAllocator(self.placement)
+
+        generator = RoutingTableGenerator(self.machine, self.placement, self.keys)
+        if broadcast_routing:
+            generator.generate_broadcast(self.network, seed=self.seed)
+        else:
+            generator.generate(self.network, seed=self.seed)
+
+        builder = SynapticMatrixBuilder(self.machine, self.placement, self.keys)
+        core_data = builder.build(self.network, seed=self.seed)
+
+        rng = np.random.default_rng(self.seed)
+        populations = {p.label: p for p in self.network.populations}
+        projecting_labels = {projection.pre.label
+                             for projection in self.network.projections}
+        for vertex, (chip_coordinate, core_id) in self.placement.locations.items():
+            chip = self.machine.chips[chip_coordinate]
+            core = chip.cores[core_id]
+            if not core.is_available:
+                continue
+            if core.state.value == "off":
+                core.run_self_test(True)
+            data = core_data[(chip_coordinate, core_id)]
+            runtime = CoreRuntime(
+                application=self, core=core, chip_coordinate=chip_coordinate,
+                vertex=vertex, population=populations[vertex.population_label],
+                key_space=self.keys.key_space(vertex), synaptic_data=data,
+                rng=np.random.default_rng(rng.integers(0, 2 ** 31)),
+                has_outgoing_projections=(vertex.population_label
+                                          in projecting_labels))
+            self.core_runtimes.append(runtime)
+
+        for population in self.network.populations:
+            self.result.spike_counts[population.label] = np.zeros(
+                population.size, dtype=int)
+            if population.record_spikes:
+                self.result.spikes[population.label] = []
+        self._prepared = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_ms: float) -> ApplicationResult:
+        """Run the application for ``duration_ms`` of biological time."""
+        if not self._prepared:
+            self.prepare()
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        # Start every core's millisecond timer, staggered slightly so the
+        # machine is not artificially lock-stepped (bounded asynchrony).
+        stagger = np.random.default_rng(self.seed)
+        for runtime in self.core_runtimes:
+            offset = float(stagger.uniform(0.0, 10.0))
+            runtime.core.start_timer(TIMER_PERIOD_US, start_offset_us=offset)
+
+        end_time = self.kernel.now + milliseconds(duration_ms)
+        self.kernel.run_until(end_time)
+
+        for runtime in self.core_runtimes:
+            runtime.core.stop_timer()
+        # Let in-flight packets and DMAs drain so latency statistics are
+        # complete, without advancing the timers any further.
+        self.kernel.run(max_events=1_000_000)
+
+        self.result.duration_ms += duration_ms
+        self.result.packets_dropped = self.machine.total_dropped_packets()
+        self.result.emergency_invocations = self.machine.total_emergency_invocations()
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by the core runtimes)
+    # ------------------------------------------------------------------
+    def record_spikes(self, label: str, vertex: Vertex, time_ms: float,
+                      local_indices: np.ndarray) -> None:
+        """Record spikes of a vertex in global population numbering."""
+        counts = self.result.spike_counts[label]
+        global_indices = local_indices + vertex.slice_start
+        counts[global_indices] += 1
+        if label in self.result.spikes:
+            self.result.spikes[label].extend(
+                (time_ms, int(i)) for i in global_indices)

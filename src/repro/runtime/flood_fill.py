@@ -1,0 +1,203 @@
+"""Flood-fill application loading (Section 5.2, ref [15]).
+
+"Now the system is ready for an application, which is loaded using
+flood-fill techniques and nn packets.  The flood-fill mechanism has been
+shown to give load times almost independent of the size of the machine,
+with trade-offs between load time and the degree of fault-tolerance, which
+can be controlled by the number of times a node receives each component of
+the application."
+
+The loader below injects each block of the application image at the origin
+chip; every chip rebroadcasts a block to all six neighbours the first
+``redundancy`` times it receives it.  Because rebroadcast is concurrent the
+fill front sweeps the torus once per block, so total load time is set by
+the image size plus a diameter term — nearly flat in machine size — while
+raising ``redundancy`` multiplies the number of copies each chip receives
+(fault tolerance) at a modest cost in time and a linear cost in nn traffic.
+Experiment E7 sweeps both dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.event_kernel import EventKernel
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import SpiNNakerMachine
+from repro.core.packets import NearestNeighbourPacket, NNCommand
+
+
+@dataclass(frozen=True)
+class ApplicationImage:
+    """The application binary to load: ``n_blocks`` blocks of ``block_words``."""
+
+    n_blocks: int = 8
+    block_words: int = 256
+    name: str = "application"
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0 or self.block_words <= 0:
+            raise ValueError("image dimensions must be positive")
+
+    @property
+    def total_words(self) -> int:
+        """Total size of the image in 32-bit words."""
+        return self.n_blocks * self.block_words
+
+    @property
+    def total_bytes(self) -> int:
+        """Total size of the image in bytes."""
+        return self.total_words * 4
+
+
+@dataclass
+class FloodFillResult:
+    """Outcome of one flood-fill load."""
+
+    machine_size: Tuple[int, int]
+    n_blocks: int
+    redundancy: int
+    load_time_us: float = 0.0
+    chips_complete: int = 0
+    n_chips: int = 0
+    nn_packets_sent: int = 0
+    #: Minimum over chips of the mean number of copies of each block seen.
+    min_copies_received: float = 0.0
+    mean_copies_received: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True if every booted chip received the whole image."""
+        return self.chips_complete == self.n_chips
+
+
+class FloodFillLoader:
+    """Loads an application image into every chip using nn flood-fill."""
+
+    def __init__(self, machine: SpiNNakerMachine, redundancy: int = 1,
+                 block_transfer_time_us: float = 10.0) -> None:
+        if redundancy < 1:
+            raise ValueError("redundancy must be at least 1")
+        if block_transfer_time_us <= 0:
+            raise ValueError("block transfer time must be positive")
+        self.machine = machine
+        self.kernel: EventKernel = machine.kernel
+        self.redundancy = redundancy
+        self.block_transfer_time_us = block_transfer_time_us
+        #: chip -> block index -> number of copies received.
+        self.receptions: Dict[ChipCoordinate, Dict[int, int]] = {}
+        self._completion_time: Dict[ChipCoordinate, float] = {}
+        self._image: Optional[ApplicationImage] = None
+        self._packets_sent = 0
+
+    # ------------------------------------------------------------------
+    # NN handling
+    # ------------------------------------------------------------------
+    def _install_handlers(self) -> None:
+        for coordinate, chip in self.machine.chips.items():
+            chip.on_nearest_neighbour(self._make_handler(coordinate))
+
+    def _make_handler(self, coordinate: ChipCoordinate):
+        def handler(packet: NearestNeighbourPacket, _arrival: Direction) -> None:
+            if packet.command is not NNCommand.FLOOD_FILL_DATA:
+                return
+            chip = self.machine.chips[coordinate]
+            if not chip.state.booted:
+                return
+            block_index = packet.payload[0]
+            counts = self.receptions.setdefault(coordinate, {})
+            counts[block_index] = counts.get(block_index, 0) + 1
+            if counts[block_index] <= self.redundancy:
+                # Re-broadcast: the block fans out again from this chip.
+                self._broadcast_block(coordinate, block_index)
+            self._check_complete(coordinate)
+        return handler
+
+    def _broadcast_block(self, coordinate: ChipCoordinate,
+                         block_index: int) -> None:
+        assert self._image is not None
+        # A block occupies the link for its serialisation time; model that
+        # as a delay before the neighbours' handlers run.
+        def send(_kernel: EventKernel) -> None:
+            packet = NearestNeighbourPacket(
+                command=NNCommand.FLOOD_FILL_DATA,
+                payload=(block_index, self._image.block_words),
+                timestamp=self.kernel.now)
+            for direction in Direction:
+                if self.machine.send_nearest_neighbour(coordinate, direction,
+                                                       packet):
+                    self._packets_sent += 1
+        self.kernel.schedule_after(self.block_transfer_time_us, send,
+                                   label="flood-fill-block")
+
+    def _check_complete(self, coordinate: ChipCoordinate) -> None:
+        assert self._image is not None
+        if coordinate in self._completion_time:
+            return
+        counts = self.receptions.get(coordinate, {})
+        if len(counts) == self._image.n_blocks:
+            self._completion_time[coordinate] = self.kernel.now
+            chip = self.machine.chips[coordinate]
+            chip.state.application_loaded = True
+            # Model loading the code into every working core's ITCM.
+            code_bytes = min(self._image.total_bytes, 32 * 1024)
+            for core in chip.working_cores:
+                core.load_application(code_bytes)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def load(self, image: ApplicationImage) -> FloodFillResult:
+        """Flood-fill ``image`` into every booted chip and report statistics."""
+        self._image = image
+        self.receptions = {}
+        self._completion_time = {}
+        self._packets_sent = 0
+        self._install_handlers()
+
+        origin = self.machine.ethernet_chips[0]
+        origin_chip = self.machine.chips[origin]
+        if not origin_chip.state.booted:
+            raise RuntimeError("the origin chip has not booted; run the boot "
+                               "controller before loading an application")
+
+        start_time = self.kernel.now
+        # The host streams the blocks into the origin chip over Ethernet;
+        # each block then flood-fills outwards while the next is arriving.
+        for block_index in range(image.n_blocks):
+            inject_time = start_time + (block_index + 1) * self.block_transfer_time_us
+            self.kernel.schedule(
+                inject_time, self._inject_block, label="flood-fill-inject",
+                origin=origin, block_index=block_index)
+        self.kernel.run()
+
+        booted = [coordinate for coordinate, chip in self.machine.chips.items()
+                  if chip.state.booted]
+        complete = [c for c in booted if c in self._completion_time]
+        copies: List[float] = []
+        for coordinate in booted:
+            counts = self.receptions.get(coordinate, {})
+            if counts:
+                copies.append(sum(counts.values()) / image.n_blocks)
+            else:
+                copies.append(0.0)
+        finish = max(self._completion_time.values()) if self._completion_time else start_time
+
+        return FloodFillResult(
+            machine_size=(self.machine.config.width, self.machine.config.height),
+            n_blocks=image.n_blocks,
+            redundancy=self.redundancy,
+            load_time_us=finish - start_time,
+            chips_complete=len(complete),
+            n_chips=len(booted),
+            nn_packets_sent=self._packets_sent,
+            min_copies_received=min(copies) if copies else 0.0,
+            mean_copies_received=(sum(copies) / len(copies)) if copies else 0.0)
+
+    def _inject_block(self, _kernel: EventKernel, origin: ChipCoordinate,
+                      block_index: int) -> None:
+        counts = self.receptions.setdefault(origin, {})
+        counts[block_index] = counts.get(block_index, 0) + 1
+        self._broadcast_block(origin, block_index)
+        self._check_complete(origin)

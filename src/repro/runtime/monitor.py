@@ -1,0 +1,165 @@
+"""Monitor Processor services (Sections 5.2 and 5.3).
+
+One core per chip is set aside as the Monitor Processor.  During normal
+operation it is the destination of the router's notifications — emergency-
+routing invocations and dropped packets — and it is responsible for
+"additional intervention ... to avoid congestion recurring, or to find a
+permanent rerouting around a failed link", for re-issuing recovered
+packets, and for mapping out cores that are suspected of being faulty
+(real-time fault mitigation / functional migration).
+
+The :class:`MonitorService` below implements those responsibilities against
+the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import SpiNNakerMachine
+from repro.core.packets import EmergencyState, MulticastPacket
+from repro.router.routing_table import RoutingEntry
+
+
+@dataclass
+class MitigationReport:
+    """Summary of the monitor actions taken across the machine."""
+
+    emergency_notifications: int = 0
+    dropped_packet_notifications: int = 0
+    links_rerouted: int = 0
+    entries_rewritten: int = 0
+    packets_reissued: int = 0
+    cores_disabled: int = 0
+
+
+class MonitorService:
+    """Machine-wide view of the per-chip Monitor Processors."""
+
+    def __init__(self, machine: SpiNNakerMachine,
+                 emergency_threshold: int = 5) -> None:
+        if emergency_threshold < 1:
+            raise ValueError("emergency_threshold must be at least 1")
+        self.machine = machine
+        #: Number of emergency notifications for one link after which the
+        #: monitor performs a permanent reroute.
+        self.emergency_threshold = emergency_threshold
+        self.report = MitigationReport()
+        self._emergency_counts: Dict[Tuple[ChipCoordinate, Direction], int] = {}
+
+    # ------------------------------------------------------------------
+    # Mailbox processing
+    # ------------------------------------------------------------------
+    def process_mailboxes(self, reissue_dropped: bool = True) -> MitigationReport:
+        """Drain every chip's monitor mailbox and take the configured actions.
+
+        Emergency-routing notifications are counted per link; once a link
+        exceeds the threshold a permanent reroute is installed.  Dropped
+        packets are re-issued into the fabric when ``reissue_dropped``.
+        """
+        for coordinate, chip in self.machine.chips.items():
+            mailbox, chip.monitor_mailbox = chip.monitor_mailbox, []
+            for notification in mailbox:
+                event = notification.get("event")
+                if event == "emergency-routing":
+                    self.report.emergency_notifications += 1
+                    direction = notification["direction"]
+                    key = (coordinate, direction)
+                    self._emergency_counts[key] = self._emergency_counts.get(key, 0) + 1
+                    if self._emergency_counts[key] == self.emergency_threshold:
+                        self.reroute_around_link(coordinate, direction)
+                elif event == "packet-dropped":
+                    self.report.dropped_packet_notifications += 1
+                    packet = notification.get("packet")
+                    if reissue_dropped and isinstance(packet, MulticastPacket):
+                        # A packet dropped mid-emergency still carries its
+                        # emergency marking; re-issue it as a fresh packet.
+                        clean = packet.with_emergency(EmergencyState.NORMAL)
+                        self.machine.inject_multicast(coordinate, clean)
+                        self.report.packets_reissued += 1
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Permanent re-routing around a failed link (Section 5.3)
+    # ------------------------------------------------------------------
+    def reroute_around_link(self, coordinate: ChipCoordinate,
+                            direction: Direction) -> int:
+        """Permanently reroute traffic that used ``direction`` at ``coordinate``.
+
+        Every routing entry on the chip that forwards packets into the
+        failed link is rewritten to use the two other sides of the adjacent
+        mesh triangle instead: the entry's output is moved to the first
+        emergency leg, and a matching entry is installed at the
+        intermediate chip to complete the second leg.  This is the
+        "permanent rerouting around a failed link" that the Monitor
+        Processor can install once hardware emergency routing has flagged
+        the problem.
+
+        Returns the number of entries rewritten.
+        """
+        chip = self.machine.chips[coordinate]
+        first_leg, second_leg = direction.emergency_pair()
+        intermediate = coordinate.neighbour(first_leg,
+                                            self.machine.config.width,
+                                            self.machine.config.height)
+        intermediate_chip = self.machine.chips[intermediate]
+
+        rewritten = 0
+        new_entries: List[RoutingEntry] = []
+        for entry in chip.router.table.entries:
+            if direction not in entry.link_directions:
+                new_entries.append(entry)
+                continue
+            links = set(entry.link_directions)
+            links.discard(direction)
+            links.add(first_leg)
+            new_entries.append(RoutingEntry(
+                key=entry.key, mask=entry.mask,
+                link_directions=frozenset(links),
+                processor_ids=entry.processor_ids))
+            # Matching entry at the intermediate chip to complete the dog-leg.
+            intermediate_chip.router.table.add(
+                key=entry.key, mask=entry.mask, links=[second_leg])
+            rewritten += 1
+
+        if rewritten:
+            chip.router.table.clear()
+            chip.router.table.extend(new_entries)
+            self.report.links_rerouted += 1
+            self.report.entries_rewritten += rewritten
+        return rewritten
+
+    # ------------------------------------------------------------------
+    # Core fault mitigation
+    # ------------------------------------------------------------------
+    def disable_core(self, coordinate: ChipCoordinate, core_id: int) -> None:
+        """Map out a core suspected of being faulty.
+
+        The core is disabled and every routing entry that delivered packets
+        to it has the core removed from its destination set, so spikes stop
+        being delivered to a processor that can no longer be trusted.
+        """
+        chip = self.machine.chips[coordinate]
+        chip.cores[core_id].disable()
+        self.report.cores_disabled += 1
+
+        new_entries: List[RoutingEntry] = []
+        for entry in chip.router.table.entries:
+            if core_id in entry.processor_ids:
+                cores = set(entry.processor_ids)
+                cores.discard(core_id)
+                entry = RoutingEntry(key=entry.key, mask=entry.mask,
+                                     link_directions=entry.link_directions,
+                                     processor_ids=frozenset(cores))
+            new_entries.append(entry)
+        chip.router.table.clear()
+        chip.router.table.extend(new_entries)
+
+    def emergency_hotspots(self, minimum: int = 1) -> List[Tuple[ChipCoordinate, Direction, int]]:
+        """Links whose emergency count reached ``minimum`` (for diagnostics)."""
+        return sorted(((chip, direction, count)
+                       for (chip, direction), count in self._emergency_counts.items()
+                       if count >= minimum),
+                      key=lambda item: -item[2])

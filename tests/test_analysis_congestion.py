@@ -1,0 +1,177 @@
+"""Tests for the fabric congestion analysis (Section 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.congestion import (
+    congestion_report,
+    hotspot_chips,
+    link_load_matrix,
+    link_utilisations,
+    saturation_injection_rate,
+)
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.core.packets import MulticastPacket
+
+
+def machine_with_line_traffic(n_packets=10):
+    """A 3x3 machine with n_packets routed (0,0) -> east -> (1,0) core 0."""
+    machine = SpiNNakerMachine(MachineConfig(width=3, height=3,
+                                             cores_per_chip=4))
+    machine.chips[ChipCoordinate(0, 0)].router.table.add(
+        key=1, mask=0xFFFFFFFF, links=[Direction.EAST])
+    machine.chips[ChipCoordinate(1, 0)].router.table.add(
+        key=1, mask=0xFFFFFFFF, cores=[0])
+    for _ in range(n_packets):
+        machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=1))
+    machine.run()
+    return machine
+
+
+class TestLinkLoadMatrix:
+    def test_shape_matches_machine(self):
+        machine = SpiNNakerMachine(MachineConfig(width=4, height=3,
+                                                 cores_per_chip=2))
+        matrix = link_load_matrix(machine)
+        assert matrix.shape == (4, 3, 6)
+        assert matrix.sum() == 0
+
+    def test_traffic_lands_on_the_expected_cell(self):
+        machine = machine_with_line_traffic(7)
+        matrix = link_load_matrix(machine)
+        assert matrix[0, 0, Direction.EAST.value] == 7
+        assert matrix.sum() == 7
+
+
+class TestLinkUtilisations:
+    def test_negative_window_rejected(self):
+        machine = SpiNNakerMachine(MachineConfig(width=2, height=2,
+                                                 cores_per_chip=2))
+        with pytest.raises(ValueError):
+            link_utilisations(machine, elapsed_us=-1.0)
+
+    def test_loaded_link_reports_positive_utilisation(self):
+        # Five simultaneous packets stay under the link's blocking backlog,
+        # so every one of them is carried by the east link out of (0, 0).
+        machine = machine_with_line_traffic(5)
+        loads = {(load.source, load.direction): load
+                 for load in link_utilisations(machine, elapsed_us=1000.0)}
+        busy = loads[(ChipCoordinate(0, 0), Direction.EAST)]
+        assert busy.packets == 5
+        assert busy.refused == 0
+        assert busy.utilisation > 0.0
+        assert not busy.failed
+        idle = loads[(ChipCoordinate(2, 2), Direction.NORTH)]
+        assert idle.packets == 0
+        assert idle.utilisation == 0.0
+
+    def test_description_mentions_direction(self):
+        machine = machine_with_line_traffic(1)
+        load = next(l for l in link_utilisations(machine) if l.packets > 0)
+        assert "EAST" in load.description
+
+
+class TestCongestionReport:
+    def test_threshold_validation(self):
+        machine = machine_with_line_traffic(1)
+        with pytest.raises(ValueError):
+            congestion_report(machine, utilisation_threshold=0.0)
+
+    def test_light_traffic_is_lightly_loaded(self):
+        # Five packets over a 1 ms observation window is far below any
+        # link's capacity, so the fabric is in the lightly-loaded regime.
+        machine = machine_with_line_traffic(5)
+        report = congestion_report(machine, elapsed_us=1000.0)
+        assert report.total_packets == 5
+        assert report.total_refused == 0
+        assert report.refusal_ratio == 0.0
+        assert report.lightly_loaded
+        assert report.failed_links == 0
+        assert report.dropped_packets == 0
+        assert len(report.hotspots) == 1
+
+    def test_failed_links_counted(self):
+        machine = machine_with_line_traffic(2)
+        machine.fail_link(ChipCoordinate(2, 2), Direction.NORTH)
+        report = congestion_report(machine)
+        assert report.failed_links == 2  # bidirectional failure
+
+    def test_hotspots_sorted_by_utilisation(self):
+        machine = SpiNNakerMachine(MachineConfig(width=3, height=3,
+                                                 cores_per_chip=4))
+        machine.chips[ChipCoordinate(0, 0)].router.table.add(
+            key=1, mask=0xFFFFFFFF, links=[Direction.EAST, Direction.NORTH])
+        machine.chips[ChipCoordinate(1, 0)].router.table.add(
+            key=1, mask=0xFFFFFFFF, cores=[0])
+        machine.chips[ChipCoordinate(0, 1)].router.table.add(
+            key=1, mask=0xFFFFFFFF, cores=[0])
+        machine.chips[ChipCoordinate(0, 0)].router.table.add(
+            key=2, mask=0xFFFFFFFF, links=[Direction.EAST])
+        machine.chips[ChipCoordinate(1, 0)].router.table.add(
+            key=2, mask=0xFFFFFFFF, cores=[1])
+        for _ in range(4):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=1))
+        for _ in range(2):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=2))
+        machine.run()
+        report = congestion_report(machine, n_hotspots=2)
+        assert len(report.hotspots) == 2
+        assert report.hotspots[0].utilisation >= report.hotspots[1].utilisation
+        assert report.hotspots[0].direction is Direction.EAST
+
+    def test_empty_machine_report(self):
+        machine = SpiNNakerMachine(MachineConfig(width=2, height=2,
+                                                 cores_per_chip=2))
+        report = congestion_report(machine, elapsed_us=1000.0)
+        assert report.total_packets == 0
+        assert report.peak_utilisation == 0.0
+        assert report.hotspots == ()
+
+
+class TestHotspotChips:
+    def test_busiest_chip_is_the_injector(self):
+        machine = machine_with_line_traffic(9)
+        hotspots = hotspot_chips(machine, top=3)
+        assert hotspots[0][0] == ChipCoordinate(0, 0)
+        assert hotspots[0][1] == 9
+        assert len(hotspots) == 1
+
+    def test_top_must_be_positive(self):
+        machine = machine_with_line_traffic(1)
+        with pytest.raises(ValueError):
+            hotspot_chips(machine, top=0)
+
+
+class TestSaturationRate:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_injection_rate(0, 8)
+        with pytest.raises(ValueError):
+            saturation_injection_rate(8, 8, link_packets_per_us=0.0)
+        with pytest.raises(ValueError):
+            saturation_injection_rate(8, 8, cores_per_chip=1)
+        with pytest.raises(ValueError):
+            saturation_injection_rate(8, 8, mean_hops=0.0)
+
+    def test_rate_positive_and_falls_with_machine_size(self):
+        small = saturation_injection_rate(8, 8)
+        large = saturation_injection_rate(48, 48)
+        assert small > 0.0
+        assert large > 0.0
+        # Larger tori have longer mean paths, so each injected packet costs
+        # more link traversals and the per-core budget shrinks.
+        assert large < small
+
+    def test_full_machine_supports_biological_rates(self):
+        # The design point: ~1000 neurons/core at ~10 Hz mean rate needs
+        # ~10 packets/ms/core, and the 256x256 full machine must sustain it.
+        rate = saturation_injection_rate(256, 256)
+        assert rate > 10.0
+
+    def test_longer_paths_reduce_the_budget(self):
+        near = saturation_injection_rate(16, 16, mean_hops=2.0)
+        far = saturation_injection_rate(16, 16, mean_hops=8.0)
+        assert far < near

@@ -1,0 +1,164 @@
+"""Tests for the information-theoretic estimators (Section 5.4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.information import (
+    channel_statistics,
+    entropy,
+    entropy_from_counts,
+    joint_entropy,
+    mutual_information,
+    n_of_m_capacity_bits,
+    population_sparseness,
+    rank_order_capacity_bits,
+    rate_code_capacity_bits,
+    redundancy,
+)
+
+
+class TestEntropy:
+    def test_empty_and_constant_sequences(self):
+        assert entropy([]) == 0.0
+        assert entropy(["a"] * 50) == 0.0
+
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy([0, 1] * 100) == pytest.approx(1.0)
+
+    def test_uniform_over_k_symbols_is_log2_k(self):
+        samples = list(range(8)) * 10
+        assert entropy(samples) == pytest.approx(3.0)
+
+    def test_entropy_from_counts_ignores_zero_counts(self):
+        assert entropy_from_counts([5, 5, 0, 0]) == pytest.approx(1.0)
+        assert entropy_from_counts([0, 0]) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=200))
+    def test_entropy_bounds(self, samples):
+        value = entropy(samples)
+        assert 0.0 <= value <= math.log2(len(set(samples))) + 1e-9
+
+
+class TestJointAndMutualInformation:
+    def test_joint_entropy_requires_alignment(self):
+        with pytest.raises(ValueError):
+            joint_entropy([1, 2], [1])
+
+    def test_identical_channels_share_all_information(self):
+        stimulus = [0, 1, 2, 3] * 25
+        assert mutual_information(stimulus, stimulus) == pytest.approx(
+            entropy(stimulus))
+
+    def test_independent_channels_share_nothing(self):
+        rng = np.random.default_rng(0)
+        stimulus = list(rng.integers(0, 4, 4000))
+        response = list(rng.integers(0, 4, 4000))
+        assert mutual_information(stimulus, response) < 0.02
+
+    def test_deterministic_function_preserves_information(self):
+        stimulus = [0, 1, 2, 3] * 30
+        response = [s % 2 for s in stimulus]
+        assert mutual_information(stimulus, response) == pytest.approx(1.0)
+
+    def test_mutual_information_never_negative(self):
+        assert mutual_information([1, 1, 2], [3, 4, 3]) >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    min_size=2, max_size=200))
+    def test_mutual_information_bounded_by_marginals(self, pairs):
+        stimulus = [p[0] for p in pairs]
+        response = [p[1] for p in pairs]
+        information = mutual_information(stimulus, response)
+        assert information <= min(entropy(stimulus), entropy(response)) + 1e-9
+
+
+class TestCodeCapacities:
+    def test_n_of_m_matches_binomial(self):
+        assert n_of_m_capacity_bits(2, 4) == pytest.approx(math.log2(6))
+        assert n_of_m_capacity_bits(0, 10) == 0.0
+        assert n_of_m_capacity_bits(10, 10) == 0.0
+
+    def test_invalid_n_of_m_rejected(self):
+        with pytest.raises(ValueError):
+            n_of_m_capacity_bits(5, 4)
+        with pytest.raises(ValueError):
+            rank_order_capacity_bits(-1, 4)
+
+    def test_rank_order_exceeds_unordered_n_of_m(self):
+        # Section 5.4: the firing order conveys information beyond the
+        # choice of the active subset.
+        for n_active, population in [(3, 10), (8, 100), (20, 256)]:
+            assert rank_order_capacity_bits(n_active, population) > \
+                n_of_m_capacity_bits(n_active, population)
+
+    def test_rank_order_equals_permutation_count(self):
+        assert rank_order_capacity_bits(3, 5) == pytest.approx(
+            math.log2(5 * 4 * 3))
+
+    def test_rate_code_collapses_for_single_spike_windows(self):
+        # "It is hard to estimate a firing rate from a single spike!"
+        short = rate_code_capacity_bits(max_rate_hz=100.0, window_ms=10.0)
+        long = rate_code_capacity_bits(max_rate_hz=100.0, window_ms=1000.0)
+        assert short <= 1.1
+        assert long > 5.0
+
+    def test_rate_code_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            rate_code_capacity_bits(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            rate_code_capacity_bits(10.0, 100.0, rate_resolution_hz=0.0)
+
+
+class TestRedundancyAndSparseness:
+    def test_redundancy_of_duplicated_channels(self):
+        channel = [0, 1, 0, 1, 1, 0] * 20
+        assert redundancy([channel, list(channel)]) == pytest.approx(
+            entropy(channel))
+
+    def test_redundancy_of_independent_channels_is_small(self):
+        rng = np.random.default_rng(3)
+        channels = [list(rng.integers(0, 2, 3000)) for _ in range(3)]
+        assert redundancy(channels) < 0.05
+
+    def test_redundancy_validates_alignment(self):
+        with pytest.raises(ValueError):
+            redundancy([[1, 2, 3], [1, 2]])
+        assert redundancy([]) == 0.0
+
+    def test_sparseness_extremes(self):
+        assert population_sparseness([0.0, 0.0, 5.0, 0.0]) == pytest.approx(1.0)
+        assert population_sparseness([1.0, 1.0, 1.0, 1.0]) == pytest.approx(0.0)
+        assert population_sparseness([]) == 0.0
+        assert population_sparseness([0.0, 0.0]) == 0.0
+        assert population_sparseness([3.0]) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=2,
+                    max_size=50))
+    def test_sparseness_always_in_unit_interval(self, activity):
+        assert 0.0 <= population_sparseness(activity) <= 1.0 + 1e-9
+
+
+class TestChannelStatistics:
+    def test_empty_channel(self):
+        stats = channel_statistics([])
+        assert stats.n_samples == 0
+        assert stats.entropy_bits == 0.0
+        assert stats.most_common_symbol is None
+
+    def test_statistics_of_skewed_channel(self):
+        stats = channel_statistics(["a", "a", "a", "b"])
+        assert stats.n_symbols == 2
+        assert stats.n_samples == 4
+        assert stats.most_common_symbol == "a"
+        assert stats.most_common_fraction == pytest.approx(0.75)
+        assert 0.0 < stats.entropy_bits < 1.0

@@ -1,0 +1,287 @@
+"""Unit tests for the neural coding package (Section 5.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.n_of_m import NOfMCode
+from repro.coding.rank_order import RankOrderCode, RankOrderDecoder
+from repro.coding.rate import RateCode
+from repro.coding.retina import GanglionCellType, RetinaModel, RetinaParameters
+
+
+class TestRateCode:
+    def test_rate_mapping_clipped_and_linear(self):
+        code = RateCode(max_rate_hz=100.0, min_rate_hz=10.0)
+        rates = code.rates_for(np.array([-1.0, 0.0, 0.5, 1.0, 2.0]))
+        assert rates.tolist() == [10.0, 10.0, 55.0, 100.0, 100.0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RateCode(max_rate_hz=10.0, min_rate_hz=20.0)
+        with pytest.raises(ValueError):
+            RateCode(timestep_ms=0.0)
+
+    def test_encode_produces_expected_spike_counts(self):
+        code = RateCode(max_rate_hz=100.0)
+        rng = np.random.default_rng(0)
+        trains = code.encode(np.array([1.0] * 200), 1000.0, rng)
+        counts = [len(t) for t in trains]
+        assert 80 < np.mean(counts) < 120
+
+    def test_decode_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RateCode().decode([[1.0]], 0.0)
+
+    def test_long_window_decodes_accurately(self):
+        code = RateCode(max_rate_hz=200.0)
+        values = np.linspace(0.1, 0.9, 30)
+        error = code.decoding_error(values, window_ms=500.0,
+                                    duration_ms=500.0,
+                                    rng=np.random.default_rng(1))
+        assert error < 0.15
+
+    def test_single_millisecond_window_decodes_poorly(self):
+        # "It is hard to estimate a firing rate from a single spike!"
+        code = RateCode(max_rate_hz=200.0)
+        values = np.linspace(0.1, 0.9, 30)
+        short = code.decoding_error(values, window_ms=1.0,
+                                    rng=np.random.default_rng(1))
+        long = code.decoding_error(values, window_ms=500.0,
+                                   duration_ms=500.0,
+                                   rng=np.random.default_rng(1))
+        assert short > 2 * long
+
+
+class TestNOfMCode:
+    def test_capacity_formula(self):
+        code = NOfMCode(m=10, n=3)
+        assert code.codewords == 120
+        assert code.capacity_bits == pytest.approx(np.log2(120))
+        assert code.capacity_bits_per_spike == pytest.approx(np.log2(120) / 3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NOfMCode(m=0, n=1)
+        with pytest.raises(ValueError):
+            NOfMCode(m=5, n=6)
+
+    def test_encode_selects_strongest_n(self):
+        code = NOfMCode(m=6, n=2)
+        active = code.encode([0.1, 0.9, 0.3, 0.8, 0.0, 0.2])
+        assert active == frozenset({1, 3})
+
+    def test_encode_requires_full_drive_vector(self):
+        with pytest.raises(ValueError):
+            NOfMCode(m=4, n=2).encode([1.0, 2.0])
+
+    def test_validity_check(self):
+        code = NOfMCode(m=8, n=3)
+        assert code.is_valid({0, 1, 2})
+        assert not code.is_valid({0, 1})
+        assert not code.is_valid({0, 1, 99})
+
+    def test_decode_by_maximum_overlap(self):
+        code = NOfMCode(m=20, n=5)
+        codebook = [frozenset(range(i, i + 5)) for i in range(0, 15, 5)]
+        assert code.decode({5, 6, 7, 8, 9}, codebook) == 1
+        # One corrupted position must not change the decision.
+        assert code.decode({5, 6, 7, 8, 19}, codebook) == 1
+
+    def test_decode_rejects_empty_codebook(self):
+        with pytest.raises(ValueError):
+            NOfMCode(m=4, n=2).decode({0, 1}, [])
+
+    def test_corrupt_preserves_codeword_weight(self):
+        code = NOfMCode(m=30, n=10)
+        original = code.encode(np.arange(30))
+        corrupted = code.corrupt(original, 3, np.random.default_rng(0))
+        assert len(corrupted) == 10
+        assert code.overlap(original, corrupted) == 7
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_peaks_near_half(self, m):
+        # Information capacity of N-of-M is maximised around N = M/2.
+        half = NOfMCode(m=m, n=max(1, m // 2)).capacity_bits
+        one = NOfMCode(m=m, n=1).capacity_bits
+        assert half >= one
+
+
+class TestRankOrderCode:
+    def test_order_is_strongest_first(self):
+        code = RankOrderCode()
+        order = code.encode_order([0.2, 0.9, 0.5])
+        assert order == [1, 2, 0]
+
+    def test_n_active_limits_salvo(self):
+        code = RankOrderCode(n_active=2)
+        assert len(code.encode_order([0.1, 0.5, 0.9, 0.3])) == 2
+
+    def test_latencies_monotone_with_rank(self):
+        code = RankOrderCode(latency_spread_ms=10.0)
+        latencies = code.encode_latencies([0.9, 0.1, 0.5])
+        times = {neuron: t for neuron, t in latencies}
+        assert times[0] < times[2] < times[1]
+        assert times[0] == 0.0
+        assert max(times.values()) == pytest.approx(10.0)
+
+    def test_decode_preserves_ordering(self):
+        code = RankOrderCode(attenuation=0.8)
+        values = code.decode([3, 1, 0], size=5)
+        assert values[3] > values[1] > values[0]
+        assert values[2] == 0.0 and values[4] == 0.0
+
+    def test_decode_checks_indices(self):
+        with pytest.raises(IndexError):
+            RankOrderCode().decode([7], size=4)
+
+    def test_classification_from_single_salvo(self):
+        rng = np.random.default_rng(2)
+        codebook = [rng.random(64) for _ in range(8)]
+        code = RankOrderCode()
+        for index, stimulus in enumerate(codebook):
+            order = code.encode_order(stimulus)
+            assert code.classify(order, codebook) == index
+
+    def test_similarity_bounds(self):
+        code = RankOrderCode()
+        reference = np.linspace(1.0, 0.1, 10)
+        perfect = code.similarity(code.encode_order(reference), reference)
+        reversed_order = code.similarity(
+            code.encode_order(reference[::-1].copy()), reference)
+        assert 0.0 <= reversed_order < perfect <= 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RankOrderCode(attenuation=0.0)
+        with pytest.raises(ValueError):
+            RankOrderCode(latency_spread_ms=-1.0)
+
+
+class TestRankOrderDecoder:
+    def test_incremental_decoding_converges(self):
+        rng = np.random.default_rng(3)
+        codebook = [rng.random(32) for _ in range(5)]
+        target = 2
+        order = RankOrderCode().encode_order(codebook[target])
+        decoder = RankOrderDecoder(size=32)
+        for neuron in order[:8]:
+            decoder.spike(neuron)
+        assert decoder.best_match(codebook) == target
+
+    def test_duplicate_spikes_ignored(self):
+        decoder = RankOrderDecoder(size=4)
+        decoder.spike(1)
+        decoder.spike(1)
+        assert decoder.rank == 1
+
+    def test_reset_starts_new_salvo(self):
+        decoder = RankOrderDecoder(size=4)
+        decoder.spike(0)
+        decoder.reset()
+        assert decoder.rank == 0
+        assert decoder.accumulated.sum() == 0.0
+
+    def test_out_of_range_spike_rejected(self):
+        with pytest.raises(IndexError):
+            RankOrderDecoder(size=4).spike(10)
+
+
+class TestRetina:
+    def test_mosaic_covers_both_polarities_and_scales(self):
+        retina = RetinaModel((12, 12), RetinaParameters(scales=(1.0, 2.0)))
+        types = {cell.cell_type for cell in retina.cells}
+        scales = {cell.scale for cell in retina.cells}
+        assert types == {GanglionCellType.ON_CENTRE, GanglionCellType.OFF_CENTRE}
+        assert scales == {1.0, 2.0}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetinaParameters(scales=())
+        with pytest.raises(ValueError):
+            RetinaParameters(surround_ratio=0.5)
+        with pytest.raises(ValueError):
+            RetinaModel((2, 2))
+
+    def test_uniform_image_elicits_no_response(self):
+        retina = RetinaModel((10, 10))
+        responses = retina.respond(np.full((10, 10), 0.5))
+        assert responses.max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_on_and_off_cells_respond_to_opposite_contrast(self):
+        retina = RetinaModel((12, 12),
+                             RetinaParameters(scales=(1.5,),
+                                              inhibition_strength=0.0))
+        spot = RetinaModel.make_test_image((12, 12), "spot")
+        responses = retina.respond(spot)
+        on_total = sum(responses[c.index] for c in retina.cells
+                       if c.cell_type is GanglionCellType.ON_CENTRE)
+        responses_inverted = retina.respond(1.0 - spot)
+        off_total = sum(responses_inverted[c.index] for c in retina.cells
+                        if c.cell_type is GanglionCellType.OFF_CENTRE)
+        assert on_total > 0.0
+        assert off_total > 0.0
+
+    def test_lateral_inhibition_reduces_total_response(self):
+        image = RetinaModel.make_test_image((12, 12), "bars")
+        with_inhibition = RetinaModel(
+            (12, 12), RetinaParameters(inhibition_strength=0.8))
+        without = RetinaModel(
+            (12, 12), RetinaParameters(inhibition_strength=0.0))
+        assert (with_inhibition.respond(image).sum()
+                <= without.respond(image).sum())
+
+    def test_failed_cells_do_not_fire(self):
+        retina = RetinaModel((10, 10))
+        image = RetinaModel.make_test_image((10, 10), "spot")
+        failed = retina.fail_cells(0.3, np.random.default_rng(0))
+        salvo = retina.encode_latencies(image)
+        firing = {cell for cell, _ in salvo}
+        assert not (firing & set(failed))
+
+    def test_reconstruction_correlates_with_input(self):
+        retina = RetinaModel((16, 16))
+        image = RetinaModel.make_test_image((16, 16), "spot")
+        assert retina.reconstruction_similarity(image) > 0.5
+
+    def test_graceful_degradation_with_failures(self):
+        # Section 5.4: losing neurons loses very little information because
+        # neighbours with overlapping receptive fields take over.
+        image = RetinaModel.make_test_image((16, 16), "spot")
+        intact = RetinaModel((16, 16))
+        baseline = intact.reconstruction_similarity(image)
+        damaged = RetinaModel((16, 16))
+        damaged.fail_cells(0.2, np.random.default_rng(1))
+        degraded = damaged.reconstruction_similarity(image)
+        assert degraded > 0.7 * baseline
+
+    def test_failure_fraction_validated(self):
+        retina = RetinaModel((8, 8))
+        with pytest.raises(ValueError):
+            retina.fail_cells(1.5)
+
+    def test_reset_failures_restores_all_cells(self):
+        retina = RetinaModel((8, 8))
+        retina.fail_cells(0.5, np.random.default_rng(0))
+        retina.reset_failures()
+        assert all(not cell.failed for cell in retina.cells)
+
+    def test_latency_coding_strongest_fires_first(self):
+        retina = RetinaModel((12, 12))
+        image = RetinaModel.make_test_image((12, 12), "spot")
+        salvo = retina.encode_latencies(image)
+        responses = {cell.index: cell.response for cell in retina.cells}
+        latencies = dict(salvo)
+        strongest = max(latencies, key=lambda i: responses[i])
+        assert latencies[strongest] == pytest.approx(0.0)
+
+    def test_test_image_kinds(self):
+        for kind in ("bars", "spot", "noise"):
+            image = RetinaModel.make_test_image((8, 8), kind)
+            assert image.shape == (8, 8)
+        with pytest.raises(ValueError):
+            RetinaModel.make_test_image((8, 8), "checker")

@@ -1,0 +1,159 @@
+"""Tests for background-rhythm salvo segmentation (Section 5.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.rank_order import RankOrderCode
+from repro.coding.rhythm import (
+    BackgroundRhythm,
+    RhythmicRankOrderChannel,
+    SalvoSegmenter,
+)
+
+
+class TestBackgroundRhythm:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackgroundRhythm(period_ms=0.0)
+        with pytest.raises(ValueError):
+            BackgroundRhythm(rising_fraction=0.0)
+        with pytest.raises(ValueError):
+            BackgroundRhythm(rising_fraction=1.0)
+
+    def test_cycle_indexing(self):
+        rhythm = BackgroundRhythm(period_ms=25.0)
+        assert rhythm.cycle_of(0.0) == 0
+        assert rhythm.cycle_of(24.9) == 0
+        assert rhythm.cycle_of(25.0) == 1
+        assert rhythm.cycle_of(76.0) == 3
+
+    def test_phase_offset_shifts_cycles(self):
+        rhythm = BackgroundRhythm(period_ms=20.0, phase_offset_ms=5.0)
+        assert rhythm.cycle_of(4.9) == -1
+        assert rhythm.cycle_of(5.0) == 0
+        assert rhythm.cycle_start(2) == pytest.approx(45.0)
+
+    def test_rising_and_falling_phases(self):
+        rhythm = BackgroundRhythm(period_ms=10.0, rising_fraction=0.6)
+        assert rhythm.is_rising(0.0)
+        assert rhythm.is_rising(5.9)
+        assert not rhythm.is_rising(6.0)
+        assert not rhythm.is_rising(9.9)
+        assert rhythm.is_rising(10.0)
+
+    def test_rising_window_bounds(self):
+        rhythm = BackgroundRhythm(period_ms=10.0, rising_fraction=0.5)
+        start, end = rhythm.rising_window(3)
+        assert start == pytest.approx(30.0)
+        assert end == pytest.approx(35.0)
+
+    def test_amplitude_is_bounded(self):
+        rhythm = BackgroundRhythm(period_ms=25.0)
+        values = [rhythm.amplitude(t) for t in np.linspace(0.0, 100.0, 200)]
+        assert max(values) <= 1.0 + 1e-9
+        assert min(values) >= -1.0 - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(time_ms=st.floats(min_value=0.0, max_value=1e4),
+           period=st.floats(min_value=1.0, max_value=100.0))
+    def test_phase_always_in_unit_interval(self, time_ms, period):
+        rhythm = BackgroundRhythm(period_ms=period)
+        assert 0.0 <= rhythm.phase_of(time_ms) < 1.0
+
+
+class TestSalvoSegmenter:
+    def test_spikes_grouped_by_cycle(self):
+        rhythm = BackgroundRhythm(period_ms=10.0, rising_fraction=0.5)
+        spikes = [(1.0, 0), (2.0, 1), (11.0, 2), (13.0, 3)]
+        salvos = SalvoSegmenter(rhythm).segment(spikes)
+        assert [s.cycle for s in salvos] == [0, 1]
+        assert salvos[0].order == [0, 1]
+        assert salvos[1].order == [2, 3]
+        assert salvos[1].n_spikes == 2
+
+    def test_falling_phase_spikes_discarded(self):
+        rhythm = BackgroundRhythm(period_ms=10.0, rising_fraction=0.5)
+        spikes = [(1.0, 0), (7.0, 1), (8.0, 2)]
+        segmenter = SalvoSegmenter(rhythm)
+        salvos = segmenter.segment(spikes)
+        assert len(salvos) == 1
+        assert salvos[0].order == [0]
+        assert segmenter.rejected_fraction(spikes) == pytest.approx(2.0 / 3.0)
+
+    def test_repeated_neuron_counts_once_in_order(self):
+        rhythm = BackgroundRhythm(period_ms=10.0, rising_fraction=0.9)
+        spikes = [(1.0, 4), (2.0, 4), (3.0, 1)]
+        salvo = SalvoSegmenter(rhythm).segment(spikes)[0]
+        assert salvo.order == [4, 1]
+        assert salvo.n_spikes == 3
+
+    def test_empty_stream(self):
+        segmenter = SalvoSegmenter(BackgroundRhythm())
+        assert segmenter.segment([]) == []
+        assert segmenter.rejected_fraction([]) == 0.0
+
+    def test_empty_cycles_omitted(self):
+        rhythm = BackgroundRhythm(period_ms=10.0)
+        spikes = [(1.0, 0), (41.0, 1)]
+        salvos = SalvoSegmenter(rhythm).segment(spikes)
+        assert [s.cycle for s in salvos] == [0, 4]
+
+
+class TestRhythmicRankOrderChannel:
+    def _channel(self, jitter_ms=0.0, seed=0, n_symbols=4, population=12):
+        rng = np.random.default_rng(7)
+        codebook = rng.uniform(0.1, 1.0, size=(n_symbols, population))
+        return RhythmicRankOrderChannel(
+            code=RankOrderCode(n_active=8),
+            rhythm=BackgroundRhythm(period_ms=25.0, rising_fraction=0.6),
+            codebook=codebook, jitter_ms=jitter_ms, seed=seed)
+
+    def test_codebook_validation(self):
+        code = RankOrderCode()
+        rhythm = BackgroundRhythm()
+        with pytest.raises(ValueError):
+            RhythmicRankOrderChannel(code, rhythm, codebook=[])
+        with pytest.raises(ValueError):
+            RhythmicRankOrderChannel(code, rhythm,
+                                     codebook=[[1.0, 2.0], [1.0]])
+
+    def test_unknown_symbol_rejected(self):
+        channel = self._channel()
+        with pytest.raises(ValueError):
+            channel.spikes_for_symbol(99, cycle=0)
+
+    def test_spikes_stay_inside_rising_window(self):
+        channel = self._channel(jitter_ms=1.0, seed=3)
+        for cycle in range(4):
+            window_start, window_end = channel.rhythm.rising_window(cycle)
+            for time_ms, neuron in channel.spikes_for_symbol(1, cycle):
+                assert window_start <= time_ms < window_end
+                assert 0 <= neuron < channel.population_size
+
+    def test_noiseless_transmission_is_perfect(self):
+        channel = self._channel()
+        report = channel.run([0, 1, 2, 3, 2, 1, 0])
+        assert report.symbols_received == report.symbols_sent
+        assert report.accuracy == 1.0
+        assert len(report.salvos) == 7
+
+    def test_one_salvo_per_symbol_per_cycle(self):
+        channel = self._channel()
+        stream = channel.transmit([3, 0, 2], start_cycle=5)
+        salvos = SalvoSegmenter(channel.rhythm).segment(stream)
+        assert [s.cycle for s in salvos] == [5, 6, 7]
+
+    def test_moderate_jitter_mostly_decodable(self):
+        channel = self._channel(jitter_ms=2.0, seed=11)
+        symbols = [0, 1, 2, 3] * 5
+        report = channel.run(symbols)
+        assert report.accuracy >= 0.7
+
+    def test_empty_symbol_sequence(self):
+        report = self._channel().run([])
+        assert report.accuracy == 0.0
+        assert report.symbols_received == []

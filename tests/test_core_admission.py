@@ -1,0 +1,214 @@
+"""Tests for the QoS admission-control layer (Section 4, reference [12])."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import (
+    BEST_EFFORT,
+    GUARANTEED_REALTIME,
+    AdmissionController,
+    TokenBucketRegulator,
+    TrafficClass,
+)
+
+
+class TestTrafficClass:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficClass(name="bad", guaranteed_rate_packets_per_ms=-1.0)
+
+    def test_zero_burst_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficClass(name="bad", guaranteed_rate_packets_per_ms=1.0,
+                         burst_packets=0)
+
+    def test_predefined_classes(self):
+        assert BEST_EFFORT.guaranteed_rate_packets_per_ms == 0.0
+        assert GUARANTEED_REALTIME.guaranteed_rate_packets_per_ms > 0.0
+        assert GUARANTEED_REALTIME.priority < BEST_EFFORT.priority
+
+
+class TestTokenBucketRegulator:
+    def test_burst_admitted_then_throttled(self):
+        cls = TrafficClass(name="rt", guaranteed_rate_packets_per_ms=1.0,
+                           burst_packets=4)
+        regulator = TokenBucketRegulator(cls)
+        admitted = [regulator.admit(0.0) for _ in range(6)]
+        assert admitted == [True, True, True, True, False, False]
+        assert regulator.admitted == 4
+        assert regulator.rejected == 2
+
+    def test_tokens_refill_at_guaranteed_rate(self):
+        cls = TrafficClass(name="rt", guaranteed_rate_packets_per_ms=2.0,
+                           burst_packets=2)
+        regulator = TokenBucketRegulator(cls)
+        assert regulator.admit(0.0)
+        assert regulator.admit(0.0)
+        assert not regulator.admit(0.0)
+        # After 1 ms, 2 tokens have accrued again.
+        assert regulator.admit(1.0)
+        assert regulator.admit(1.0)
+        assert not regulator.admit(1.0)
+
+    def test_tokens_never_exceed_burst_depth(self):
+        cls = TrafficClass(name="rt", guaranteed_rate_packets_per_ms=10.0,
+                           burst_packets=3)
+        regulator = TokenBucketRegulator(cls)
+        regulator.admit(0.0)
+        # A long idle period refills to the burst depth, not beyond.
+        regulator.admit(100.0)
+        assert regulator.tokens <= cls.burst_packets
+
+    def test_time_must_not_go_backwards(self):
+        regulator = TokenBucketRegulator(GUARANTEED_REALTIME)
+        regulator.admit(5.0)
+        with pytest.raises(ValueError):
+            regulator.admit(4.0)
+
+    def test_would_admit_has_no_side_effects(self):
+        cls = TrafficClass(name="rt", guaranteed_rate_packets_per_ms=1.0,
+                           burst_packets=1)
+        regulator = TokenBucketRegulator(cls)
+        assert regulator.would_admit(0.0)
+        assert regulator.would_admit(0.0)
+        assert regulator.admitted == 0
+        assert regulator.admit(0.0)
+        assert not regulator.would_admit(0.0)
+
+    def test_zero_rate_class_never_refills(self):
+        regulator = TokenBucketRegulator(BEST_EFFORT)
+        for _ in range(BEST_EFFORT.burst_packets):
+            assert regulator.admit(0.0)
+        assert not regulator.admit(1000.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(rate=st.floats(min_value=0.1, max_value=50.0),
+           burst=st.integers(min_value=1, max_value=32),
+           n=st.integers(min_value=1, max_value=200))
+    def test_long_term_rate_never_exceeded(self, rate, burst, n):
+        """Over any window the admitted count is bounded by burst + rate * T."""
+        cls = TrafficClass(name="p", guaranteed_rate_packets_per_ms=rate,
+                           burst_packets=burst)
+        regulator = TokenBucketRegulator(cls)
+        window_ms = 10.0
+        admitted = 0
+        for i in range(n):
+            time_ms = i * window_ms / n
+            if regulator.admit(time_ms):
+                admitted += 1
+        assert admitted <= burst + rate * window_ms + 1e-9
+
+
+class TestAdmissionController:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(link_capacity_packets_per_ms=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(reservable_fraction=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(reservable_fraction=1.5)
+
+    def test_registration_polices_reservable_capacity(self):
+        controller = AdmissionController(link_capacity_packets_per_ms=100.0,
+                                         reservable_fraction=0.5)
+        heavy = TrafficClass(name="heavy", guaranteed_rate_packets_per_ms=30.0)
+        assert controller.register("core-0", heavy)
+        assert controller.register("core-1", heavy) is False
+        assert controller.reserved_rate_packets_per_ms == pytest.approx(30.0)
+
+    def test_reregistration_is_idempotent(self):
+        controller = AdmissionController()
+        assert controller.register("core-0", GUARANTEED_REALTIME)
+        assert controller.register("core-0", GUARANTEED_REALTIME)
+        assert controller.reserved_rate_packets_per_ms == pytest.approx(
+            GUARANTEED_REALTIME.guaranteed_rate_packets_per_ms)
+
+    def test_deregistration_releases_rate(self):
+        controller = AdmissionController(link_capacity_packets_per_ms=100.0,
+                                         reservable_fraction=0.5)
+        heavy = TrafficClass(name="heavy", guaranteed_rate_packets_per_ms=40.0)
+        controller.register("core-0", heavy)
+        controller.deregister("core-0", "heavy")
+        assert controller.reserved_rate_packets_per_ms == 0.0
+        assert controller.register("core-1", heavy)
+
+    def test_reserved_traffic_admitted_on_reservation(self):
+        controller = AdmissionController()
+        controller.register("core-0", GUARANTEED_REALTIME)
+        decision = controller.request("core-0", "realtime-spikes", now_ms=0.0)
+        assert decision.admitted
+        assert decision.reason == "reservation"
+        assert controller.stats.admitted_on_reservation == 1
+
+    def test_unreserved_traffic_uses_spare_capacity(self):
+        controller = AdmissionController(link_capacity_packets_per_ms=10.0)
+        decision = controller.request("core-3", "best-effort", now_ms=0.0)
+        assert decision.admitted
+        assert decision.reason == "spare-capacity"
+
+    def test_spare_capacity_is_bounded_per_window(self):
+        controller = AdmissionController(link_capacity_packets_per_ms=5.0,
+                                         reservable_fraction=0.5)
+        admitted = controller.admit_burst("core-3", "best-effort", now_ms=0.0,
+                                          n_packets=20)
+        assert admitted == 5
+        assert controller.stats.rejected == 15
+
+    def test_spare_window_resets_after_one_ms(self):
+        controller = AdmissionController(link_capacity_packets_per_ms=4.0)
+        first = controller.admit_burst("src", "best-effort", 0.0, 10)
+        second = controller.admit_burst("src", "best-effort", 1.5, 10)
+        assert first == 4
+        assert second == 4
+
+    def test_over_subscribed_requests_rejected_and_logged(self):
+        controller = AdmissionController(link_capacity_packets_per_ms=2.0,
+                                         reservable_fraction=0.5)
+        controller.admit_burst("src", "best-effort", 0.0, 5)
+        rejected = [d for d in controller.decisions if not d.admitted]
+        assert rejected
+        assert all(d.reason == "over-subscribed" for d in rejected)
+
+    def test_statistics_are_consistent(self):
+        controller = AdmissionController(link_capacity_packets_per_ms=8.0)
+        controller.register("core-0", GUARANTEED_REALTIME)
+        controller.admit_burst("core-0", "realtime-spikes", 0.0, 10)
+        controller.admit_burst("core-5", "best-effort", 0.2, 10)
+        stats = controller.stats
+        assert stats.requests == 20
+        assert stats.admitted + stats.rejected == stats.requests
+        assert stats.admitted == (stats.admitted_on_reservation
+                                  + stats.admitted_on_spare_capacity)
+        assert 0.0 <= stats.admission_ratio <= 1.0
+
+    def test_admission_ratio_zero_with_no_requests(self):
+        assert AdmissionController().stats.admission_ratio == 0.0
+
+    def test_negative_burst_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController().admit_burst("s", "best-effort", 0.0, -1)
+
+    def test_admitted_rate_for_unknown_source_is_zero(self):
+        controller = AdmissionController()
+        assert controller.admitted_rate_for("ghost", "realtime-spikes") == 0
+
+    def test_reserved_class_still_served_under_best_effort_flood(self):
+        """QoS property: a flood of best-effort traffic cannot starve a
+        reserved real-time source of its guaranteed rate."""
+        controller = AdmissionController(link_capacity_packets_per_ms=50.0,
+                                         reservable_fraction=0.75)
+        rt = TrafficClass(name="rt", guaranteed_rate_packets_per_ms=10.0,
+                          burst_packets=10)
+        controller.register("rt-core", rt)
+        rt_admitted = 0
+        for step in range(100):
+            now = step * 0.1
+            controller.admit_burst("noisy", "best-effort", now, 20)
+            if controller.request("rt-core", "rt", now).admitted:
+                rt_admitted += 1
+        # 10 ms simulated at 10 packets/ms guaranteed -> about 100 admissions
+        # are owed; allow the initial bucket fill to dominate the floor.
+        assert rt_admitted >= 90

@@ -1,0 +1,214 @@
+"""Unit and integration tests for the chip and machine models (Figs 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chip import Chip, SystemController
+from repro.core.event_kernel import EventKernel
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import Link, MachineConfig, SpiNNakerMachine
+from repro.core.packets import MulticastPacket, NearestNeighbourPacket, NNCommand
+from repro.core.processor import ProcessorState
+
+
+class TestSystemController:
+    def test_only_first_reader_wins(self):
+        controller = SystemController()
+        assert controller.read_monitor_arbiter(3) is True
+        assert controller.read_monitor_arbiter(4) is False
+        assert controller.monitor_core_id == 3
+
+    def test_reset_allows_re_election(self):
+        controller = SystemController()
+        controller.read_monitor_arbiter(1)
+        controller.reset()
+        assert controller.read_monitor_arbiter(2) is True
+        assert controller.monitor_core_id == 2
+
+    def test_read_count_tracked(self):
+        controller = SystemController()
+        for core in range(5):
+            controller.read_monitor_arbiter(core)
+        assert controller.reads == 5
+
+
+class TestChip:
+    def test_chip_has_twenty_cores_by_default(self):
+        chip = Chip(EventKernel(), ChipCoordinate(0, 0))
+        assert chip.n_cores == 20
+        assert len(chip.cores) == 20
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            Chip(EventKernel(), ChipCoordinate(0, 0), n_cores=0)
+
+    def test_monitor_election_chooses_exactly_one(self):
+        chip = Chip(EventKernel(), ChipCoordinate(0, 0), n_cores=6)
+        for core in chip.cores:
+            core.run_self_test(True)
+        elected = chip.elect_monitor()
+        monitors = [c for c in chip.cores if c.state is ProcessorState.MONITOR]
+        assert len(monitors) == 1
+        assert monitors[0].core_id == elected
+        assert chip.monitor is monitors[0]
+
+    def test_monitor_election_skips_failed_cores(self):
+        chip = Chip(EventKernel(), ChipCoordinate(0, 0), n_cores=4)
+        chip.cores[0].run_self_test(False)
+        chip.cores[1].run_self_test(False)
+        chip.cores[2].run_self_test(True)
+        chip.cores[3].run_self_test(True)
+        elected = chip.elect_monitor()
+        assert elected == 2
+
+    def test_monitor_election_fails_with_no_working_core(self):
+        chip = Chip(EventKernel(), ChipCoordinate(0, 0), n_cores=3)
+        for core in chip.cores:
+            core.run_self_test(False)
+        assert chip.elect_monitor() is None
+
+    def test_application_cores_excludes_monitor_and_failed(self):
+        chip = Chip(EventKernel(), ChipCoordinate(0, 0), n_cores=5)
+        for core in chip.cores:
+            core.run_self_test(True)
+        chip.cores[4].disable()
+        chip.elect_monitor()
+        labels = [core.core_id for core in chip.application_cores]
+        assert chip.monitor_core_id not in labels
+        assert 4 not in labels
+        assert len(labels) == 3
+
+    def test_system_ram_bounded(self):
+        chip = Chip(EventKernel(), ChipCoordinate(0, 0), n_cores=2)
+        chip.write_system_ram([1] * 100)
+        assert len(chip.system_ram) == 100
+        with pytest.raises(MemoryError):
+            chip.write_system_ram([0] * (9 * 1024))
+
+    def test_monitor_mailbox_receives_router_notifications(self):
+        chip = Chip(EventKernel(), ChipCoordinate(0, 0), n_cores=2)
+        chip._notify_monitor("emergency-routing", direction=Direction.EAST)
+        assert chip.monitor_mailbox[0]["event"] == "emergency-routing"
+
+
+class TestLink:
+    def test_failed_link_refuses_packets(self):
+        link = Link(ChipCoordinate(0, 0), Direction.EAST, ChipCoordinate(1, 0))
+        link.failed = True
+        assert link.try_accept(0.0, 40) is None
+        assert link.packets_refused == 1
+
+    def test_link_accepts_and_reports_arrival_time(self):
+        link = Link(ChipCoordinate(0, 0), Direction.EAST, ChipCoordinate(1, 0),
+                    latency_us=0.2, packets_per_us=5.0)
+        arrival = link.try_accept(0.0, 40)
+        assert arrival == pytest.approx(0.2 + 0.2)
+
+    def test_congested_link_blocks(self):
+        link = Link(ChipCoordinate(0, 0), Direction.EAST, ChipCoordinate(1, 0),
+                    packets_per_us=1.0, block_threshold_us=2.0)
+        accepted = 0
+        while link.try_accept(0.0, 40) is not None:
+            accepted += 1
+            if accepted > 100:
+                break
+        assert link.is_blocked(0.0)
+        assert 2 <= accepted <= 4
+
+    def test_backlog_drains_over_time(self):
+        link = Link(ChipCoordinate(0, 0), Direction.EAST, ChipCoordinate(1, 0),
+                    packets_per_us=1.0, block_threshold_us=1.5)
+        link.try_accept(0.0, 40)
+        link.try_accept(0.0, 40)
+        assert link.backlog(0.0) > 0.0
+        assert link.backlog(10.0) == 0.0
+        assert not link.is_blocked(10.0)
+
+    def test_utilisation_bounded(self):
+        link = Link(ChipCoordinate(0, 0), Direction.EAST, ChipCoordinate(1, 0))
+        link.try_accept(0.0, 40)
+        assert 0.0 < link.utilisation(10.0) <= 1.0
+
+
+class TestMachineConfig:
+    def test_full_machine_exceeds_a_million_cores(self):
+        config = MachineConfig.full_machine()
+        assert config.n_cores > 1_000_000
+        assert config.n_chips == 65536
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(width=0, height=4)
+        with pytest.raises(ValueError):
+            MachineConfig(cores_per_chip=0)
+
+    def test_link_count(self):
+        config = MachineConfig(width=4, height=4)
+        assert config.n_links == 16 * 6
+
+
+class TestMachine:
+    def test_machine_builds_all_chips_and_links(self, small_machine):
+        assert small_machine.n_chips == 9
+        assert len(small_machine.links) == 9 * 6
+        assert small_machine.n_cores == 9 * 4
+
+    def test_ethernet_chip_must_exist(self):
+        with pytest.raises(ValueError):
+            SpiNNakerMachine(MachineConfig(width=2, height=2,
+                                           ethernet_chips=((5, 5),)))
+
+    def test_origin_is_first_ethernet_chip(self, small_machine):
+        assert small_machine.origin.coordinate == ChipCoordinate(0, 0)
+
+    def test_links_connect_correct_neighbours(self, small_machine):
+        link = small_machine.link(ChipCoordinate(2, 0), Direction.EAST)
+        assert link.target == ChipCoordinate(0, 0)  # wraps on the torus
+
+    def test_multicast_delivered_across_machine(self, small_machine):
+        machine = small_machine
+        source = ChipCoordinate(0, 0)
+        destination = ChipCoordinate(2, 1)
+        route = machine.geometry.route(source, destination)
+        # Install entries along the route by hand.
+        current = source
+        for direction in route:
+            machine.chips[current].router.table.add(key=77, mask=0xFFFFFFFF,
+                                                    links=[direction])
+            current = current.neighbour(direction, 3, 3)
+        machine.chips[destination].router.table.add(key=77, mask=0xFFFFFFFF,
+                                                    cores=[1])
+        received = []
+        target_core = machine.chips[destination].cores[1]
+        target_core.run_self_test(True)
+        target_core.start_application()
+        target_core.on_packet(lambda packet: received.append(packet.key))
+        machine.inject_multicast(source, MulticastPacket(key=77))
+        machine.run()
+        assert received == [77]
+
+    def test_failed_link_blocks_and_repair_restores(self, small_machine):
+        machine = small_machine
+        machine.fail_link(ChipCoordinate(0, 0), Direction.EAST)
+        link = machine.link(ChipCoordinate(0, 0), Direction.EAST)
+        reverse = machine.link(ChipCoordinate(1, 0), Direction.WEST)
+        assert link.failed and reverse.failed
+        machine.repair_link(ChipCoordinate(0, 0), Direction.EAST)
+        assert not link.failed and not reverse.failed
+
+    def test_nearest_neighbour_delivery(self, small_machine):
+        machine = small_machine
+        received = []
+        machine.chips[ChipCoordinate(1, 0)].on_nearest_neighbour(
+            lambda packet, arrival: received.append((packet.command, arrival)))
+        machine.send_nearest_neighbour(
+            ChipCoordinate(0, 0), Direction.EAST,
+            NearestNeighbourPacket(command=NNCommand.PROBE))
+        machine.run()
+        assert received == [(NNCommand.PROBE, Direction.WEST)]
+
+    def test_aggregate_statistics_initially_zero(self, small_machine):
+        assert small_machine.total_dropped_packets() == 0
+        assert small_machine.total_emergency_invocations() == 0
+        assert small_machine.total_link_traffic() == 0

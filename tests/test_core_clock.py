@@ -1,0 +1,108 @@
+"""Unit tests for the GALS clock-domain model (Figure 5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.clock import ClockDomain, GALSClockSystem
+
+
+class TestClockDomain:
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0.0)
+
+    def test_actual_defaults_to_nominal(self):
+        domain = ClockDomain("core-0", 200.0)
+        assert domain.actual_frequency_mhz == 200.0
+
+    def test_cycles_to_microseconds(self):
+        domain = ClockDomain("core-0", 200.0)
+        assert domain.cycles_to_microseconds(200.0) == pytest.approx(1.0)
+
+    def test_microseconds_to_cycles_inverse(self):
+        domain = ClockDomain("core-0", 133.0)
+        cycles = domain.microseconds_to_cycles(3.0)
+        assert domain.cycles_to_microseconds(cycles) == pytest.approx(3.0)
+
+    def test_disabled_domain_raises_on_conversion(self):
+        domain = ClockDomain("core-0", 200.0)
+        domain.disable()
+        with pytest.raises(RuntimeError):
+            domain.cycles_to_microseconds(10.0)
+
+    def test_scaling_changes_effective_frequency(self):
+        domain = ClockDomain("core-0", 200.0)
+        domain.scale(0.5)
+        assert domain.effective_frequency_mhz == pytest.approx(100.0)
+
+    def test_negative_scale_rejected(self):
+        domain = ClockDomain("core-0", 200.0)
+        with pytest.raises(ValueError):
+            domain.scale(-1.0)
+
+    def test_variation_stays_within_clamp(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            domain = ClockDomain("core-0", 200.0)
+            domain.apply_variation(0.5, rng)
+            assert 100.0 <= domain.actual_frequency_mhz <= 300.0
+
+    def test_variation_rejects_negative_sigma(self):
+        domain = ClockDomain("core-0", 200.0)
+        with pytest.raises(ValueError):
+            domain.apply_variation(-0.1, random.Random(0))
+
+
+class TestGALSClockSystem:
+    def test_for_chip_creates_core_router_memory_domains(self):
+        system = GALSClockSystem.for_chip(4)
+        assert len(system.all_domains()) == 6
+        assert "router" in system
+        assert "memory" in system
+        assert system.core_domain(3).name == "core-3"
+
+    def test_duplicate_domain_rejected(self):
+        system = GALSClockSystem.for_chip(2)
+        with pytest.raises(ValueError):
+            system.add(ClockDomain("router", 100.0))
+
+    def test_process_variation_spreads_frequencies(self):
+        system = GALSClockSystem.for_chip(20)
+        system.apply_process_variation(0.05, seed=1)
+        assert system.frequency_spread() > 0.0
+
+    def test_variation_is_deterministic_for_a_seed(self):
+        first = GALSClockSystem.for_chip(8)
+        second = GALSClockSystem.for_chip(8)
+        first.apply_process_variation(0.05, seed=7)
+        second.apply_process_variation(0.05, seed=7)
+        assert ([d.actual_frequency_mhz for d in first.all_domains()] ==
+                [d.actual_frequency_mhz for d in second.all_domains()])
+
+    def test_gals_aggregate_beats_synchronous_worst_case(self):
+        # The point of GALS: a global clock would run every core at the
+        # slowest core's frequency, whereas GALS lets each domain run at
+        # its own rate, so aggregate throughput is strictly higher whenever
+        # variation is non-zero.
+        system = GALSClockSystem.for_chip(20)
+        system.apply_process_variation(0.05, seed=3)
+        synchronous_total = system.synchronous_frequency() * 20
+        assert system.aggregate_core_frequency() > synchronous_total
+
+    def test_disabled_core_excluded_from_spread(self):
+        system = GALSClockSystem.for_chip(4)
+        system.apply_process_variation(0.05, seed=2)
+        spread_before = system.frequency_spread()
+        slowest = min((d for name, d in system.domains.items()
+                       if name.startswith("core-")),
+                      key=lambda d: d.actual_frequency_mhz)
+        slowest.disable()
+        assert system.frequency_spread() <= spread_before
+
+    def test_empty_core_set_spread_is_zero(self):
+        system = GALSClockSystem()
+        assert system.frequency_spread() == 0.0
+        assert system.synchronous_frequency() == 0.0

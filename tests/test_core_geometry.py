@@ -1,0 +1,156 @@
+"""Unit and property tests for the torus geometry and link directions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import ChipCoordinate, Direction, TorusGeometry
+
+
+class TestDirection:
+    def test_six_directions(self):
+        assert len(list(Direction)) == 6
+
+    def test_opposite_is_involution(self):
+        for direction in Direction:
+            assert direction.opposite.opposite is direction
+
+    def test_opposite_offsets_cancel(self):
+        for direction in Direction:
+            dx, dy = direction.offset
+            ox, oy = direction.opposite.offset
+            assert (dx + ox, dy + oy) == (0, 0)
+
+    def test_from_offset_round_trips(self):
+        for direction in Direction:
+            assert Direction.from_offset(*direction.offset) is direction
+
+    def test_from_offset_rejects_non_unit(self):
+        with pytest.raises(ValueError):
+            Direction.from_offset(2, 0)
+        with pytest.raises(ValueError):
+            Direction.from_offset(1, -1)
+
+    def test_emergency_pair_spans_blocked_link(self):
+        # The two emergency legs must sum to the blocked link's offset:
+        # this is the triangle of Figure 8.
+        for direction in Direction:
+            first, second = direction.emergency_pair()
+            total = (first.offset[0] + second.offset[0],
+                     first.offset[1] + second.offset[1])
+            assert total == direction.offset
+
+    def test_emergency_second_leg_relation(self):
+        # A first-leg packet arrives on the opposite of (L+1); the hardware
+        # derives the second leg as arrival+1, which must equal L-1.
+        for direction in Direction:
+            first, second = direction.emergency_pair()
+            arrival = first.opposite
+            assert Direction.emergency_second_leg(arrival) is second
+
+
+class TestChipCoordinate:
+    def test_neighbour_wraps_on_torus(self):
+        coord = ChipCoordinate(0, 0)
+        west = coord.neighbour(Direction.WEST, 4, 4)
+        assert west == ChipCoordinate(3, 0)
+
+    def test_iteration_yields_x_y(self):
+        assert tuple(ChipCoordinate(2, 5)) == (2, 5)
+
+    def test_coordinates_are_hashable_and_ordered(self):
+        a = ChipCoordinate(1, 2)
+        b = ChipCoordinate(1, 2)
+        assert a == b
+        assert len({a, b}) == 1
+        assert ChipCoordinate(0, 0) < ChipCoordinate(1, 0)
+
+
+class TestTorusGeometry:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            TorusGeometry(0, 4)
+
+    def test_distance_to_self_is_zero(self):
+        geometry = TorusGeometry(8, 8)
+        assert geometry.distance(ChipCoordinate(3, 3), ChipCoordinate(3, 3)) == 0
+
+    def test_diagonal_counts_as_single_hop(self):
+        geometry = TorusGeometry(8, 8)
+        assert geometry.distance(ChipCoordinate(0, 0), ChipCoordinate(3, 3)) == 3
+
+    def test_opposite_sign_displacement_adds(self):
+        geometry = TorusGeometry(16, 16)
+        assert geometry.distance(ChipCoordinate(0, 0), ChipCoordinate(2, 14)) == 4
+
+    def test_wraparound_shortens_distance(self):
+        geometry = TorusGeometry(8, 8)
+        assert geometry.distance(ChipCoordinate(0, 0), ChipCoordinate(7, 0)) == 1
+
+    def test_route_reaches_target(self):
+        geometry = TorusGeometry(8, 8)
+        source = ChipCoordinate(1, 1)
+        target = ChipCoordinate(6, 3)
+        chips = geometry.route_chips(source, target)
+        assert chips[0] == source
+        assert chips[-1] == target
+
+    def test_route_length_matches_distance(self):
+        geometry = TorusGeometry(8, 8)
+        source = ChipCoordinate(2, 5)
+        target = ChipCoordinate(7, 0)
+        assert len(geometry.route(source, target)) == geometry.distance(source,
+                                                                        target)
+
+    def test_all_chips_enumerates_every_coordinate(self):
+        geometry = TorusGeometry(3, 4)
+        chips = list(geometry.all_chips())
+        assert len(chips) == 12
+        assert len(set(chips)) == 12
+        assert geometry.n_chips == 12
+
+    def test_neighbours_returns_all_six(self):
+        geometry = TorusGeometry(5, 5)
+        neighbours = geometry.neighbours(ChipCoordinate(2, 2))
+        assert len(neighbours) == 6
+        assert len({coord for _, coord in neighbours}) == 6
+
+
+coordinate_strategy = st.tuples(st.integers(min_value=0, max_value=15),
+                                st.integers(min_value=0, max_value=15))
+
+
+class TestGeometryProperties:
+    @given(coordinate_strategy, coordinate_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_distance_is_symmetric(self, a, b):
+        geometry = TorusGeometry(16, 16)
+        ca, cb = ChipCoordinate(*a), ChipCoordinate(*b)
+        assert geometry.distance(ca, cb) == geometry.distance(cb, ca)
+
+    @given(coordinate_strategy, coordinate_strategy, coordinate_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        geometry = TorusGeometry(16, 16)
+        ca, cb, cc = (ChipCoordinate(*a), ChipCoordinate(*b), ChipCoordinate(*c))
+        assert geometry.distance(ca, cc) <= (geometry.distance(ca, cb) +
+                                             geometry.distance(cb, cc))
+
+    @given(coordinate_strategy, coordinate_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_route_always_terminates_at_target(self, a, b):
+        geometry = TorusGeometry(16, 16)
+        source, target = ChipCoordinate(*a), ChipCoordinate(*b)
+        current = source
+        for direction in geometry.route(source, target):
+            current = current.neighbour(direction, 16, 16)
+        assert current == target
+
+    @given(coordinate_strategy, coordinate_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_distance_bounded_by_half_perimeter(self, a, b):
+        geometry = TorusGeometry(16, 16)
+        distance = geometry.distance(ChipCoordinate(*a), ChipCoordinate(*b))
+        assert 0 <= distance <= 16

@@ -1,0 +1,129 @@
+"""Unit tests for the three router packet formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import ChipCoordinate
+from repro.core.packets import (
+    EmergencyState,
+    MC_PACKET_BITS,
+    MulticastPacket,
+    NearestNeighbourPacket,
+    NNCommand,
+    PacketType,
+    PointToPointPacket,
+)
+
+
+class TestMulticastPacket:
+    def test_packet_is_forty_bits(self):
+        packet = MulticastPacket(key=0x12345678)
+        assert packet.bit_length == 40
+        assert MC_PACKET_BITS == 40
+
+    def test_payload_extends_length(self):
+        packet = MulticastPacket(key=1, payload=0xDEADBEEF)
+        assert packet.bit_length == 72
+
+    def test_key_must_fit_32_bits(self):
+        with pytest.raises(ValueError):
+            MulticastPacket(key=1 << 32)
+
+    def test_payload_must_fit_32_bits(self):
+        with pytest.raises(ValueError):
+            MulticastPacket(key=0, payload=1 << 32)
+
+    def test_type_is_multicast(self):
+        assert MulticastPacket(key=0).packet_type is PacketType.MULTICAST
+
+    def test_with_emergency_preserves_key(self):
+        packet = MulticastPacket(key=99)
+        diverted = packet.with_emergency(EmergencyState.FIRST_LEG)
+        assert diverted.key == 99
+        assert diverted.emergency is EmergencyState.FIRST_LEG
+        assert packet.emergency is EmergencyState.NORMAL
+
+    def test_pack_unpack_round_trip(self):
+        packet = MulticastPacket(key=0xCAFEBABE,
+                                 emergency=EmergencyState.SECOND_LEG)
+        recovered = MulticastPacket.unpack(packet.pack())
+        assert recovered.key == 0xCAFEBABE
+        assert recovered.emergency is EmergencyState.SECOND_LEG
+
+    def test_pack_unpack_with_payload(self):
+        packet = MulticastPacket(key=7, payload=123)
+        recovered = MulticastPacket.unpack(packet.pack(), payload=123)
+        assert recovered.payload == 123
+
+    def test_unpack_missing_payload_raises(self):
+        packet = MulticastPacket(key=7, payload=123)
+        with pytest.raises(ValueError):
+            MulticastPacket.unpack(packet.pack())
+
+    def test_unpack_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            MulticastPacket.unpack(1 << 40)
+
+    def test_sequence_numbers_increase(self):
+        first = MulticastPacket(key=1)
+        second = MulticastPacket(key=1)
+        assert second.sequence > first.sequence
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_any_key_round_trips(self, key):
+        packet = MulticastPacket(key=key)
+        assert MulticastPacket.unpack(packet.pack()).key == key
+
+
+class TestPointToPointPacket:
+    def test_address_encoding_round_trips(self):
+        coord = ChipCoordinate(17, 200)
+        address = PointToPointPacket.encode_address(coord)
+        assert PointToPointPacket.decode_address(address) == coord
+
+    def test_between_builds_addresses(self):
+        packet = PointToPointPacket.between(ChipCoordinate(1, 2),
+                                            ChipCoordinate(3, 4))
+        assert packet.source == ChipCoordinate(1, 2)
+        assert packet.destination == ChipCoordinate(3, 4)
+
+    def test_address_space_limit(self):
+        with pytest.raises(ValueError):
+            PointToPointPacket.encode_address(ChipCoordinate(256, 0))
+
+    def test_addresses_must_fit_16_bits(self):
+        with pytest.raises(ValueError):
+            PointToPointPacket(source_address=1 << 16, destination_address=0)
+
+    def test_type_is_p2p(self):
+        packet = PointToPointPacket.between(ChipCoordinate(0, 0),
+                                            ChipCoordinate(1, 1))
+        assert packet.packet_type is PacketType.POINT_TO_POINT
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=100, deadline=None)
+    def test_any_coordinate_round_trips(self, x, y):
+        coord = ChipCoordinate(x, y)
+        address = PointToPointPacket.encode_address(coord)
+        assert PointToPointPacket.decode_address(address) == coord
+
+
+class TestNearestNeighbourPacket:
+    def test_type_is_nn(self):
+        packet = NearestNeighbourPacket(command=NNCommand.PROBE)
+        assert packet.packet_type is PacketType.NEAREST_NEIGHBOUR
+
+    def test_always_carries_payload_word(self):
+        packet = NearestNeighbourPacket(command=NNCommand.COORDINATE,
+                                        payload=(1, 2, 8, 8))
+        assert packet.bit_length == 72
+
+    def test_commands_cover_boot_protocol(self):
+        names = {command.name for command in NNCommand}
+        assert {"PROBE", "COORDINATE", "SET_MONITOR", "WRITE_SYSTEM_RAM",
+                "REBOOT", "FLOOD_FILL_DATA", "FLOOD_FILL_END"} <= names

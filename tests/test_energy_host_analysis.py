@@ -1,0 +1,291 @@
+"""Tests for the energy/cost models, the host system and the analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    isi_coefficient_of_variation,
+    latency_by_distance,
+    latency_summary,
+    mean_firing_rate,
+    spike_raster,
+)
+from repro.analysis.traffic import busiest_links, link_traffic_summary, per_chip_injection
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.core.packets import MulticastPacket
+from repro.energy.cost import OwnershipCostModel
+from repro.energy.model import (
+    EMBEDDED_NODE,
+    HIGH_END_DESKTOP,
+    EnergyModel,
+    MachineScaleModel,
+    ProcessorSpec,
+)
+from repro.host.host_system import HostCommand, HostSystem, SDPMessage
+from repro.runtime.boot import BootController
+
+
+class TestProcessorSpecs:
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorSpec(name="bad", mips=0.0, power_w=1.0, area_mm2=1.0)
+
+    def test_area_efficiency_roughly_equal(self):
+        # Section 2: "on the first of these measures embedded and high-end
+        # processors are roughly equal".
+        ratio = EMBEDDED_NODE.mips_per_mm2 / HIGH_END_DESKTOP.mips_per_mm2
+        assert 0.5 < ratio < 4.0
+
+    def test_energy_efficiency_order_of_magnitude_better(self):
+        # "on energy-efficiency the embedded processors win by an order of
+        # magnitude".
+        ratio = EMBEDDED_NODE.mips_per_watt / HIGH_END_DESKTOP.mips_per_watt
+        assert ratio >= 10.0
+
+    def test_comparison_dictionary(self):
+        summary = EnergyModel().comparison()
+        assert summary["energy_efficiency_ratio"] >= 10.0
+        assert 0.5 < summary["area_efficiency_ratio"] < 4.0
+
+
+class TestEnergyModel:
+    def test_spike_delivery_energy_grows_with_hops_and_fanout(self):
+        model = EnergyModel()
+        near = model.spike_delivery_energy_nj(hops=1, synapses=10)
+        far = model.spike_delivery_energy_nj(hops=10, synapses=10)
+        dense = model.spike_delivery_energy_nj(hops=1, synapses=100)
+        assert far > near
+        assert dense > near
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().spike_delivery_energy_nj(hops=-1, synapses=0)
+
+    def test_neuron_update_energy(self):
+        assert EnergyModel().neuron_update_energy_nj(200) == pytest.approx(100.0)
+
+
+class TestMachineScale:
+    def test_headline_numbers(self):
+        # Conclusions: "over a million embedded processors delivering
+        # around 200 teraIPS to support the simulation of a billion spiking
+        # neurons", which is about 1 % of the human brain.
+        scale = MachineScaleModel()
+        assert scale.total_cores > 1_000_000
+        assert 100.0 < scale.total_tera_ips < 400.0
+        assert scale.total_neurons >= 1e9
+        assert 0.005 < scale.brain_fraction < 0.02
+
+    def test_power_and_cost_scale_with_nodes(self):
+        scale = MachineScaleModel()
+        assert scale.total_power_kw == pytest.approx(65536 * 0.9 / 1000.0)
+        assert scale.total_cost_usd == pytest.approx(65536 * 20.0)
+
+    def test_summary_keys(self):
+        summary = MachineScaleModel().summary()
+        assert set(summary) == {"total_cores", "total_tera_ips",
+                                "total_power_kw", "total_cost_usd",
+                                "total_neurons", "total_synapses",
+                                "brain_fraction"}
+
+
+class TestOwnershipCost:
+    def test_pc_crossover_is_a_little_over_three_years(self):
+        pc = OwnershipCostModel.typical_pc()
+        assert 3.0 < pc.crossover_years < 4.0
+
+    def test_spinnaker_node_crossover_much_later(self):
+        node = OwnershipCostModel.spinnaker_node()
+        assert node.crossover_years > 10.0
+
+    def test_total_cost_monotone_in_years(self):
+        pc = OwnershipCostModel.typical_pc()
+        assert pc.total_cost(5.0) > pc.total_cost(1.0)
+        assert pc.energy_cost(0.0) == 0.0
+
+    def test_ownership_comparison_order_of_magnitude(self):
+        summary = OwnershipCostModel.ownership_comparison(lifetime_years=3.0)
+        assert summary["ownership_cost_ratio"] > 10.0
+        assert summary["cost_per_throughput_ratio"] > 10.0
+        assert 3.0 < summary["pc_crossover_years"] < 4.0
+
+    def test_cost_series_rows(self):
+        pc = OwnershipCostModel.typical_pc()
+        rows = pc.cost_series([0.0, 1.0, 2.0])
+        assert len(rows) == 3
+        assert rows[2][2] == pytest.approx(600.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            OwnershipCostModel(purchase_cost_usd=-1.0)
+        with pytest.raises(ValueError):
+            OwnershipCostModel(dollars_per_watt_year=0.0)
+        with pytest.raises(ValueError):
+            OwnershipCostModel().energy_cost(-1.0)
+
+    def test_zero_power_never_crosses_over(self):
+        model = OwnershipCostModel(purchase_cost_usd=100.0, power_w=0.0)
+        assert model.crossover_years == float("inf")
+
+
+class TestHostSystem:
+    def _machine(self):
+        machine = SpiNNakerMachine(MachineConfig(width=3, height=3,
+                                                 cores_per_chip=4))
+        BootController(machine, seed=1).boot()
+        return machine
+
+    def test_query_status_after_boot(self):
+        host = HostSystem(self._machine())
+        status = host.query_status(ChipCoordinate(2, 2))
+        assert status["booted"] is True
+        assert status["p2p_configured"] is True
+        assert status["monitor_core"] is not None
+
+    def test_unreachable_before_p2p_configuration(self):
+        machine = SpiNNakerMachine(MachineConfig(width=2, height=2,
+                                                 cores_per_chip=2))
+        host = HostSystem(machine)
+        response = host.query_status(ChipCoordinate(1, 1))
+        assert "error" in response
+
+    def test_survey_machine_counts(self):
+        host = HostSystem(self._machine())
+        survey = host.survey_machine()
+        assert survey == {"chips": 9, "booted": 9, "application_loaded": 0,
+                          "unreachable": 0}
+
+    def test_router_diagnostics_reflect_traffic(self):
+        machine = self._machine()
+        host = HostSystem(machine)
+        machine.chips[ChipCoordinate(1, 1)].router.table.add(
+            key=7, mask=0xFFFFFFFF, cores=[1])
+        machine.inject_multicast(ChipCoordinate(1, 1), MulticastPacket(key=7))
+        machine.run()
+        diagnostics = host.router_diagnostics(ChipCoordinate(1, 1))
+        assert diagnostics["multicast_routed"] == 1
+
+    def test_read_core_state(self):
+        machine = self._machine()
+        host = HostSystem(machine)
+        message = host.send(SDPMessage(HostCommand.READ_CORE_STATE,
+                                       ChipCoordinate(0, 0), {"core": 0}))
+        assert message.response["state"] in ("monitor", "ready")
+        bad = host.send(SDPMessage(HostCommand.READ_CORE_STATE,
+                                   ChipCoordinate(0, 0), {"core": 99}))
+        assert "error" in bad.response
+
+    def test_inject_spike_reaches_router(self):
+        machine = self._machine()
+        host = HostSystem(machine)
+        machine.origin.router.table.add(key=55, mask=0xFFFFFFFF, cores=[1])
+        host.inject_spike(55)
+        machine.run()
+        assert machine.origin.router.stats.multicast_routed == 1
+
+    def test_p2p_hop_accounting(self):
+        machine = self._machine()
+        host = HostSystem(machine)
+        host.query_status(ChipCoordinate(2, 1))
+        expected = machine.geometry.distance(ChipCoordinate(0, 0),
+                                             ChipCoordinate(2, 1))
+        assert host.p2p_hops_used == expected
+        assert expected >= 1
+
+
+class TestAnalysisMetrics:
+    def test_mean_firing_rate(self):
+        assert mean_firing_rate([10, 20, 30], 1000.0) == pytest.approx(20.0)
+        assert mean_firing_rate([], 1000.0) == 0.0
+        with pytest.raises(ValueError):
+            mean_firing_rate([1], 0.0)
+
+    def test_isi_cv_regular_vs_poisson(self):
+        regular = list(np.arange(0.0, 1000.0, 10.0))
+        rng = np.random.default_rng(0)
+        poisson = list(np.cumsum(rng.exponential(10.0, 200)))
+        assert isi_coefficient_of_variation(regular) < 0.1
+        assert isi_coefficient_of_variation(poisson) > 0.7
+        assert isi_coefficient_of_variation([1.0, 2.0]) == 0.0
+
+    def test_spike_raster_shape_and_counts(self):
+        spikes = [(0.5, 0), (1.5, 0), (2.5, 3)]
+        raster = spike_raster(spikes, n_neurons=4, duration_ms=5.0)
+        assert raster.shape == (4, 5)
+        assert raster.sum() == 3
+        assert raster[0, 0] == 1 and raster[3, 2] == 1
+
+    def test_latency_summary_percentiles(self):
+        samples = list(range(1, 101))
+        summary = latency_summary(samples)
+        assert summary.count == 100
+        assert summary.p50_us == pytest.approx(50.5)
+        assert summary.max_us == 100
+        assert summary.within(100.0)
+        assert not summary.within(50.0)
+        empty = latency_summary([])
+        assert empty.count == 0
+
+    def test_latency_by_distance_grouping(self):
+        latencies = [1.0, 2.0, 3.0, 10.0]
+        distances = [1, 1, 1, 5]
+        groups = latency_by_distance(latencies, distances)
+        assert set(groups) == {1, 5}
+        assert groups[1].count == 3
+        with pytest.raises(ValueError):
+            latency_by_distance([1.0], [1, 2])
+
+
+class TestTrafficAnalysis:
+    def test_traffic_summary_counts_link_packets(self, small_machine):
+        machine = small_machine
+        machine.chips[ChipCoordinate(0, 0)].router.table.add(
+            key=1, mask=0xFFFFFFFF, links=[Direction.EAST])
+        machine.chips[ChipCoordinate(1, 0)].router.table.add(
+            key=1, mask=0xFFFFFFFF, cores=[0])
+        for _ in range(5):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=1))
+        machine.run()
+        summary = link_traffic_summary(machine)
+        assert summary.total_packets == 5
+        assert summary.active_links == 1
+        assert summary.max_link_packets == 5
+        assert 0.0 <= summary.gini_concentration <= 1.0
+        assert summary.mean_packets_per_active_link == pytest.approx(5.0)
+
+    def test_busiest_links_and_injection(self, small_machine):
+        machine = small_machine
+        machine.chips[ChipCoordinate(0, 0)].router.table.add(
+            key=1, mask=0xFFFFFFFF, links=[Direction.NORTH])
+        machine.chips[ChipCoordinate(0, 1)].router.table.add(
+            key=1, mask=0xFFFFFFFF, cores=[0])
+        machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=1))
+        machine.run()
+        top = busiest_links(machine, top=3)
+        assert len(top) == 1
+        injection = per_chip_injection(machine)
+        assert injection == {"(0, 0)": 1}
+
+    def test_unroutable_packet_ages_out_instead_of_circulating(self, small_machine):
+        # A key with no table entry anywhere is default-routed around the
+        # torus until its time phase expires; the run must terminate and the
+        # packet must be dropped with the aged-out counter incremented.
+        machine = small_machine
+        machine.chips[ChipCoordinate(0, 0)].router.table.add(
+            key=9, mask=0xFFFFFFFF, links=[Direction.NORTH])
+        machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=9))
+        machine.run()
+        aged = sum(chip.router.stats.aged_out for chip in machine)
+        dropped = machine.total_dropped_packets()
+        assert aged == 1
+        assert dropped == 1
+        assert machine.total_link_traffic() >= 1
+
+    def test_empty_machine_summary(self, small_machine):
+        summary = link_traffic_summary(small_machine)
+        assert summary.total_packets == 0
+        assert summary.gini_concentration == 0.0
+        assert summary.mean_packets_per_active_link == 0.0

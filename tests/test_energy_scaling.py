@@ -1,0 +1,155 @@
+"""Tests for GALS process-variability and DVFS models (Sections 4, 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import DEFAULT_CORE_FREQUENCY_MHZ, ClockDomain
+from repro.energy.scaling import (
+    DVFSPolicy,
+    VariabilityStudy,
+    dynamic_power_fraction,
+)
+
+
+class TestDynamicPowerFraction:
+    def test_cubic_with_voltage_scaling(self):
+        assert dynamic_power_fraction(0.5) == pytest.approx(0.125)
+        assert dynamic_power_fraction(1.0) == pytest.approx(1.0)
+
+    def test_linear_with_fixed_voltage(self):
+        assert dynamic_power_fraction(0.5, voltage_tracks_frequency=False) == \
+            pytest.approx(0.5)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_power_fraction(-0.1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_voltage_scaling_never_worse_than_fixed_voltage(self, fraction):
+        assert dynamic_power_fraction(fraction) <= \
+            dynamic_power_fraction(fraction, voltage_tracks_frequency=False) + 1e-12
+
+
+class TestVariabilityStudy:
+    def test_needs_at_least_one_domain(self):
+        with pytest.raises(ValueError):
+            VariabilityStudy(n_domains=0)
+
+    def test_sampled_domains_carry_variation(self):
+        study = VariabilityStudy(n_domains=20, seed=1)
+        domains = study.sample_domains(sigma_fraction=0.1)
+        assert len(domains) == 20
+        frequencies = {d.actual_frequency_mhz for d in domains}
+        assert len(frequencies) > 1
+
+    def test_zero_sigma_means_no_gals_advantage(self):
+        study = VariabilityStudy(n_domains=20, seed=2)
+        outcome = study.run_trial(sigma_fraction=0.0)
+        assert outcome.gals_advantage == pytest.approx(1.0)
+        assert outcome.slowest_domain_mhz == pytest.approx(
+            DEFAULT_CORE_FREQUENCY_MHZ)
+
+    def test_gals_advantage_at_least_one(self):
+        study = VariabilityStudy(n_domains=20, seed=3)
+        outcome = study.run_trial(sigma_fraction=0.15)
+        assert outcome.gals_advantage >= 1.0
+        assert outcome.fastest_domain_mhz >= outcome.slowest_domain_mhz
+
+    def test_advantage_grows_with_process_spread(self):
+        study = VariabilityStudy(n_domains=20, seed=4)
+        sweep = study.sweep([0.02, 0.20], trials=60)
+        assert sweep[0.20]["mean_advantage"] > sweep[0.02]["mean_advantage"]
+
+    def test_sweep_requires_positive_trials(self):
+        with pytest.raises(ValueError):
+            VariabilityStudy(seed=0).sweep([0.1], trials=0)
+
+    def test_reproducible_with_seed(self):
+        first = VariabilityStudy(n_domains=10, seed=99).run_trial(0.1)
+        second = VariabilityStudy(n_domains=10, seed=99).run_trial(0.1)
+        assert first.gals_throughput_mhz == pytest.approx(
+            second.gals_throughput_mhz)
+
+
+class TestDVFSPolicy:
+    def _domain(self, name="core-0"):
+        return ClockDomain(name=name,
+                           nominal_frequency_mhz=DEFAULT_CORE_FREQUENCY_MHZ)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DVFSPolicy(tick_us=0.0)
+        with pytest.raises(ValueError):
+            DVFSPolicy(safety_margin=1.0)
+        with pytest.raises(ValueError):
+            DVFSPolicy(minimum_fraction=0.0)
+        with pytest.raises(ValueError):
+            DVFSPolicy().decide(self._domain(), -1.0)
+
+    def test_light_load_scales_down_to_floor(self):
+        policy = DVFSPolicy(minimum_fraction=0.25)
+        decision = policy.decide(self._domain(), required_cycles_per_tick=100.0)
+        assert decision.frequency_fraction == pytest.approx(0.25)
+        assert decision.power_fraction < 0.1
+
+    def test_full_load_stays_at_nominal(self):
+        policy = DVFSPolicy()
+        nominal_budget = DEFAULT_CORE_FREQUENCY_MHZ * policy.tick_us
+        decision = policy.decide(self._domain(), nominal_budget)
+        assert decision.frequency_fraction == pytest.approx(1.0)
+        assert decision.power_fraction == pytest.approx(1.0)
+
+    def test_deadline_still_met_after_scaling(self):
+        """The chosen frequency always leaves the required cycles inside the tick."""
+        policy = DVFSPolicy(safety_margin=0.2)
+        domain = self._domain()
+        required = 60_000.0  # 30 % of the 200 MHz x 1 ms budget
+        decision = policy.decide(domain, required)
+        cycles_available = (domain.nominal_frequency_mhz
+                            * decision.frequency_fraction * policy.tick_us)
+        assert cycles_available >= required
+        assert decision.headroom >= 0.0
+
+    def test_apply_scales_the_domain(self):
+        policy = DVFSPolicy()
+        domain = self._domain()
+        decision = policy.apply(domain, required_cycles_per_tick=50_000.0)
+        assert domain.scaling_factor == pytest.approx(decision.frequency_fraction)
+        assert domain.effective_frequency_mhz < DEFAULT_CORE_FREQUENCY_MHZ
+
+    def test_plan_chip_alignment_enforced(self):
+        policy = DVFSPolicy()
+        with pytest.raises(ValueError):
+            policy.plan_chip([self._domain()], [1.0, 2.0])
+
+    def test_plan_chip_and_power_fraction(self):
+        policy = DVFSPolicy()
+        domains = [self._domain("core-%d" % i) for i in range(4)]
+        requirements = [10_000.0, 50_000.0, 100_000.0, 200_000.0]
+        decisions = policy.plan_chip(domains, requirements)
+        assert len(decisions) == 4
+        fractions = [d.frequency_fraction for d in decisions]
+        assert fractions == sorted(fractions)
+        assert 0.0 < DVFSPolicy.chip_power_fraction(decisions) <= 1.0
+
+    def test_empty_plan_draws_full_power(self):
+        assert DVFSPolicy.chip_power_fraction([]) == 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(required=st.floats(min_value=0.0, max_value=250_000.0),
+           margin=st.floats(min_value=0.0, max_value=0.5))
+    def test_decision_is_always_feasible_or_saturated(self, required, margin):
+        policy = DVFSPolicy(safety_margin=margin)
+        domain = self._domain()
+        decision = policy.decide(domain, required)
+        assert policy.minimum_fraction <= decision.frequency_fraction <= 1.0
+        cycles_available = (domain.nominal_frequency_mhz
+                            * decision.frequency_fraction * policy.tick_us)
+        # Either the work fits (with the margin), or the domain is already
+        # running flat out (the requirement exceeds the nominal budget).
+        assert (cycles_available * (1.0 - margin) >= required - 1e-6
+                or decision.frequency_fraction == 1.0)

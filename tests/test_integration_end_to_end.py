@@ -1,0 +1,176 @@
+"""End-to-end integration tests: boot -> load -> map -> run -> inspect.
+
+These tests exercise the whole stack the way the examples do, and pin the
+paper's system-level claims at small scale: real-time delivery, graceful
+behaviour under link failure, and host visibility of the machine state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import latency_by_distance, latency_summary
+from repro.analysis.traffic import link_traffic_summary
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.fault.injection import FaultInjector
+from repro.host.host_system import HostSystem
+from repro.neuron.connectors import FixedProbabilityConnector, OneToOneConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.application import NeuralApplication
+from repro.runtime.boot import BootController
+from repro.runtime.flood_fill import ApplicationImage, FloodFillLoader
+from repro.runtime.monitor import MonitorService
+
+
+def full_stack(width=4, height=4, cores=6, seed=77):
+    machine = SpiNNakerMachine(MachineConfig(width=width, height=height,
+                                             cores_per_chip=cores))
+    boot = BootController(machine, seed=seed).boot()
+    load = FloodFillLoader(machine).load(ApplicationImage(n_blocks=4))
+
+    network = Network(seed=seed)
+    stimulus = SpikeSourcePoisson(60, rate_hz=60.0, label="e2e-stim")
+    excitatory = Population(120, "lif", label="e2e-exc")
+    inhibitory = Population(30, "lif", label="e2e-inh")
+    excitatory.record(spikes=True)
+    network.connect(stimulus, excitatory,
+                    FixedProbabilityConnector(0.2, weight=0.8,
+                                              delay_range=(1, 8)))
+    network.connect(excitatory, inhibitory,
+                    FixedProbabilityConnector(0.1, weight=0.5))
+    network.connect(inhibitory, excitatory,
+                    FixedProbabilityConnector(0.2, weight=-0.4))
+    application = NeuralApplication(machine, network,
+                                    max_neurons_per_core=16, seed=seed)
+    return machine, boot, load, network, application
+
+
+class TestFullStack:
+    def test_boot_load_run_pipeline(self):
+        machine, boot, load, network, application = full_stack()
+        assert boot.all_chips_operational
+        assert load.complete
+        result = application.run(200.0)
+        assert result.total_spikes("e2e-exc") > 0
+        assert result.packets_dropped == 0
+        assert application.unmatched_packets == 0
+
+    def test_real_time_deadline_met_across_distances(self):
+        machine, _, _, _, application = full_stack(width=5, height=5)
+        result = application.run(200.0)
+        summary = latency_summary(result.delivery_latencies_us)
+        assert summary.max_us < 1000.0
+        by_distance = latency_by_distance(result.delivery_latencies_us,
+                                          result.delivery_distances)
+        # Latency grows with distance but stays far below the deadline even
+        # at the largest observed distance.
+        assert all(group.max_us < 1000.0 for group in by_distance.values())
+
+    def test_host_sees_consistent_machine_state(self):
+        machine, _, _, _, application = full_stack()
+        application.run(50.0)
+        host = HostSystem(machine)
+        survey = host.survey_machine()
+        assert survey["booted"] == machine.n_chips
+        assert survey["application_loaded"] == machine.n_chips
+        diagnostics = host.router_diagnostics(ChipCoordinate(0, 0))
+        assert diagnostics["multicast_routed"] >= 0
+
+    def test_link_failure_mid_run_is_tolerated(self):
+        machine, _, _, _, application = full_stack(seed=78)
+        application.run(100.0)
+        delivered_before = len(application.result.delivery_latencies_us)
+        dropped_before = machine.total_dropped_packets()
+
+        injector = FaultInjector(machine, seed=1)
+        injector.fail_random_links(0.05)
+        application.run(100.0)
+
+        delivered_after = len(application.result.delivery_latencies_us)
+        dropped_after = machine.total_dropped_packets()
+        total_sent = application.result.packets_sent
+
+        # Traffic keeps flowing after the failures...
+        assert delivered_after > delivered_before
+        # ...and the loss rate stays small because emergency routing
+        # redirects around the failed links.
+        assert (dropped_after - dropped_before) <= 0.05 * max(total_sent, 1)
+
+    def test_monitor_mitigation_reduces_emergency_load(self):
+        machine, _, _, _, application = full_stack(seed=79)
+        injector = FaultInjector(machine, seed=2)
+        injector.fail_random_links(0.05)
+        application.run(100.0)
+        monitor = MonitorService(machine, emergency_threshold=1)
+        report = monitor.process_mailboxes()
+        if report.emergency_notifications:
+            assert report.links_rerouted >= 1
+
+    def test_traffic_statistics_available(self):
+        machine, _, _, _, application = full_stack()
+        application.run(100.0)
+        summary = link_traffic_summary(machine)
+        assert summary.total_packets > 0
+        assert summary.active_links > 0
+        assert summary.refused_packets >= 0
+
+    def test_reference_and_machine_agree_on_network_scale(self):
+        machine, _, _, network, application = full_stack(seed=80)
+        machine_result = application.run(300.0)
+
+        reference_network = Network(seed=80)
+        stimulus = SpikeSourcePoisson(60, rate_hz=60.0, label="ref-stim")
+        excitatory = Population(120, "lif", label="ref-exc")
+        inhibitory = Population(30, "lif", label="ref-inh")
+        excitatory.record()
+        reference_network.connect(stimulus, excitatory,
+                                  FixedProbabilityConnector(0.2, weight=0.8,
+                                                            delay_range=(1, 8)))
+        reference_network.connect(excitatory, inhibitory,
+                                  FixedProbabilityConnector(0.1, weight=0.5))
+        reference_network.connect(inhibitory, excitatory,
+                                  FixedProbabilityConnector(0.2, weight=-0.4))
+        reference_result = reference_network.run(300.0)
+
+        machine_rate = machine_result.mean_rate_hz("e2e-exc")
+        reference_rate = reference_result.mean_rate_hz("ref-exc")
+        assert machine_rate > 0 and reference_rate > 0
+        assert abs(machine_rate - reference_rate) / reference_rate < 0.5
+
+
+class TestVirtualisedTopology:
+    def test_round_robin_and_locality_placements_give_same_behaviour(self):
+        # Section 3.2: any neuron can be mapped to any processor; the
+        # placement strategy changes traffic, not function.
+        rates = {}
+        traffic = {}
+        for strategy in ("locality", "round-robin"):
+            machine = SpiNNakerMachine(MachineConfig(width=4, height=4,
+                                                     cores_per_chip=6))
+            BootController(machine, seed=3).boot()
+            network = Network(seed=81)
+            stimulus = SpikeSourcePoisson(40, rate_hz=80.0,
+                                          label="vt-stim-%s" % strategy)
+            target = Population(80, "lif", label="vt-exc-%s" % strategy)
+            target.record()
+            network.connect(stimulus, target,
+                            OneToOneConnector(weight=5.0))
+            network.connect(target, target,
+                            FixedProbabilityConnector(0.05, weight=0.2))
+            application = NeuralApplication(machine, network,
+                                            max_neurons_per_core=8,
+                                            placement_strategy=strategy,
+                                            seed=81)
+            result = application.run(200.0)
+            rates[strategy] = result.mean_rate_hz("vt-exc-%s" % strategy)
+            traffic[strategy] = link_traffic_summary(machine).total_packets
+
+        assert rates["locality"] > 0
+        difference = abs(rates["locality"] - rates["round-robin"])
+        assert difference / rates["locality"] < 0.35
+        # Locality-aware placement must not use more link bandwidth than
+        # scattering the vertices across the machine.
+        assert traffic["locality"] <= traffic["round-robin"]

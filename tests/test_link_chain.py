@@ -1,0 +1,183 @@
+"""Tests for the CHAIN on-chip fabric model (Section 5.1, reference [6])."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.link.chain import (
+    ChainFabric,
+    ChainLink,
+    ChainStage,
+    MergeArbiter,
+)
+from repro.link.codes import BITS_PER_SYMBOL
+
+
+class TestChainStage:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ChainStage(name="bad", forward_latency_ns=-1.0)
+        with pytest.raises(ValueError):
+            ChainStage(name="bad", cycle_time_ns=0.0)
+
+    def test_defaults_are_positive(self):
+        stage = ChainStage(name="s")
+        assert stage.forward_latency_ns > 0
+        assert stage.cycle_time_ns > 0
+
+
+class TestChainLink:
+    def test_needs_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            ChainLink("empty", [])
+
+    def test_uniform_constructor_builds_n_stages(self):
+        link = ChainLink.uniform("l", 4, stage_latency_ns=2.0, cycle_time_ns=3.0)
+        assert len(link.stages) == 4
+        assert link.forward_latency_ns == pytest.approx(8.0)
+        assert link.cycle_time_ns == pytest.approx(3.0)
+
+    def test_cycle_time_set_by_slowest_stage(self):
+        stages = [ChainStage("fast", 1.0, 2.0), ChainStage("slow", 1.0, 7.0)]
+        link = ChainLink("mixed", stages)
+        assert link.cycle_time_ns == pytest.approx(7.0)
+
+    def test_symbols_for_bits_includes_eop(self):
+        link = ChainLink.uniform("l", 1)
+        assert link.symbols_for_bits(0) == 1
+        assert link.symbols_for_bits(BITS_PER_SYMBOL) == 2
+        assert link.symbols_for_bits(40) == 40 // BITS_PER_SYMBOL + 1
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ChainLink.uniform("l", 1).symbols_for_bits(-1)
+
+    def test_transfer_time_grows_with_packet_size(self):
+        link = ChainLink.uniform("l", 3)
+        assert link.transfer_time_ns(72) > link.transfer_time_ns(40)
+
+    def test_throughput_is_bits_per_cycle(self):
+        link = ChainLink.uniform("l", 2, cycle_time_ns=2.0)
+        assert link.throughput_mbit_per_s() == pytest.approx(
+            BITS_PER_SYMBOL / 2.0 * 1e3)
+
+    def test_back_to_back_packets_serialise(self):
+        link = ChainLink.uniform("l", 2)
+        _s1, first_done = link.accept(0.0, 40)
+        start2, second_done = link.accept(0.0, 40)
+        assert start2 > 0.0
+        assert second_done > first_done
+
+    def test_reset_occupancy_clears_busy_state(self):
+        link = ChainLink.uniform("l", 2)
+        link.accept(0.0, 40)
+        link.reset_occupancy()
+        start, _done = link.accept(0.0, 40)
+        assert start == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(bits=st.integers(min_value=0, max_value=512),
+           stages=st.integers(min_value=1, max_value=8))
+    def test_transfer_time_is_at_least_fill_latency(self, bits, stages):
+        link = ChainLink.uniform("l", stages)
+        assert link.transfer_time_ns(bits) >= link.forward_latency_ns
+
+
+class TestMergeArbiter:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MergeArbiter("a", n_inputs=0)
+        with pytest.raises(ValueError):
+            MergeArbiter("a", n_inputs=2, decision_overhead_ns=-1.0)
+        with pytest.raises(ValueError):
+            MergeArbiter("a", n_inputs=2).request(0.0, -1.0)
+
+    def test_uncontended_request_granted_after_overhead(self):
+        arbiter = MergeArbiter("a", n_inputs=4, decision_overhead_ns=1.5)
+        assert arbiter.request(10.0, 5.0) == pytest.approx(11.5)
+        assert arbiter.mean_wait_ns == 0.0
+
+    def test_contended_requests_wait_their_turn(self):
+        arbiter = MergeArbiter("a", n_inputs=2, decision_overhead_ns=0.0)
+        first = arbiter.request(0.0, 10.0)
+        second = arbiter.request(0.0, 10.0)
+        assert first == 0.0
+        assert second == pytest.approx(10.0)
+        assert arbiter.max_wait_ns == pytest.approx(10.0)
+        assert arbiter.grants == 2
+
+    def test_reset_clears_statistics(self):
+        arbiter = MergeArbiter("a", n_inputs=2)
+        arbiter.request(0.0, 5.0)
+        arbiter.request(0.0, 5.0)
+        arbiter.reset()
+        assert arbiter.grants == 0
+        assert arbiter.total_wait_ns == 0.0
+        assert arbiter.mean_wait_ns == 0.0
+
+
+class TestChainFabric:
+    def _fabric(self, n_cores=4):
+        initiators = ["core-%d" % i for i in range(n_cores)]
+        return ChainFabric(initiators, ["router", "sdram"])
+
+    def test_needs_initiators_and_targets(self):
+        with pytest.raises(ValueError):
+            ChainFabric([], ["router"])
+        with pytest.raises(ValueError):
+            ChainFabric(["core-0"], [])
+
+    def test_unknown_endpoints_raise_key_error(self):
+        fabric = self._fabric()
+        with pytest.raises(KeyError):
+            fabric.transfer("ghost", "router", 40)
+        with pytest.raises(KeyError):
+            fabric.transfer("core-0", "ghost", 40)
+
+    def test_single_transfer_latency_matches_unloaded_estimate(self):
+        fabric = self._fabric()
+        record = fabric.transfer("core-0", "router", 40, now_ns=0.0)
+        assert record.latency_ns == pytest.approx(
+            fabric.unloaded_latency_ns("core-0", "router", 40))
+        assert record.arbitration_wait_ns >= 0.0
+
+    def test_contention_raises_latency(self):
+        fabric = self._fabric(n_cores=8)
+        solo = fabric.transfer("core-0", "router", 40, now_ns=0.0).latency_ns
+        fabric.reset()
+        records = [fabric.transfer("core-%d" % i, "router", 40, now_ns=0.0)
+                   for i in range(8)]
+        assert max(r.latency_ns for r in records) > solo
+        summary = fabric.contention_summary()
+        assert summary["transfers"] == 8.0
+        assert summary["mean_arbitration_wait_ns"] > 0.0
+
+    def test_independent_targets_do_not_contend(self):
+        fabric = self._fabric()
+        to_router = fabric.transfer("core-0", "router", 40, now_ns=0.0)
+        to_sdram = fabric.transfer("core-1", "sdram", 40, now_ns=0.0)
+        # With distinct targets neither transfer queues behind the other, so
+        # both see exactly the unloaded latency of their path.
+        assert to_router.latency_ns == pytest.approx(
+            fabric.unloaded_latency_ns("core-0", "router", 40))
+        assert to_sdram.latency_ns == pytest.approx(
+            fabric.unloaded_latency_ns("core-1", "sdram", 40))
+
+    def test_reset_clears_transfers_and_occupancy(self):
+        fabric = self._fabric()
+        fabric.transfer("core-0", "router", 40)
+        fabric.reset()
+        assert fabric.transfers == []
+        assert fabric.contention_summary()["transfers"] == 0.0
+        record = fabric.transfer("core-0", "router", 40, now_ns=0.0)
+        assert record.latency_ns == pytest.approx(
+            fabric.unloaded_latency_ns("core-0", "router", 40))
+
+    def test_delivery_order_preserved_per_target(self):
+        fabric = self._fabric(n_cores=6)
+        records = [fabric.transfer("core-%d" % i, "router", 40, now_ns=float(i))
+                   for i in range(6)]
+        delivered = [r.delivered_ns for r in records]
+        assert delivered == sorted(delivered)

@@ -1,0 +1,168 @@
+"""Unit tests for the delay-insensitive codes and the token channel (Sec 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.link.channel import ChannelState, TokenChannel
+from repro.link.codes import (
+    BITS_PER_SYMBOL,
+    LinkPerformanceModel,
+    three_of_six_rtz,
+    two_of_seven_nrz,
+)
+
+
+class TestCodebooks:
+    def test_three_of_six_has_sixteen_data_codewords(self):
+        code = three_of_six_rtz()
+        assert len(code.codebook) == 16
+        assert all(len(word) == 3 for word in code.codebook.values())
+        assert len(code.end_of_packet) == 3
+
+    def test_two_of_seven_has_sixteen_data_codewords(self):
+        code = two_of_seven_nrz()
+        assert len(code.codebook) == 16
+        assert all(len(word) == 2 for word in code.codebook.values())
+
+    def test_codewords_are_unique(self):
+        for code in (three_of_six_rtz(), two_of_seven_nrz()):
+            words = list(code.codebook.values()) + [code.end_of_packet]
+            assert len(set(words)) == len(words)
+
+    def test_encode_decode_round_trip(self):
+        for code in (three_of_six_rtz(), two_of_seven_nrz()):
+            for symbol in range(16):
+                assert code.decode(code.encode(symbol)) == symbol
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            two_of_seven_nrz().encode(16)
+
+    def test_non_codeword_detected(self):
+        code = two_of_seven_nrz()
+        assert not code.is_codeword(frozenset({0, 1, 2}))
+        with pytest.raises(ValueError):
+            code.decode(frozenset({0, 1, 2}))
+
+    def test_encode_nibbles_appends_eop(self):
+        code = two_of_seven_nrz()
+        frames = code.encode_nibbles([1, 2, 3])
+        assert len(frames) == 4
+        assert frames[-1] == code.end_of_packet
+
+    @given(st.integers(min_value=0, max_value=15))
+    @settings(max_examples=16, deadline=None)
+    def test_every_symbol_has_constant_weight(self, symbol):
+        rtz = three_of_six_rtz()
+        nrz = two_of_seven_nrz()
+        assert len(rtz.encode(symbol)) == 3
+        assert len(nrz.encode(symbol)) == 2
+
+
+class TestTransitionCounts:
+    """The exact numbers quoted in Section 5.1."""
+
+    def test_nrz_uses_three_transitions_per_symbol(self):
+        assert two_of_seven_nrz().transitions_per_symbol() == 3
+
+    def test_rtz_uses_eight_transitions_per_symbol(self):
+        assert three_of_six_rtz().transitions_per_symbol() == 8
+
+    def test_nrz_energy_less_than_half_of_rtz(self):
+        model = LinkPerformanceModel()
+        ratio = (model.energy_per_symbol_pj(two_of_seven_nrz()) /
+                 model.energy_per_symbol_pj(three_of_six_rtz()))
+        assert ratio < 0.5
+
+    def test_nrz_throughput_twice_rtz(self):
+        model = LinkPerformanceModel()
+        ratio = (model.throughput_mbit_per_s(two_of_seven_nrz()) /
+                 model.throughput_mbit_per_s(three_of_six_rtz()))
+        assert ratio == pytest.approx(2.0)
+
+    def test_comparison_summary(self):
+        summary = LinkPerformanceModel().comparison()
+        assert summary["nrz_transitions_per_symbol"] == 3
+        assert summary["rtz_transitions_per_symbol"] == 8
+        assert summary["throughput_ratio_nrz_over_rtz"] == pytest.approx(2.0)
+        assert summary["energy_ratio_nrz_over_rtz"] == pytest.approx(3.0 / 8.0)
+
+    def test_packet_transfer_time_includes_eop(self):
+        model = LinkPerformanceModel(wire_delay_ns=2.0)
+        nrz = two_of_seven_nrz()
+        expected_symbols = 40 // BITS_PER_SYMBOL + 1
+        assert model.packet_transfer_time_ns(nrz, 40) == pytest.approx(
+            expected_symbols * model.symbol_period_ns(nrz))
+
+
+class TestTokenChannel:
+    def test_normal_operation_transfers_symbols(self):
+        channel = TokenChannel()
+        moved = channel.run(10)
+        assert moved == 10
+        assert channel.state is ChannelState.RUNNING
+        assert channel.total_tokens == 1
+
+    def test_reset_without_injection_can_deadlock(self):
+        channel = TokenChannel()
+        # The transmitter holds the token at start; resetting it without
+        # re-injecting destroys the only token.
+        channel.reset_end("transmitter", inject_token_on_exit=False)
+        assert channel.deadlocked
+        assert channel.run(10) == 0
+
+    def test_reset_with_injection_keeps_channel_alive(self):
+        channel = TokenChannel()
+        channel.reset_end("transmitter", inject_token_on_exit=True)
+        assert not channel.deadlocked
+        assert channel.run(5) == 5
+
+    def test_double_reset_creates_then_absorbs_second_token(self):
+        channel = TokenChannel()
+        channel.reset_both()
+        assert channel.total_tokens == 2
+        assert channel.state is ChannelState.ABSORBING
+        channel.run(3)
+        assert channel.total_tokens == 1
+        assert channel.tokens_absorbed >= 1
+        assert channel.state is ChannelState.RUNNING
+
+    def test_repeated_double_resets_never_accumulate_tokens(self):
+        channel = TokenChannel()
+        for _ in range(20):
+            channel.reset_both()
+            channel.run(4)
+            assert channel.total_tokens == 1
+
+    def test_reset_storm_with_injection_never_deadlocks(self):
+        stats = TokenChannel.reset_storm(300, inject_token_on_exit=True, seed=5)
+        assert stats["deadlocks"] == 0.0
+        assert stats["symbols_transferred"] > 0
+
+    def test_reset_storm_without_injection_deadlocks_often(self):
+        stats = TokenChannel.reset_storm(300, inject_token_on_exit=False, seed=5)
+        assert stats["deadlock_fraction"] > 0.3
+
+    def test_invalid_end_name_rejected(self):
+        with pytest.raises(ValueError):
+            TokenChannel().reset_end("middle")
+
+    @given(st.lists(st.sampled_from(["transmitter", "receiver", "both"]),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_spinnaker_reset_protocol_always_recovers(self, resets):
+        # Property: with token injection on reset exit (the SpiNNaker
+        # design), any sequence of resets leaves the channel running with
+        # exactly one token after a few cycles.
+        channel = TokenChannel()
+        for choice in resets:
+            if choice == "both":
+                channel.reset_both()
+            else:
+                channel.reset_end(choice)
+            channel.run(3)
+        assert not channel.deadlocked
+        assert channel.total_tokens == 1

@@ -1,0 +1,157 @@
+"""Unit tests for the phase converters and glitch injection (Fig 6, Sec 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.link.glitch import GlitchInjectionExperiment, _poisson_sample
+from repro.link.phase_converter import (
+    ConventionalPhaseConverter,
+    ConverterStatus,
+    TransitionSensingPhaseConverter,
+)
+
+
+def drive_clean_traffic(converter, n_symbols=20, period=2.0):
+    for i in range(1, n_symbols + 1):
+        converter.data_edge(i * period)
+    return converter
+
+
+class TestCleanOperation:
+    def test_conventional_passes_clean_traffic(self):
+        converter = drive_clean_traffic(ConventionalPhaseConverter())
+        assert converter.trace.symbols_accepted == 20
+        assert converter.trace.status is ConverterStatus.RUNNING
+
+    def test_transition_sensing_passes_clean_traffic(self):
+        converter = drive_clean_traffic(TransitionSensingPhaseConverter())
+        assert converter.trace.symbols_accepted == 20
+        assert converter.trace.status is ConverterStatus.RUNNING
+
+    def test_no_corruption_without_glitches(self):
+        for cls in (ConventionalPhaseConverter, TransitionSensingPhaseConverter):
+            converter = drive_clean_traffic(cls())
+            assert converter.trace.corrupt_symbols == 0
+            assert not converter.trace.deadlocked
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ConventionalPhaseConverter(ack_delay=0.0)
+        with pytest.raises(ValueError):
+            TransitionSensingPhaseConverter(race_window_fraction=1.5)
+
+
+class TestGlitchResponses:
+    def test_conventional_idle_glitch_deadlocks(self):
+        # A glitch pulse while the converter waits for data corrupts the
+        # phase state; the next genuine transition is swallowed and the
+        # link deadlocks — the failure mode the paper describes.
+        converter = ConventionalPhaseConverter(ack_delay=1.0)
+        converter.data_edge(2.0)
+        converter.glitch_pulse(3.5)   # idle: previous ack completed at 3.0
+        converter.data_edge(4.0)
+        assert converter.trace.deadlocked
+        assert converter.trace.status is ConverterStatus.DEADLOCKED
+
+    def test_conventional_busy_glitch_only_corrupts(self):
+        converter = ConventionalPhaseConverter(ack_delay=1.0)
+        converter.data_edge(2.0)
+        converter.glitch_pulse(2.5)   # busy: ack not due until 3.0
+        converter.data_edge(4.0)
+        assert not converter.trace.deadlocked
+        assert converter.trace.corrupt_symbols == 1
+
+    def test_transition_sensing_masks_busy_glitch(self):
+        converter = TransitionSensingPhaseConverter(ack_delay=1.0)
+        converter.data_edge(2.0)
+        converter.glitch_pulse(2.5)
+        converter.data_edge(4.0)
+        assert converter.trace.glitches_masked == 1
+        assert converter.trace.corrupt_symbols == 0
+        assert not converter.trace.deadlocked
+
+    def test_transition_sensing_idle_glitch_corrupts_but_flows(self):
+        converter = TransitionSensingPhaseConverter(ack_delay=1.0)
+        converter.data_edge(2.0)
+        converter.glitch_pulse(3.5)   # idle: fires a spurious output
+        converter.data_edge(4.0)      # masked, matched against the glitch
+        converter.data_edge(6.0)      # normal operation resumes
+        assert converter.trace.corrupt_symbols >= 1
+        assert not converter.trace.deadlocked
+        assert converter.trace.status is ConverterStatus.CORRUPTED
+
+    def test_transition_sensing_race_window_deadlock(self):
+        converter = TransitionSensingPhaseConverter(ack_delay=1.0,
+                                                    race_window_fraction=0.01)
+        converter.data_edge(2.0)
+        converter.glitch_pulse(3.5)
+        # The genuine edge lands within 1 % of the acknowledge re-enable
+        # instant (ack due at 4.5): the enable latch misses it.
+        converter.data_edge(4.4999)
+        assert converter.trace.deadlocked
+
+    def test_deadlocked_converter_swallows_further_data(self):
+        converter = ConventionalPhaseConverter()
+        converter.glitch_pulse(0.5)
+        converter.data_edge(2.0)
+        converter.data_edge(4.0)
+        assert converter.trace.deadlocked
+        assert converter.trace.swallowed_symbols == 2
+
+
+class TestGlitchExperiment:
+    def test_same_stimulus_for_both_circuits(self):
+        experiment = GlitchInjectionExperiment(glitch_rate=0.1,
+                                               symbols_per_trial=100, seed=1)
+        outcomes = experiment.run(trials=20)
+        assert outcomes["conventional"].trials == 20
+        assert outcomes["transition-sensing"].trials == 20
+
+    def test_conventional_deadlocks_far_more_often(self):
+        experiment = GlitchInjectionExperiment(glitch_rate=0.05,
+                                               symbols_per_trial=200, seed=3)
+        outcomes = experiment.run(trials=100)
+        conventional = outcomes["conventional"].deadlocks_per_glitch
+        sensing = outcomes["transition-sensing"].deadlocks_per_glitch
+        assert conventional > 0.2
+        assert sensing < 0.01
+        assert conventional > 50 * max(sensing, 1e-9)
+
+    def test_reduction_factor_is_orders_of_magnitude(self):
+        # The paper reports a factor of ~1,000; we require at least two
+        # orders of magnitude so the check is robust to seed variation.
+        experiment = GlitchInjectionExperiment(glitch_rate=0.05,
+                                               symbols_per_trial=300, seed=7)
+        factor = experiment.deadlock_reduction_factor(trials=150)
+        assert factor >= 100.0
+
+    def test_sensing_circuit_still_passes_data_with_errors(self):
+        # "the circuit will keep passing data (albeit with errors) in the
+        # presence of quite high levels of interference"
+        experiment = GlitchInjectionExperiment(glitch_rate=0.3,
+                                               symbols_per_trial=200, seed=11)
+        outcomes = experiment.run(trials=50)
+        sensing = outcomes["transition-sensing"]
+        assert sensing.corrupted_runs > sensing.deadlocks
+
+    def test_zero_glitch_rate_gives_clean_runs(self):
+        experiment = GlitchInjectionExperiment(glitch_rate=0.0,
+                                               symbols_per_trial=50, seed=2)
+        outcomes = experiment.run(trials=10)
+        for outcome in outcomes.values():
+            assert outcome.deadlocks == 0
+            assert outcome.clean_runs == 10
+
+    def test_poisson_sampler_mean(self):
+        import random
+        rng = random.Random(0)
+        samples = [_poisson_sample(4.0, rng) for _ in range(2000)]
+        assert 3.7 < sum(samples) / len(samples) < 4.3
+        assert _poisson_sample(0.0, rng) == 0
+
+    def test_outcome_properties_on_empty(self):
+        from repro.link.glitch import GlitchOutcome
+        outcome = GlitchOutcome(circuit="x")
+        assert outcome.deadlock_probability == 0.0
+        assert outcome.deadlocks_per_glitch == 0.0

@@ -1,0 +1,209 @@
+"""Tests for the hardware-targeted MLP substrate (reference [3])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neuron.mlp import (
+    MLP,
+    FixedPointFormat,
+    SparseLayer,
+    synthetic_classification_task,
+)
+
+
+class TestFixedPointFormat:
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=-1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0, fractional_bits=0)
+
+    def test_s87_properties(self):
+        fmt = FixedPointFormat(integer_bits=8, fractional_bits=7)
+        assert fmt.total_bits == 16
+        assert fmt.resolution == pytest.approx(1.0 / 128.0)
+        assert fmt.max_value == pytest.approx(256.0 - 1.0 / 128.0)
+        assert fmt.min_value == pytest.approx(-256.0)
+
+    def test_quantisation_rounds_and_clips(self):
+        fmt = FixedPointFormat(integer_bits=2, fractional_bits=2)
+        values = np.array([0.1, 0.13, 10.0, -10.0])
+        quantised = fmt.quantise(values)
+        assert quantised[0] == pytest.approx(0.0)
+        assert quantised[1] == pytest.approx(0.25)
+        assert quantised[2] == pytest.approx(fmt.max_value)
+        assert quantised[3] == pytest.approx(fmt.min_value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=-4.0, max_value=4.0), min_size=1,
+                    max_size=20))
+    def test_quantisation_error_bounded_by_half_lsb(self, values):
+        fmt = FixedPointFormat(integer_bits=4, fractional_bits=8)
+        quantised = fmt.quantise(np.array(values))
+        errors = np.abs(quantised - np.array(values))
+        assert np.all(errors <= fmt.resolution / 2.0 + 1e-12)
+
+
+class TestSparseLayer:
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            SparseLayer(0, 4)
+        with pytest.raises(ValueError):
+            SparseLayer(4, 4, fan_in=0)
+        with pytest.raises(ValueError):
+            SparseLayer(4, 4, fan_in=5)
+        with pytest.raises(ValueError):
+            SparseLayer(4, 4, activation="sigmoid")
+
+    def test_fan_in_cap_respected(self):
+        rng = np.random.default_rng(0)
+        layer = SparseLayer(32, 16, fan_in=5, rng=rng)
+        per_unit = layer.mask.sum(axis=0)
+        assert np.all(per_unit == 5)
+        assert layer.effective_fan_in() == pytest.approx(5.0)
+        assert layer.n_connections == 5 * 16
+
+    def test_pruned_weights_are_zero_and_stay_zero(self):
+        rng = np.random.default_rng(1)
+        layer = SparseLayer(16, 8, fan_in=3, rng=rng)
+        assert np.all(layer.weights[~layer.mask] == 0.0)
+        inputs = rng.normal(size=(10, 16))
+        outputs = layer.forward(inputs)
+        layer.backward(np.ones_like(outputs), learning_rate=0.5)
+        assert np.all(layer.weights[~layer.mask] == 0.0)
+
+    def test_backward_before_forward_raises(self):
+        layer = SparseLayer(4, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)), learning_rate=0.1)
+
+    def test_activations(self):
+        rng = np.random.default_rng(2)
+        relu = SparseLayer(4, 3, activation="relu", rng=rng)
+        assert np.all(relu.forward(np.ones((2, 4))) >= 0.0)
+        tanh = SparseLayer(4, 3, activation="tanh", rng=rng)
+        assert np.all(np.abs(tanh.forward(np.ones((2, 4)))) <= 1.0)
+
+
+class TestMLPTraining:
+    def test_needs_two_layers(self):
+        with pytest.raises(ValueError):
+            MLP([10])
+
+    def test_invalid_training_arguments(self):
+        mlp = MLP([4, 8, 2], seed=0)
+        inputs, labels = synthetic_classification_task(
+            n_classes=2, n_features=4, n_samples_per_class=5, seed=0)
+        with pytest.raises(ValueError):
+            mlp.train(inputs, labels, epochs=0)
+        with pytest.raises(ValueError):
+            mlp.train(inputs, labels, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            mlp.train(inputs, labels[:-1])
+
+    def test_forward_outputs_are_probabilities(self):
+        mlp = MLP([8, 16, 3], seed=1)
+        inputs = np.random.default_rng(0).normal(size=(12, 8))
+        probabilities = mlp.forward(inputs)
+        assert probabilities.shape == (12, 3)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0.0)
+
+    def test_training_learns_the_synthetic_task(self):
+        inputs, labels = synthetic_classification_task(
+            n_classes=4, n_features=16, n_samples_per_class=40, noise=0.2,
+            seed=5)
+        mlp = MLP([16, 32, 4], seed=5)
+        untrained = mlp.accuracy(inputs, labels)
+        result = mlp.train(inputs, labels, epochs=40, learning_rate=0.3,
+                           seed=5)
+        assert result.final_accuracy > 0.9
+        assert result.final_accuracy > untrained
+        assert result.losses[-1] < result.losses[0]
+
+    def test_fan_in_limited_network_still_learns(self):
+        inputs, labels = synthetic_classification_task(
+            n_classes=3, n_features=12, n_samples_per_class=40, noise=0.2,
+            seed=9)
+        mlp = MLP([12, 24, 3], fan_in=4, seed=9)
+        for layer in mlp.layers[:-1]:
+            assert layer.effective_fan_in() == pytest.approx(4.0)
+        result = mlp.train(inputs, labels, epochs=60, learning_rate=0.3,
+                           seed=9)
+        assert result.final_accuracy > 0.8
+
+    def test_smaller_fan_in_means_fewer_connections(self):
+        dense = MLP([16, 32, 4], seed=2)
+        sparse = MLP([16, 32, 4], fan_in=4, seed=2)
+        assert sparse.total_connections() < dense.total_connections()
+
+    def test_accuracy_of_empty_set_is_zero(self):
+        mlp = MLP([4, 2], seed=0)
+        assert mlp.accuracy(np.zeros((0, 4)), np.zeros(0, dtype=int)) == 0.0
+
+
+class TestQuantisation:
+    def _trained(self, seed=11):
+        inputs, labels = synthetic_classification_task(
+            n_classes=4, n_features=16, n_samples_per_class=40, noise=0.2,
+            seed=seed)
+        mlp = MLP([16, 24, 4], seed=seed)
+        mlp.train(inputs, labels, epochs=40, learning_rate=0.3, seed=seed)
+        return mlp, inputs, labels
+
+    def test_sixteen_bit_weights_preserve_accuracy(self):
+        mlp, inputs, labels = self._trained()
+        quantised = mlp.quantised(FixedPointFormat(integer_bits=8,
+                                                   fractional_bits=7))
+        assert quantised.accuracy(inputs, labels) >= \
+            mlp.accuracy(inputs, labels) - 0.05
+
+    def test_very_coarse_weights_destroy_accuracy(self):
+        mlp, inputs, labels = self._trained()
+        coarse = mlp.quantised(FixedPointFormat(integer_bits=1,
+                                                fractional_bits=0))
+        assert coarse.accuracy(inputs, labels) < mlp.accuracy(inputs, labels)
+
+    def test_quantised_copy_is_independent(self):
+        mlp, inputs, _labels = self._trained()
+        quantised = mlp.quantised(FixedPointFormat())
+        original_weights = mlp.layers[0].weights.copy()
+        quantised.layers[0].weights[:] = 0.0
+        assert np.array_equal(mlp.layers[0].weights, original_weights)
+
+    def test_quantised_masks_match_original(self):
+        inputs, labels = synthetic_classification_task(seed=3)
+        mlp = MLP([16, 24, 4], fan_in=6, seed=3)
+        mlp.train(inputs, labels, epochs=5, learning_rate=0.2, seed=3)
+        quantised = mlp.quantised(FixedPointFormat())
+        for original, copy in zip(mlp.layers, quantised.layers):
+            assert np.array_equal(original.mask, copy.mask)
+            assert np.all(copy.weights[~copy.mask] == 0.0)
+
+
+class TestSyntheticTask:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_classification_task(n_classes=1)
+        with pytest.raises(ValueError):
+            synthetic_classification_task(n_features=0)
+        with pytest.raises(ValueError):
+            synthetic_classification_task(noise=-0.1)
+
+    def test_shapes_and_labels(self):
+        inputs, labels = synthetic_classification_task(
+            n_classes=3, n_features=8, n_samples_per_class=10, seed=0)
+        assert inputs.shape == (30, 8)
+        assert labels.shape == (30,)
+        assert set(labels) == {0, 1, 2}
+        assert np.bincount(labels).tolist() == [10, 10, 10]
+
+    def test_reproducible_with_seed(self):
+        first = synthetic_classification_task(seed=42)
+        second = synthetic_classification_task(seed=42)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])

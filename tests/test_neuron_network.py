@@ -1,0 +1,286 @@
+"""Unit tests for connectors, populations, projections, the reference
+simulator and STDP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.neuron.connectors import (
+    AllToAllConnector,
+    DistanceDependentConnector,
+    FixedProbabilityConnector,
+    FromListConnector,
+    OneToOneConnector,
+)
+from repro.neuron.izhikevich import IzhikevichParameters
+from repro.neuron.lif import LIFParameters
+from repro.neuron.network import Network
+from repro.neuron.population import (
+    Population,
+    Projection,
+    SpikeSourceArray,
+    SpikeSourcePoisson,
+)
+from repro.neuron.stdp import STDPMechanism, STDPParameters
+from repro.neuron.synapse import Synapse
+
+
+class TestConnectors:
+    def test_one_to_one_pairs_indices(self, rng):
+        rows = OneToOneConnector(weight=2.0).build(5, 5, rng)
+        assert all(rows[i][0].target == i for i in range(5))
+
+    def test_one_to_one_truncates_to_smaller_population(self, rng):
+        rows = OneToOneConnector().build(10, 3, rng)
+        assert len(rows) == 3
+
+    def test_all_to_all_counts(self, rng):
+        rows = AllToAllConnector().build(4, 6, rng)
+        assert sum(len(r) for r in rows.values()) == 24
+
+    def test_all_to_all_no_self_connections(self, rng):
+        rows = AllToAllConnector(allow_self_connections=False).build(4, 4, rng)
+        assert all(s.target != pre for pre, row in rows.items() for s in row)
+
+    def test_fixed_probability_density(self, rng):
+        connector = FixedProbabilityConnector(p_connect=0.25)
+        rows = connector.build(100, 100, rng)
+        total = sum(len(r) for r in rows.values())
+        assert 2000 < total < 3000
+
+    def test_fixed_probability_zero_and_one(self, rng):
+        assert sum(len(r) for r in
+                   FixedProbabilityConnector(0.0).build(20, 20, rng).values()) == 0
+        assert sum(len(r) for r in
+                   FixedProbabilityConnector(1.0).build(20, 20, rng).values()) == 400
+
+    def test_fixed_probability_delay_range_sampled(self, rng):
+        connector = FixedProbabilityConnector(p_connect=1.0, delay_range=(2, 6))
+        rows = connector.build(10, 10, rng)
+        delays = {s.delay_ticks for row in rows.values() for s in row}
+        assert delays <= set(range(2, 7))
+        assert len(delays) > 1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FixedProbabilityConnector(p_connect=1.5)
+
+    def test_distance_dependent_prefers_local_targets(self, rng):
+        connector = DistanceDependentConnector(
+            pre_shape=(8, 8), post_shape=(8, 8), sigma=1.0, max_distance=3.0,
+            p_peak=1.0)
+        rows = connector.build(64, 64, rng)
+        # The centre neuron must connect to itself (distance zero) with the
+        # minimum delay, and never beyond the cutoff distance.
+        centre = 8 * 4 + 4
+        targets = {s.target for s in rows[centre]}
+        assert centre in targets
+        for synapse in rows[centre]:
+            target_position = (synapse.target // 8, synapse.target % 8)
+            distance = np.hypot(target_position[0] - 4, target_position[1] - 4)
+            assert distance <= 3.0
+
+    def test_distance_dependent_delay_grows_with_distance(self, rng):
+        connector = DistanceDependentConnector(
+            pre_shape=(6, 6), post_shape=(6, 6), sigma=10.0, max_distance=5.0,
+            p_peak=1.0, delay_per_unit_distance_ticks=2.0)
+        rows = connector.build(36, 36, rng)
+        centre = 6 * 3 + 3
+        by_distance = {}
+        for synapse in rows[centre]:
+            position = (synapse.target // 6, synapse.target % 6)
+            distance = round(np.hypot(position[0] - 3, position[1] - 3), 3)
+            by_distance[distance] = synapse.delay_ticks
+        assert by_distance[0.0] < by_distance[max(by_distance)]
+
+    def test_distance_dependent_shape_validation(self, rng):
+        connector = DistanceDependentConnector(pre_shape=(2, 2), post_shape=(2, 2))
+        with pytest.raises(ValueError):
+            connector.build(10, 4, rng)
+
+    def test_from_list_connector(self, rng):
+        connector = FromListConnector([(0, 1, 0.5, 2), (0, 2, -0.25, 3)])
+        rows = connector.build(4, 4, rng)
+        assert len(rows[0]) == 2
+        with pytest.raises(IndexError):
+            FromListConnector([(9, 0, 1.0, 1)]).build(4, 4, rng)
+
+
+class TestPopulations:
+    def test_model_selection_by_name(self):
+        assert Population(5, "lif").model_name == "lif"
+        assert Population(5, "izhikevich").model_name == "izhikevich"
+        with pytest.raises(ValueError):
+            Population(5, "hodgkin-huxley")
+
+    def test_model_selection_by_parameters(self):
+        assert Population(5, LIFParameters()).model_name == "lif"
+        assert Population(5, IzhikevichParameters()).model_name == "izhikevich"
+        with pytest.raises(TypeError):
+            Population(5, model=3.14)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Population(0)
+
+    def test_poisson_source_rate(self, rng):
+        source = SpikeSourcePoisson(1000, rate_hz=100.0)
+        spikes = source.spikes_for_tick(1.0, rng)
+        assert 50 < spikes.sum() < 170
+
+    def test_spike_source_array_replays_times(self):
+        source = SpikeSourceArray([[0.5, 2.5], [], [1.5]])
+        assert source.spikes_for_tick(0, 1.0).tolist() == [True, False, False]
+        assert source.spikes_for_tick(1, 1.0).tolist() == [False, False, True]
+        assert source.spikes_for_tick(2, 1.0).tolist() == [True, False, False]
+
+    def test_projection_expansion_cached(self, rng):
+        pre, post = Population(10, label="pre-cache"), Population(10, label="post-cache")
+        projection = Projection(pre, post, FixedProbabilityConnector(0.5))
+        first = projection.build_rows(rng)
+        second = projection.build_rows(rng)
+        assert first is second
+        refreshed = projection.build_rows(rng, refresh=True)
+        assert refreshed is not first
+
+
+class TestNetworkSimulation:
+    def test_duplicate_labels_rejected(self):
+        network = Network()
+        network.add_population(Population(5, label="duplicated"))
+        with pytest.raises(ValueError):
+            network.add_population(Population(5, label="duplicated"))
+
+    def test_lookup_by_label(self):
+        network = Network()
+        population = Population(5, label="lookup-me")
+        network.add_population(population)
+        assert network.population("lookup-me") is population
+        with pytest.raises(KeyError):
+            network.population("missing")
+
+    def test_connect_adds_endpoints(self):
+        network = Network()
+        a, b = Population(5, label="a"), Population(5, label="b")
+        network.connect(a, b, OneToOneConnector())
+        assert len(network.populations) == 2
+        assert network.n_neurons == 10
+
+    def test_feedforward_drive_produces_spikes(self):
+        network = Network(seed=3)
+        stimulus = SpikeSourcePoisson(50, rate_hz=100.0, label="stim")
+        target = Population(50, "lif", label="target")
+        target.record(spikes=True)
+        network.connect(stimulus, target, OneToOneConnector(weight=5.0))
+        result = network.run(200.0)
+        assert result.total_spikes("target") > 0
+        assert result.mean_rate_hz("target") > 0.0
+        assert len(result.spikes["target"]) == result.total_spikes("target")
+
+    def test_unconnected_population_stays_silent(self):
+        network = Network(seed=4)
+        silent = Population(20, "lif", label="silent")
+        network.add_population(silent)
+        result = network.run(100.0)
+        assert result.total_spikes("silent") == 0
+
+    def test_inhibition_reduces_activity(self):
+        def build(inhibitory_weight):
+            network = Network(seed=5)
+            stimulus = SpikeSourcePoisson(50, rate_hz=120.0, label="stim")
+            excitatory = Population(50, "lif", label="exc")
+            inhibitory = Population(50, "lif", label="inh")
+            network.connect(stimulus, excitatory, OneToOneConnector(weight=3.0))
+            network.connect(stimulus, inhibitory, OneToOneConnector(weight=3.0))
+            network.connect(inhibitory, excitatory,
+                            FixedProbabilityConnector(0.3,
+                                                      weight=inhibitory_weight))
+            return network.run(200.0).total_spikes("exc")
+
+        assert build(-3.0) < build(0.0)
+
+    def test_voltage_recording_shape(self):
+        network = Network(seed=6)
+        population = Population(10, "lif", label="volts")
+        population.record(spikes=False, voltages=True)
+        population.bias_current_na = 1.0
+        network.add_population(population)
+        result = network.run(50.0)
+        assert result.voltages["volts"].shape == (50, 10)
+
+    def test_same_seed_reproduces_run(self):
+        def run_once():
+            network = Network(seed=42)
+            stimulus = SpikeSourcePoisson(30, rate_hz=80.0, label="stim")
+            target = Population(30, "lif", label="target")
+            network.connect(stimulus, target, OneToOneConnector(weight=4.0))
+            return network.run(100.0).total_spikes("target")
+
+        assert run_once() == run_once()
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Network().run(-1.0)
+
+    def test_n_synapses_counts_all_projections(self, rng):
+        network = Network(seed=1)
+        a, b = Population(10, label="na"), Population(10, label="nb")
+        network.connect(a, b, AllToAllConnector())
+        network.connect(b, a, OneToOneConnector())
+        assert network.n_synapses() == 110
+
+
+class TestSTDP:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            STDPParameters(tau_plus_ms=0.0)
+        with pytest.raises(ValueError):
+            STDPParameters(w_min=1.0, w_max=0.5)
+
+    def test_pre_before_post_potentiates(self):
+        mechanism = STDPMechanism(1, 1)
+        rows = {0: [Synapse(0, 1.0)]}
+        pre = np.array([True]); none = np.array([False])
+        post = np.array([True])
+        mechanism.update(rows, pre, none, 0.0)     # pre fires at t=0
+        mechanism.update(rows, np.array([False]), post, 1.0)  # post at t=1
+        assert rows[0][0].weight > 1.0
+        assert mechanism.potentiation_events == 1
+
+    def test_post_before_pre_depresses(self):
+        mechanism = STDPMechanism(1, 1)
+        rows = {0: [Synapse(0, 1.0)]}
+        mechanism.update(rows, np.array([False]), np.array([True]), 0.0)
+        mechanism.update(rows, np.array([True]), np.array([False]), 1.0)
+        assert rows[0][0].weight < 1.0
+        assert mechanism.depression_events == 1
+
+    def test_weights_stay_within_bounds(self):
+        parameters = STDPParameters(a_plus=1.0, a_minus=1.0, w_min=0.0, w_max=2.0)
+        mechanism = STDPMechanism(1, 1, parameters)
+        rows = {0: [Synapse(0, 1.9)]}
+        for _ in range(20):
+            mechanism.update(rows, np.array([True]), np.array([False]), 0.0)
+            mechanism.update(rows, np.array([False]), np.array([True]), 1.0)
+        assert 0.0 <= rows[0][0].weight <= 2.0
+
+    def test_mean_weight_helper(self):
+        mechanism = STDPMechanism(2, 2)
+        rows = {0: [Synapse(0, 1.0)], 1: [Synapse(1, 3.0)]}
+        assert mechanism.mean_weight(rows) == pytest.approx(2.0)
+        assert mechanism.mean_weight({}) == 0.0
+
+    def test_stdp_in_network_changes_weights(self):
+        network = Network(seed=9)
+        stimulus = SpikeSourcePoisson(20, rate_hz=80.0, label="stdp-stim")
+        target = Population(20, "lif", label="stdp-target")
+        plasticity = STDPMechanism(20, 20)
+        projection = network.connect(stimulus, target,
+                                     OneToOneConnector(weight=3.0),
+                                     plasticity=plasticity)
+        network.run(300.0)
+        rows = projection.build_rows(np.random.default_rng(9))
+        weights = [s.weight for row in rows.values() for s in row]
+        assert any(abs(w - 3.0) > 1e-6 for w in weights)
+        assert plasticity.rows_modified > 0

@@ -1,0 +1,171 @@
+"""Unit tests for synapses, synaptic rows and the deferred-event buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.neuron.synapse import (
+    MAX_DELAY_TICKS,
+    DeferredEventBuffer,
+    Synapse,
+    SynapticRow,
+)
+
+
+class TestSynapse:
+    def test_delay_range_enforced(self):
+        with pytest.raises(ValueError):
+            Synapse(target=0, weight=1.0, delay_ticks=0)
+        with pytest.raises(ValueError):
+            Synapse(target=0, weight=1.0, delay_ticks=MAX_DELAY_TICKS + 1)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            Synapse(target=-1, weight=1.0)
+
+    def test_pack_unpack_round_trip(self):
+        synapse = Synapse(target=123, weight=3.25, delay_ticks=7)
+        assert Synapse.unpack(synapse.pack()) == synapse
+
+    def test_inhibitory_weight_round_trips(self):
+        synapse = Synapse(target=5, weight=-1.5, delay_ticks=2)
+        recovered = Synapse.unpack(synapse.pack())
+        assert recovered.weight == -1.5
+
+    def test_weight_quantised_to_fixed_point(self):
+        synapse = Synapse(target=0, weight=0.07, delay_ticks=1)
+        recovered = Synapse.unpack(synapse.pack())
+        assert abs(recovered.weight - 0.07) <= 1.0 / 16
+
+    def test_target_index_width_enforced_on_pack(self):
+        with pytest.raises(ValueError):
+            Synapse(target=5000, weight=1.0).pack()
+
+    @given(st.integers(min_value=0, max_value=4095),
+           st.integers(min_value=1, max_value=16),
+           st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_preserves_fields(self, target, delay, weight):
+        synapse = Synapse(target=target, weight=weight, delay_ticks=delay)
+        recovered = Synapse.unpack(synapse.pack())
+        assert recovered.target == target
+        assert recovered.delay_ticks == delay
+        assert abs(recovered.weight - weight) <= 1.0 / 16 + 1e-9
+
+
+class TestSynapticRow:
+    def test_row_packs_with_count_header(self):
+        row = SynapticRow(1, [Synapse(0, 1.0), Synapse(1, 2.0)])
+        words = row.pack()
+        assert words[0] == 2
+        assert len(words) == 3
+        assert row.n_words == 3
+
+    def test_unpack_round_trip(self):
+        row = SynapticRow(9, [Synapse(i, 0.5 * i + 0.5, delay_ticks=i + 1)
+                              for i in range(5)])
+        recovered = SynapticRow.unpack(9, row.pack())
+        assert len(recovered) == 5
+        assert [s.target for s in recovered] == [s.target for s in row]
+
+    def test_unpack_with_padding_ignores_trailing_words(self):
+        row = SynapticRow(1, [Synapse(3, 1.0)])
+        words = row.pack() + [0, 0, 0]
+        recovered = SynapticRow.unpack(1, words)
+        assert len(recovered) == 1
+
+    def test_unpack_rejects_truncated_data(self):
+        with pytest.raises(ValueError):
+            SynapticRow.unpack(1, [5, 0])
+        with pytest.raises(ValueError):
+            SynapticRow.unpack(1, [])
+
+    def test_total_charge_and_max_delay(self):
+        row = SynapticRow(1, [Synapse(0, 1.0, 2), Synapse(1, -0.5, 9)])
+        assert row.total_charge() == pytest.approx(0.5)
+        assert row.max_delay() == 9
+        assert SynapticRow(2).max_delay() == 0
+
+
+class TestDeferredEventBuffer:
+    def test_input_arrives_after_programmed_delay(self):
+        buffer = DeferredEventBuffer(4)
+        buffer.add_input(target=2, weight=1.5, delay_ticks=3)
+        assert buffer.drain().sum() == 0.0   # tick 0
+        assert buffer.drain().sum() == 0.0   # tick 1
+        assert buffer.drain().sum() == 0.0   # tick 2
+        inputs = buffer.drain()              # tick 3
+        assert inputs[2] == pytest.approx(1.5)
+
+    def test_inputs_accumulate_in_same_slot(self):
+        buffer = DeferredEventBuffer(2)
+        buffer.add_input(0, 1.0, 1)
+        buffer.add_input(0, 2.0, 1)
+        buffer.drain()
+        assert buffer.drain()[0] == pytest.approx(3.0)
+
+    def test_drained_slot_is_cleared(self):
+        buffer = DeferredEventBuffer(2)
+        buffer.add_input(0, 1.0, 1)
+        buffer.drain()
+        buffer.drain()
+        for _ in range(20):
+            assert buffer.drain().sum() == 0.0
+
+    def test_delay_wraps_around_ring(self):
+        buffer = DeferredEventBuffer(1, max_delay_ticks=4)
+        for _ in range(10):
+            buffer.drain()
+        buffer.add_input(0, 1.0, 4)
+        for _ in range(4):
+            assert buffer.drain()[0] == 0.0
+        assert buffer.drain()[0] == pytest.approx(1.0)
+
+    def test_out_of_range_delay_rejected(self):
+        buffer = DeferredEventBuffer(1, max_delay_ticks=4)
+        with pytest.raises(ValueError):
+            buffer.add_input(0, 1.0, 5)
+        with pytest.raises(ValueError):
+            buffer.add_input(0, 1.0, 0)
+
+    def test_out_of_range_target_rejected(self):
+        buffer = DeferredEventBuffer(2)
+        with pytest.raises(IndexError):
+            buffer.add_input(2, 1.0, 1)
+
+    def test_add_row_defers_all_synapses(self):
+        buffer = DeferredEventBuffer(8)
+        row = SynapticRow(0, [Synapse(i, 1.0, delay_ticks=i + 1)
+                              for i in range(4)])
+        buffer.add_row(row)
+        assert buffer.events_deferred == 4
+        assert buffer.pending_charge() == pytest.approx(4.0)
+
+    def test_reset_clears_state(self):
+        buffer = DeferredEventBuffer(2)
+        buffer.add_input(0, 5.0, 2)
+        buffer.reset()
+        assert buffer.pending_charge() == 0.0
+        assert buffer.current_tick == 0
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=9),
+                              st.floats(min_value=-5, max_value=5),
+                              st.integers(min_value=1, max_value=16)),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_charge_is_conserved(self, events):
+        # Property: everything added to the buffer is drained exactly once
+        # within max_delay ticks — no charge is lost or duplicated.
+        buffer = DeferredEventBuffer(10)
+        total_in = 0.0
+        for target, weight, delay in events:
+            buffer.add_input(target, weight, delay)
+            total_in += weight
+        total_out = 0.0
+        for _ in range(MAX_DELAY_TICKS + 1):
+            total_out += buffer.drain().sum()
+        assert total_out == pytest.approx(total_in, abs=1e-9)
+        assert buffer.pending_charge() == pytest.approx(0.0, abs=1e-9)

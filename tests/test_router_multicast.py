@@ -1,0 +1,184 @@
+"""Unit tests for the multicast router: table routing, default routing,
+emergency routing and the wait/divert/drop policy (Sections 4 and 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.event_kernel import EventKernel
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.packets import EmergencyState, MulticastPacket
+from repro.router.multicast import Router, RouterConfig
+from repro.router.routing_table import MulticastRoutingTable
+
+
+class RouterHarness:
+    """A router wired to scriptable link and core stubs."""
+
+    def __init__(self, config: RouterConfig = None):
+        self.kernel = EventKernel()
+        self.table = MulticastRoutingTable()
+        self.router = Router(self.kernel, ChipCoordinate(1, 1),
+                             table=self.table, config=config or RouterConfig())
+        self.blocked = set()
+        self.transmitted = []
+        self.delivered = []
+        self.monitor = []
+        self.router.connect(self._transmit, self._deliver, self._notify)
+
+    def _transmit(self, direction, packet):
+        if direction in self.blocked:
+            return False
+        self.transmitted.append((direction, packet))
+        return True
+
+    def _deliver(self, core_id, packet):
+        self.delivered.append((core_id, packet))
+
+    def _notify(self, event, **info):
+        self.monitor.append((event, info))
+
+
+class TestTableRouting:
+    def test_hit_copies_to_links_and_cores(self):
+        harness = RouterHarness()
+        harness.table.add(key=10, mask=0xFFFFFFFF,
+                          links=[Direction.EAST, Direction.NORTH], cores=[2, 5])
+        decision = harness.router.route_multicast(MulticastPacket(key=10))
+        assert set(decision.links) == {Direction.EAST, Direction.NORTH}
+        assert set(decision.cores) == {2, 5}
+        assert len(harness.transmitted) == 2
+        assert len(harness.delivered) == 2
+        assert harness.router.stats.table_hits == 1
+
+    def test_multicast_duplicates_packet_not_key(self):
+        harness = RouterHarness()
+        harness.table.add(key=3, mask=0xFFFFFFFF,
+                          links=[Direction.EAST, Direction.WEST, Direction.SOUTH])
+        harness.router.route_multicast(MulticastPacket(key=3))
+        keys = {packet.key for _, packet in harness.transmitted}
+        assert keys == {3}
+        assert len(harness.transmitted) == 3
+
+    def test_unconnected_router_raises(self):
+        router = Router(EventKernel(), ChipCoordinate(0, 0))
+        with pytest.raises(RuntimeError):
+            router.route_multicast(MulticastPacket(key=1))
+
+
+class TestDefaultRouting:
+    def test_miss_from_link_goes_straight_through(self):
+        harness = RouterHarness()
+        decision = harness.router.decide(MulticastPacket(key=999),
+                                         arrival=Direction.WEST)
+        assert decision.default_routed
+        assert decision.links == [Direction.EAST]
+
+    def test_miss_from_local_core_is_dropped(self):
+        harness = RouterHarness()
+        harness.router.route_multicast(MulticastPacket(key=999), arrival=None)
+        assert harness.router.stats.dropped == 1
+        assert harness.monitor[0][0] == "packet-dropped"
+
+    def test_all_arrival_directions_map_to_opposite(self):
+        harness = RouterHarness()
+        for arrival in Direction:
+            decision = harness.router.decide(MulticastPacket(key=1234),
+                                             arrival=arrival)
+            assert decision.links == [arrival.opposite]
+
+
+class TestEmergencyRouting:
+    def test_first_leg_packet_takes_fixed_second_leg(self):
+        harness = RouterHarness()
+        packet = MulticastPacket(key=5, emergency=EmergencyState.FIRST_LEG)
+        decision = harness.router.decide(packet, arrival=Direction.SOUTH_WEST)
+        assert decision.links == [Direction.emergency_second_leg(Direction.SOUTH_WEST)]
+
+    def test_first_leg_cannot_be_injected_locally(self):
+        harness = RouterHarness()
+        packet = MulticastPacket(key=5, emergency=EmergencyState.FIRST_LEG)
+        with pytest.raises(ValueError):
+            harness.router.decide(packet, arrival=None)
+
+    def test_second_leg_default_route_restores_heading(self):
+        harness = RouterHarness()
+        packet = MulticastPacket(key=77, emergency=EmergencyState.SECOND_LEG)
+        # Blocked link EAST: first leg NE, second leg S.  The packet
+        # arrives at the final chip on the opposite of S (= NORTH); default
+        # routing must continue EAST, the original heading.
+        decision = harness.router.decide(packet, arrival=Direction.NORTH)
+        assert decision.links == [Direction((Direction.NORTH.value + 4) % 6)]
+
+    def test_blocked_link_triggers_emergency_after_wait(self):
+        config = RouterConfig(emergency_wait_us=1.0, drop_wait_us=2.0,
+                              retries_per_wait=1)
+        harness = RouterHarness(config)
+        harness.table.add(key=8, mask=0xFFFFFFFF, links=[Direction.EAST])
+        harness.blocked.add(Direction.EAST)
+        harness.router.route_multicast(MulticastPacket(key=8))
+        harness.kernel.run()
+        stats = harness.router.stats
+        assert stats.emergency_invocations == 1
+        assert stats.emergency_successes == 1
+        assert stats.dropped == 0
+        # The packet left on the first emergency leg with FIRST_LEG state.
+        directions = [d for d, _ in harness.transmitted]
+        first_leg, _ = Direction.EAST.emergency_pair()
+        assert directions == [first_leg]
+        assert harness.transmitted[0][1].emergency is EmergencyState.FIRST_LEG
+        # The monitor is informed of the invocation (Section 5.3).
+        assert harness.monitor[0][0] == "emergency-routing"
+
+    def test_transient_congestion_clears_before_emergency(self):
+        config = RouterConfig(emergency_wait_us=2.0, retries_per_wait=2)
+        harness = RouterHarness(config)
+        harness.table.add(key=8, mask=0xFFFFFFFF, links=[Direction.EAST])
+        harness.blocked.add(Direction.EAST)
+        harness.router.route_multicast(MulticastPacket(key=8))
+        # Unblock the link before the retry fires.
+        harness.blocked.clear()
+        harness.kernel.run()
+        assert harness.router.stats.emergency_invocations == 0
+        assert harness.router.stats.dropped == 0
+        assert len(harness.transmitted) == 1
+
+    def test_packet_dropped_when_emergency_leg_also_blocked(self):
+        config = RouterConfig(emergency_wait_us=1.0, drop_wait_us=1.0,
+                              retries_per_wait=1)
+        harness = RouterHarness(config)
+        harness.table.add(key=8, mask=0xFFFFFFFF, links=[Direction.EAST])
+        first_leg, _ = Direction.EAST.emergency_pair()
+        harness.blocked.update({Direction.EAST, first_leg})
+        harness.router.route_multicast(MulticastPacket(key=8))
+        harness.kernel.run()
+        stats = harness.router.stats
+        assert stats.dropped == 1
+        events = [event for event, _ in harness.monitor]
+        assert "packet-dropped" in events
+        # The router never wedges: it is still able to route new packets.
+        harness.blocked.clear()
+        harness.router.route_multicast(MulticastPacket(key=8))
+        assert harness.router.stats.forwarded >= 1
+
+    def test_emergency_disabled_drops_directly(self):
+        config = RouterConfig(emergency_routing_enabled=False,
+                              emergency_wait_us=1.0, retries_per_wait=1)
+        harness = RouterHarness(config)
+        harness.table.add(key=8, mask=0xFFFFFFFF, links=[Direction.EAST])
+        harness.blocked.add(Direction.EAST)
+        harness.router.route_multicast(MulticastPacket(key=8))
+        harness.kernel.run()
+        assert harness.router.stats.emergency_invocations == 0
+        assert harness.router.stats.dropped == 1
+
+    def test_delivery_ratio(self):
+        harness = RouterHarness(RouterConfig(emergency_routing_enabled=False,
+                                             retries_per_wait=1))
+        harness.table.add(key=1, mask=0xFFFFFFFF, links=[Direction.EAST])
+        harness.router.route_multicast(MulticastPacket(key=1))
+        assert harness.router.delivery_ratio() == 1.0
+        harness.blocked.add(Direction.EAST)
+        harness.router.route_multicast(MulticastPacket(key=1))
+        harness.kernel.run()
+        assert harness.router.delivery_ratio() == pytest.approx(0.5)

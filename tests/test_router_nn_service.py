@@ -1,0 +1,127 @@
+"""Tests for the nearest-neighbour management service (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.router.nn import NeighbourhoodService
+from repro.runtime.boot import BootController
+
+
+def booted_machine(width=3, height=3, cores=4, seed=2):
+    machine = SpiNNakerMachine(MachineConfig(width=width, height=height,
+                                             cores_per_chip=cores))
+    BootController(machine, seed=seed).boot()
+    return machine
+
+
+ORIGIN = ChipCoordinate(0, 0)
+
+
+class TestProbe:
+    def test_probe_booted_neighbour(self):
+        service = NeighbourhoodService(booted_machine())
+        assert service.probe(ORIGIN, Direction.EAST) is True
+        assert service.stats.probes_sent == 1
+        assert service.stats.replies_received == 1
+
+    def test_census_covers_all_six_directions(self):
+        service = NeighbourhoodService(booted_machine())
+        census = service.census(ChipCoordinate(1, 1))
+        assert set(census) == set(Direction)
+        assert all(census.values())
+        assert service.dead_neighbours(ChipCoordinate(1, 1)) == []
+
+    def test_probe_across_failed_link_reports_dead(self):
+        machine = booted_machine()
+        machine.fail_link(ORIGIN, Direction.NORTH)
+        service = NeighbourhoodService(machine)
+        assert service.probe(ORIGIN, Direction.NORTH) is False
+        assert Direction.NORTH in service.dead_neighbours(ORIGIN)
+        assert service.stats.requests_unanswered >= 1
+
+    def test_probe_unbooted_neighbour_reports_dead(self):
+        machine = SpiNNakerMachine(MachineConfig(width=3, height=3,
+                                                 cores_per_chip=4))
+        # No boot: chips have no monitor and report themselves not alive.
+        service = NeighbourhoodService(machine)
+        assert service.probe(ORIGIN, Direction.EAST) is False
+
+
+class TestPeekPoke:
+    def test_poke_then_peek_round_trip(self):
+        machine = booted_machine()
+        service = NeighbourhoodService(machine)
+        assert service.poke(ORIGIN, Direction.EAST, address=3, value=0xBEEF)
+        assert service.peek(ORIGIN, Direction.EAST, address=3) == 0xBEEF
+        neighbour = machine.chips[ChipCoordinate(1, 0)]
+        assert neighbour.system_ram[3] == 0xBEEF
+
+    def test_peek_out_of_range_returns_none(self):
+        service = NeighbourhoodService(booted_machine())
+        assert service.peek(ORIGIN, Direction.EAST, address=10_000) is None
+
+    def test_negative_addresses_rejected(self):
+        service = NeighbourhoodService(booted_machine())
+        with pytest.raises(ValueError):
+            service.peek(ORIGIN, Direction.EAST, address=-1)
+        with pytest.raises(ValueError):
+            service.poke(ORIGIN, Direction.EAST, address=-1, value=0)
+
+    def test_poke_across_failed_link_fails(self):
+        machine = booted_machine()
+        machine.fail_link(ORIGIN, Direction.WEST)
+        service = NeighbourhoodService(machine)
+        assert service.poke(ORIGIN, Direction.WEST, address=0, value=1) is False
+
+    def test_copy_boot_code_writes_every_word(self):
+        machine = booted_machine()
+        service = NeighbourhoodService(machine)
+        image = [0x100 + i for i in range(16)]
+        written = service.copy_boot_code(ORIGIN, Direction.NORTH, image)
+        assert written == len(image)
+        # The neighbour to the north of (0, 0) is (0, 1).
+        neighbour = machine.chips[ChipCoordinate(0, 1)]
+        assert neighbour.system_ram[:len(image)] == image
+
+    def test_statistics_track_requests(self):
+        service = NeighbourhoodService(booted_machine())
+        service.probe(ORIGIN, Direction.EAST)
+        service.peek(ORIGIN, Direction.EAST, 0)
+        service.poke(ORIGIN, Direction.EAST, 0, 7)
+        stats = service.stats
+        assert stats.probes_sent == 1
+        assert stats.peeks_sent == 1
+        assert stats.pokes_sent == 1
+        assert stats.requests_served == 3
+        assert stats.replies_received == 3
+
+
+class TestHandlerCoexistence:
+    def test_boot_handlers_preserved_after_uninstall(self):
+        machine = booted_machine()
+        handlers_before = {coordinate: chip._nn_handler
+                           for coordinate, chip in machine.chips.items()}
+        service = NeighbourhoodService(machine)
+        assert machine.chips[ORIGIN]._nn_handler is not handlers_before[ORIGIN]
+        service.uninstall()
+        handlers_after = {coordinate: chip._nn_handler
+                          for coordinate, chip in machine.chips.items()}
+        assert handlers_after == handlers_before
+
+    def test_service_does_not_break_subsequent_boot_traffic(self):
+        # Installing the service and then re-running boot must still work:
+        # non-service commands are forwarded to the previous handler.
+        machine = booted_machine()
+        NeighbourhoodService(machine)
+        result = BootController(machine, seed=9).boot()
+        assert result.all_chips_operational
+
+    def test_torus_wraparound_neighbours_are_reachable(self):
+        # On a 3x3 torus the west neighbour of (0, 0) is (2, 0).
+        machine = booted_machine()
+        service = NeighbourhoodService(machine)
+        assert service.poke(ORIGIN, Direction.WEST, address=1, value=42)
+        assert machine.chips[ChipCoordinate(2, 0)].system_ram[1] == 42

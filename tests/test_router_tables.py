@@ -1,0 +1,168 @@
+"""Unit tests for multicast routing tables and p2p tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import ChipCoordinate, Direction, TorusGeometry
+from repro.router.p2p import P2PRoutingTable
+from repro.router.routing_table import (
+    MulticastRoutingTable,
+    RoutingEntry,
+    RoutingTableFullError,
+)
+
+
+class TestRoutingEntry:
+    def test_entry_matches_masked_key(self):
+        entry = RoutingEntry(key=0x1200, mask=0xFF00)
+        assert entry.matches(0x1234)
+        assert entry.matches(0x12FF)
+        assert not entry.matches(0x1300)
+
+    def test_key_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingEntry(key=0x12, mask=0x10)
+
+    def test_key_and_mask_width_checked(self):
+        with pytest.raises(ValueError):
+            RoutingEntry(key=1 << 32, mask=0xFFFFFFFF)
+        with pytest.raises(ValueError):
+            RoutingEntry(key=0, mask=1 << 32)
+
+    def test_span_counts_wildcards(self):
+        assert RoutingEntry(key=0, mask=0xFFFFFFFF).span == 1
+        assert RoutingEntry(key=0, mask=0xFFFFFF00).span == 256
+
+    def test_same_route_comparison(self):
+        first = RoutingEntry(key=0, mask=0xFFFFFFFF,
+                             link_directions=frozenset([Direction.EAST]),
+                             processor_ids=frozenset([1]))
+        second = RoutingEntry(key=4, mask=0xFFFFFFFF,
+                              link_directions=frozenset([Direction.EAST]),
+                              processor_ids=frozenset([1]))
+        third = RoutingEntry(key=4, mask=0xFFFFFFFF,
+                             link_directions=frozenset([Direction.WEST]))
+        assert first.same_route(second)
+        assert not first.same_route(third)
+
+
+class TestMulticastRoutingTable:
+    def test_first_match_wins(self):
+        table = MulticastRoutingTable()
+        table.add(key=0x10, mask=0xF0, cores=[1])
+        table.add(key=0x10, mask=0xFF, cores=[2])
+        entry = table.lookup(0x10)
+        assert entry.processor_ids == frozenset([1])
+
+    def test_lookup_miss_returns_none_and_counts(self):
+        table = MulticastRoutingTable()
+        table.add(key=5, mask=0xFFFFFFFF)
+        assert table.lookup(6) is None
+        assert table.misses == 1
+        assert table.lookups == 1
+
+    def test_capacity_enforced(self):
+        table = MulticastRoutingTable(capacity=2)
+        table.add(key=0, mask=0xFFFFFFFF)
+        table.add(key=1, mask=0xFFFFFFFF)
+        with pytest.raises(RoutingTableFullError):
+            table.add(key=2, mask=0xFFFFFFFF)
+
+    def test_default_capacity_is_1024(self):
+        assert MulticastRoutingTable().capacity == 1024
+
+    def test_occupancy_fraction(self):
+        table = MulticastRoutingTable(capacity=10)
+        table.add(key=0, mask=0xFFFFFFFF)
+        assert table.occupancy == pytest.approx(0.1)
+
+    def test_clear_empties_table(self):
+        table = MulticastRoutingTable()
+        table.add(key=0, mask=0xFFFFFFFF)
+        table.clear()
+        assert len(table) == 0
+
+    def test_minimise_merges_single_bit_pairs(self):
+        table = MulticastRoutingTable()
+        table.add(key=0b1000, mask=0xFFFFFFFF, links=[Direction.EAST])
+        table.add(key=0b1001, mask=0xFFFFFFFF, links=[Direction.EAST])
+        eliminated = table.minimise()
+        assert eliminated == 1
+        assert len(table) == 1
+        merged = table.entries[0]
+        assert merged.matches(0b1000)
+        assert merged.matches(0b1001)
+        assert not merged.matches(0b1010)
+
+    def test_minimise_does_not_merge_different_routes(self):
+        table = MulticastRoutingTable()
+        table.add(key=0b1000, mask=0xFFFFFFFF, links=[Direction.EAST])
+        table.add(key=0b1001, mask=0xFFFFFFFF, links=[Direction.WEST])
+        assert table.minimise() == 0
+        assert len(table) == 2
+
+    def test_minimise_is_repeated_until_stable(self):
+        table = MulticastRoutingTable()
+        for key in range(4):
+            table.add(key=key, mask=0xFFFFFFFF, cores=[3])
+        table.minimise()
+        assert len(table) == 1
+        assert table.entries[0].span == 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=40, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_minimise_preserves_routing_semantics(self, keys):
+        # After minimisation every original key must still hit an entry
+        # with the same route, and no key outside the originals that was
+        # previously a miss may suddenly route differently *to a different
+        # route set* (coarsening may make extra keys match, but only with
+        # the same route as the merged group, which is safe for multicast).
+        table = MulticastRoutingTable()
+        for key in keys:
+            table.add(key=key, mask=0xFFFFFFFF, links=[Direction.NORTH])
+        table.minimise()
+        for key in keys:
+            entry = table.lookup(key)
+            assert entry is not None
+            assert entry.link_directions == frozenset([Direction.NORTH])
+
+
+class TestP2PRoutingTable:
+    def test_table_covers_every_destination(self):
+        geometry = TorusGeometry(4, 4)
+        table = P2PRoutingTable.build(ChipCoordinate(1, 1), geometry)
+        assert len(table) == 16
+        assert table.next_hop(ChipCoordinate(1, 1)) is None
+
+    def test_next_hop_is_first_step_of_shortest_route(self):
+        geometry = TorusGeometry(8, 8)
+        origin = ChipCoordinate(0, 0)
+        table = P2PRoutingTable.build(origin, geometry)
+        destination = ChipCoordinate(3, 3)
+        assert table.next_hop(destination) is Direction.NORTH_EAST
+
+    def test_unknown_destination_raises(self):
+        geometry = TorusGeometry(2, 2)
+        table = P2PRoutingTable.build(ChipCoordinate(0, 0), geometry)
+        with pytest.raises(KeyError):
+            table.next_hop(ChipCoordinate(5, 5))
+        assert not table.knows(ChipCoordinate(5, 5))
+
+    def test_following_next_hops_reaches_destination(self):
+        geometry = TorusGeometry(6, 6)
+        tables = {coord: P2PRoutingTable.build(coord, geometry)
+                  for coord in geometry.all_chips()}
+        source = ChipCoordinate(0, 0)
+        destination = ChipCoordinate(4, 2)
+        current = source
+        hops = 0
+        while current != destination:
+            direction = tables[current].next_hop(destination)
+            current = current.neighbour(direction, 6, 6)
+            hops += 1
+            assert hops <= 12, "p2p forwarding must not loop"
+        assert hops == geometry.distance(source, destination)

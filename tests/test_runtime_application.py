@@ -1,0 +1,173 @@
+"""Tests for the on-machine event-driven neural application (Fig 7, Sec 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import latency_summary
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.neuron.connectors import FixedProbabilityConnector, OneToOneConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourceArray, SpikeSourcePoisson
+from repro.runtime.application import NeuralApplication
+from repro.runtime.boot import BootController
+
+
+def machine_with_boot(width=3, height=3, cores=6):
+    machine = SpiNNakerMachine(MachineConfig(width=width, height=height,
+                                             cores_per_chip=cores))
+    BootController(machine, seed=1).boot()
+    return machine
+
+
+def feedforward_network(seed=21, n=40, rate=80.0, weight=5.0):
+    network = Network(seed=seed)
+    stimulus = SpikeSourcePoisson(n, rate_hz=rate, label="ff-stim")
+    target = Population(n, "lif", label="ff-target")
+    target.record(spikes=True)
+    network.connect(stimulus, target, OneToOneConnector(weight=weight,
+                                                        delay_ticks=1))
+    return network
+
+
+class TestMappingAndExecution:
+    def test_application_produces_spikes(self):
+        machine = machine_with_boot()
+        application = NeuralApplication(machine, feedforward_network(),
+                                        max_neurons_per_core=16, seed=2)
+        result = application.run(100.0)
+        assert result.total_spikes("ff-target") > 0
+        assert result.packets_sent > 0
+
+    def test_all_spike_packets_matched_to_synaptic_rows(self):
+        machine = machine_with_boot()
+        application = NeuralApplication(machine, feedforward_network(),
+                                        max_neurons_per_core=16, seed=2)
+        application.run(50.0)
+        assert application.unmatched_packets == 0
+
+    def test_delivery_latency_well_under_one_millisecond(self):
+        # Section 5.3: "the communications fabric is designed to deliver mc
+        # packets in significantly under 1 ms, whatever the distance".
+        machine = machine_with_boot(4, 4, 6)
+        application = NeuralApplication(machine, feedforward_network(n=60),
+                                        max_neurons_per_core=8, seed=3)
+        result = application.run(100.0)
+        summary = latency_summary(result.delivery_latencies_us)
+        assert summary.count > 100
+        assert summary.max_us < 1000.0
+        assert summary.p99_us < 200.0
+
+    def test_no_packets_dropped_in_light_load(self):
+        machine = machine_with_boot()
+        application = NeuralApplication(machine, feedforward_network(),
+                                        max_neurons_per_core=16, seed=4)
+        result = application.run(100.0)
+        assert result.packets_dropped == 0
+        assert result.within_deadline_fraction(1000.0) == 1.0
+
+    def test_on_machine_rate_close_to_reference_simulator(self):
+        # The on-machine execution and the host reference simulator share
+        # neuron models and soft-delay semantics, so their mean firing
+        # rates for the same network and seed must agree closely.
+        network_machine = feedforward_network(seed=33)
+        network_reference = feedforward_network(seed=33)
+
+        reference = network_reference.run(400.0)
+        machine = machine_with_boot()
+        application = NeuralApplication(machine, network_machine,
+                                        max_neurons_per_core=16, seed=33)
+        on_machine = application.run(400.0)
+
+        reference_rate = reference.mean_rate_hz("ff-target")
+        machine_rate = on_machine.mean_rate_hz("ff-target")
+        assert reference_rate > 0
+        assert abs(machine_rate - reference_rate) / reference_rate < 0.35
+
+    def test_recurrent_network_runs_and_delivers(self):
+        machine = machine_with_boot(4, 4, 6)
+        network = Network(seed=8)
+        stimulus = SpikeSourcePoisson(50, rate_hz=60.0, label="rec-stim")
+        excitatory = Population(100, "lif", label="rec-exc")
+        excitatory.record()
+        network.connect(stimulus, excitatory,
+                        FixedProbabilityConnector(0.2, weight=0.8,
+                                                  delay_range=(1, 8)))
+        network.connect(excitatory, excitatory,
+                        FixedProbabilityConnector(0.05, weight=0.3))
+        application = NeuralApplication(machine, network,
+                                        max_neurons_per_core=16, seed=8)
+        result = application.run(150.0)
+        assert result.total_spikes("rec-exc") > 0
+        assert result.packets_dropped == 0
+
+    def test_spike_source_array_replayed_on_machine(self):
+        machine = machine_with_boot(2, 2, 4)
+        network = Network(seed=5)
+        times = [[5.0, 20.0], [10.0]]
+        source = SpikeSourceArray(times, label="arr-src")
+        target = Population(2, "lif", label="arr-target")
+        target.record()
+        network.connect(source, target, OneToOneConnector(weight=10.0))
+        application = NeuralApplication(machine, network,
+                                        max_neurons_per_core=4, seed=5)
+        result = application.run(50.0)
+        # Three source spikes must produce exactly three packets.
+        assert result.packets_sent >= 3
+        assert result.total_spikes("arr-target") >= 1
+
+    def test_spike_records_use_global_indices(self):
+        machine = machine_with_boot()
+        network = feedforward_network(n=40)
+        application = NeuralApplication(machine, network,
+                                        max_neurons_per_core=8, seed=6)
+        result = application.run(100.0)
+        neurons = {neuron for _, neuron in result.spikes["ff-target"]}
+        assert max(neurons) >= 8   # beyond the first vertex slice
+
+    def test_negative_duration_rejected(self):
+        machine = machine_with_boot(2, 2, 4)
+        application = NeuralApplication(machine, feedforward_network(n=8),
+                                        max_neurons_per_core=8)
+        application.prepare()
+        with pytest.raises(ValueError):
+            application.run(-1.0)
+
+    def test_result_helpers(self):
+        machine = machine_with_boot()
+        application = NeuralApplication(machine, feedforward_network(),
+                                        max_neurons_per_core=16, seed=7)
+        result = application.run(100.0)
+        assert result.total_spikes() >= result.total_spikes("ff-target")
+        assert result.mean_delivery_latency_us() <= result.max_delivery_latency_us()
+
+
+class TestEventModelAccounting:
+    def test_cores_spend_time_in_handlers_and_sleep(self):
+        machine = machine_with_boot()
+        application = NeuralApplication(machine, feedforward_network(),
+                                        max_neurons_per_core=16, seed=9)
+        application.run(100.0)
+        busy = [runtime.core.busy_time_us for runtime in application.core_runtimes]
+        assert all(b > 0 for b in busy)
+        elapsed = machine.kernel.now
+        assert all(core_busy < elapsed for core_busy in busy)
+
+    def test_timer_invocations_match_duration(self):
+        machine = machine_with_boot()
+        application = NeuralApplication(machine, feedforward_network(),
+                                        max_neurons_per_core=16, seed=10)
+        application.run(100.0)
+        for runtime in application.core_runtimes:
+            assert 95 <= runtime.core.handler_invocations["timer"] <= 101
+
+    def test_dma_traffic_generated_by_spike_packets(self):
+        machine = machine_with_boot()
+        application = NeuralApplication(machine, feedforward_network(),
+                                        max_neurons_per_core=16, seed=11)
+        result = application.run(100.0)
+        dma_transfers = sum(runtime.core.dma.completed_transfers
+                            for runtime in application.core_runtimes)
+        assert dma_transfers > 0
+        assert dma_transfers == len(result.delivery_latencies_us)

@@ -1,0 +1,168 @@
+"""Tests for run-time functional migration (abstract; Sections 2.2, 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import ChipCoordinate
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.neuron.connectors import OneToOneConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.application import NeuralApplication
+from repro.runtime.boot import BootController
+from repro.runtime.migration import FunctionalMigrator, MigrationError
+
+
+def booted_machine(width=3, height=3, cores=6):
+    machine = SpiNNakerMachine(MachineConfig(width=width, height=height,
+                                             cores_per_chip=cores))
+    BootController(machine, seed=5).boot()
+    return machine
+
+
+def small_feedforward(seed=17, n=30):
+    network = Network(seed=seed)
+    stimulus = SpikeSourcePoisson(n, rate_hz=80.0, label="mig-stim")
+    target = Population(n, "lif", label="mig-target")
+    target.record(spikes=True)
+    network.connect(stimulus, target, OneToOneConnector(weight=5.0,
+                                                        delay_ticks=1))
+    return network
+
+
+def prepared_application(machine=None, seed=17):
+    machine = machine or booted_machine()
+    application = NeuralApplication(machine, small_feedforward(seed=seed),
+                                    max_neurons_per_core=10, seed=seed)
+    application.prepare()
+    return application
+
+
+class TestMigratorConstruction:
+    def test_for_application_requires_prepared_application(self):
+        machine = booted_machine()
+        application = NeuralApplication(machine, small_feedforward(),
+                                        max_neurons_per_core=10, seed=1)
+        with pytest.raises(MigrationError):
+            FunctionalMigrator.for_application(application)
+
+    def test_spare_slots_exclude_monitor_and_occupied_cores(self):
+        application = prepared_application()
+        migrator = FunctionalMigrator.for_application(application)
+        occupied = set(migrator.occupied_slots())
+        spares = migrator.spare_slots()
+        assert occupied.isdisjoint(spares)
+        for coordinate, core_id in spares:
+            chip = application.machine.chips[coordinate]
+            assert core_id != chip.monitor_core_id
+
+
+class TestEvacuation:
+    def test_evacuate_core_moves_vertex_and_disables_core(self):
+        application = prepared_application()
+        migrator = FunctionalMigrator.for_application(application)
+        (old_chip, old_core), vertex = next(iter(migrator.occupied_slots().items()))
+        report = migrator.evacuate_core(old_chip, old_core)
+
+        assert report.n_moves == 1
+        moved_vertex, old_slot, new_slot = report.moves[0]
+        assert moved_vertex == vertex
+        assert old_slot == (old_chip, old_core)
+        assert new_slot != old_slot
+        assert application.placement.locations[vertex] == new_slot
+        assert (old_chip, old_core) in report.cores_mapped_out
+        assert not application.machine.chips[old_chip].cores[old_core].is_available
+
+    def test_evacuating_empty_core_is_a_no_op_move(self):
+        application = prepared_application()
+        migrator = FunctionalMigrator.for_application(application)
+        spare_chip, spare_core = migrator.spare_slots()[0]
+        report = migrator.evacuate_core(spare_chip, spare_core)
+        assert report.n_moves == 0
+        assert (spare_chip, spare_core) in report.cores_mapped_out
+
+    def test_routing_tables_regenerated_after_move(self):
+        application = prepared_application()
+        migrator = FunctionalMigrator.for_application(application)
+        (old_chip, old_core), _vertex = next(iter(migrator.occupied_slots().items()))
+        report = migrator.evacuate_core(old_chip, old_core)
+        assert report.routing_entries_before > 0
+        assert report.routing_entries_after > 0
+        assert report.runtimes_rebuilt == 1
+
+    def test_keys_are_preserved_across_migration(self):
+        """Virtualised topology: a neuron's routing key never changes."""
+        application = prepared_application()
+        keys_before = {vertex: application.keys.key_space(vertex).key_for(0)
+                       for vertex in application.placement.locations}
+        migrator = FunctionalMigrator.for_application(application)
+        (old_chip, old_core), _ = next(iter(migrator.occupied_slots().items()))
+        migrator.evacuate_core(old_chip, old_core)
+        keys_after = {vertex: application.keys.key_space(vertex).key_for(0)
+                      for vertex in application.placement.locations}
+        assert keys_before == keys_after
+
+    def test_evacuate_chip_clears_every_vertex_on_it(self):
+        application = prepared_application(booted_machine(3, 3, 8))
+        migrator = FunctionalMigrator.for_application(application)
+        target_chip = next(iter(migrator.occupied_slots()))[0]
+        migrator.evacuate_chip(target_chip)
+        remaining = [slot for slot in migrator.occupied_slots()
+                     if slot[0] == target_chip]
+        assert remaining == []
+
+    def test_duplicate_suspects_handled_once(self):
+        application = prepared_application()
+        migrator = FunctionalMigrator.for_application(application)
+        slot = next(iter(migrator.occupied_slots()))
+        report = migrator.evacuate_cores([slot, slot])
+        assert report.n_moves == 1
+        assert report.cores_mapped_out.count(slot) == 1
+
+    def test_migration_fails_when_no_spares_left(self):
+        # A 2x2 machine with only 2 cores per chip has one monitor and one
+        # application core per chip: evacuating every application core at
+        # once cannot succeed.
+        machine = booted_machine(2, 2, 2)
+        network = Network(seed=3)
+        stimulus = SpikeSourcePoisson(4, rate_hz=50.0, label="s")
+        target = Population(4, "lif", label="t")
+        network.connect(stimulus, target, OneToOneConnector(weight=2.0))
+        application = NeuralApplication(machine, network,
+                                        max_neurons_per_core=2, seed=3)
+        application.prepare()
+        migrator = FunctionalMigrator.for_application(application)
+        suspects = list(migrator.occupied_slots())
+        with pytest.raises(MigrationError):
+            migrator.evacuate_cores(suspects)
+
+
+class TestApplicationContinuity:
+    def test_application_still_produces_spikes_after_migration(self):
+        machine = booted_machine()
+        application = NeuralApplication(machine, small_feedforward(seed=23),
+                                        max_neurons_per_core=10, seed=23)
+        application.prepare()
+        first = application.run(50.0)
+        spikes_before = first.total_spikes("mig-target")
+
+        migrator = FunctionalMigrator.for_application(application)
+        (old_chip, old_core), _ = next(iter(migrator.occupied_slots().items()))
+        migrator.evacuate_core(old_chip, old_core)
+
+        second = application.run(50.0)
+        assert second.total_spikes("mig-target") > spikes_before
+
+    def test_prefer_same_chip_keeps_vertex_local_when_possible(self):
+        application = prepared_application(booted_machine(3, 3, 8))
+        migrator = FunctionalMigrator.for_application(application)
+        # Pick an occupied core whose chip still has at least one spare.
+        for (chip, core), _vertex in migrator.occupied_slots().items():
+            if any(slot[0] == chip for slot in migrator.spare_slots()):
+                report = migrator.evacuate_core(chip, core)
+                _v, _old, (new_chip, _new_core) = report.moves[0]
+                assert new_chip == chip
+                break
+        else:  # pragma: no cover - machine always has on-chip spares here
+            pytest.skip("no chip with both an occupied and a spare core")

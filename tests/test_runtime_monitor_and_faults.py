@@ -1,0 +1,243 @@
+"""Tests for emergency routing under link failure, the Monitor Processor's
+mitigation actions and the fault-injection helpers (Sections 2.2, 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.core.packets import MulticastPacket
+from repro.core.processor import ProcessorState
+from repro.fault.injection import FaultCampaign, FaultInjector
+from repro.router.multicast import RouterConfig
+from repro.runtime.monitor import MonitorService
+
+
+def straight_line_machine(length=4):
+    """A 1 x ``length`` strip with a single east-bound route installed.
+
+    A route for key 42 is installed from chip (0,0) east through every chip
+    to the last one, which delivers to core 1.  This is the Figure 8
+    scenario: origin, pass-through default nodes, target.
+    """
+    machine = SpiNNakerMachine(MachineConfig(
+        width=length, height=3, cores_per_chip=4,
+        router_config=RouterConfig(emergency_wait_us=0.5, drop_wait_us=1.0,
+                                   retries_per_wait=2)))
+    for x in range(length - 1):
+        machine.chips[ChipCoordinate(x, 0)].router.table.add(
+            key=42, mask=0xFFFFFFFF, links=[Direction.EAST])
+    target = machine.chips[ChipCoordinate(length - 1, 0)]
+    target.router.table.add(key=42, mask=0xFFFFFFFF, cores=[1])
+    core = target.cores[1]
+    core.run_self_test(True)
+    core.start_application()
+    received = []
+    core.on_packet(lambda packet: received.append(packet.key))
+    return machine, received
+
+
+class TestEmergencyRoutingOnMachine:
+    def test_packets_delivered_without_failure(self):
+        machine, received = straight_line_machine()
+        for _ in range(10):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        assert len(received) == 10
+        assert machine.total_emergency_invocations() == 0
+
+    def test_failed_link_bypassed_by_emergency_routing(self):
+        machine, received = straight_line_machine()
+        machine.fail_link(ChipCoordinate(1, 0), Direction.EAST)
+        for _ in range(10):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        # Every packet still arrives, via the triangle around the dead link.
+        assert len(received) == 10
+        assert machine.total_emergency_invocations() >= 10
+        assert machine.total_dropped_packets() == 0
+
+    def test_emergency_routing_disabled_loses_packets(self):
+        machine = SpiNNakerMachine(MachineConfig(
+            width=4, height=3, cores_per_chip=4,
+            router_config=RouterConfig(emergency_routing_enabled=False,
+                                       emergency_wait_us=0.5,
+                                       retries_per_wait=1)))
+        for x in range(3):
+            machine.chips[ChipCoordinate(x, 0)].router.table.add(
+                key=42, mask=0xFFFFFFFF, links=[Direction.EAST])
+        target = machine.chips[ChipCoordinate(3, 0)]
+        target.router.table.add(key=42, mask=0xFFFFFFFF, cores=[1])
+        received = []
+        target.cores[1].run_self_test(True)
+        target.cores[1].start_application()
+        target.cores[1].on_packet(lambda packet: received.append(packet.key))
+
+        machine.fail_link(ChipCoordinate(1, 0), Direction.EAST)
+        for _ in range(10):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        assert len(received) == 0
+        assert machine.total_dropped_packets() == 10
+
+    def test_dropped_packets_reported_to_monitor(self):
+        machine, received = straight_line_machine()
+        # Fail both the direct link and its first emergency leg so that
+        # even emergency routing cannot save the packets.
+        blocked = ChipCoordinate(1, 0)
+        machine.fail_link(blocked, Direction.EAST)
+        first_leg, _ = Direction.EAST.emergency_pair()
+        machine.fail_link(blocked, first_leg)
+        machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        assert machine.total_dropped_packets() == 1
+        mailbox = machine.chips[blocked].monitor_mailbox
+        assert any(note["event"] == "packet-dropped" for note in mailbox)
+
+
+class TestMonitorService:
+    def test_permanent_reroute_after_threshold(self):
+        machine, received = straight_line_machine()
+        machine.fail_link(ChipCoordinate(1, 0), Direction.EAST)
+        monitor = MonitorService(machine, emergency_threshold=3)
+        for _ in range(5):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        report = monitor.process_mailboxes()
+        assert report.emergency_notifications >= 3
+        assert report.links_rerouted == 1
+        # After the permanent reroute, traffic no longer invokes emergency
+        # routing at the failed chip.
+        before = machine.chips[ChipCoordinate(1, 0)].router.stats.emergency_invocations
+        for _ in range(5):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        after = machine.chips[ChipCoordinate(1, 0)].router.stats.emergency_invocations
+        assert after == before
+        assert len(received) == 10
+
+    def test_reroute_rewrites_only_affected_entries(self):
+        machine, _ = straight_line_machine()
+        chip = machine.chips[ChipCoordinate(1, 0)]
+        chip.router.table.add(key=99, mask=0xFFFFFFFF, links=[Direction.NORTH])
+        monitor = MonitorService(machine)
+        rewritten = monitor.reroute_around_link(ChipCoordinate(1, 0),
+                                                Direction.EAST)
+        assert rewritten == 1
+        unaffected = chip.router.table.lookup(99)
+        assert unaffected.link_directions == frozenset([Direction.NORTH])
+        affected = chip.router.table.lookup(42)
+        first_leg, _second = Direction.EAST.emergency_pair()
+        assert affected.link_directions == frozenset([first_leg])
+
+    def test_dropped_packets_reissued(self):
+        machine, received = straight_line_machine()
+        blocked = ChipCoordinate(1, 0)
+        machine.fail_link(blocked, Direction.EAST)
+        first_leg, _ = Direction.EAST.emergency_pair()
+        machine.fail_link(blocked, first_leg)
+        machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        assert len(received) == 0
+        # Repair the emergency leg, then let the monitor re-issue the
+        # recovered packet (Section 5.3).
+        machine.repair_link(blocked, first_leg)
+        monitor = MonitorService(machine, emergency_threshold=100)
+        report = monitor.process_mailboxes(reissue_dropped=True)
+        machine.run()
+        assert report.packets_reissued == 1
+        assert len(received) == 1
+
+    def test_disable_core_removes_deliveries(self):
+        machine, received = straight_line_machine()
+        target = ChipCoordinate(3, 0)
+        monitor = MonitorService(machine)
+        monitor.disable_core(target, 1)
+        machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        assert received == []
+        assert machine.chips[target].cores[1].state is ProcessorState.DISABLED
+        entry = machine.chips[target].router.table.lookup(42)
+        assert 1 not in entry.processor_ids
+
+    def test_emergency_hotspots_reporting(self):
+        machine, _ = straight_line_machine()
+        machine.fail_link(ChipCoordinate(1, 0), Direction.EAST)
+        monitor = MonitorService(machine, emergency_threshold=100)
+        for _ in range(4):
+            machine.inject_multicast(ChipCoordinate(0, 0), MulticastPacket(key=42))
+        machine.run()
+        monitor.process_mailboxes()
+        hotspots = monitor.emergency_hotspots()
+        assert hotspots
+        assert hotspots[0][0] == ChipCoordinate(1, 0)
+        assert hotspots[0][1] is Direction.EAST
+
+    def test_invalid_threshold_rejected(self):
+        machine, _ = straight_line_machine()
+        with pytest.raises(ValueError):
+            MonitorService(machine, emergency_threshold=0)
+
+
+class TestFaultInjector:
+    def test_fail_random_links_fraction(self, medium_machine):
+        injector = FaultInjector(medium_machine, seed=1)
+        failed = injector.fail_random_links(0.1)
+        expected = round(0.1 * len(medium_machine.links))
+        assert len(failed) == expected
+        assert sum(link.failed for link in medium_machine.links.values()) >= expected
+
+    def test_repair_all_links(self, medium_machine):
+        injector = FaultInjector(medium_machine, seed=2)
+        injector.fail_random_links(0.2)
+        injector.repair_all_links()
+        assert not any(link.failed for link in medium_machine.links.values())
+
+    def test_fail_random_cores(self, medium_machine):
+        injector = FaultInjector(medium_machine, seed=3)
+        failed = injector.fail_random_cores(0.25)
+        assert len(failed) == round(0.25 * medium_machine.n_cores)
+        for coordinate, core_id in failed:
+            assert medium_machine.chips[coordinate].cores[core_id].state \
+                is ProcessorState.FAILED
+
+    def test_neuron_failure_mask(self, medium_machine):
+        injector = FaultInjector(medium_machine, seed=4)
+        mask = injector.neuron_failure_mask(200, 0.1)
+        assert sum(mask) == 20
+
+    def test_fraction_validation(self, medium_machine):
+        injector = FaultInjector(medium_machine)
+        with pytest.raises(ValueError):
+            injector.fail_random_links(2.0)
+        with pytest.raises(ValueError):
+            injector.fail_random_cores(-0.5)
+
+    def test_fault_plan_counts(self, medium_machine):
+        injector = FaultInjector(medium_machine, seed=5)
+        injector.fail_random_links(0.05)
+        injector.fail_random_cores(0.05)
+        assert injector.applied.n_faults == (len(injector.applied.failed_links) +
+                                             len(injector.applied.failed_cores))
+
+
+class TestFaultCampaign:
+    def test_campaign_runs_all_rates_and_trials(self):
+        campaign = FaultCampaign(failure_rates=[0.0, 0.1], trials_per_rate=3)
+        rows = campaign.run(lambda rate, trial, seed: {"value": rate * 10})
+        assert len(rows) == 6
+        assert {row["failure_rate"] for row in rows} == {0.0, 0.1}
+
+    def test_summarise_averages_by_rate(self):
+        campaign = FaultCampaign(failure_rates=[0.0, 0.5], trials_per_rate=2)
+        rows = campaign.run(lambda rate, trial, seed: {"value": rate + trial})
+        summary = dict(FaultCampaign.summarise(rows, "value"))
+        assert summary[0.0] == pytest.approx(0.5)
+        assert summary[0.5] == pytest.approx(1.0)
+
+    def test_seeds_differ_across_trials(self):
+        seeds = []
+        campaign = FaultCampaign(failure_rates=[0.2], trials_per_rate=4)
+        campaign.run(lambda rate, trial, seed: (seeds.append(seed), {"v": 0.0})[1])
+        assert len(set(seeds)) == 4
