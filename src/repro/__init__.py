@@ -30,8 +30,22 @@ million processors" (Furber & Brown, DATE 2011).  It provides:
 * ``repro.host`` — the Ethernet-attached host system.
 * ``repro.analysis`` — latency, traffic, spike-raster and information
   metrics used by the benchmarks.
+* ``repro.alloc`` — multi-tenant machine allocation and job scheduling:
+  rectangular torus-aware leases, priority queues with per-tenant quotas,
+  keepalive/expiry reclamation and the host-facing allocation server.
 """
 
+from repro.alloc import (
+    AllocationScheduler,
+    AllocationServer,
+    Job,
+    JobRequest,
+    JobState,
+    Lease,
+    LeasedMachineView,
+    MachinePartitioner,
+    TenantQuota,
+)
 from repro.core.event_kernel import Event, EventKernel
 from repro.core.geometry import ChipCoordinate, Direction, TorusGeometry
 from repro.core.machine import MachineConfig, SpiNNakerMachine
@@ -54,5 +68,14 @@ __all__ = [
     "MulticastPacket",
     "PointToPointPacket",
     "NearestNeighbourPacket",
+    "AllocationScheduler",
+    "AllocationServer",
+    "Job",
+    "JobRequest",
+    "JobState",
+    "Lease",
+    "LeasedMachineView",
+    "MachinePartitioner",
+    "TenantQuota",
     "__version__",
 ]

@@ -1,0 +1,139 @@
+"""Priority queue and per-tenant quota policing for allocation jobs.
+
+Two independent mechanisms keep one tenant from starving the rest of the
+facility, both familiar from single-machine scheduling practice:
+
+* a **submission rate limit** — each tenant's job submissions pass through
+  a :class:`~repro.core.admission.TokenBucketRegulator` (the same
+  mechanism that polices packet injection on the fabric); a tenant that
+  submits faster than its contracted rate for longer than its burst
+  allowance has the excess jobs *rejected* outright;
+* a **concurrency quota** — a cap on simultaneously-active jobs and on
+  simultaneously-leased chips; a job over this quota is *not* rejected,
+  it simply stays queued until the tenant releases something.
+
+The queue itself is a binary heap ordered by ``(priority, sequence)``:
+strict priority with FIFO tie-breaking, so the scheduler's pass over the
+queue is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.alloc.job import Job, JobState
+from repro.core.admission import TokenBucketRegulator, TrafficClass
+
+__all__ = ["TenantQuota", "JobQueue"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource limits for one tenant.
+
+    ``submission_rate_per_ms`` and ``submission_burst`` parameterise the
+    token bucket policing job creation; the two ``max_*`` fields bound
+    what the tenant may hold concurrently.
+    """
+
+    tenant: str
+    max_active_jobs: int = 8
+    max_leased_chips: int = 256
+    submission_rate_per_ms: float = 0.05
+    submission_burst: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_active_jobs < 1:
+            raise ValueError("a tenant must be allowed at least one job")
+        if self.max_leased_chips < 1:
+            raise ValueError("a tenant must be allowed at least one chip")
+
+    def build_regulator(self) -> TokenBucketRegulator:
+        """The token bucket enforcing this tenant's submission rate."""
+        return TokenBucketRegulator(TrafficClass(
+            name="job-submissions-%s" % self.tenant,
+            guaranteed_rate_packets_per_ms=self.submission_rate_per_ms,
+            burst_packets=self.submission_burst))
+
+
+class JobQueue:
+    """Priority-ordered queue of ``QUEUED`` jobs with quota bookkeeping."""
+
+    def __init__(self, default_quota: Optional[TenantQuota] = None) -> None:
+        #: Template applied to tenants without an explicit quota.
+        self.default_quota = default_quota or TenantQuota(tenant="default")
+        self._quotas: Dict[str, TenantQuota] = {}
+        self._regulators: Dict[str, TokenBucketRegulator] = {}
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Quotas
+    # ------------------------------------------------------------------
+    def set_quota(self, quota: TenantQuota) -> None:
+        """Install (or replace) one tenant's quota.
+
+        Replacing a quota resets the tenant's submission bucket to the new
+        contract's burst allowance.
+        """
+        self._quotas[quota.tenant] = quota
+        self._regulators.pop(quota.tenant, None)
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The effective quota of ``tenant`` (explicit or default)."""
+        quota = self._quotas.get(tenant)
+        if quota is None:
+            quota = replace(self.default_quota, tenant=tenant)
+            self._quotas[tenant] = quota
+        return quota
+
+    def _regulator_for(self, tenant: str) -> TokenBucketRegulator:
+        regulator = self._regulators.get(tenant)
+        if regulator is None:
+            regulator = self.quota_for(tenant).build_regulator()
+            self._regulators[tenant] = regulator
+        return regulator
+
+    def admit_submission(self, tenant: str, now_ms: float) -> bool:
+        """Charge one job submission against the tenant's token bucket."""
+        return self._regulator_for(tenant).admit(now_ms)
+
+    def submission_tokens(self, tenant: str) -> float:
+        """Tokens the tenant has left in its submission bucket."""
+        return self._regulator_for(tenant).tokens
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Enqueue a ``QUEUED`` job."""
+        if job.state is not JobState.QUEUED:
+            raise ValueError("only QUEUED jobs belong in the queue, got %s"
+                             % job.state.value)
+        heapq.heappush(self._heap,
+                       (job.request.priority, next(self._sequence), job))
+
+    def pending(self) -> List[Job]:
+        """The queued jobs, best-priority first.
+
+        Entries whose job has left the ``QUEUED`` state (scheduled or
+        released while waiting) are pruned lazily.
+        """
+        self._prune()
+        return [job for _p, _s, job in sorted(self._heap)]
+
+    def _prune(self) -> None:
+        self._heap = [entry for entry in self._heap
+                      if entry[2].state is JobState.QUEUED]
+        heapq.heapify(self._heap)
+
+    def __len__(self) -> int:
+        self._prune()
+        return len(self._heap)
+
+    def __contains__(self, job: Job) -> bool:
+        return any(entry[2] is job and entry[2].state is JobState.QUEUED
+                   for entry in self._heap)

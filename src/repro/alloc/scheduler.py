@@ -1,0 +1,340 @@
+"""The allocation scheduler: admission, placement and lease reclamation.
+
+Ties the other pieces of :mod:`repro.alloc` together:
+
+* submissions are policed by the per-tenant token buckets of
+  :class:`~repro.alloc.queue.JobQueue` (over-rate jobs are REJECTED);
+* a scheduling pass walks the queue in priority order and, for each job
+  within its tenant's concurrency quota, asks the
+  :class:`~repro.alloc.partition.MachinePartitioner` for a fault-free
+  rectangle under the configured placement policy (first-fit, best-fit
+  or fault-aware locality-fit);
+* scheduled jobs are POWERING for a power-cycle delay plus the
+  controller's own decision latency — the latter expressed in cycles of
+  a :class:`~repro.core.clock.ClockDomain`, so scaling the allocation
+  controller's clock (DVFS) visibly changes job turnaround;
+* a periodic expiry sweep reclaims the leases of jobs whose owners have
+  stopped sending keepalives, then immediately re-runs scheduling so
+  queued jobs take over the reclaimed space;
+* chips the monitor condemns at run time shrink the owning lease in
+  place (the job's machine view loses the chip) and are permanently
+  excluded from future placements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.alloc.job import Job, JobRequest, JobState
+from repro.alloc.machine_view import LeasedMachineView
+from repro.alloc.partition import MachinePartitioner, PLACEMENT_POLICIES
+from repro.alloc.queue import JobQueue, TenantQuota
+from repro.core.clock import ClockDomain
+from repro.core.event_kernel import EventKernel, milliseconds
+from repro.core.geometry import ChipCoordinate
+from repro.core.machine import SpiNNakerMachine
+
+__all__ = ["AllocationStatistics", "AllocationScheduler"]
+
+#: Controller cycles charged for one placement decision (free-list scan,
+#: quota check, lease bookkeeping) — the pseudopolynomial cost of the
+#: scheduling step, made visible through the controller's clock domain.
+DEFAULT_DECISION_CYCLES = 3000
+#: Nominal clock of the allocation controller.
+DEFAULT_CONTROLLER_MHZ = 150.0
+#: Simulated time needed to power-cycle a leased region.
+DEFAULT_POWER_ON_DELAY_US = 100.0
+
+
+@dataclass
+class AllocationStatistics:
+    """Aggregate counters collected by one scheduler."""
+
+    submitted: int = 0
+    rejected: int = 0
+    scheduled: int = 0
+    ready: int = 0
+    freed: int = 0
+    expired: int = 0
+    #: Scheduling passes that skipped a job because its tenant was over
+    #: quota, and because no rectangle fitted, respectively.
+    skips_quota: int = 0
+    skips_capacity: int = 0
+    chips_leased_total: int = 0
+    peak_chips_in_use: int = 0
+    chips_condemned: int = 0
+    wait_ms_total: float = 0.0
+    #: Worst free-pool fragmentation observed (running maximum, sampled
+    #: after every scheduling pass).
+    peak_fragmentation: float = 0.0
+
+    @property
+    def mean_wait_ms(self) -> float:
+        """Mean queue wait of the jobs scheduled so far."""
+        if self.scheduled == 0:
+            return 0.0
+        return self.wait_ms_total / self.scheduled
+
+    def summary(self) -> Dict[str, float]:
+        """A flat metric dictionary for reports and benchmarks."""
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "scheduled": self.scheduled,
+            "freed": self.freed,
+            "expired": self.expired,
+            "skips_quota": self.skips_quota,
+            "skips_capacity": self.skips_capacity,
+            "chips_leased_total": self.chips_leased_total,
+            "peak_chips_in_use": self.peak_chips_in_use,
+            "chips_condemned": self.chips_condemned,
+            "mean_wait_ms": self.mean_wait_ms,
+            "peak_fragmentation": self.peak_fragmentation,
+        }
+
+
+class AllocationScheduler:
+    """Multi-tenant job scheduling over one shared machine."""
+
+    def __init__(self, machine: SpiNNakerMachine,
+                 policy: str = "first-fit",
+                 power_on_delay_us: float = DEFAULT_POWER_ON_DELAY_US,
+                 decision_cycles: int = DEFAULT_DECISION_CYCLES,
+                 clock: Optional[ClockDomain] = None,
+                 partitioner: Optional[MachinePartitioner] = None,
+                 queue: Optional[JobQueue] = None) -> None:
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError("unknown placement policy %r" % (policy,))
+        if power_on_delay_us < 0:
+            raise ValueError("power-on delay must be non-negative")
+        self.machine = machine
+        self.kernel: EventKernel = machine.kernel
+        self.policy = policy
+        self.power_on_delay_us = power_on_delay_us
+        self.decision_cycles = decision_cycles
+        self.clock = clock or ClockDomain("alloc-controller",
+                                          DEFAULT_CONTROLLER_MHZ)
+        self.partitioner = partitioner or MachinePartitioner(machine)
+        self.queue = queue or JobQueue()
+        #: Every job ever submitted, by id (the facility's historical
+        #: record; terminal jobs stay addressable for status queries).
+        self.jobs: Dict[int, Job] = {}
+        #: Only the jobs currently holding leases — the working set the
+        #: scheduling and sweep loops iterate, so passes stay O(active).
+        self._active: Dict[int, Job] = {}
+        self.stats = AllocationStatistics()
+        self._job_ids = itertools.count(1)
+        self._sweep_controller = None
+
+    # ------------------------------------------------------------------
+    # Time base
+    # ------------------------------------------------------------------
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.kernel.now / 1000.0
+
+    @property
+    def decision_latency_us(self) -> float:
+        """Time one placement decision takes on the controller's clock."""
+        return self.clock.cycles_to_microseconds(self.decision_cycles)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Create a job; it is REJECTED, or QUEUED and scheduled eagerly.
+
+        Requests larger than the machine are rejected outright rather
+        than queued forever.
+        """
+        job = Job(next(self._job_ids), request, self.now_ms)
+        self.jobs[job.job_id] = job
+        self.stats.submitted += 1
+        too_large = (request.width > self.partitioner.width
+                     or request.height > self.partitioner.height)
+        if too_large or not self.queue.admit_submission(request.tenant,
+                                                        self.now_ms):
+            job.transition(JobState.REJECTED, self.now_ms)
+            self.stats.rejected += 1
+            return job
+        self.queue.push(job)
+        self.schedule()
+        return job
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def tenant_usage(self, tenant: str) -> Tuple[int, int]:
+        """``(active jobs, leased chips)`` currently held by ``tenant``."""
+        jobs = chips = 0
+        for job in self._active.values():
+            if job.request.tenant == tenant:
+                jobs += 1
+                chips += job.lease.n_chips if job.lease is not None else 0
+        return jobs, chips
+
+    def schedule(self) -> List[Job]:
+        """One scheduling pass; returns the jobs newly moved to POWERING.
+
+        Jobs are visited in (priority, submission) order.  A job whose
+        tenant is over quota or whose rectangle does not fit stays queued;
+        later, smaller jobs may still be scheduled around it (space
+        sharing beats strict head-of-line blocking on a 2-D resource).
+        """
+        started: List[Job] = []
+        for job in self.queue.pending():
+            request = job.request
+            quota = self.queue.quota_for(request.tenant)
+            active_jobs, leased_chips = self.tenant_usage(request.tenant)
+            if (active_jobs >= quota.max_active_jobs
+                    or leased_chips + request.n_chips > quota.max_leased_chips):
+                self.stats.skips_quota += 1
+                continue
+            lease = self.partitioner.allocate(request.width, request.height,
+                                              policy=self.policy,
+                                              tenant=request.tenant)
+            if lease is None:
+                self.stats.skips_capacity += 1
+                continue
+            job.lease = lease
+            self._active[job.job_id] = job
+            self.stats.wait_ms_total += job.wait_ms(self.now_ms)
+            job.transition(JobState.POWERING, self.now_ms)
+            job.touch(self.now_ms)
+            self.stats.scheduled += 1
+            self.stats.chips_leased_total += lease.n_chips
+            in_use = self.partitioner.leased_area
+            self.stats.peak_chips_in_use = max(self.stats.peak_chips_in_use,
+                                               in_use)
+            self.kernel.schedule_after(
+                self.power_on_delay_us + self.decision_latency_us,
+                self._power_on, label="alloc-power-on", job_id=job.job_id)
+            started.append(job)
+        self.stats.peak_fragmentation = max(self.stats.peak_fragmentation,
+                                            self.partitioner.fragmentation())
+        return started
+
+    def _power_on(self, _kernel: EventKernel, job_id: int) -> None:
+        job = self.jobs[job_id]
+        if job.state is not JobState.POWERING:
+            return  # released or expired while the boards were powering
+        view = LeasedMachineView(self.machine, job.lease)
+        view.power_cycle()
+        job.machine_view = view
+        job.transition(JobState.READY, self.now_ms)
+        job.touch(self.now_ms)
+        self.stats.ready += 1
+
+    # ------------------------------------------------------------------
+    # Release, keepalive and expiry
+    # ------------------------------------------------------------------
+    def keepalive(self, job_id: int) -> bool:
+        """Record a client keepalive; False if the job is not alive."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return False
+        return job.touch(self.now_ms)
+
+    def release(self, job_id: int) -> bool:
+        """Release a job (queued or active); True if anything changed."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state.is_terminal:
+            return False
+        self._reclaim(job, JobState.FREED)
+        self.stats.freed += 1
+        self.schedule()
+        return True
+
+    def _reclaim(self, job: Job, final_state: JobState) -> None:
+        if job.lease is not None:
+            self.partitioner.release(job.lease)
+        job.lease = None
+        job.machine_view = None
+        job.transition(final_state, self.now_ms)
+        self._active.pop(job.job_id, None)
+
+    def sweep(self) -> List[Job]:
+        """Expire jobs whose keepalives lapsed, then reschedule.
+
+        Both leased jobs and jobs still waiting in the queue expire: a
+        crashed client must not haunt the queue any more than the
+        machine.  Returns the jobs expired by this sweep.  Driven either
+        directly by tests or periodically through
+        :meth:`start_expiry_timer`.
+        """
+        expired: List[Job] = []
+        candidates = list(self._active.values()) + self.queue.pending()
+        for job in candidates:
+            if job.keepalive_expired(self.now_ms):
+                self._reclaim(job, JobState.EXPIRED)
+                self.stats.expired += 1
+                expired.append(job)
+        if expired:
+            self.schedule()
+        return expired
+
+    def start_expiry_timer(self, period_ms: float = 1.0) -> None:
+        """Run :meth:`sweep` every ``period_ms`` of simulated time."""
+        if period_ms <= 0:
+            raise ValueError("sweep period must be positive")
+        if self._sweep_controller is not None:
+            self._sweep_controller.cancel()
+        self._sweep_controller = self.kernel.schedule_periodic(
+            milliseconds(period_ms), lambda _kernel: self.sweep(),
+            label="alloc-expiry-sweep")
+
+    def stop_expiry_timer(self) -> None:
+        """Cancel the periodic expiry sweep."""
+        if self._sweep_controller is not None:
+            self._sweep_controller.cancel()
+            self._sweep_controller = None
+
+    # ------------------------------------------------------------------
+    # Fault integration (driven by the monitor service)
+    # ------------------------------------------------------------------
+    def handle_dead_chip(self, coordinate: ChipCoordinate) -> Optional[Job]:
+        """A chip died: carve it out of the free pool or shrink its lease.
+
+        Returns the affected job, if the chip was under lease.  A lease
+        reduced to nothing expires its job on the spot.  Repeat reports
+        of the same chip are no-ops.
+        """
+        if coordinate not in self.partitioner.faulty:
+            self.stats.chips_condemned += 1
+        lease = self.partitioner.mark_faulty(coordinate)
+        if lease is None:
+            return None
+        for job in list(self._active.values()):
+            if job.lease is lease:
+                if lease.n_chips == 0:
+                    self._reclaim(job, JobState.EXPIRED)
+                    self.stats.expired += 1
+                elif job.machine_view is not None:
+                    job.machine_view.refresh()
+                return job
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def job(self, job_id: int) -> Optional[Job]:
+        """Look up a job by id."""
+        return self.jobs.get(job_id)
+
+    def machine_view(self, job_id: int) -> Optional[LeasedMachineView]:
+        """The READY job's scoped machine, or ``None``."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state is not JobState.READY:
+            return None
+        return job.machine_view
+
+    def active_jobs(self) -> List[Job]:
+        """Jobs currently holding leases (POWERING or READY)."""
+        return list(self._active.values())
+
+    def queued_jobs(self) -> List[Job]:
+        """Jobs waiting in the queue, best-priority first."""
+        return self.queue.pending()

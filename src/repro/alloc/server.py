@@ -1,0 +1,136 @@
+"""The host-facing allocation server (spalloc's role in this reproduction).
+
+The server extends the management protocol of
+:mod:`repro.host.host_system` with three allocation commands carried in
+the same SDP-style datagrams as every other host operation:
+
+* ``CREATE_JOB`` — submit a job (tenant, width, height, priority,
+  keepalive interval); the response carries the job id and its initial
+  state (``queued`` or ``rejected``);
+* ``JOB_KEEPALIVE`` — refresh a job's keepalive and read back its state;
+* ``RELEASE_JOB`` — give the lease back.
+
+Attaching the server to a :class:`~repro.host.host_system.HostSystem`
+(`host.attach_allocation_server`) routes those commands here; everything
+else continues to behave exactly as before.  Python-side callers can use
+the richer object API (:meth:`create_job`, :meth:`machine_view`) to get
+the actual :class:`~repro.alloc.machine_view.LeasedMachineView` a READY
+job boots and loads.
+
+The server can also subscribe to the
+:class:`~repro.runtime.monitor.MonitorService`: chips the monitor
+condemns shrink the owning lease and leave the allocatable pool for good.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.alloc.job import Job, JobRequest
+from repro.alloc.machine_view import LeasedMachineView
+from repro.alloc.scheduler import AllocationScheduler
+from repro.host.host_system import HostCommand, HostSystem
+
+__all__ = ["AllocationServer"]
+
+
+class AllocationServer:
+    """Multi-tenant job admission over the host's management channel."""
+
+    def __init__(self, host: HostSystem,
+                 scheduler: Optional[AllocationScheduler] = None,
+                 **scheduler_kwargs: Any) -> None:
+        self.host = host
+        self.machine = host.machine
+        if scheduler is not None and scheduler_kwargs:
+            raise ValueError("pass scheduler options either as a built "
+                             "scheduler or as keyword arguments, not both")
+        self.scheduler = scheduler or AllocationScheduler(self.machine,
+                                                          **scheduler_kwargs)
+        host.attach_allocation_server(self)
+
+    # ------------------------------------------------------------------
+    # SDP command dispatch (called by HostSystem._execute)
+    # ------------------------------------------------------------------
+    def handle(self, command: HostCommand,
+               arguments: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one allocation command and build its response."""
+        if command is HostCommand.CREATE_JOB:
+            return self._handle_create(arguments)
+        if command is HostCommand.JOB_KEEPALIVE:
+            return self._handle_keepalive(arguments)
+        if command is HostCommand.RELEASE_JOB:
+            return self._handle_release(arguments)
+        return {"error": "not an allocation command: %s" % (command,)}
+
+    def _handle_create(self, arguments: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            request = JobRequest(
+                tenant=str(arguments.get("tenant", "")),
+                width=int(arguments.get("width", 1)),
+                height=int(arguments.get("height", 1)),
+                priority=int(arguments.get("priority", 5)),
+                keepalive_ms=float(arguments.get("keepalive_ms", 1000.0)),
+                label=str(arguments.get("label", "")))
+        except (TypeError, ValueError) as error:
+            return {"error": str(error)}
+        job = self.scheduler.submit(request)
+        return job.describe()
+
+    def _handle_keepalive(self, arguments: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._job_from(arguments)
+        if job is None:
+            return {"error": "no such job"}
+        alive = self.scheduler.keepalive(job.job_id)
+        response = job.describe()
+        response["alive"] = alive
+        return response
+
+    def _handle_release(self, arguments: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._job_from(arguments)
+        if job is None:
+            return {"error": "no such job"}
+        released = self.scheduler.release(job.job_id)
+        response = job.describe()
+        response["released"] = released
+        return response
+
+    def _job_from(self, arguments: Dict[str, Any]) -> Optional[Job]:
+        try:
+            return self.scheduler.job(int(arguments["job_id"]))
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Object API (host-side Python callers)
+    # ------------------------------------------------------------------
+    def create_job(self, tenant: str, width: int, height: int,
+                   priority: int = 5, keepalive_ms: float = 1000.0,
+                   label: str = "") -> Job:
+        """Submit a job and return the live :class:`Job` object."""
+        return self.scheduler.submit(JobRequest(
+            tenant=tenant, width=width, height=height, priority=priority,
+            keepalive_ms=keepalive_ms, label=label))
+
+    def keepalive(self, job_id: int) -> bool:
+        """Refresh a job's keepalive."""
+        return self.scheduler.keepalive(job_id)
+
+    def release(self, job_id: int) -> bool:
+        """Release a job's lease (or drop it from the queue)."""
+        return self.scheduler.release(job_id)
+
+    def job(self, job_id: int) -> Optional[Job]:
+        """Look up a job."""
+        return self.scheduler.job(job_id)
+
+    def machine_view(self, job_id: int) -> Optional[LeasedMachineView]:
+        """The scoped sub-machine of a READY job."""
+        return self.scheduler.machine_view(job_id)
+
+    # ------------------------------------------------------------------
+    # Monitor integration
+    # ------------------------------------------------------------------
+    def attach_monitor(self, monitor: Any) -> None:
+        """Subscribe to a monitor service's chip-death notifications."""
+        monitor.add_chip_death_listener(self.scheduler.handle_dead_chip)

@@ -9,6 +9,8 @@ quickest way to sanity-check an installation::
     spinnaker-repro codes                     # NRZ vs RTZ link codes
     spinnaker-repro run --duration 200        # a small SNN on the machine
     spinnaker-repro saturation --width 48     # lightly-loaded-regime check
+    spinnaker-repro alloc demo --jobs 40      # multi-tenant job stream
+    spinnaker-repro alloc policies            # compare placement policies
 
 All output goes to stdout; the exit status is zero unless a subcommand
 fails (for example a boot in which chips stay dead).
@@ -20,8 +22,12 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.alloc.partition import PLACEMENT_POLICIES
+from repro.alloc.scheduler import AllocationScheduler
+from repro.alloc.workload import JobStreamConfig, run_job_stream
 from repro.analysis.congestion import congestion_report, saturation_injection_rate
 from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.fault.injection import FaultInjector
 from repro.energy.cost import OwnershipCostModel
 from repro.energy.model import EnergyModel, MachineScaleModel
 from repro.link.codes import LinkPerformanceModel
@@ -150,6 +156,86 @@ def cmd_saturation(args: argparse.Namespace) -> int:
     return 0 if headroom >= 1.0 else 1
 
 
+def _alloc_machine(args: argparse.Namespace) -> SpiNNakerMachine:
+    """Build the demo machine, optionally with whole-chip faults."""
+    machine = SpiNNakerMachine(MachineConfig(width=args.width,
+                                             height=args.height,
+                                             cores_per_chip=args.cores))
+    if args.fault_chips > 0:
+        injector = FaultInjector(machine, seed=args.seed)
+        chips = sorted(machine.chips, key=lambda c: (c.y, c.x))
+        for coordinate in injector.rng.sample(chips, args.fault_chips):
+            for core in machine.chips[coordinate].cores:
+                injector.fail_core(coordinate, core.core_id)
+    return machine
+
+
+def _alloc_stream_config(args: argparse.Namespace) -> JobStreamConfig:
+    return JobStreamConfig(n_jobs=args.jobs,
+                           mean_interarrival_ms=args.interarrival,
+                           mean_hold_ms=args.hold,
+                           min_side=args.min_side, max_side=args.max_side,
+                           tenants=tuple("tenant-%d" % i
+                                         for i in range(args.tenants)),
+                           seed=args.seed)
+
+
+def cmd_alloc(args: argparse.Namespace) -> int:
+    """Dispatch the ``alloc`` subcommand group."""
+    if not 0 <= args.fault_chips <= args.width * args.height:
+        print("error: --fault-chips must lie in [0, %d] for a %dx%d machine"
+              % (args.width * args.height, args.width, args.height))
+        return 2
+    if args.min_side < 1 or args.max_side < args.min_side:
+        print("error: job sizes need 1 <= --min-side <= --max-side")
+        return 2
+    if args.jobs < 1 or args.tenants < 1:
+        print("error: --jobs and --tenants must be at least 1")
+        return 2
+    if args.interarrival <= 0 or args.hold <= 0:
+        print("error: --interarrival and --hold must be positive")
+        return 2
+    if args.alloc_command == "demo":
+        return cmd_alloc_demo(args)
+    return cmd_alloc_policies(args)
+
+
+def cmd_alloc_demo(args: argparse.Namespace) -> int:
+    """Run one synthetic multi-tenant job stream and report the outcome."""
+    machine = _alloc_machine(args)
+    scheduler = AllocationScheduler(machine, policy=args.policy)
+    summary = run_job_stream(scheduler, _alloc_stream_config(args))
+    print("Allocation demo: %dx%d machine, %d jobs, policy %s, %d faulty "
+          "chips" % (args.width, args.height, args.jobs, args.policy,
+                     args.fault_chips))
+    for key in ("submitted", "scheduled", "rejected", "skips_quota",
+                "skips_capacity", "mean_wait_ms", "peak_fragmentation",
+                "peak_chips_in_use", "jobs_per_simulated_s"):
+        print("  %-22s %g" % (key, summary[key]))
+    leaked = scheduler.partitioner.leased_area
+    print("  %-22s %g" % ("chips_still_leased", leaked))
+    return 0 if leaked == 0 else 1
+
+
+def cmd_alloc_policies(args: argparse.Namespace) -> int:
+    """Run the same job stream under every placement policy."""
+    rows = []
+    for policy in PLACEMENT_POLICIES:
+        machine = _alloc_machine(args)
+        scheduler = AllocationScheduler(machine, policy=policy)
+        summary = run_job_stream(scheduler, _alloc_stream_config(args))
+        rows.append([policy, "%d" % summary["scheduled"],
+                     "%d" % summary["skips_capacity"],
+                     "%.2f" % summary["mean_wait_ms"],
+                     "%.3f" % summary["peak_fragmentation"],
+                     "%.1f" % summary["jobs_per_simulated_s"]])
+    print("Placement-policy comparison (%dx%d machine, %d jobs, %d faulty "
+          "chips):" % (args.width, args.height, args.jobs, args.fault_chips))
+    _print_table(rows, header=["policy", "scheduled", "capacity skips",
+                               "mean wait ms", "peak frag", "jobs/s"])
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -188,6 +274,31 @@ def build_parser() -> argparse.ArgumentParser:
     saturation.add_argument("--cores", type=int, default=20)
     saturation.add_argument("--neurons-per-core", type=int, default=1000)
     saturation.add_argument("--mean-rate", type=float, default=10.0)
+
+    alloc = subparsers.add_parser(
+        "alloc", help="multi-tenant machine allocation")
+    alloc_sub = alloc.add_subparsers(dest="alloc_command", required=True)
+    for name, help_text in (("demo", "run one synthetic job stream"),
+                            ("policies", "compare placement policies on "
+                                         "the same stream")):
+        sub = alloc_sub.add_parser(name, help=help_text)
+        sub.add_argument("--width", type=int, default=16)
+        sub.add_argument("--height", type=int, default=16)
+        sub.add_argument("--cores", type=int, default=4)
+        sub.add_argument("--jobs", type=int, default=40)
+        sub.add_argument("--tenants", type=int, default=3)
+        sub.add_argument("--interarrival", type=float, default=20.0,
+                         help="mean interarrival time in ms")
+        sub.add_argument("--hold", type=float, default=120.0,
+                         help="mean lease hold time in ms")
+        sub.add_argument("--min-side", type=int, default=1)
+        sub.add_argument("--max-side", type=int, default=4)
+        sub.add_argument("--fault-chips", type=int, default=0,
+                         help="number of chips to fail before allocating")
+        sub.add_argument("--seed", type=int, default=1)
+        if name == "demo":
+            sub.add_argument("--policy", choices=PLACEMENT_POLICIES,
+                             default="first-fit")
     return parser
 
 
@@ -197,6 +308,7 @@ _COMMANDS = {
     "codes": cmd_codes,
     "run": cmd_run,
     "saturation": cmd_saturation,
+    "alloc": cmd_alloc,
 }
 
 

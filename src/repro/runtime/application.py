@@ -297,32 +297,46 @@ class NeuralApplication:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, duration_ms: float) -> ApplicationResult:
-        """Run the application for ``duration_ms`` of biological time."""
+    def launch(self, duration_ms: float) -> float:
+        """Start every core's timer and return the simulated end time.
+
+        The timers are staggered slightly so the machine is not
+        artificially lock-stepped (bounded asynchrony).  ``launch`` does
+        not advance the kernel: several applications on one machine (for
+        example concurrent allocation jobs on disjoint leases) can all be
+        launched and then driven together — see :func:`run_concurrently`.
+        """
         if not self._prepared:
             self.prepare()
         if duration_ms < 0:
             raise ValueError("duration must be non-negative")
-        # Start every core's millisecond timer, staggered slightly so the
-        # machine is not artificially lock-stepped (bounded asynchrony).
         stagger = np.random.default_rng(self.seed)
         for runtime in self.core_runtimes:
             offset = float(stagger.uniform(0.0, 10.0))
             runtime.core.start_timer(TIMER_PERIOD_US, start_offset_us=offset)
+        return self.kernel.now + milliseconds(duration_ms)
 
-        end_time = self.kernel.now + milliseconds(duration_ms)
-        self.kernel.run_until(end_time)
-
+    def halt(self) -> None:
+        """Stop every core's millisecond timer."""
         for runtime in self.core_runtimes:
             runtime.core.stop_timer()
-        # Let in-flight packets and DMAs drain so latency statistics are
-        # complete, without advancing the timers any further.
-        self.kernel.run(max_events=1_000_000)
 
+    def collect(self, duration_ms: float) -> ApplicationResult:
+        """Finalise the result bookkeeping after a (halted) run."""
         self.result.duration_ms += duration_ms
         self.result.packets_dropped = self.machine.total_dropped_packets()
         self.result.emergency_invocations = self.machine.total_emergency_invocations()
         return self.result
+
+    def run(self, duration_ms: float) -> ApplicationResult:
+        """Run the application for ``duration_ms`` of biological time."""
+        end_time = self.launch(duration_ms)
+        self.kernel.run_until(end_time)
+        self.halt()
+        # Let in-flight packets and DMAs drain so latency statistics are
+        # complete, without advancing the timers any further.
+        self.kernel.run(max_events=1_000_000)
+        return self.collect(duration_ms)
 
     # ------------------------------------------------------------------
     # Recording hooks (called by the core runtimes)
@@ -336,3 +350,31 @@ class NeuralApplication:
         if label in self.result.spikes:
             self.result.spikes[label].extend(
                 (time_ms, int(i)) for i in global_indices)
+
+
+def run_concurrently(applications: List["NeuralApplication"],
+                     duration_ms: float) -> List[ApplicationResult]:
+    """Run several applications side by side on one event kernel.
+
+    All applications must share the same kernel (the normal situation for
+    allocation jobs holding disjoint leases of one machine).  Every
+    application is launched first, the shared kernel is advanced once to
+    the common end time, and only then are the timers halted and the
+    queues drained — so the workloads genuinely interleave in simulated
+    time instead of running back to back.
+    """
+    if not applications:
+        return []
+    kernel = applications[0].kernel
+    for application in applications[1:]:
+        if application.kernel is not kernel:
+            raise ValueError("concurrent applications must share one "
+                             "event kernel")
+    end_times = [application.launch(duration_ms)
+                 for application in applications]
+    kernel.run_until(max(end_times))
+    for application in applications:
+        application.halt()
+    kernel.run(max_events=1_000_000)
+    return [application.collect(duration_ms)
+            for application in applications]

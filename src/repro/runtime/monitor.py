@@ -15,7 +15,7 @@ the machine model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.geometry import ChipCoordinate, Direction
 from repro.core.machine import SpiNNakerMachine
@@ -33,6 +33,7 @@ class MitigationReport:
     entries_rewritten: int = 0
     packets_reissued: int = 0
     cores_disabled: int = 0
+    chips_condemned: int = 0
 
 
 class MonitorService:
@@ -48,6 +49,8 @@ class MonitorService:
         self.emergency_threshold = emergency_threshold
         self.report = MitigationReport()
         self._emergency_counts: Dict[Tuple[ChipCoordinate, Direction], int] = {}
+        self._chip_death_listeners: List[Callable[[ChipCoordinate], None]] = []
+        self._condemned_chips: Set[ChipCoordinate] = set()
 
     # ------------------------------------------------------------------
     # Mailbox processing
@@ -156,6 +159,41 @@ class MonitorService:
             new_entries.append(entry)
         chip.router.table.clear()
         chip.router.table.extend(new_entries)
+
+    def add_chip_death_listener(
+            self, listener: Callable[[ChipCoordinate], None]) -> None:
+        """Register a callback fired when a whole chip is condemned.
+
+        The allocation layer subscribes here so that leases shrink when
+        the monitor maps out dead silicon.
+        """
+        self._chip_death_listeners.append(listener)
+
+    def condemn_chip(self, coordinate: ChipCoordinate) -> None:
+        """Map out an entire chip that can no longer be trusted.
+
+        Every core is disabled (with its routing-table entries scrubbed,
+        as in :meth:`disable_core`), the chip is marked boot-failed so
+        subsequent health surveys report it down, and the registered
+        chip-death listeners are notified.  Condemning an
+        already-condemned chip is a no-op (faults are often reported by
+        several neighbours at once).
+        """
+        if coordinate in self._condemned_chips:
+            return
+        self._condemned_chips.add(coordinate)
+        chip = self.machine.chips[coordinate]
+        for core in chip.cores:
+            # Only working cores get mapped out; cores already failed,
+            # disabled or never booted keep their state (and their
+            # history in the mitigation report).
+            if core.is_available:
+                self.disable_core(coordinate, core.core_id)
+        chip.state.booted = False
+        chip.state.boot_failed = True
+        self.report.chips_condemned += 1
+        for listener in self._chip_death_listeners:
+            listener(coordinate)
 
     def emergency_hotspots(self, minimum: int = 1) -> List[Tuple[ChipCoordinate, Direction, int]]:
         """Links whose emergency count reached ``minimum`` (for diagnostics)."""
