@@ -206,9 +206,13 @@ class EventKernel:
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
         """Run events with timestamps ``<= end_time``.
 
-        The simulated clock is advanced to ``end_time`` even if the queue
-        drains early, so periodic processes resumed later see a consistent
-        time base.  Returns the number of events executed.
+        The simulated clock is advanced to ``end_time`` if the queue drains
+        (or holds only later events), so periodic processes resumed later
+        see a consistent time base.  When the run is cut short by
+        ``max_events`` the clock is left at the last executed event —
+        advancing it to ``end_time`` would make the still-pending events
+        before ``end_time`` execute with the clock moving backwards.
+        Returns the number of events executed.
         """
         if end_time < self._now:
             raise ValueError(
@@ -217,11 +221,13 @@ class EventKernel:
             )
         executed = 0
         while self._queue:
-            if max_events is not None and executed >= max_events:
-                break
             next_time = self._peek_time()
             if next_time is None or next_time > end_time:
                 break
+            if max_events is not None and executed >= max_events:
+                # Cut short with executable events still pending: leave
+                # the clock at the last executed event.
+                return executed
             if self.step():
                 executed += 1
         self._now = max(self._now, end_time)

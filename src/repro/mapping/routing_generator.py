@@ -27,6 +27,7 @@ from repro.core.machine import SpiNNakerMachine
 from repro.mapping.keys import KeyAllocator
 from repro.mapping.placement import Placement, Vertex
 from repro.neuron.network import Network
+from repro.neuron.population import LATEST_EXPANSION, expansion_rng
 from repro.router.routing_table import RoutingEntry
 
 
@@ -54,7 +55,9 @@ class RoutingTableGenerator:
     # Destination discovery
     # ------------------------------------------------------------------
     def destinations_of(self, network: Network, vertex: Vertex,
-                        rng: np.random.Generator) -> Dict[ChipCoordinate, Set[int]]:
+                        rng: np.random.Generator,
+                        seed: object = LATEST_EXPANSION
+                        ) -> Dict[ChipCoordinate, Set[int]]:
         """Chips (and the cores on them) that must receive ``vertex``'s spikes.
 
         A chip is a destination if any projection from the vertex's
@@ -65,7 +68,7 @@ class RoutingTableGenerator:
         for projection in network.projections:
             if projection.pre.label != vertex.population_label:
                 continue
-            rows = projection.build_rows(rng)
+            rows = projection.build_rows(rng, seed=seed)
             target_vertices = self.placement.vertices_of(projection.post.label)
             for source_neuron in range(vertex.slice_start, vertex.slice_stop):
                 synapses = rows.get(source_neuron)
@@ -106,6 +109,19 @@ class RoutingTableGenerator:
             tree.setdefault(current, set())
         return tree
 
+    def _pre_expand(self, network: Network,
+                    effective_seed) -> np.random.Generator:
+        """Expand every projection under its own per-index stream.
+
+        Registers the canonical connectivity for ``effective_seed`` before
+        the vertex loop, so ``destinations_of`` only ever cache-hits, and
+        returns a generator for any remaining (legacy, unseeded) draws.
+        """
+        for index, projection in enumerate(network.projections):
+            projection.build_rows(expansion_rng(effective_seed, index),
+                                  seed=effective_seed)
+        return expansion_rng(effective_seed)
+
     # ------------------------------------------------------------------
     # Table installation
     # ------------------------------------------------------------------
@@ -113,14 +129,16 @@ class RoutingTableGenerator:
                  seed: Optional[int] = None,
                  minimise: bool = True) -> RoutingSummary:
         """Install routing entries for every source vertex of the network."""
-        rng = np.random.default_rng(network.seed if seed is None else seed)
+        effective_seed = network.seed if seed is None else seed
+        rng = self._pre_expand(network, effective_seed)
         summary = RoutingSummary()
         touched: Set[ChipCoordinate] = set()
 
         for vertex in self.placement.vertices:
             space = self.keys.key_space(vertex)
             source_chip, _source_core = self.placement.location_of(vertex)
-            destinations = self.destinations_of(network, vertex, rng)
+            destinations = self.destinations_of(network, vertex, rng,
+                                                seed=effective_seed)
             if not destinations:
                 continue
             summary.multicast_trees += 1
@@ -166,7 +184,8 @@ class RoutingTableGenerator:
         vertices of the projection (the cores then discard irrelevant
         spikes, as a bus-snooping AER system would).
         """
-        rng = np.random.default_rng(network.seed if seed is None else seed)
+        effective_seed = network.seed if seed is None else seed
+        rng = self._pre_expand(network, effective_seed)
         summary = RoutingSummary()
         touched: Set[ChipCoordinate] = set()
         all_chips = list(self.machine.geometry.all_chips())
@@ -174,7 +193,8 @@ class RoutingTableGenerator:
         for vertex in self.placement.vertices:
             space = self.keys.key_space(vertex)
             source_chip, _ = self.placement.location_of(vertex)
-            destinations = self.destinations_of(network, vertex, rng)
+            destinations = self.destinations_of(network, vertex, rng,
+                                                seed=effective_seed)
             if not destinations:
                 continue
             summary.multicast_trees += 1

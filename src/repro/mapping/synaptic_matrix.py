@@ -29,8 +29,9 @@ import numpy as np
 from repro.core.machine import SpiNNakerMachine
 from repro.mapping.keys import KeyAllocator, KeySpace
 from repro.mapping.placement import Placement, Vertex
+from repro.neuron.engine import CSRMatrix
+from repro.neuron.population import expansion_rng
 from repro.neuron.network import Network
-from repro.neuron.synapse import Synapse, SynapticRow
 
 
 @dataclass(frozen=True)
@@ -109,15 +110,19 @@ class SynapticMatrixBuilder:
 
         Returns the per-core data, keyed by ``(chip_coordinate, core_id)``.
         """
-        rng = np.random.default_rng(network.seed if seed is None else seed)
+        effective_seed = network.seed if seed is None else seed
         self.core_data = {}
 
         # Initialise a record per placed vertex.
         for vertex, (chip, core) in self.placement.locations.items():
             self.core_data[(chip, core)] = CoreSynapticData(vertex=vertex)
 
-        for projection in network.projections:
-            rows = projection.build_rows(rng)
+        for index, projection in enumerate(network.projections):
+            # Compile once per projection; every (source, target) vertex
+            # pair is then a vectorized submatrix slice instead of a
+            # per-Synapse filter loop.
+            csr = projection.compile_csr(
+                expansion_rng(effective_seed, index), seed=effective_seed)
             source_vertices = self.placement.vertices_of(projection.pre.label)
             target_vertices = self.placement.vertices_of(projection.post.label)
 
@@ -127,55 +132,43 @@ class SynapticMatrixBuilder:
                 chip = self.machine.chips[target_location[0]]
 
                 for source_vertex in source_vertices:
-                    block_rows = self._filter_rows(rows, source_vertex,
-                                                   target_vertex)
-                    if not any(len(row) for row in block_rows):
+                    block = csr.submatrix(source_vertex.slice_start,
+                                          source_vertex.slice_stop,
+                                          target_vertex.slice_start,
+                                          target_vertex.slice_stop)
+                    if block.n_synapses == 0:
                         continue
-                    self._write_block(chip, data, source_vertex, block_rows)
+                    self._write_block(chip, data, source_vertex, block)
         return self.core_data
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _filter_rows(self, rows: Dict[int, List[Synapse]],
-                     source_vertex: Vertex,
-                     target_vertex: Vertex) -> List[SynapticRow]:
-        """One row per source neuron, restricted to the target vertex's neurons.
-
-        Target indices are rewritten into the target core's local numbering.
-        """
-        block: List[SynapticRow] = []
-        for source_neuron in range(source_vertex.slice_start,
-                                   source_vertex.slice_stop):
-            local_synapses = []
-            for synapse in rows.get(source_neuron, ()):
-                if (target_vertex.slice_start <= synapse.target
-                        < target_vertex.slice_stop):
-                    local_synapses.append(Synapse(
-                        synapse.target - target_vertex.slice_start,
-                        synapse.weight, synapse.delay_ticks))
-            block.append(SynapticRow(source_neuron, local_synapses))
-        return block
-
     def _write_block(self, chip, data: CoreSynapticData,
-                     source_vertex: Vertex,
-                     block_rows: List[SynapticRow]) -> None:
-        """Write one source vertex's rows into the chip's SDRAM."""
+                     source_vertex: Vertex, block: CSRMatrix) -> None:
+        """Write one source vertex's rows into the chip's SDRAM.
+
+        ``block`` is the projection submatrix restricted to this source
+        vertex's neurons and the destination core's local targets; its
+        packed rows are byte-identical to the old per-``SynapticRow``
+        construction.
+        """
         space = self.keys.key_space(source_vertex)
+        packed_rows = block.pack_rows()
+        row_lengths = block.row_lengths()
         # Fixed stride: every row occupies the same number of words so that
         # the packet handler can compute the row address directly from the
         # neuron index, as the real master population table does.
-        stride = max(row.n_words for row in block_rows)
+        stride = max(len(words) for words in packed_rows)
         region = chip.sdram.allocate(
-            4 * stride * len(block_rows),
+            4 * stride * len(packed_rows),
             tag="synapses:%s->%s" % (source_vertex, data.vertex))
-        for row_index, row in enumerate(block_rows):
-            words = row.pack()
-            words.extend([0] * (stride - len(words)))
+        for row_index, words in enumerate(packed_rows):
+            words = words + [0] * (stride - len(words))
             chip.sdram.write_block(region.base + 4 * row_index * stride, words)
-            data.total_synapses += len(row)
-        data.total_sdram_words += stride * len(block_rows)
+            data.total_synapses += int(row_lengths[row_index])
+        data.total_sdram_words += stride * len(packed_rows)
         data.population_table.add(PopulationTableEntry(
             key=space.base_key, mask=space.mask,
             sdram_address=region.base, row_stride_words=stride,
-            n_rows=len(block_rows)))
+            n_rows=len(packed_rows)))

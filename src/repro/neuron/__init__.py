@@ -11,6 +11,9 @@ the reproduction:
   ring buffer and the *deferred-event model* that re-inserts the
   programmable ("soft") axonal delays removed by the electronically
   instantaneous interconnect (Section 3.2);
+* :mod:`repro.neuron.engine` — the vectorized CSR spike-propagation
+  engine: projections compiled to flat ``row_ptr``/``targets``/``weights``/
+  ``delay_ticks`` arrays, batch-scattered into the ring buffers;
 * :mod:`repro.neuron.connectors` — connection-pattern generators
   (one-to-one, all-to-all, fixed-probability, distance-dependent);
 * :mod:`repro.neuron.population` — a PyNN-flavoured population/projection
@@ -28,6 +31,12 @@ from repro.neuron.connectors import (
     FixedProbabilityConnector,
     OneToOneConnector,
 )
+from repro.neuron.engine import (
+    CSRMatrix,
+    decode_packed_row,
+    pack_synapse_words,
+    unpack_synapse_words,
+)
 from repro.neuron.izhikevich import IzhikevichParameters, IzhikevichPopulation
 from repro.neuron.lif import LIFParameters, LIFPopulation
 from repro.neuron.network import Network, SimulationResult
@@ -41,6 +50,10 @@ from repro.neuron.stdp import STDPParameters, STDPMechanism
 from repro.neuron.synapse import DeferredEventBuffer, Synapse, SynapticRow
 
 __all__ = [
+    "CSRMatrix",
+    "decode_packed_row",
+    "pack_synapse_words",
+    "unpack_synapse_words",
     "AllToAllConnector",
     "DistanceDependentConnector",
     "FixedProbabilityConnector",

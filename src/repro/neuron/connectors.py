@@ -32,6 +32,18 @@ class Connector:
         """Return a mapping from pre-synaptic index to its synapse list."""
         raise NotImplementedError
 
+    def build_csr(self, n_pre: int, n_post: int, rng: np.random.Generator):
+        """Expand directly into the engine's CSR form.
+
+        Returns a :class:`repro.neuron.engine.CSRMatrix` compiled from the
+        same expansion (and the same ``rng`` draws) :meth:`build` would
+        produce, for callers that only need the flat-array view.
+        """
+        from repro.neuron.engine import CSRMatrix
+
+        return CSRMatrix.from_rows(self.build(n_pre, n_post, rng),
+                                   n_pre, n_post)
+
     @staticmethod
     def _clip_delay(delay_ticks: int) -> int:
         return int(min(max(1, delay_ticks), MAX_DELAY_TICKS))

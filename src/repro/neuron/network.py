@@ -24,6 +24,7 @@ from repro.neuron.population import (
     Projection,
     SpikeSourceArray,
     SpikeSourcePoisson,
+    expansion_rng,
 )
 from repro.neuron.synapse import DeferredEventBuffer, MAX_DELAY_TICKS
 
@@ -116,24 +117,45 @@ class Network:
 
     def n_synapses(self, rng: Optional[np.random.Generator] = None) -> int:
         """Total synapses across all projections."""
-        rng = rng or np.random.default_rng(self.seed)
-        return sum(projection.n_synapses(rng) for projection in self.projections)
+        if rng is not None:
+            return sum(projection.n_synapses(rng)
+                       for projection in self.projections)
+        return sum(projection.n_synapses(expansion_rng(self.seed, index),
+                                         seed=self.seed)
+                   for index, projection in enumerate(self.projections))
 
     # ------------------------------------------------------------------
     # Reference simulation
     # ------------------------------------------------------------------
-    def run(self, duration_ms: float,
-            seed: Optional[int] = None) -> SimulationResult:
+    def run(self, duration_ms: float, seed: Optional[int] = None,
+            propagation: str = "csr") -> SimulationResult:
         """Simulate the network on the host for ``duration_ms``.
 
         The loop mirrors the on-machine application model: each tick drains
         the deferred-event buffers into the neuron models, integrates the
         membrane equations, collects the spikes and pushes their synaptic
         consequences back into the buffers with the programmed delays.
+
+        ``propagation`` selects the spike-propagation path: ``"csr"`` (the
+        default) batch-scatters each projection's spikes through its
+        compiled :class:`~repro.neuron.engine.CSRMatrix`, while
+        ``"reference"`` walks the per-source ``Synapse`` object lists one
+        event at a time.  Both paths perform the same floating-point
+        operations in the same order, so a seeded network produces
+        identical spike trains under either — ``"reference"`` exists as
+        the equivalence baseline, not as a supported fast path.  (Sole
+        caveat: a ring-buffer cell driven past the 16-bit saturation
+        limit mid-tick by mixed-sign weights clamps per event on the
+        reference path but per batch on the CSR path, so heavily
+        saturating networks may diverge.)
         """
         if duration_ms < 0:
             raise ValueError("duration must be non-negative")
-        rng = np.random.default_rng(self.seed if seed is None else seed)
+        if propagation not in ("csr", "reference"):
+            raise ValueError("propagation must be 'csr' or 'reference', "
+                             "got %r" % (propagation,))
+        effective_seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(effective_seed)
         n_ticks = int(round(duration_ms / self.timestep_ms))
 
         # Build per-population state, input buffers and recording stores.
@@ -156,9 +178,18 @@ class Network:
                 result.voltages[population.label] = np.zeros(
                     (n_ticks, population.size))
 
-        # Expand every projection once.
-        rows_by_projection = [(projection, projection.build_rows(rng))
-                              for projection in self.projections]
+        # Expand every projection once (cached per seed); in CSR mode also
+        # compile each expansion into its flat-array form.  Expansion uses
+        # per-projection streams — shared with the mapping layer,
+        # decorrelated from the simulation draws — so results do not
+        # depend on expansion order or on cache hits/misses.
+        rows_by_projection = []
+        for index, projection in enumerate(self.projections):
+            rows_rng = expansion_rng(effective_seed, index)
+            rows = projection.build_rows(rows_rng, seed=effective_seed)
+            csr = (projection.compile_csr(rows_rng, seed=effective_seed)
+                   if propagation == "csr" else None)
+            rows_by_projection.append((projection, rows, csr))
 
         for tick in range(n_ticks):
             time_ms = tick * self.timestep_ms
@@ -201,22 +232,44 @@ class Network:
                     result.spikes[population.label].extend(
                         (time_ms, int(neuron)) for neuron in spiking_neurons)
 
-            for projection, rows in rows_by_projection:
+            for projection, rows, csr in rows_by_projection:
                 pre_spikes = spikes_this_tick.get(projection.pre.label)
                 if pre_spikes is None:
                     continue
                 target_buffer = buffers.get(projection.post.label)
                 if target_buffer is None:
                     continue
-                for neuron in np.flatnonzero(pre_spikes):
-                    for synapse in rows.get(int(neuron), ()):
-                        target_buffer.add_synapse(synapse)
+                if csr is not None:
+                    spiking = np.flatnonzero(pre_spikes)
+                    if spiking.size:
+                        csr.scatter(spiking, target_buffer)
+                else:
+                    for neuron in np.flatnonzero(pre_spikes):
+                        for synapse in rows.get(int(neuron), ()):
+                            target_buffer.add_synapse(synapse)
                 if projection.plasticity is not None:
                     post_spikes = spikes_this_tick.get(projection.post.label)
-                    projection.plasticity.update(
-                        rows, pre_spikes,
-                        post_spikes if post_spikes is not None else
-                        np.zeros(projection.post.size, dtype=bool),
-                        time_ms)
+                    if post_spikes is None:
+                        post_spikes = np.zeros(projection.post.size,
+                                               dtype=bool)
+                    if csr is not None:
+                        projection.plasticity.update_csr(
+                            csr, pre_spikes, post_spikes, time_ms)
+                    else:
+                        projection.plasticity.update(
+                            rows, pre_spikes, post_spikes, time_ms)
+
+        # Commit plasticity-modified CSR weights back into the cached rows
+        # so the object view (mapping layer, post-run inspection) agrees —
+        # the host-side analogue of the SDRAM write-back DMA (Section 5.3).
+        # A reference-mode run mutates the rows directly instead, so any
+        # previously compiled CSR for this seed is now stale.
+        for projection, rows, csr in rows_by_projection:
+            if projection.plasticity is None:
+                continue
+            if csr is not None:
+                csr.write_back(rows)
+            else:
+                projection.invalidate_csr(seed=effective_seed)
 
         return result

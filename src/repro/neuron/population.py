@@ -18,11 +18,38 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.neuron.connectors import Connector
+from repro.neuron.engine import CSRMatrix
 from repro.neuron.izhikevich import IzhikevichParameters, IzhikevichPopulation
 from repro.neuron.lif import LIFParameters, LIFPopulation
 from repro.neuron.synapse import Synapse, SynapticRow
 
 _population_counter = itertools.count()
+
+#: Sentinel ``seed`` value for :meth:`Projection.build_rows`: reuse the most
+#: recently built expansion whatever seed produced it (the legacy behaviour
+#: of the unkeyed cache), building an unseeded one if none exists yet.
+LATEST_EXPANSION = object()
+
+#: Stream-split constant mixed into the connectivity-expansion generator so
+#: its draws are statistically independent of the simulation generator
+#: seeded with the same value.
+_EXPANSION_STREAM = 0x5EED
+
+
+def expansion_rng(seed: Optional[int],
+                  projection_index: int = 0) -> np.random.Generator:
+    """The generator every layer uses to expand connectivity for ``seed``.
+
+    Each projection gets its own stream, keyed by its position in the
+    network's projection list, so a network expanded anywhere — host
+    simulator, synaptic-matrix builder, routing generator, in any order —
+    yields the same synapses for the same seed, while staying
+    decorrelated from the simulation stream (``default_rng(seed)``) that
+    drives membrane initialisation and Poisson stimuli.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng([_EXPANSION_STREAM, projection_index, seed])
 
 
 class Population:
@@ -114,10 +141,20 @@ class SpikeSourcePoisson(Population):
     def is_spike_source(self) -> bool:
         return True
 
+    @staticmethod
+    def spike_probability(rate_hz: float, timestep_ms: float) -> float:
+        """Probability of at least one spike in one tick of a Poisson train.
+
+        ``1 - exp(-rate * dt)`` rather than the naive ``rate * dt``, which
+        is not a probability for rates above ``1 / dt`` (1 kHz at the 1 ms
+        tick) and overestimates the rate well below that.
+        """
+        return float(-np.expm1(-rate_hz * timestep_ms / 1000.0))
+
     def spikes_for_tick(self, timestep_ms: float,
                         rng: np.random.Generator) -> np.ndarray:
         """Sample this tick's spike mask."""
-        probability = self.rate_hz * timestep_ms / 1000.0
+        probability = self.spike_probability(self.rate_hz, timestep_ms)
         return rng.random(self.size) < probability
 
 
@@ -153,6 +190,10 @@ class Projection:
 
     The connector is expanded lazily (per simulation / per mapping) so the
     same network description can be instantiated with different seeds.
+    Expansions are cached **per seed**: running the same network with
+    ``seed=A`` and then ``seed=B`` builds two independent connectivities
+    instead of silently reusing the first seed's synapses (the old unkeyed
+    cache poisoned every cross-seed comparison).
     """
 
     pre: Population
@@ -161,29 +202,85 @@ class Projection:
     label: Optional[str] = None
     #: Optional plasticity mechanism (see :mod:`repro.neuron.stdp`).
     plasticity: Optional[object] = None
-    _rows_cache: Optional[Dict[int, List[Synapse]]] = field(
-        default=None, repr=False, compare=False)
+    #: Per-seed expansion cache; the compiled CSR form is cached alongside.
+    _rows_cache: Dict[object, Dict[int, List[Synapse]]] = field(
+        default_factory=dict, repr=False, compare=False)
+    _csr_cache: Dict[object, tuple] = field(
+        default_factory=dict, repr=False, compare=False)
+    _latest_key: object = field(default=None, repr=False, compare=False)
 
-    def build_rows(self, rng: np.random.Generator,
-                   refresh: bool = False) -> Dict[int, List[Synapse]]:
-        """Expand the connector into per-source synapse lists (cached)."""
-        if self._rows_cache is None or refresh:
-            self._rows_cache = self.connector.build(self.pre.size,
-                                                    self.post.size, rng)
-        return self._rows_cache
+    def build_rows(self, rng: np.random.Generator, refresh: bool = False,
+                   seed: object = LATEST_EXPANSION) -> Dict[int, List[Synapse]]:
+        """Expand the connector into per-source synapse lists (cached per seed).
 
-    def synaptic_rows(self, rng: np.random.Generator) -> Dict[int, SynapticRow]:
+        ``seed`` is the cache key.  Callers passing a real seed MUST derive
+        ``rng`` from :func:`expansion_rng` with that seed and this
+        projection's index in its network — the cache trusts the pairing,
+        and a mismatched generator would register wrong connectivity for
+        every later consumer of that seed.  Passing
+        :data:`LATEST_EXPANSION` (the default) returns the most recent
+        expansion regardless of its seed — the legacy behaviour callers
+        without a seed in hand rely on — or builds an unseeded expansion
+        when nothing is cached yet.
+        """
+        key = seed
+        if key is LATEST_EXPANSION:
+            if self._rows_cache and not refresh:
+                return self._rows_cache[self._latest_key]
+            # A refresh without a seed is an explicitly unseeded rebuild;
+            # it must not overwrite a seed-keyed entry with connectivity
+            # drawn from an arbitrary generator.
+            key = None
+        if refresh or key not in self._rows_cache:
+            self._rows_cache[key] = self.connector.build(self.pre.size,
+                                                         self.post.size, rng)
+            self._csr_cache.pop(key, None)
+        self._latest_key = key
+        return self._rows_cache[key]
+
+    def compile_csr(self, rng: np.random.Generator,
+                    seed: object = LATEST_EXPANSION) -> CSRMatrix:
+        """Compile the (cached) expansion into its CSR form, once per seed.
+
+        The returned matrix shares the cache entry's lifetime: plasticity
+        mutates its weight array in place, and the caller is expected to
+        :meth:`CSRMatrix.write_back` into the rows so both views agree.
+        """
+        rows = self.build_rows(rng, seed=seed)
+        key = self._latest_key
+        cached = self._csr_cache.get(key)
+        if cached is None or cached[0] is not rows:
+            cached = (rows, CSRMatrix.from_rows(rows, self.pre.size,
+                                                self.post.size))
+            self._csr_cache[key] = cached
+        return cached[1]
+
+    def invalidate_csr(self, seed: object = LATEST_EXPANSION) -> None:
+        """Drop the compiled CSR for a seed after its rows were mutated.
+
+        Callers that modify the ``Synapse`` objects of an expansion in
+        place (the object-based STDP path) must invalidate, or a later
+        :meth:`compile_csr` would hand back pre-mutation weights.
+        """
+        key = self._latest_key if seed is LATEST_EXPANSION else seed
+        self._csr_cache.pop(key, None)
+
+    def synaptic_rows(self, rng: np.random.Generator,
+                      seed: object = LATEST_EXPANSION) -> Dict[int, SynapticRow]:
         """Expand into :class:`SynapticRow` objects keyed by source index."""
-        rows = self.build_rows(rng)
+        rows = self.build_rows(rng, seed=seed)
         return {pre: SynapticRow(pre, synapses)
                 for pre, synapses in rows.items()}
 
-    def n_synapses(self, rng: np.random.Generator) -> int:
+    def n_synapses(self, rng: np.random.Generator,
+                   seed: object = LATEST_EXPANSION) -> int:
         """Total number of synapses in the projection."""
-        return sum(len(synapses) for synapses in self.build_rows(rng).values())
+        return sum(len(synapses)
+                   for synapses in self.build_rows(rng, seed=seed).values())
 
-    def max_delay(self, rng: np.random.Generator) -> int:
+    def max_delay(self, rng: np.random.Generator,
+                  seed: object = LATEST_EXPANSION) -> int:
         """Largest programmable delay used by the projection."""
-        rows = self.build_rows(rng)
+        rows = self.build_rows(rng, seed=seed)
         return max((s.delay_ticks for synapses in rows.values()
                     for s in synapses), default=0)

@@ -21,6 +21,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.neuron.engine import CSRMatrix
 from repro.neuron.synapse import Synapse
 
 
@@ -115,6 +116,62 @@ class STDPMechanism:
                         modified = True
                 if modified:
                     self.rows_modified += 1
+
+        # Finally the spikes of this tick bump their own traces.
+        self.pre_trace[pre_indices] += 1.0
+        self.post_trace[post_indices] += 1.0
+
+    def update_csr(self, csr: CSRMatrix, pre_spikes: np.ndarray,
+                   post_spikes: np.ndarray, time_ms: float) -> None:
+        """Vectorized :meth:`update` over a compiled CSR matrix.
+
+        Mutates ``csr.weights`` in place with gather/scatter operations
+        instead of per-``Synapse`` loops, performing the same IEEE
+        floating-point operations per synapse (and updating the same
+        event/row counters) as the object-based rule, so the two paths
+        learn identical weights.
+        """
+        p = self.parameters
+        # Decay the traces first (they represent activity *before* this tick).
+        self.pre_trace *= self._decay_plus
+        self.post_trace *= self._decay_minus
+
+        pre_indices = np.flatnonzero(pre_spikes)
+        post_indices = np.flatnonzero(post_spikes)
+
+        # Depression: pre-synaptic spike reads the post trace.
+        if pre_indices.size:
+            slots = csr.synapse_slots(pre_indices)
+            if slots.size:
+                trace = self.post_trace[csr.targets[slots]]
+                active = slots[trace > 0.0]
+                if active.size:
+                    old = csr.weights[active]
+                    new = np.maximum(p.w_min,
+                                     old - p.a_minus * trace[trace > 0.0])
+                    changed = new != old
+                    csr.weights[active] = new
+                    self.depression_events += int(changed.sum())
+                    if changed.any():
+                        self.rows_modified += int(np.unique(
+                            csr.pre_index[active[changed]]).size)
+
+        # Potentiation: post-synaptic spike reads the pre trace.
+        if post_indices.size:
+            post_spiked = np.zeros(csr.n_post, dtype=bool)
+            post_spiked[post_indices] = True
+            trace = self.pre_trace[csr.pre_index]
+            candidates = np.flatnonzero(post_spiked[csr.targets]
+                                        & (trace > 0.0))
+            if candidates.size:
+                old = csr.weights[candidates]
+                new = np.minimum(p.w_max, old + p.a_plus * trace[candidates])
+                changed = new != old
+                csr.weights[candidates] = new
+                self.potentiation_events += int(changed.sum())
+                if changed.any():
+                    self.rows_modified += int(np.unique(
+                        csr.pre_index[candidates[changed]]).size)
 
         # Finally the spikes of this tick bump their own traces.
         self.pre_trace[pre_indices] += 1.0

@@ -38,6 +38,11 @@ DELAY_BITS = 4
 INDEX_BITS = 12
 #: Fixed-point scaling of the 16-bit weight field.
 WEIGHT_FIXED_POINT = 1 << 4
+#: Largest charge magnitude (nA) representable in the 16-bit fixed-point
+#: weight format (paper Section 5.3).  The deferred-event ring buffer
+#: accumulates in the same format on the real machine, so accumulated
+#: charge saturates — it cannot wrap — at this value.
+WEIGHT_SATURATION_NA = ((1 << (WEIGHT_BITS - 1)) - 1) / WEIGHT_FIXED_POINT
 
 
 @dataclass(frozen=True)
@@ -190,8 +195,98 @@ class DeferredEventBuffer:
             raise ValueError("delay %d outside 1..%d" % (delay_ticks,
                                                          self.max_delay_ticks))
         slot = (self._current_tick + delay_ticks) % self.n_slots
-        self._buffer[slot, target] += weight
+        accumulated = self._buffer[slot, target] + weight
+        if accumulated > WEIGHT_SATURATION_NA:
+            accumulated = WEIGHT_SATURATION_NA
+            self.saturations += 1
+        elif accumulated < -WEIGHT_SATURATION_NA:
+            accumulated = -WEIGHT_SATURATION_NA
+            self.saturations += 1
+        self._buffer[slot, target] = accumulated
         self.events_deferred += 1
+
+    def add_events(self, targets: np.ndarray, weights: np.ndarray,
+                   delay_ticks: np.ndarray) -> None:
+        """Defer a whole batch of synaptic events in one vectorized scatter.
+
+        This is the fast path used by the CSR propagation engine
+        (:mod:`repro.neuron.engine`): all three arrays are aligned
+        per-event, and the accumulation into the ring is performed with
+        ``np.add.at`` so repeated ``(slot, target)`` pairs sum in element
+        order — exactly the order the scalar :meth:`add_input` loop would
+        use.  Saturation is clamped once per touched buffer cell after
+        each call (the scalar path clamps after every event), so the two
+        paths agree exactly whenever the accumulated charge stays inside
+        the 16-bit weight range; a cell that saturates mid-batch from
+        mixed-sign weights may land differently.
+        """
+        targets = np.asarray(targets, dtype=np.intp)
+        delay_ticks = np.asarray(delay_ticks, dtype=np.intp)
+        weights = np.asarray(weights, dtype=float)
+        if targets.size == 0:
+            return
+        # Validate the whole batch up front so an invalid event can never
+        # leave the buffer partially mutated.
+        if targets.min() < 0 or targets.max() >= self.n_neurons:
+            raise IndexError("event targets outside population of %d neurons"
+                             % (self.n_neurons,))
+        if delay_ticks.min() < 1 or delay_ticks.max() > self.max_delay_ticks:
+            raise ValueError("event delays outside 1..%d"
+                             % (self.max_delay_ticks,))
+        if targets.size <= 32:
+            # Small batches (single DMA rows on the machine model) are
+            # cheaper through a scalar accumulate than through the fixed
+            # overhead of a vectorized scatter.  Clamping still happens
+            # per touched cell after the batch, so results never depend
+            # on which side of this threshold a batch falls.
+            touched_cells = set()
+            tick = self._current_tick
+            for target, weight, delay in zip(targets.tolist(),
+                                             weights.tolist(),
+                                             delay_ticks.tolist()):
+                slot = (tick + delay) % self.n_slots
+                self._buffer[slot, target] += weight
+                touched_cells.add((slot, target))
+            self.events_deferred += int(targets.size)
+            for slot, target in touched_cells:
+                value = self._buffer[slot, target]
+                if value > WEIGHT_SATURATION_NA:
+                    self._buffer[slot, target] = WEIGHT_SATURATION_NA
+                    self.saturations += 1
+                elif value < -WEIGHT_SATURATION_NA:
+                    self._buffer[slot, target] = -WEIGHT_SATURATION_NA
+                    self.saturations += 1
+            return
+        slots = (self._current_tick + delay_ticks) % self.n_slots
+        cells = slots * self.n_neurons + targets
+        np.add.at(self._buffer.ravel(), cells, weights)
+        self.events_deferred += int(targets.size)
+
+        # Clamp at the fixed-point weight range.  Only cells touched by
+        # this call can have newly crossed the limit (cells clamped by
+        # earlier calls sit exactly *at* the limit and are not
+        # re-counted).  For batches much smaller than the buffer, clamp
+        # the unique touched cells; for dense batches a whole-row scan of
+        # the touched slots is cheaper than deduplicating the indices.
+        flat = self._buffer.ravel()
+        if targets.size < self.n_neurons:
+            unique_cells = np.unique(cells)
+            values = flat[unique_cells]
+            over = np.abs(values) > WEIGHT_SATURATION_NA
+            if over.any():
+                self.saturations += int(over.sum())
+                flat[unique_cells[over]] = (np.sign(values[over])
+                                            * WEIGHT_SATURATION_NA)
+            return
+        touched = np.zeros(self.n_slots, dtype=bool)
+        touched[slots] = True
+        for slot in np.flatnonzero(touched):
+            row = self._buffer[slot]
+            n_over = int(np.count_nonzero(np.abs(row) > WEIGHT_SATURATION_NA))
+            if n_over:
+                self.saturations += n_over
+                np.clip(row, -WEIGHT_SATURATION_NA, WEIGHT_SATURATION_NA,
+                        out=row)
 
     def add_row(self, row: SynapticRow) -> None:
         """Defer every synapse of a freshly-fetched row."""
@@ -215,7 +310,8 @@ class DeferredEventBuffer:
         return float(np.sum(self._buffer))
 
     def reset(self) -> None:
-        """Clear the buffer and rewind the tick counter."""
+        """Clear the buffer and rewind the tick and event/saturation counters."""
         self._buffer[:] = 0.0
         self._current_tick = 0
         self.events_deferred = 0
+        self.saturations = 0

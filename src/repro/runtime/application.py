@@ -38,6 +38,7 @@ from repro.mapping.keys import KeyAllocator, KeySpace
 from repro.mapping.placement import Placement, Placer, Vertex
 from repro.mapping.routing_generator import RoutingTableGenerator
 from repro.mapping.synaptic_matrix import CoreSynapticData, SynapticMatrixBuilder
+from repro.neuron.engine import decode_packed_row
 from repro.neuron.network import Network
 from repro.neuron.population import (
     Population,
@@ -105,8 +106,10 @@ class CoreRuntime:
                  population: Population, key_space: KeySpace,
                  synaptic_data: CoreSynapticData,
                  rng: np.random.Generator,
-                 has_outgoing_projections: bool = True) -> None:
+                 has_outgoing_projections: bool = True,
+                 propagation: str = "csr") -> None:
         self.application = application
+        self.propagation = propagation
         self.core = core
         self.chip_coordinate = chip_coordinate
         self.vertex = vertex
@@ -127,6 +130,13 @@ class CoreRuntime:
                                              application.timestep_ms, rng)
         self.buffer = DeferredEventBuffer(vertex.n_neurons, MAX_DELAY_TICKS)
         self.tick = 0
+        #: CSR fast path: synaptic rows decoded once per SDRAM address.  A
+        #: row is re-fetched by DMA every time its source neuron spikes but
+        #: its contents only change through plasticity write-back (which
+        #: this runtime does not model), so the decoded arrays are reused;
+        #: DMA/processing costs are still charged per fetch.
+        self._decoded_rows: Dict[int, Tuple[int, np.ndarray, np.ndarray,
+                                            np.ndarray]] = {}
 
         core.on_packet(self._on_packet)
         core.on_dma_complete(self._on_dma_complete)
@@ -152,11 +162,25 @@ class CoreRuntime:
     # ------------------------------------------------------------------
     def _on_dma_complete(self, request: DMARequest) -> None:
         packet: MulticastPacket = request.context
-        row = SynapticRow.unpack(packet.key, request.data)
-        self.core.charge_cycles(
-            self.core.costs.dma_complete_cycles_per_word * len(row))
-        for synapse in row:
-            self.buffer.add_synapse(synapse)
+        if self.propagation == "csr":
+            # Fast path: decode the packed row straight into flat arrays
+            # (cached per SDRAM address) and defer the whole row with one
+            # vectorized scatter.
+            decoded = self._decoded_rows.get(request.sdram_address)
+            if decoded is None:
+                decoded = decode_packed_row(request.data)
+                self._decoded_rows[request.sdram_address] = decoded
+            count, targets, weights, delays = decoded
+            self.core.charge_cycles(
+                self.core.costs.dma_complete_cycles_per_word * count)
+            if count:
+                self.buffer.add_events(targets, weights, delays)
+        else:
+            row = SynapticRow.unpack(packet.key, request.data)
+            self.core.charge_cycles(
+                self.core.costs.dma_complete_cycles_per_word * len(row))
+            for synapse in row:
+                self.buffer.add_synapse(synapse)
         latency = self.application.kernel.now - packet.timestamp
         self.application.result.delivery_latencies_us.append(latency)
         if packet.source is not None:
@@ -200,7 +224,8 @@ class CoreRuntime:
     def _source_spikes(self) -> np.ndarray:
         population = self.population
         if isinstance(population, SpikeSourcePoisson):
-            probability = population.rate_hz * self.application.timestep_ms / 1000.0
+            probability = SpikeSourcePoisson.spike_probability(
+                population.rate_hz, self.application.timestep_ms)
             return self.rng.random(self.vertex.n_neurons) < probability
         if isinstance(population, SpikeSourceArray):
             mask = population.spikes_for_tick(self.tick,
@@ -227,14 +252,25 @@ class NeuralApplication:
     def __init__(self, machine: SpiNNakerMachine, network: Network,
                  max_neurons_per_core: int = 256,
                  placement_strategy: str = "locality",
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 propagation: str = "csr") -> None:
+        if propagation not in ("csr", "reference"):
+            raise ValueError("propagation must be 'csr' or 'reference', "
+                             "got %r" % (propagation,))
         self.machine = machine
         self.network = network
         self.kernel: EventKernel = machine.kernel
         self.timestep_ms = network.timestep_ms
         self.seed = seed if seed is not None else (network.seed or 0)
+        #: Seed key used for connectivity expansion.  Unlike ``self.seed``
+        #: (which must be concrete to derive per-core generators), this
+        #: preserves ``None`` for an unseeded network so the mapping
+        #: layers share the host simulator's unseeded cache entry instead
+        #: of building an independent expansion under key 0.
+        self.expansion_seed = seed if seed is not None else network.seed
         self.max_neurons_per_core = max_neurons_per_core
         self.placement_strategy = placement_strategy
+        self.propagation = propagation
 
         self.placement: Optional[Placement] = None
         self.keys: Optional[KeyAllocator] = None
@@ -259,12 +295,13 @@ class NeuralApplication:
 
         generator = RoutingTableGenerator(self.machine, self.placement, self.keys)
         if broadcast_routing:
-            generator.generate_broadcast(self.network, seed=self.seed)
+            generator.generate_broadcast(self.network,
+                                         seed=self.expansion_seed)
         else:
-            generator.generate(self.network, seed=self.seed)
+            generator.generate(self.network, seed=self.expansion_seed)
 
         builder = SynapticMatrixBuilder(self.machine, self.placement, self.keys)
-        core_data = builder.build(self.network, seed=self.seed)
+        core_data = builder.build(self.network, seed=self.expansion_seed)
 
         rng = np.random.default_rng(self.seed)
         populations = {p.label: p for p in self.network.populations}
@@ -284,7 +321,8 @@ class NeuralApplication:
                 key_space=self.keys.key_space(vertex), synaptic_data=data,
                 rng=np.random.default_rng(rng.integers(0, 2 ** 31)),
                 has_outgoing_projections=(vertex.population_label
-                                          in projecting_labels))
+                                          in projecting_labels),
+                propagation=self.propagation)
             self.core_runtimes.append(runtime)
 
         for population in self.network.populations:

@@ -149,6 +149,43 @@ class TestRunControl:
         assert executed == 4
         assert kernel.pending_events == 6
 
+    def test_run_until_stopped_by_max_events_keeps_clock_consistent(self):
+        # Regression: run_until used to advance the clock to end_time even
+        # when cut short by max_events, so the still-pending events then
+        # executed with the clock moving backwards.
+        kernel = EventKernel()
+        times = []
+        for i in range(5):
+            kernel.schedule(float(i + 1), lambda k: times.append(k.now))
+        executed = kernel.run_until(100.0, max_events=2)
+        assert executed == 2
+        assert kernel.now == 2.0
+        kernel.run_until(100.0)
+        assert times == sorted(times) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert kernel.now == 100.0
+
+    def test_run_until_max_events_leaves_future_events_schedulable(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda k: None)
+        kernel.schedule(2.0, lambda k: None)
+        kernel.run_until(50.0, max_events=1)
+        # The clock stayed at the last executed event, so scheduling before
+        # the original end_time is still legal.
+        kernel.schedule(10.0, lambda k: None)
+        assert kernel.now == 1.0
+        assert kernel.pending_events == 2
+
+    def test_run_until_max_events_still_advances_when_only_later_events_remain(self):
+        # max_events only cuts the run short if an executable event is
+        # actually pending; otherwise the documented advance-to-end_time
+        # behaviour applies.
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda k: None)
+        kernel.schedule(200.0, lambda k: None)
+        executed = kernel.run_until(100.0, max_events=1)
+        assert executed == 1
+        assert kernel.now == 100.0
+
     def test_step_returns_false_when_empty(self):
         kernel = EventKernel()
         assert kernel.step() is False

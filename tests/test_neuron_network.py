@@ -129,6 +129,24 @@ class TestPopulations:
         spikes = source.spikes_for_tick(1.0, rng)
         assert 50 < spikes.sum() < 170
 
+    def test_poisson_probability_is_exponential_not_linear(self):
+        # Regression: rate * dt / 1000 is not a probability — it exceeds 1
+        # for rates above 1 kHz at the 1 ms tick.
+        assert SpikeSourcePoisson.spike_probability(100.0, 1.0) == \
+            pytest.approx(1.0 - np.exp(-0.1))
+        assert SpikeSourcePoisson.spike_probability(2000.0, 1.0) == \
+            pytest.approx(1.0 - np.exp(-2.0))
+        assert SpikeSourcePoisson.spike_probability(5000.0, 1.0) < 1.0
+        assert SpikeSourcePoisson.spike_probability(1_000_000.0, 1.0) <= 1.0
+
+    def test_poisson_source_saturates_below_one_spike_per_tick(self, rng):
+        # A 5 kHz "rate" can at most fire every tick (1 kHz effective); the
+        # old linear probability would have claimed p = 5.
+        source = SpikeSourcePoisson(2000, rate_hz=5000.0)
+        spikes = source.spikes_for_tick(1.0, rng)
+        expected = 2000 * (1.0 - np.exp(-5.0))
+        assert abs(spikes.sum() - expected) < 60
+
     def test_spike_source_array_replays_times(self):
         source = SpikeSourceArray([[0.5, 2.5], [], [1.5]])
         assert source.spikes_for_tick(0, 1.0).tolist() == [True, False, False]

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.neuron.synapse import (
     MAX_DELAY_TICKS,
+    WEIGHT_SATURATION_NA,
     DeferredEventBuffer,
     Synapse,
     SynapticRow,
@@ -150,6 +151,50 @@ class TestDeferredEventBuffer:
         buffer.reset()
         assert buffer.pending_charge() == 0.0
         assert buffer.current_tick == 0
+
+    def test_accumulated_charge_saturates_at_weight_range(self):
+        # Paper Section 5.3: ring-buffer slots accumulate in the 16-bit
+        # fixed-point weight format, so they saturate rather than wrap.
+        buffer = DeferredEventBuffer(2)
+        buffer.add_input(0, WEIGHT_SATURATION_NA + 500.0, 1)
+        assert buffer.saturations == 1
+        assert buffer.drain().sum() == 0.0
+        assert buffer.drain()[0] == pytest.approx(WEIGHT_SATURATION_NA)
+
+    def test_saturation_counts_each_clamping_event(self):
+        buffer = DeferredEventBuffer(1)
+        buffer.add_input(0, 0.75 * WEIGHT_SATURATION_NA, 1)
+        assert buffer.saturations == 0
+        buffer.add_input(0, 0.75 * WEIGHT_SATURATION_NA, 1)
+        buffer.add_input(0, 1.0, 1)
+        assert buffer.saturations == 2
+
+    def test_negative_charge_saturates_symmetrically(self):
+        buffer = DeferredEventBuffer(1)
+        buffer.add_input(0, -2.0 * WEIGHT_SATURATION_NA, 3)
+        assert buffer.saturations == 1
+        buffer.drain(); buffer.drain(); buffer.drain()
+        assert buffer.drain()[0] == pytest.approx(-WEIGHT_SATURATION_NA)
+
+    def test_vectorized_scatter_saturates_and_counts(self):
+        buffer = DeferredEventBuffer(4)
+        buffer.add_events(np.array([0, 0, 2]),
+                          np.array([WEIGHT_SATURATION_NA,
+                                    WEIGHT_SATURATION_NA, 1.0]),
+                          np.array([1, 1, 1]))
+        assert buffer.saturations == 1
+        buffer.drain()
+        drained = buffer.drain()
+        assert drained[0] == pytest.approx(WEIGHT_SATURATION_NA)
+        assert drained[2] == pytest.approx(1.0)
+
+    def test_reset_clears_saturation_counter(self):
+        buffer = DeferredEventBuffer(1)
+        buffer.add_input(0, 2.0 * WEIGHT_SATURATION_NA, 1)
+        assert buffer.saturations == 1
+        buffer.reset()
+        assert buffer.saturations == 0
+        assert buffer.events_deferred == 0
 
     @given(st.lists(st.tuples(st.integers(min_value=0, max_value=9),
                               st.floats(min_value=-5, max_value=5),
