@@ -21,7 +21,7 @@ from repro.neuron.network import Network
 from repro.neuron.population import (Population, SpikeSourcePoisson,
                                      expansion_rng)
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 SEED = 16
 N_STIM = 1_000
@@ -132,6 +132,17 @@ def test_e16_propagation_throughput(benchmark):
     print_table("E16: engine speedup",
                 [("csr vs reference", "%.1fx" % speedup)],
                 headers=("comparison", "throughput ratio"))
+
+    emit_json("e16", {
+        "n_synapses": n_synapses,
+        "reference_events": reference_events,
+        "reference_wall_s": reference_elapsed,
+        "reference_events_per_s": reference_throughput,
+        "csr_events": csr_events,
+        "csr_wall_s": csr_elapsed,
+        "csr_events_per_s": csr_throughput,
+        "speedup": speedup,
+    })
 
     assert reference_events > 100_000, "benchmark network too quiet"
     assert speedup >= 10.0

@@ -14,7 +14,7 @@ from repro.core.machine import MachineConfig, SpiNNakerMachine
 from repro.core.packets import MulticastPacket
 from repro.core.processor import ProcessorState
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 MESH = 12           # 12x12 chips: maximum hop distance 12 on the torus
 PACKETS_PER_DISTANCE = 40
@@ -73,6 +73,14 @@ def test_e8_packet_latency_vs_distance(benchmark):
                 headers=("hops", "packets", "mean (us)", "p99 (us)", "max (us)"))
 
     overall = latency_summary(latencies)
+    emit_json("e8", {
+        "packets": overall.count,
+        "mean_latency_us": overall.mean_us,
+        "p99_latency_us": overall.p99_us,
+        "max_latency_us": overall.max_us,
+        "max_hops": max(by_distance),
+        "mean_latency_us_at_max_hops": by_distance[max(by_distance)].mean_us,
+    })
     # Even the worst-case delivery is far below the 1 ms window.
     assert overall.max_us < 1000.0
     assert overall.max_us < 100.0

@@ -2,12 +2,43 @@
 
 Every benchmark prints a small table of the quantities the paper reports so
 that EXPERIMENTS.md can be filled in directly from the benchmark output,
-and uses pytest-benchmark to time the underlying workload.
+and uses pytest-benchmark to time the underlying workload.  Benchmarks
+that track the performance trajectory additionally call :func:`emit_json`
+so CI can archive machine-readable results per run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+import json
+import os
+from typing import Dict, Iterable, Optional, Sequence
+
+#: Repository root — where the ``BENCH_<id>.json`` files land so CI can
+#: glob and archive them as workflow artifacts.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def emit_json(bench_id: str, metrics: Dict[str, float],
+              path: Optional[str] = None) -> str:
+    """Write ``metrics`` to ``BENCH_<bench_id>.json`` at the repo root.
+
+    Values are coerced to ``float`` where possible (NumPy scalars
+    included) and to ``str`` otherwise, so every benchmark can pass its
+    metric dict unfiltered.  Returns the path written.
+    """
+    serialised: Dict[str, object] = {}
+    for name, value in metrics.items():
+        try:
+            serialised[name] = float(value)
+        except (TypeError, ValueError):
+            serialised[name] = str(value)
+    if path is None:
+        path = os.path.join(REPO_ROOT, "BENCH_%s.json" % (bench_id,))
+    with open(path, "w") as handle:
+        json.dump({"bench": bench_id, "metrics": serialised}, handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def print_table(title: str, rows: Iterable[Sequence], headers: Sequence[str]) -> None:

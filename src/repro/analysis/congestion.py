@@ -18,7 +18,11 @@ congestion".  This module provides the measurement side of those claims:
   show why the lightly-loaded regime is required.
 
 All measurement functions are read-only: they never modify machine state,
-so they can be called repeatedly during a run.
+so they can be called repeatedly during a run.  They read the per-link
+counters that both transports maintain — per packet by the event-driven
+router, in bulk by the compiled transport fabric
+(:mod:`repro.router.fabric`) — so a congestion picture is available
+whichever transport carried the traffic.
 """
 
 from __future__ import annotations

@@ -11,6 +11,7 @@ quickest way to sanity-check an installation::
     spinnaker-repro saturation --width 48     # lightly-loaded-regime check
     spinnaker-repro alloc demo --jobs 40      # multi-tenant job stream
     spinnaker-repro alloc policies            # compare placement policies
+    spinnaker-repro transport demo --chips 16 # fabric vs event transport
 
 All output goes to stdout; the exit status is zero unless a subcommand
 fails (for example a boot in which chips stay dead).
@@ -19,8 +20,12 @@ fails (for example a boot in which chips stay dead).
 from __future__ import annotations
 
 import argparse
+import math
 import sys
+import time
 from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.alloc.partition import PLACEMENT_POLICIES
 from repro.alloc.scheduler import AllocationScheduler
@@ -236,6 +241,85 @@ def cmd_alloc_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _transport_mesh(chips: int) -> tuple:
+    """Pick a near-square (width, height) covering at least ``chips``."""
+    width = max(2, int(math.isqrt(max(chips, 4))))
+    height = max(2, -(-chips // width))
+    return width, height
+
+
+def _transport_network(args: argparse.Namespace) -> "Network":
+    network = Network(seed=args.seed)
+    stimulus = SpikeSourcePoisson(args.neurons, rate_hz=args.rate,
+                                  label="stimulus")
+    excitatory = Population(args.neurons, "lif", label="excitatory")
+    excitatory.record(spikes=True)
+    network.connect(stimulus, excitatory,
+                    FixedProbabilityConnector(p_connect=0.1, weight=1.0,
+                                              delay_range=(1, 8)))
+    network.connect(excitatory, excitatory,
+                    FixedProbabilityConnector(p_connect=0.02, weight=0.2,
+                                              delay_range=(1, 16)))
+    return network
+
+
+def cmd_transport(args: argparse.Namespace) -> int:
+    """Run one seeded network under both transports; report the verdict."""
+    if args.chips < 4 or args.neurons < 8:
+        print("error: need --chips >= 4 and --neurons >= 8")
+        return 2
+    width, height = _transport_mesh(args.chips)
+    results = {}
+    for transport in ("event", "fabric"):
+        machine = SpiNNakerMachine(MachineConfig(width=width, height=height,
+                                                 cores_per_chip=4))
+        BootController(machine, seed=args.seed).boot()
+        application = NeuralApplication(
+            machine, _transport_network(args),
+            max_neurons_per_core=args.neurons_per_core, seed=args.seed,
+            transport=transport, stagger_us=0.0)
+        application.prepare()
+        start = time.perf_counter()
+        result = application.run(args.duration)
+        results[transport] = (result, time.perf_counter() - start)
+
+    event, event_wall = results["event"]
+    fabric, fabric_wall = results["fabric"]
+    rows = []
+    for name, (result, wall) in results.items():
+        throughput = result.synaptic_events / wall if wall > 0 else 0.0
+        rows.append([name, "%d" % result.packets_sent,
+                     "%d" % result.synaptic_events, "%.3f" % wall,
+                     "%.3e" % throughput,
+                     "%.1f" % result.mean_delivery_latency_us()])
+    print("Transport comparison: %dx%d machine (%d chips), %d+%d neurons, "
+          "%.0f ms" % (width, height, width * height, args.neurons,
+                       args.neurons, args.duration))
+    _print_table(rows, header=["transport", "packets", "synaptic events",
+                               "wall s", "events/s", "mean latency us"])
+    if event_wall > 0 and fabric_wall > 0 and event.synaptic_events:
+        speedup = ((fabric.synaptic_events / fabric_wall)
+                   / (event.synaptic_events / event_wall))
+        print("  fabric speedup:      %.1fx" % speedup)
+
+    equivalent = (event.spikes == fabric.spikes
+                  and event.delivered_charge_na == fabric.delivered_charge_na
+                  and all(np.array_equal(event.spike_counts[label],
+                                         fabric.spike_counts[label])
+                          for label in event.spike_counts))
+    print("  spikes (event):      %d" % event.total_spikes())
+    print("  spikes (fabric):     %d" % fabric.total_spikes())
+    print("  delivered charge:    %.3f / %.3f nA"
+          % (event.delivered_charge_na, fabric.delivered_charge_na))
+    print("  equivalence verdict: %s"
+          % ("IDENTICAL" if equivalent else "DIVERGED"))
+    if not equivalent and event.packets_dropped:
+        print("  note: the event transport dropped %d packets (congestion);"
+              " the fabric assumes the lightly-loaded regime"
+              % event.packets_dropped)
+    return 0 if equivalent else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -299,6 +383,23 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "demo":
             sub.add_argument("--policy", choices=PLACEMENT_POLICIES,
                              default="first-fit")
+
+    transport = subparsers.add_parser(
+        "transport", help="compiled fabric vs per-packet event transport")
+    transport_sub = transport.add_subparsers(dest="transport_command",
+                                             required=True)
+    demo = transport_sub.add_parser(
+        "demo", help="run one seeded network under both transports")
+    demo.add_argument("--chips", type=int, default=16,
+                      help="approximate machine size in chips")
+    demo.add_argument("--neurons", type=int, default=384,
+                      help="neurons per population (stimulus + excitatory)")
+    demo.add_argument("--neurons-per-core", type=int, default=48)
+    demo.add_argument("--rate", type=float, default=30.0,
+                      help="stimulus rate in Hz; keep modest so the event "
+                           "transport stays in the lightly-loaded regime")
+    demo.add_argument("--duration", type=float, default=60.0)
+    demo.add_argument("--seed", type=int, default=11)
     return parser
 
 
@@ -309,6 +410,7 @@ _COMMANDS = {
     "run": cmd_run,
     "saturation": cmd_saturation,
     "alloc": cmd_alloc,
+    "transport": cmd_transport,
 }
 
 

@@ -85,6 +85,21 @@ class Link:
         self.bits_carried += bit_length
         return start + service + self.latency_us
 
+    def record_batch(self, n_packets: int, bit_length: int = 40) -> None:
+        """Account ``n_packets`` carried in bulk (compiled transport fabric).
+
+        The fabric delivers whole spike batches along precompiled trees;
+        this keeps :attr:`packets_carried` / :attr:`bits_carried` — and
+        therefore every load/utilisation analysis built on them — correct
+        without a per-packet event.  The congestion state (``busy_until``)
+        is untouched: the fabric is the lightly-loaded fast path, the
+        event transport remains the congestion-faithful reference.
+        """
+        if n_packets < 0:
+            raise ValueError("batch size must be non-negative")
+        self.packets_carried += n_packets
+        self.bits_carried += n_packets * bit_length
+
     def utilisation(self, elapsed_us: float) -> float:
         """Fraction of ``elapsed_us`` the link spent transferring packets."""
         if elapsed_us <= 0:

@@ -73,6 +73,23 @@ class CommunicationsNoC:
         self.stats.busy_time_us += service_time
         return start + service_time + self.latency_us
 
+    def record_batch(self, n_packets: int, bit_length: int = 40) -> None:
+        """Account ``n_packets`` transfers in one call (fabric transport).
+
+        The compiled transport fabric moves a whole spike batch at once,
+        so it charges the fabric's statistics in bulk: transfer count,
+        bits and the busy time the packets would have occupied.  The
+        serialisation state (``busy_until``) is left alone — the fabric
+        bypasses per-packet queueing by construction.
+        """
+        if n_packets < 0:
+            raise ValueError("batch size must be non-negative")
+        if n_packets == 0:
+            return
+        self.stats.transfers += n_packets
+        self.stats.total_bits += n_packets * bit_length
+        self.stats.busy_time_us += n_packets / self.packets_per_us
+
     @property
     def busy_until(self) -> float:
         """Time at which the fabric becomes idle."""
@@ -114,6 +131,23 @@ class SystemNoC:
         self.traffic_by_initiator[initiator] = (
             self.traffic_by_initiator.get(initiator, 0) + n_bytes)
         return start + service_time + self.latency_us
+
+    def record_batch(self, n_transfers: int, total_bytes: int,
+                     initiator: str = "fabric") -> None:
+        """Account a batch of transfers without serialising them.
+
+        Bulk counterpart of :meth:`schedule_transfer` for the compiled
+        transport fabric's batched synaptic-row movement.
+        """
+        if n_transfers < 0 or total_bytes < 0:
+            raise ValueError("batch sizes must be non-negative")
+        if n_transfers == 0:
+            return
+        self.stats.transfers += n_transfers
+        self.stats.total_bits += total_bytes * 8
+        self.stats.busy_time_us += total_bytes / self.bandwidth_bytes_per_us
+        self.traffic_by_initiator[initiator] = (
+            self.traffic_by_initiator.get(initiator, 0) + total_bytes)
 
     @property
     def busy_until(self) -> float:

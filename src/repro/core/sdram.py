@@ -138,6 +138,21 @@ class SDRAM:
         """Read ``n_words`` consecutive 32-bit words starting at ``address``."""
         return [self.read_word(address + 4 * i) for i in range(n_words)]
 
+    def peek_block(self, address: int, n_words: int) -> List[int]:
+        """Read a block *without* charging the traffic counters.
+
+        For tooling that inspects memory outside the simulated dataflow —
+        e.g. the transport fabric decoding synaptic blocks at compile
+        time — so ``total_bytes_read`` keeps meaning "bytes the simulated
+        machine moved".
+        """
+        words = []
+        for i in range(n_words):
+            word_address = address + 4 * i
+            self._check_address(word_address)
+            words.append(self._store.get(word_address, 0))
+        return words
+
     def _check_address(self, address: int) -> None:
         if address % 4 != 0:
             raise ValueError("address 0x%x is not word-aligned" % (address,))

@@ -107,19 +107,12 @@ class TableCompressor:
         """The key → route function the table currently implements.
 
         Keys that miss every entry map to ``None`` (default routing).
-        Lookups are done directly on the entry list so the table's
-        lookup/miss statistics are not disturbed.
+        Delegates to :meth:`MulticastRoutingTable.compile_routes` — the
+        same indexed behaviour-extraction walk the compiled transport
+        fabric uses — which probes without disturbing the table's
+        lookup/miss statistics.
         """
-        routes: Dict[int, Optional[Route]] = {}
-        entries = table.entries
-        for key in self.known_keys:
-            route: Optional[Route] = None
-            for entry in entries:
-                if entry.matches(key):
-                    route = entry.route
-                    break
-            routes[key] = route
-        return routes
+        return table.compile_routes(self.known_keys)
 
     # ------------------------------------------------------------------
     # Block cover

@@ -28,6 +28,7 @@ from repro.mapping.keys import KeyAllocator
 from repro.mapping.placement import Placement, Vertex
 from repro.neuron.network import Network
 from repro.neuron.population import LATEST_EXPANSION, expansion_rng
+from repro.router.fabric import RouteProgram, compile_route
 from repro.router.routing_table import RoutingEntry
 
 
@@ -40,6 +41,7 @@ class RoutingSummary:
     chips_touched: int = 0
     multicast_trees: int = 0
     total_tree_links: int = 0
+    programs_compiled: int = 0
 
 
 class RoutingTableGenerator:
@@ -50,6 +52,9 @@ class RoutingTableGenerator:
         self.machine = machine
         self.placement = placement
         self.keys = keys
+        #: Compiled key -> route programs for the transport fabric,
+        #: emitted by :meth:`generate` when ``compile_programs`` is set.
+        self.compiled_programs: Dict[int, RouteProgram] = {}
 
     # ------------------------------------------------------------------
     # Destination discovery
@@ -127,12 +132,21 @@ class RoutingTableGenerator:
     # ------------------------------------------------------------------
     def generate(self, network: Network,
                  seed: Optional[int] = None,
-                 minimise: bool = True) -> RoutingSummary:
-        """Install routing entries for every source vertex of the network."""
+                 minimise: bool = True,
+                 compile_programs: bool = False) -> RoutingSummary:
+        """Install routing entries for every source vertex of the network.
+
+        With ``compile_programs`` the generator also emits the compiled
+        key -> tree programs the transport fabric replays at run time
+        (:attr:`compiled_programs`), walked from the *installed* tables
+        after minimisation so the programs reflect exactly what the
+        event-driven router would do.
+        """
         effective_seed = network.seed if seed is None else seed
         rng = self._pre_expand(network, effective_seed)
         summary = RoutingSummary()
         touched: Set[ChipCoordinate] = set()
+        sources: List[Tuple[ChipCoordinate, int]] = []
 
         for vertex in self.placement.vertices:
             space = self.keys.key_space(vertex)
@@ -142,6 +156,7 @@ class RoutingTableGenerator:
             if not destinations:
                 continue
             summary.multicast_trees += 1
+            sources.append((source_chip, space.base_key))
             tree = self.build_tree(source_chip, list(destinations))
             summary.total_tree_links += sum(len(links) for links in tree.values())
 
@@ -166,6 +181,11 @@ class RoutingTableGenerator:
             summary.entries_after_minimisation = remaining
         else:
             summary.entries_after_minimisation = summary.entries_installed
+        if compile_programs:
+            self.compiled_programs = {
+                key: compile_route(self.machine, source_chip, key)
+                for source_chip, key in sources}
+            summary.programs_compiled = len(self.compiled_programs)
         return summary
 
     # ------------------------------------------------------------------

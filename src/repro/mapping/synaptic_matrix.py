@@ -70,14 +70,26 @@ class MasterPopulationTable:
         """Register a source vertex's block."""
         self.entries.append(entry)
 
+    def entry_for(self, packet_key: int) -> Optional[PopulationTableEntry]:
+        """First entry matching ``packet_key``, without touching counters.
+
+        The counter-neutral probe used by the transport fabric when it
+        compiles delivery legs at load time (mirroring
+        :meth:`MulticastRoutingTable.route_for`).
+        """
+        for entry in self.entries:
+            if entry.matches(packet_key):
+                return entry
+        return None
+
     def lookup(self, packet_key: int) -> Optional[Tuple[int, int]]:
         """Resolve a packet key to ``(sdram_address, row_words)`` or ``None``."""
         self.lookups += 1
-        for entry in self.entries:
-            if entry.matches(packet_key):
-                return entry.address_of(packet_key)
-        self.misses += 1
-        return None
+        entry = self.entry_for(packet_key)
+        if entry is None:
+            self.misses += 1
+            return None
+        return entry.address_of(packet_key)
 
     def __len__(self) -> int:
         return len(self.entries)

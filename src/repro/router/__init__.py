@@ -13,8 +13,17 @@ models it at the architectural level:
   used for system-management traffic.
 * :mod:`repro.router.nn` — the nearest-neighbour management protocol
   (probe, peek, poke, neighbourhood census) used for neighbour repair.
+* :mod:`repro.router.fabric` — the compiled multicast transport fabric:
+  per-key route programs walked once from the installed tables, replayed
+  in bulk for whole spike batches.
 """
 
+from repro.router.fabric import (
+    RouteProgram,
+    RouteTarget,
+    TransportFabric,
+    compile_route,
+)
 from repro.router.multicast import Router, RouterConfig, RouterStatistics, RoutingDecision
 from repro.router.nn import (
     NeighbourhoodService,
@@ -29,6 +38,10 @@ from repro.router.routing_table import (
 )
 
 __all__ = [
+    "RouteProgram",
+    "RouteTarget",
+    "TransportFabric",
+    "compile_route",
     "Router",
     "RouterConfig",
     "RouterStatistics",

@@ -23,7 +23,7 @@ table and delivers nearest-neighbour packets to the Monitor Processor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.event_kernel import EventKernel
 from repro.core.geometry import ChipCoordinate, Direction
@@ -72,6 +72,13 @@ class RouterStatistics:
     p2p_routed: int = 0
     nn_delivered: int = 0
     wait_time_us: float = 0.0
+    #: Packets forwarded per outgoing link direction.  Incremented one at
+    #: a time by the event-driven path and in bulk by the compiled
+    #: transport fabric, so per-link load analyses read the same counters
+    #: whichever transport carried the traffic.
+    forwarded_by_link: Dict[Direction, int] = field(default_factory=dict)
+    #: Spike batches accounted by the compiled transport fabric.
+    fabric_batches: int = 0
 
 
 @dataclass
@@ -218,7 +225,7 @@ class Router:
             outgoing = packet.with_emergency(EmergencyState.NORMAL)
 
         if self._transmit(direction, outgoing):
-            self.stats.forwarded += 1
+            self._record_forward(direction)
             return
 
         # The output link is blocked: wait a programmable time and retry.
@@ -239,7 +246,7 @@ class Router:
     def _retry(self, _kernel: EventKernel, packet: MulticastPacket,
                direction: Direction, attempt: int, phase: str) -> None:
         if self._transmit(direction, packet):
-            self.stats.forwarded += 1
+            self._record_forward(direction)
             if phase == "emergency":
                 self.stats.emergency_successes += 1
             return
@@ -264,13 +271,76 @@ class Router:
         first_leg, _second_leg = direction.emergency_pair()
         emergency_packet = packet.with_emergency(EmergencyState.FIRST_LEG)
         if self._transmit(first_leg, emergency_packet):
-            self.stats.forwarded += 1
+            self._record_forward(first_leg)
             self.stats.emergency_successes += 1
             return
         # The emergency leg is itself blocked: keep trying for the drop
         # wait, then give up.
         self._schedule_retry(emergency_packet, first_leg, attempt=1,
                              phase="emergency")
+
+    def _record_forward(self, direction: Direction) -> None:
+        """Count one successful forward on ``direction``."""
+        self.stats.forwarded += 1
+        self.stats.forwarded_by_link[direction] = (
+            self.stats.forwarded_by_link.get(direction, 0) + 1)
+
+    # ------------------------------------------------------------------
+    # Bulk accounting (compiled transport fabric)
+    # ------------------------------------------------------------------
+    def account_batch(self, n_packets: int,
+                      link_directions: Iterable[Direction] = (),
+                      n_local_cores: int = 0,
+                      table_hit: Optional[bool] = True,
+                      injected: bool = False,
+                      dropped: bool = False,
+                      aged_out: bool = False) -> None:
+        """Charge this router's counters for a precompiled spike batch.
+
+        The compiled transport fabric (:mod:`repro.router.fabric`) routes
+        each source key's multicast tree once at compile time; at run time
+        it calls this per tree chip to keep the Monitor-visible statistics
+        — including the per-link load counters and the routing table's
+        lookup/miss counters — identical to what the per-packet event
+        path would have recorded for the same traffic.  (Drop diagnostics
+        reach the Monitor mailbox as one batched notification carrying a
+        count, where the event path posts one entry per packet.)
+        ``table_hit=None`` means no routing decision was made (time-phase
+        expiry); ``aged_out`` marks those expiry drops.
+        """
+        if n_packets < 0 or n_local_cores < 0:
+            raise ValueError("batch sizes must be non-negative")
+        if n_packets == 0:
+            return
+        stats = self.stats
+        stats.fabric_batches += 1
+        stats.multicast_routed += n_packets
+        if injected:
+            stats.injected_local += n_packets
+        if table_hit is not None:
+            # The event path consults the table once per packet.
+            self.table.lookups += n_packets
+            if table_hit:
+                stats.table_hits += n_packets
+            else:
+                self.table.misses += n_packets
+                stats.default_routed += n_packets
+        stats.delivered_local += n_packets * n_local_cores
+        for direction in link_directions:
+            stats.forwarded += n_packets
+            stats.forwarded_by_link[direction] = (
+                stats.forwarded_by_link.get(direction, 0) + n_packets)
+        if aged_out:
+            stats.aged_out += n_packets
+        if dropped or aged_out:
+            stats.dropped += n_packets
+            if self._notify_monitor is not None:
+                self._notify_monitor(
+                    "packet-dropped",
+                    reason=("time-phase-expired" if aged_out
+                            else "no-route-for-local-key"),
+                    direction=None, key=None, packet=None,
+                    count=n_packets)
 
     def _drop(self, packet: MulticastPacket, reason: str,
               direction: Optional[Direction] = None) -> None:

@@ -95,6 +95,12 @@ class MulticastRoutingTable:
         self._entries: List[RoutingEntry] = []
         self.lookups = 0
         self.misses = 0
+        #: Key-indexed lookup cache, grouped by mask:
+        #: ``{mask: {key & mask: position of first matching entry}}``.
+        #: Built lazily and invalidated by every mutation, so lookups are
+        #: O(distinct masks) instead of O(entries) while preserving the
+        #: hardware's first-match semantics exactly.
+        self._index: Optional[Dict[int, Dict[int, int]]] = None
 
     # ------------------------------------------------------------------
     # Population
@@ -111,6 +117,7 @@ class MulticastRoutingTable:
             raise RoutingTableFullError(
                 "routing table full: capacity %d" % (self.capacity,))
         self._entries.append(entry)
+        self._index = None
 
     def add(self, key: int, mask: int,
             links: Iterable[Direction] = (),
@@ -130,18 +137,78 @@ class MulticastRoutingTable:
     def clear(self) -> None:
         """Remove every entry (used when reloading an application)."""
         self._entries.clear()
+        self._index = None
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    def _build_index(self) -> Dict[int, Dict[int, int]]:
+        """(Re)build the mask-grouped key index over the current entries."""
+        index: Dict[int, Dict[int, int]] = {}
+        for position, entry in enumerate(self._entries):
+            bucket = index.setdefault(entry.mask, {})
+            # First match wins within a mask group; across groups the
+            # smallest entry position decides, which route_for resolves.
+            bucket.setdefault(entry.key, position)
+        self._index = index
+        return index
+
+    def route_for(self, key: int) -> Optional[RoutingEntry]:
+        """Indexed first-match lookup that leaves the hit/miss counters alone.
+
+        Used by the route compiler and the table-compression validator,
+        which probe the table exhaustively and must not distort the
+        statistics the Monitor Processor reads.
+        """
+        index = self._index if self._index is not None else self._build_index()
+        best_position: Optional[int] = None
+        for mask, bucket in index.items():
+            position = bucket.get(key & mask)
+            if position is not None and (best_position is None
+                                         or position < best_position):
+                best_position = position
+        if best_position is None:
+            return None
+        return self._entries[best_position]
+
     def lookup(self, key: int) -> Optional[RoutingEntry]:
         """Return the first entry matching ``key``, or ``None`` on a miss."""
         self.lookups += 1
+        entry = self.route_for(key)
+        if entry is None:
+            self.misses += 1
+        return entry
+
+    def lookup_linear(self, key: int) -> Optional[RoutingEntry]:
+        """Reference linear-scan lookup (the hardware CAM walk).
+
+        Kept as the behavioural oracle for the indexed cache: for every
+        key, ``lookup_linear`` and :meth:`route_for` must agree — a
+        property the test suite asserts before and after minimisation.
+        Does not touch the lookup/miss counters.
+        """
         for entry in self._entries:
             if entry.matches(key):
                 return entry
-        self.misses += 1
         return None
+
+    def compile_routes(self, keys: Iterable[int]
+                       ) -> Dict[int, Optional[Tuple[FrozenSet[Direction],
+                                                     FrozenSet[int]]]]:
+        """The key -> route function this table implements over ``keys``.
+
+        Keys that miss every entry map to ``None`` (default routing).
+        This is the per-chip building block of the compiled transport
+        fabric (:mod:`repro.router.fabric`) and of routing-table
+        compression, both of which need the exact observable behaviour of
+        the table rather than its entry list.
+        """
+        routes: Dict[int, Optional[Tuple[FrozenSet[Direction],
+                                         FrozenSet[int]]]] = {}
+        for key in keys:
+            entry = self.route_for(key)
+            routes[key] = None if entry is None else entry.route
+        return routes
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -174,6 +241,7 @@ class MulticastRoutingTable:
         Returns the number of entries eliminated.
         """
         eliminated = 0
+        self._index = None
         merged = True
         while merged:
             merged = False

@@ -38,7 +38,8 @@ from repro.mapping.keys import KeyAllocator, KeySpace
 from repro.mapping.placement import Placement, Placer, Vertex
 from repro.mapping.routing_generator import RoutingTableGenerator
 from repro.mapping.synaptic_matrix import CoreSynapticData, SynapticMatrixBuilder
-from repro.neuron.engine import decode_packed_row
+from repro.neuron.engine import CSRMatrix, decode_packed_row
+from repro.router.fabric import RouteProgram, RouteTarget, TransportFabric
 from repro.neuron.network import Network
 from repro.neuron.population import (
     Population,
@@ -50,6 +51,77 @@ from repro.neuron.synapse import MAX_DELAY_TICKS, DeferredEventBuffer, SynapticR
 #: The biological real-time tick of the application model.
 TIMER_PERIOD_US = 1000.0
 
+#: Sentinel hop distance recorded for deliveries whose packet carried no
+#: source coordinate, keeping the latency/distance samples aligned.
+UNKNOWN_DISTANCE = -1
+
+
+class _SampleAccumulator:
+    """A growable flat array for per-delivery samples.
+
+    Replaces the old per-packet Python-list appends: the event transport
+    appends single samples, the compiled transport fabric lands whole
+    batches with one slice assignment, and readers get a NumPy view
+    without a list->array conversion per query.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, dtype=np.float64, capacity: int = 64) -> None:
+        self._data = np.empty(capacity, dtype=dtype)
+        self._size = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._data.shape[0]
+        if needed <= capacity:
+            return
+        grown = np.empty(max(needed, 2 * capacity), dtype=self._data.dtype)
+        grown[:self._size] = self._data[:self._size]
+        self._data = grown
+
+    def append(self, value) -> None:
+        """Record one sample."""
+        self._reserve(1)
+        self._data[self._size] = value
+        self._size += 1
+
+    def extend_constant(self, value, count: int) -> None:
+        """Record ``count`` copies of ``value`` (one fabric batch)."""
+        if count <= 0:
+            return
+        self._reserve(count)
+        self._data[self._size:self._size + count] = value
+        self._size += count
+
+    def view(self) -> np.ndarray:
+        """Read-only internal view of the samples (no allocation).
+
+        For the result's own statistics methods; external readers get
+        the copying :meth:`array` instead.
+        """
+        return self._data[:self._size]
+
+    def array(self) -> np.ndarray:
+        """The recorded samples as an independent array.
+
+        A copy, so a reference taken mid-run neither goes stale nor
+        aliases cells later appends write into.
+        """
+        return self._data[:self._size].copy()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _SampleAccumulator):
+            return NotImplemented
+        return bool(np.array_equal(self._data[:self._size],
+                                   other._data[:other._size]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "_SampleAccumulator(%d samples)" % (self._size,)
+
 
 @dataclass
 class ApplicationResult:
@@ -58,17 +130,64 @@ class ApplicationResult:
     duration_ms: float
     spikes: Dict[str, List[Tuple[float, int]]] = field(default_factory=dict)
     spike_counts: Dict[str, np.ndarray] = field(default_factory=dict)
-    #: Per-delivery latency samples in microseconds (send to processing).
-    delivery_latencies_us: List[float] = field(default_factory=list)
-    #: Per-delivery hop distances, aligned with ``delivery_latencies_us``.
-    delivery_distances: List[int] = field(default_factory=list)
+    #: Per-delivery latency samples (microseconds), array-accumulated.
+    latency_samples: _SampleAccumulator = field(
+        default_factory=_SampleAccumulator)
+    #: Per-delivery hop distances, aligned one-to-one with the latency
+    #: samples; :data:`UNKNOWN_DISTANCE` marks deliveries whose packet
+    #: carried no source coordinate.
+    distance_samples: _SampleAccumulator = field(
+        default_factory=lambda: _SampleAccumulator(dtype=np.int64))
     packets_sent: int = 0
     packets_dropped: int = 0
     emergency_invocations: int = 0
+    #: Synaptic events scattered into the deferred-event buffers.
+    synaptic_events: int = 0
+    #: Total synaptic charge (nA) delivered; an exact sum of fixed-point
+    #: weights, so it is comparable bit-for-bit across transports.
+    delivered_charge_na: float = 0.0
+
+    @property
+    def delivery_latencies_us(self) -> np.ndarray:
+        """Per-delivery latency samples in microseconds (send to processing)."""
+        return self.latency_samples.array()
+
+    @property
+    def delivery_distances(self) -> np.ndarray:
+        """Per-delivery hop distances, aligned with ``delivery_latencies_us``."""
+        return self.distance_samples.array()
+
+    def record_delivery(self, latency_us: float,
+                        distance: Optional[int] = None) -> None:
+        """Record one spike delivery (event transport).
+
+        ``distance=None`` (a packet with no source coordinate) records
+        :data:`UNKNOWN_DISTANCE` so the latency and distance arrays stay
+        aligned sample-for-sample.
+        """
+        self.latency_samples.append(latency_us)
+        self.distance_samples.append(
+            UNKNOWN_DISTANCE if distance is None else distance)
+
+    def record_delivery_batch(self, latency_us: float, distance: int,
+                              count: int) -> None:
+        """Record a whole delivered batch (compiled transport fabric)."""
+        self.latency_samples.extend_constant(latency_us, count)
+        self.distance_samples.extend_constant(distance, count)
 
     def total_spikes(self, label: Optional[str] = None) -> int:
-        """Total spikes of one population, or of all populations."""
+        """Total spikes of one population, or of all populations.
+
+        Raises
+        ------
+        KeyError
+            If ``label`` names a population this run never mapped.
+        """
         if label is not None:
+            if label not in self.spike_counts:
+                raise KeyError(
+                    "unknown population label %r; this run recorded %s"
+                    % (label, sorted(self.spike_counts)))
             return int(self.spike_counts[label].sum())
         return int(sum(c.sum() for c in self.spike_counts.values()))
 
@@ -81,21 +200,42 @@ class ApplicationResult:
 
     def max_delivery_latency_us(self) -> float:
         """Worst spike-delivery latency observed (0 if nothing delivered)."""
-        return max(self.delivery_latencies_us, default=0.0)
+        samples = self.latency_samples.view()
+        return float(samples.max()) if samples.size else 0.0
 
     def mean_delivery_latency_us(self) -> float:
-        """Mean spike-delivery latency."""
-        if not self.delivery_latencies_us:
-            return 0.0
-        return float(np.mean(self.delivery_latencies_us))
+        """Mean spike-delivery latency (0 for an empty run)."""
+        samples = self.latency_samples.view()
+        return float(samples.mean()) if samples.size else 0.0
 
     def within_deadline_fraction(self, deadline_us: float = 1000.0) -> float:
-        """Fraction of deliveries completed within ``deadline_us``."""
-        if not self.delivery_latencies_us:
+        """Fraction of deliveries completed within ``deadline_us``.
+
+        An empty run (nothing delivered) trivially meets every deadline
+        and reports 1.0.
+        """
+        samples = self.latency_samples.view()
+        if samples.size == 0:
             return 1.0
-        hits = sum(1 for latency in self.delivery_latencies_us
-                   if latency <= deadline_us)
-        return hits / len(self.delivery_latencies_us)
+        return float(np.count_nonzero(samples <= deadline_us) / samples.size)
+
+
+@dataclass
+class _FabricDelivery:
+    """One precompiled (source vertex -> destination core) delivery leg.
+
+    Compiled once after mapping: the destination's synaptic block for the
+    source vertex is decoded from SDRAM into a :class:`CSRMatrix`, and
+    the transport latency is extended with the nominal core-side costs
+    (packet handler, DMA fetch, DMA-complete handler) the event path pays
+    per packet, so the two transports report comparable latencies.
+    """
+
+    runtime: "CoreRuntime"
+    csr: Optional[CSRMatrix]
+    latency_us: float
+    distance: int
+    stride_words: int
 
 
 class CoreRuntime:
@@ -107,9 +247,14 @@ class CoreRuntime:
                  synaptic_data: CoreSynapticData,
                  rng: np.random.Generator,
                  has_outgoing_projections: bool = True,
-                 propagation: str = "csr") -> None:
+                 propagation: str = "csr",
+                 transport: str = "event") -> None:
         self.application = application
         self.propagation = propagation
+        self.transport = transport
+        #: Filled in by the application when ``transport="fabric"``.
+        self.fabric_program: Optional[RouteProgram] = None
+        self.fabric_deliveries: List[_FabricDelivery] = []
         self.core = core
         self.chip_coordinate = chip_coordinate
         self.vertex = vertex
@@ -175,18 +320,22 @@ class CoreRuntime:
                 self.core.costs.dma_complete_cycles_per_word * count)
             if count:
                 self.buffer.add_events(targets, weights, delays)
+            self.application.result.synaptic_events += count
+            self.application.result.delivered_charge_na += float(weights.sum())
         else:
             row = SynapticRow.unpack(packet.key, request.data)
             self.core.charge_cycles(
                 self.core.costs.dma_complete_cycles_per_word * len(row))
             for synapse in row:
                 self.buffer.add_synapse(synapse)
+            self.application.result.synaptic_events += len(row)
+            self.application.result.delivered_charge_na += row.total_charge()
         latency = self.application.kernel.now - packet.timestamp
-        self.application.result.delivery_latencies_us.append(latency)
+        distance = None
         if packet.source is not None:
             distance = self.application.machine.geometry.distance(
                 packet.source, self.chip_coordinate)
-            self.application.result.delivery_distances.append(distance)
+        self.application.result.record_delivery(latency, distance)
 
     # ------------------------------------------------------------------
     # Figure 7, priority 3: millisecond timer
@@ -212,13 +361,18 @@ class CoreRuntime:
             self.application.record_spikes(self.population.label, self.vertex,
                                            time_ms, spiking)
             if self.has_outgoing_projections:
-                for local_index in spiking:
-                    packet = MulticastPacket(
-                        key=self.key_space.key_for(int(local_index)),
-                        timestamp=self.application.kernel.now,
-                        source=self.chip_coordinate)
-                    self.core.send_multicast(packet)
-                    self.application.result.packets_sent += 1
+                if self.transport == "fabric":
+                    # Compiled transport: one batched send for the whole
+                    # tick's spikes instead of a packet per neuron.
+                    self.application.fabric_send(self, spiking)
+                else:
+                    for local_index in spiking:
+                        packet = MulticastPacket(
+                            key=self.key_space.key_for(int(local_index)),
+                            timestamp=self.application.kernel.now,
+                            source=self.chip_coordinate)
+                        self.core.send_multicast(packet)
+                        self.application.result.packets_sent += 1
         self.tick += 1
 
     def _source_spikes(self) -> np.ndarray:
@@ -253,10 +407,17 @@ class NeuralApplication:
                  max_neurons_per_core: int = 256,
                  placement_strategy: str = "locality",
                  seed: Optional[int] = None,
-                 propagation: str = "csr") -> None:
+                 propagation: str = "csr",
+                 transport: str = "event",
+                 stagger_us: float = 10.0) -> None:
         if propagation not in ("csr", "reference"):
             raise ValueError("propagation must be 'csr' or 'reference', "
                              "got %r" % (propagation,))
+        if transport not in ("event", "fabric"):
+            raise ValueError("transport must be 'event' or 'fabric', "
+                             "got %r" % (transport,))
+        if stagger_us < 0:
+            raise ValueError("stagger_us must be non-negative")
         self.machine = machine
         self.network = network
         self.kernel: EventKernel = machine.kernel
@@ -271,12 +432,19 @@ class NeuralApplication:
         self.max_neurons_per_core = max_neurons_per_core
         self.placement_strategy = placement_strategy
         self.propagation = propagation
+        self.transport = transport
+        #: Upper bound (us) of the random per-core timer offset.  The
+        #: default keeps the paper's bounded asynchrony; transport
+        #: equivalence checks set it to 0 so both transports see the same
+        #: tick alignment at every core.
+        self.stagger_us = stagger_us
 
         self.placement: Optional[Placement] = None
         self.keys: Optional[KeyAllocator] = None
         self.core_runtimes: List[CoreRuntime] = []
         self.result = ApplicationResult(duration_ms=0.0)
         self.unmatched_packets = 0
+        self.fabric: Optional[TransportFabric] = None
         self._prepared = False
 
     # ------------------------------------------------------------------
@@ -298,7 +466,8 @@ class NeuralApplication:
             generator.generate_broadcast(self.network,
                                          seed=self.expansion_seed)
         else:
-            generator.generate(self.network, seed=self.expansion_seed)
+            generator.generate(self.network, seed=self.expansion_seed,
+                               compile_programs=(self.transport == "fabric"))
 
         builder = SynapticMatrixBuilder(self.machine, self.placement, self.keys)
         core_data = builder.build(self.network, seed=self.expansion_seed)
@@ -322,7 +491,8 @@ class NeuralApplication:
                 rng=np.random.default_rng(rng.integers(0, 2 ** 31)),
                 has_outgoing_projections=(vertex.population_label
                                           in projecting_labels),
-                propagation=self.propagation)
+                propagation=self.propagation,
+                transport=self.transport)
             self.core_runtimes.append(runtime)
 
         for population in self.network.populations:
@@ -330,7 +500,149 @@ class NeuralApplication:
                 population.size, dtype=int)
             if population.record_spikes:
                 self.result.spikes[population.label] = []
+        if self.transport == "fabric":
+            self._build_fabric(generator)
         self._prepared = True
+
+    # ------------------------------------------------------------------
+    # Compiled transport fabric
+    # ------------------------------------------------------------------
+    def _build_fabric(self, generator: RoutingTableGenerator) -> None:
+        """Compile route programs and per-destination delivery legs.
+
+        Transport programs come from the mapping layer (walked from the
+        installed tables); any source vertex the generator skipped (for
+        example a projecting population whose slice has no synapses) is
+        compiled here so every sender has a program, even if that program
+        just records the packet drop the event path would perform.
+        """
+        self.fabric = TransportFabric(self.machine)
+        self.fabric.adopt(generator.compiled_programs)
+        by_location = {(runtime.chip_coordinate, runtime.core.core_id): runtime
+                       for runtime in self.core_runtimes}
+        for runtime in self.core_runtimes:
+            if not runtime.has_outgoing_projections:
+                continue
+            key = runtime.key_space.base_key
+            program = self.fabric.program_for(key)
+            if program is None:
+                program = self.fabric.compile_key(runtime.chip_coordinate, key)
+            runtime.fabric_program = program
+            runtime.fabric_deliveries = [
+                delivery for delivery in
+                (self._compile_delivery(runtime, by_location.get(
+                    (target.chip, target.core_id)), target)
+                 for target in program.targets)
+                if delivery is not None]
+
+    def _compile_delivery(self, source: CoreRuntime,
+                          destination: Optional[CoreRuntime],
+                          target: RouteTarget) -> Optional[_FabricDelivery]:
+        """Compile one delivery leg: decode the SDRAM block, fix the latency."""
+        if destination is None:
+            # Delivered to a core no runtime occupies; the event path
+            # would raise a packet interrupt that no application handles.
+            return None
+        chip = self.machine.chips[target.chip]
+        clock = destination.core.clock
+        costs = destination.core.costs
+        distance = self.machine.geometry.distance(source.chip_coordinate,
+                                                  target.chip)
+        entry = destination.synaptic_data.population_table.entry_for(
+            source.key_space.base_key)
+        if entry is None:
+            # No connectivity block for this key: the event path counts
+            # an unmatched packet per delivery.
+            latency = (target.latency_us
+                       + clock.cycles_to_microseconds(
+                           costs.packet_received_cycles))
+            return _FabricDelivery(runtime=destination, csr=None,
+                                   latency_us=latency, distance=distance,
+                                   stride_words=0)
+        stride = entry.row_stride_words
+        # peek_block: compile-time decoding must not inflate the SDRAM
+        # traffic counters — _fabric_deliver charges the simulated reads.
+        packed = [chip.sdram.peek_block(
+            entry.sdram_address + 4 * row * stride, stride)
+            for row in range(entry.n_rows)]
+        csr = CSRMatrix.from_packed_rows(packed,
+                                         n_post=destination.vertex.n_neurons)
+        # Nominal per-packet core-side costs the event path pays between
+        # arrival and the deferred-event scatter.
+        processing = (clock.cycles_to_microseconds(costs.packet_received_cycles)
+                      + destination.core.dma.setup_time_us
+                      + chip.sdram.transfer_time(4 * stride)
+                      + clock.cycles_to_microseconds(
+                          costs.dma_complete_fixed_cycles
+                          + costs.dma_complete_cycles_per_word * stride))
+        return _FabricDelivery(runtime=destination, csr=csr,
+                               latency_us=target.latency_us + processing,
+                               distance=distance, stride_words=stride)
+
+    def fabric_send(self, runtime: CoreRuntime, spiking: np.ndarray) -> None:
+        """Send one tick's whole spike batch over the compiled fabric."""
+        program = runtime.fabric_program
+        if program is None:
+            return
+        n = int(spiking.size)
+        self.fabric.account_batch(program, n)
+        runtime.core.packets_sent += n
+        self.result.packets_sent += n
+        send_time = self.kernel.now
+        for delivery in runtime.fabric_deliveries:
+            self.kernel.schedule_batch(
+                delivery.latency_us, self._fabric_deliver, count=n,
+                priority=1, label="fabric-deliver", delivery=delivery,
+                spiking=spiking, send_time=send_time)
+
+    def _fabric_deliver(self, _kernel: EventKernel,
+                        delivery: _FabricDelivery, spiking: np.ndarray,
+                        send_time: float) -> None:
+        """Scatter one delivered batch into the destination's buffers."""
+        destination = delivery.runtime
+        core = destination.core
+        costs = core.costs
+        n = int(spiking.size)
+        core.packets_received += n
+        core.handler_invocations["packet"] += n
+        # The event path resolves every packet through the master
+        # population table; replay those lookup counters in bulk too.
+        table = destination.synaptic_data.population_table
+        table.lookups += n
+        if delivery.csr is None:
+            table.misses += n
+            self.unmatched_packets += n
+            core.charge_cycles(n * costs.packet_received_cycles)
+            return
+        csr = delivery.csr
+        slots = csr.synapse_slots(spiking)
+        count = int(slots.size)
+        charge = 0.0
+        if count:
+            destination.buffer.add_events(csr.targets[slots],
+                                          csr.weights[slots],
+                                          csr.delay_ticks[slots])
+            charge = float(csr.weights[slots].sum())
+        # Bulk accounting parity with the per-packet path: every spike
+        # costs a packet handler, a DMA fetch of the stride-padded row
+        # and a DMA-complete handler; row processing is charged per
+        # synaptic event.
+        core.handler_invocations["dma"] += n
+        core.charge_cycles(
+            n * (costs.packet_received_cycles
+                 + costs.dma_complete_fixed_cycles
+                 + costs.dma_complete_cycles_per_word * delivery.stride_words)
+            + costs.dma_complete_cycles_per_word * count)
+        core.dma.completed_transfers += n
+        core.dma.total_words_transferred += n * delivery.stride_words
+        chip = self.machine.chips[destination.chip_coordinate]
+        chip.sdram.total_bytes_read += 4 * n * delivery.stride_words
+        chip.system_noc.record_batch(n, 4 * n * delivery.stride_words,
+                                     initiator="fabric-dma")
+        latency = self.kernel.now - send_time
+        self.result.record_delivery_batch(latency, delivery.distance, n)
+        self.result.synaptic_events += count
+        self.result.delivered_charge_na += charge
 
     # ------------------------------------------------------------------
     # Execution
@@ -350,7 +662,8 @@ class NeuralApplication:
             raise ValueError("duration must be non-negative")
         stagger = np.random.default_rng(self.seed)
         for runtime in self.core_runtimes:
-            offset = float(stagger.uniform(0.0, 10.0))
+            offset = (float(stagger.uniform(0.0, self.stagger_us))
+                      if self.stagger_us > 0 else 0.0)
             runtime.core.start_timer(TIMER_PERIOD_US, start_offset_us=offset)
         return self.kernel.now + milliseconds(duration_ms)
 

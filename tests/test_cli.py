@@ -67,6 +67,27 @@ class TestRunCommand:
         assert "packets dropped:     0" in out
 
 
+class TestTransportCommand:
+    def test_demo_reports_identical_transports(self, capsys):
+        status = main(["transport", "demo", "--chips", "9", "--neurons",
+                       "128", "--neurons-per-core", "32", "--duration",
+                       "30", "--seed", "11"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "equivalence verdict: IDENTICAL" in out
+        assert "fabric" in out and "event" in out
+        assert "events/s" in out
+
+    def test_demo_rejects_tiny_arguments(self, capsys):
+        assert main(["transport", "demo", "--chips", "2"]) == 2
+
+    def test_demo_parser_defaults(self):
+        args = build_parser().parse_args(["transport", "demo"])
+        assert args.transport_command == "demo"
+        assert args.chips == 16
+        assert args.duration == pytest.approx(60.0)
+
+
 class TestSaturationCommand:
     def test_full_machine_has_headroom(self, capsys):
         status = main(["saturation", "--width", "48", "--height", "48"])

@@ -72,6 +72,31 @@ class TestScheduling:
         assert received["value"] == 42
 
 
+class TestBatchedEvents:
+    def test_schedule_batch_counts_logical_events(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_batch(2.0, lambda k: fired.append(k.now), count=25)
+        kernel.run()
+        assert fired == [2.0]
+        assert kernel.events_processed == 25
+
+    def test_schedule_batch_rejects_empty_batches(self):
+        kernel = EventKernel()
+        with pytest.raises(ValueError):
+            kernel.schedule_batch(1.0, lambda k: None, count=0)
+
+    def test_batched_event_can_be_cancelled(self):
+        kernel = EventKernel()
+        fired = []
+        event = kernel.schedule_batch(1.0, lambda k: fired.append(1),
+                                      count=10)
+        event.cancel()
+        kernel.run()
+        assert fired == []
+        assert kernel.events_processed == 0
+
+
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         kernel = EventKernel()

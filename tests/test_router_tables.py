@@ -131,6 +131,59 @@ class TestMulticastRoutingTable:
             assert entry.link_directions == frozenset([Direction.NORTH])
 
 
+class TestIndexedLookup:
+    """The mask-grouped key index must replicate the linear CAM walk."""
+
+    def test_index_respects_cross_mask_entry_order(self):
+        table = MulticastRoutingTable()
+        table.add(key=0x10, mask=0xF0, cores=[1])     # coarse entry first
+        table.add(key=0x12, mask=0xFF, cores=[2])     # finer entry shadowed
+        assert table.lookup(0x12).processor_ids == frozenset([1])
+        table2 = MulticastRoutingTable()
+        table2.add(key=0x12, mask=0xFF, cores=[2])    # finer entry first
+        table2.add(key=0x10, mask=0xF0, cores=[1])
+        assert table2.lookup(0x12).processor_ids == frozenset([2])
+
+    def test_index_invalidated_on_mutation(self):
+        table = MulticastRoutingTable()
+        table.add(key=1, mask=0xFFFFFFFF, cores=[1])
+        assert table.lookup(2) is None                # builds the index
+        table.add(key=2, mask=0xFFFFFFFF, cores=[2])  # must invalidate it
+        assert table.lookup(2).processor_ids == frozenset([2])
+        table.clear()
+        assert table.lookup(1) is None
+
+    def test_compile_routes_reports_hits_and_misses(self):
+        table = MulticastRoutingTable()
+        table.add(key=0x100, mask=0xFFFFFF00, links=[Direction.EAST])
+        routes = table.compile_routes([0x104, 0x999])
+        assert routes[0x104] == (frozenset([Direction.EAST]), frozenset())
+        assert routes[0x999] is None
+        assert table.lookups == 0 and table.misses == 0
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=0xFF),
+                  st.sampled_from([0xFFFFFFFF, 0xFFFFFFF0, 0xFFFFFF00]),
+                  st.sampled_from(list(Direction)),
+                  st.integers(min_value=0, max_value=3)),
+        min_size=1, max_size=30),
+        st.lists(st.integers(min_value=0, max_value=0x3FF),
+                 min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_indexed_lookup_matches_linear_scan(self, raw_entries, probes):
+        # Overlapping masks, duplicate keys and shadowed entries included:
+        # the indexed cache must agree with the linear CAM walk for every
+        # probe key, both before and after minimisation.
+        table = MulticastRoutingTable()
+        for key, mask, link, core in raw_entries:
+            table.add(key=key & mask, mask=mask, links=[link], cores=[core])
+        for key in probes:
+            assert table.route_for(key) is table.lookup_linear(key)
+        table.minimise()
+        for key in probes:
+            assert table.route_for(key) is table.lookup_linear(key)
+
+
 class TestP2PRoutingTable:
     def test_table_covers_every_destination(self):
         geometry = TorusGeometry(4, 4)

@@ -10,7 +10,7 @@ from repro.core.machine import MachineConfig, SpiNNakerMachine
 from repro.neuron.connectors import FixedProbabilityConnector, OneToOneConnector
 from repro.neuron.network import Network
 from repro.neuron.population import Population, SpikeSourceArray, SpikeSourcePoisson
-from repro.runtime.application import NeuralApplication
+from repro.runtime.application import ApplicationResult, NeuralApplication
 from repro.runtime.boot import BootController
 
 
@@ -141,6 +141,51 @@ class TestMappingAndExecution:
         result = application.run(100.0)
         assert result.total_spikes() >= result.total_spikes("ff-target")
         assert result.mean_delivery_latency_us() <= result.max_delivery_latency_us()
+
+
+class TestApplicationResultEdgeCases:
+    def test_empty_run_latency_statistics(self):
+        result = ApplicationResult(duration_ms=0.0)
+        assert result.within_deadline_fraction() == 1.0
+        assert result.within_deadline_fraction(0.0) == 1.0
+        assert result.mean_delivery_latency_us() == 0.0
+        assert result.max_delivery_latency_us() == 0.0
+        assert len(result.delivery_latencies_us) == 0
+        assert len(result.delivery_distances) == 0
+
+    def test_total_spikes_unknown_label_raises(self):
+        result = ApplicationResult(duration_ms=10.0)
+        result.spike_counts["known"] = np.zeros(4, dtype=int)
+        with pytest.raises(KeyError, match="unknown population label"):
+            result.total_spikes("unknown")
+        assert result.total_spikes("known") == 0
+        assert result.total_spikes() == 0
+
+    def test_record_delivery_batch_matches_scalar_records(self):
+        batched = ApplicationResult(duration_ms=10.0)
+        scalar = ApplicationResult(duration_ms=10.0)
+        batched.record_delivery_batch(12.5, 3, count=4)
+        for _ in range(4):
+            scalar.record_delivery(12.5, 3)
+        assert np.array_equal(batched.delivery_latencies_us,
+                              scalar.delivery_latencies_us)
+        assert np.array_equal(batched.delivery_distances,
+                              scalar.delivery_distances)
+        assert batched.within_deadline_fraction(12.5) == 1.0
+        assert batched.within_deadline_fraction(12.0) == 0.0
+
+    def test_delivery_without_distance_stays_aligned(self):
+        from repro.runtime.application import UNKNOWN_DISTANCE
+
+        result = ApplicationResult(duration_ms=10.0)
+        result.record_delivery(4.0)
+        result.record_delivery(8.0, distance=2)
+        # A sourceless packet records the sentinel, never desynchronizing
+        # the latency/distance pairing.
+        assert len(result.delivery_latencies_us) == 2
+        assert len(result.delivery_distances) == 2
+        assert list(result.delivery_distances) == [UNKNOWN_DISTANCE, 2]
+        assert result.mean_delivery_latency_us() == pytest.approx(6.0)
 
 
 class TestEventModelAccounting:
