@@ -12,6 +12,7 @@ quickest way to sanity-check an installation::
     spinnaker-repro alloc demo --jobs 40      # multi-tenant job stream
     spinnaker-repro alloc policies            # compare placement policies
     spinnaker-repro transport demo --chips 16 # fabric vs event transport
+    spinnaker-repro compile report --chips 16 # mapping-compiler pass report
 
 All output goes to stdout; the exit status is zero unless a subcommand
 fails (for example a boot in which chips stay dead).
@@ -34,6 +35,7 @@ from repro.analysis.congestion import congestion_report, saturation_injection_ra
 from repro.core.machine import MachineConfig, SpiNNakerMachine
 from repro.fault.injection import FaultInjector
 from repro.energy.cost import OwnershipCostModel
+from repro.mapping.placement import PlacementError
 from repro.energy.model import EnergyModel, MachineScaleModel
 from repro.link.codes import LinkPerformanceModel
 from repro.neuron.connectors import FixedProbabilityConnector
@@ -241,6 +243,59 @@ def cmd_alloc_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Dispatch the ``compile`` subcommand group (currently: report)."""
+    if args.chips < 4 or args.neurons < 8:
+        print("error: need --chips >= 4 and --neurons >= 8")
+        return 2
+    width, height = _transport_mesh(args.chips)
+    machine = SpiNNakerMachine(MachineConfig(width=width, height=height,
+                                             cores_per_chip=args.cores))
+    BootController(machine, seed=args.seed).boot()
+    application = NeuralApplication(machine, _transport_network(args),
+                                    max_neurons_per_core=args.neurons_per_core,
+                                    seed=args.seed)
+    try:
+        application.prepare()
+    except PlacementError as error:
+        print("error: %s — grow --chips/--cores or --neurons-per-core, or "
+              "shrink --neurons" % (error,))
+        return 2
+    pipeline = application.pipeline
+
+    remapped = 0
+    if args.condemn > 0:
+        from repro.runtime.monitor import MonitorService
+        monitor = MonitorService(machine)
+        monitor.attach_application(application)
+        for _ in range(args.condemn):
+            used = application.placement.chips_used()
+            if len(used) <= 1:
+                break
+            try:
+                monitor.condemn_chip(used[-1])
+            except PlacementError as error:
+                print("note: stopped condemning after %d chip(s): %s"
+                      % (remapped, error))
+                break
+            remapped += 1
+
+    rows = [[row["pass"], "%d" % row["runs"], "%d" % row["cache_hits"],
+             "%.0f%%" % (100.0 * row["hit_rate"]), row["last_scope"],
+             "%.2f" % row["last_ms"], "%.2f" % row["total_ms"]]
+            for row in pipeline.report()]
+    print("Mapping-compiler report: %dx%d machine (%d chips), %d+%d "
+          "neurons, %d condemnation(s)"
+          % (width, height, width * height, args.neurons, args.neurons,
+             remapped))
+    _print_table(rows, header=["pass", "runs", "hits", "hit rate",
+                               "last scope", "last ms", "total ms"])
+    print()
+    for key, value in pipeline.summary().items():
+        print("  %-26s %g" % (key, value))
+    return 0
+
+
 def _transport_mesh(chips: int) -> tuple:
     """Pick a near-square (width, height) covering at least ``chips``."""
     width = max(2, int(math.isqrt(max(chips, 4))))
@@ -384,6 +439,25 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--policy", choices=PLACEMENT_POLICIES,
                              default="first-fit")
 
+    compile_parser = subparsers.add_parser(
+        "compile", help="the pass-based mapping compiler")
+    compile_sub = compile_parser.add_subparsers(dest="compile_command",
+                                                required=True)
+    report = compile_sub.add_parser(
+        "report", help="compile a network and print per-pass timings, "
+                       "cache hit rates and artifact counts")
+    report.add_argument("--chips", type=int, default=16,
+                        help="approximate machine size in chips")
+    report.add_argument("--cores", type=int, default=4)
+    report.add_argument("--neurons", type=int, default=384,
+                        help="neurons per population")
+    report.add_argument("--neurons-per-core", type=int, default=48)
+    report.add_argument("--rate", type=float, default=30.0)
+    report.add_argument("--seed", type=int, default=11)
+    report.add_argument("--condemn", type=int, default=1,
+                        help="chips to condemn afterwards, each triggering "
+                             "an incremental re-map (0 = cold compile only)")
+
     transport = subparsers.add_parser(
         "transport", help="compiled fabric vs per-packet event transport")
     transport_sub = transport.add_subparsers(dest="transport_command",
@@ -410,6 +484,7 @@ _COMMANDS = {
     "run": cmd_run,
     "saturation": cmd_saturation,
     "alloc": cmd_alloc,
+    "compile": cmd_compile,
     "transport": cmd_transport,
 }
 

@@ -1,0 +1,53 @@
+"""The pass-based mapping compiler (``repro.compile``).
+
+The staged partition-and-configure tool-chain the paper describes —
+network description in, per-core routing tables and synaptic data out —
+as an ordered, pluggable pass pipeline over a single artifact context:
+
+    Partition -> Place -> AllocateKeys -> Route -> Compress
+              -> BuildSynapticMatrices -> CompileTransport
+
+Every consumer of mapping artifacts (the on-machine application, the
+functional migrator, the monitor's fault mitigation, allocation-job
+leases) goes through one :class:`MappingPipeline`; per-pass caching and
+dependency-tracked invalidation mean a chip condemnation or lease shrink
+re-runs only the affected passes over the affected vertices instead of
+recompiling the world.
+"""
+
+from repro.compile.context import (
+    MappingContext,
+    RouteRecord,
+    machine_fingerprint,
+    network_fingerprint,
+)
+from repro.compile.passes import (
+    AllocateKeysPass,
+    BuildSynapticMatricesPass,
+    CompileTransportPass,
+    CompressPass,
+    DEFAULT_PASSES,
+    MappingPass,
+    PartitionPass,
+    PlacePass,
+    RoutePass,
+)
+from repro.compile.pipeline import MappingPipeline, PassRecord
+
+__all__ = [
+    "MappingContext",
+    "MappingPipeline",
+    "MappingPass",
+    "PassRecord",
+    "RouteRecord",
+    "DEFAULT_PASSES",
+    "PartitionPass",
+    "PlacePass",
+    "AllocateKeysPass",
+    "RoutePass",
+    "CompressPass",
+    "BuildSynapticMatricesPass",
+    "CompileTransportPass",
+    "machine_fingerprint",
+    "network_fingerprint",
+]

@@ -1,0 +1,318 @@
+"""The mapping-compiler artifact store (:class:`MappingContext`).
+
+The paper's software tool-chain is a staged partition-and-configure
+pipeline: a neural-network description goes in, per-core routing tables
+and synaptic data come out.  :class:`MappingContext` is the single
+artifact that flows through the :mod:`repro.compile` pass pipeline — it
+holds the inputs (network, machine view, seeds, policy knobs) and every
+intermediate product (partition, placement, key spaces, per-key routing
+entries, route programs, packed synaptic blocks, per-core data), so each
+pass reads its predecessors' outputs and records its own.
+
+Fingerprints over the network description and the machine's health are
+what make the per-pass caching and the incremental re-map work: a pass
+is skipped when the fingerprints of its inputs have not changed since it
+last ran, and re-run only over the vertices the change actually touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.geometry import ChipCoordinate
+from repro.mapping.keys import KeyAllocator
+from repro.mapping.placement import Placement, Vertex
+from repro.mapping.routing_generator import RoutingSummary
+from repro.mapping.synaptic_matrix import CoreSynapticData
+from repro.neuron.network import Network, expand_projections
+from repro.router.fabric import RouteProgram
+from repro.router.routing_table import RoutingEntry
+
+__all__ = [
+    "MappingContext",
+    "RouteRecord",
+    "network_fingerprint",
+    "machine_fingerprint",
+]
+
+
+def network_fingerprint(network: Network) -> Tuple:
+    """A structural fingerprint of a network description.
+
+    Covers everything the mapping tool-chain's output depends on:
+    population sizes and models, projection endpoints and connector
+    parameters, stimulus configuration, timestep and seed.  Two networks
+    with equal fingerprints compile to identical artifacts (for equal
+    machine fingerprints and seeds).
+    """
+    populations = []
+    for population in network.populations:
+        extra: Tuple = ()
+        rate = getattr(population, "rate_hz", None)
+        if rate is not None:
+            extra += (("rate_hz", rate),)
+        times = getattr(population, "spike_times_ms", None)
+        if times is not None:
+            extra += (("spike_times", tuple(tuple(t) for t in times)),)
+        populations.append((population.label, population.size,
+                            population.model_name,
+                            population.bias_current_na, extra))
+    projections = []
+    for projection in network.projections:
+        projections.append((projection.pre.label, projection.post.label,
+                            type(projection.connector).__name__,
+                            repr(projection.connector),
+                            projection.plasticity is not None))
+    return (network.timestep_ms, network.seed,
+            tuple(populations), tuple(projections))
+
+
+def machine_fingerprint(machine: Any) -> Tuple:
+    """A fingerprint of the machine view's mappable resources.
+
+    Enumerates, per chip of the view's geometry (so a
+    :class:`~repro.alloc.machine_view.LeasedMachineView` fingerprints
+    only its lease), the application cores a placer may use — the same
+    availability rule :meth:`Placer._application_cores` applies.  A chip
+    condemnation, core fault or lease shrink changes the fingerprint,
+    which is what triggers the incremental re-map.
+    """
+    chips = []
+    for coordinate in machine.geometry.all_chips():
+        chip = machine.chips[coordinate]
+        monitor = (chip.monitor_core_id
+                   if chip.monitor_core_id is not None else 0)
+        cores = tuple(
+            core.core_id for core in chip.cores
+            if core.core_id != monitor
+            and (core.is_available
+                 or core.state.value not in ("failed", "disabled")))
+        chips.append((coordinate.x, coordinate.y, monitor, cores))
+    return (machine.config.width, machine.config.height, tuple(chips))
+
+
+@dataclass
+class RouteRecord:
+    """The routing artifact of one source vertex.
+
+    Everything needed to (a) install the vertex's multicast entries and
+    (b) decide on a later re-map whether the record is still valid: the
+    tree depends only on the source slot and the destination slots, so
+    the record is rebuilt exactly when one of those moved.
+    """
+
+    key: int
+    source_chip: ChipCoordinate
+    #: The placement snapshot the record was built against.
+    source_slot: Tuple[ChipCoordinate, int]
+    target_slots: Dict[Vertex, Tuple[ChipCoordinate, int]]
+    #: One masked entry per chip of the tree.
+    entries: Dict[ChipCoordinate, RoutingEntry]
+    n_tree_links: int = 0
+
+
+@dataclass
+class MappingContext:
+    """Inputs plus accumulated artifacts of one mapping compilation."""
+
+    machine: Any
+    network: Network
+    #: Concrete simulation seed (per-core RNG derivation).
+    seed: Optional[int]
+    #: Seed key for connectivity expansion; ``None`` preserves the
+    #: unseeded shared-cache behaviour.
+    expansion_seed: Optional[int]
+    max_neurons_per_core: int
+    placement_strategy: str
+    broadcast_routing: bool = False
+    compile_transport: bool = False
+    minimise: bool = True
+    #: Set by :meth:`MappingPipeline.from_existing`: the machine's tables
+    #: may hold entries from a pre-pipeline tool-chain, so the first
+    #: route pass clears every chip before installing (the legacy
+    #: full-migration behaviour).
+    assume_stale_tables: bool = False
+
+    # ------------------------------------------------------------------
+    # Artifacts (filled in by the passes)
+    # ------------------------------------------------------------------
+    partition: Optional[Dict[str, List[Vertex]]] = None
+    placement: Optional[Placement] = None
+    keys: Optional[KeyAllocator] = None
+    #: Per-source-vertex routing records.
+    routes: Dict[Vertex, RouteRecord] = field(default_factory=dict)
+    #: Per-chip installed entry view: ``chip -> {key -> entry}`` in
+    #: installation order (the key order vertices were routed in).
+    chip_entries: Dict[ChipCoordinate, Dict[int, RoutingEntry]] = field(
+        default_factory=dict)
+    #: Packed synaptic blocks, placement-independent:
+    #: ``(projection index, source vertex, target vertex) ->
+    #: (packed_rows, row_lengths, stride_words, n_synapses)``.
+    blocks: Dict[Tuple[int, Vertex, Vertex], Tuple] = field(
+        default_factory=dict)
+    core_data: Dict[Tuple[ChipCoordinate, int], CoreSynapticData] = field(
+        default_factory=dict)
+    route_programs: Dict[int, RouteProgram] = field(default_factory=dict)
+    routing_summary: RoutingSummary = field(default_factory=RoutingSummary)
+
+    # ------------------------------------------------------------------
+    # Version counters (bumped only when a pass's output actually
+    # changed; downstream pass signatures include them)
+    # ------------------------------------------------------------------
+    partition_version: int = 0
+    placement_version: int = 0
+    keys_version: int = 0
+    routes_version: int = 0
+    #: True once the route pass has installed entries into the machine's
+    #: tables at least once (first install adds on top, legacy-style;
+    #: later installs clear-and-rebuild the dirty chips).
+    tables_installed: bool = False
+
+    # ------------------------------------------------------------------
+    # Per-run change tracking (reset by :meth:`begin_run`)
+    # ------------------------------------------------------------------
+    full_rebuild: bool = False
+    #: Set when :meth:`ensure_reach` recomputed the expansion-derived
+    #: artifacts this run (the network changed without changing the
+    #: partition): every block and core is then stale, not just moved ones.
+    reach_rebuilt: bool = False
+    moved_vertices: Set[Vertex] = field(default_factory=set)
+    removed_vertices: Set[Vertex] = field(default_factory=set)
+    dirty_chips: Set[ChipCoordinate] = field(default_factory=set)
+    dirty_keys: Set[int] = field(default_factory=set)
+    #: Per-pass scope notes for the report ("full", "12 vertices", ...).
+    last_scope: Dict[str, str] = field(default_factory=dict)
+
+    # Reach cache: projection index -> source vertex -> target vertices
+    # with >= 1 synapse, plus the (network fingerprint, expansion seed,
+    # partition version) tag it was computed for.
+    _reach: Optional[Dict[int, Dict[Vertex, Dict[Vertex, None]]]] = None
+    _reach_tag: Optional[Tuple] = None
+    #: Network fingerprint computed once per run (several pass
+    #: signatures read it; re-deriving it each time would make every
+    #: all-cache-hit run pay repeated deep walks of the description).
+    _network_fp: Optional[Tuple] = None
+
+    def network_fp(self) -> Tuple:
+        """The network fingerprint, computed at most once per run."""
+        if self._network_fp is None:
+            self._network_fp = network_fingerprint(self.network)
+        return self._network_fp
+
+    def begin_run(self) -> None:
+        """Reset the per-run change-tracking state."""
+        self._network_fp = None
+        self.full_rebuild = False
+        self.reach_rebuilt = False
+        self.moved_vertices = set()
+        self.removed_vertices = set()
+        self.dirty_chips = set()
+        self.dirty_keys = set()
+        self.last_scope = {}
+
+    def invalidate_artifacts(self) -> None:
+        """Drop every derived artifact (the network itself changed)."""
+        self.routes.clear()
+        self.chip_entries.clear()
+        self.blocks.clear()
+        self.core_data.clear()
+        self.route_programs.clear()
+        self._reach = None
+        self._reach_tag = None
+
+    # ------------------------------------------------------------------
+    # Shared expansion-derived artifacts
+    # ------------------------------------------------------------------
+    def expansion_tag(self) -> Tuple:
+        """Cache tag of the connectivity expansion the artifacts reflect."""
+        return (self.network_fp(), self.expansion_seed,
+                self.partition_version)
+
+    def ensure_reach(self) -> bool:
+        """Compute (or reuse) the source -> target vertex reach map.
+
+        Reach is derived from the shared connectivity expansion and the
+        partition only — placement does not enter — so it survives every
+        re-map.  Returns ``True`` when it had to be recomputed (every
+        downstream routing record is then stale).
+        """
+        tag = self.expansion_tag()
+        if self._reach is not None and self._reach_tag == tag:
+            return False
+        # The expansion changed: every packed block derived from it is
+        # stale (connector parameters may have changed without changing
+        # the partition, so this cannot ride on partition invalidation).
+        self.blocks.clear()
+        self.reach_rebuilt = True
+        reach: Dict[int, Dict[Vertex, Dict[Vertex, None]]] = {}
+        expanded = expand_projections(self.network, self.expansion_seed,
+                                      compile_csr=True)
+        for proj_index, projection, _rows, csr in expanded:
+            sources = self.partition[projection.pre.label]
+            targets = self.partition[projection.post.label]
+            starts = np.array([t.slice_start for t in targets])
+            per_source = reach.setdefault(proj_index, {})
+            for source in sources:
+                lo = int(csr.row_ptr[source.slice_start])
+                hi = int(csr.row_ptr[source.slice_stop])
+                hit = csr.targets[lo:hi]
+                if hit.size == 0:
+                    continue
+                bucket = per_source.setdefault(source, {})
+                for index in np.unique(
+                        np.searchsorted(starts, hit, side="right") - 1):
+                    bucket[targets[int(index)]] = None
+        self._reach = reach
+        self._reach_tag = tag
+        return True
+
+    def reach_of(self, vertex: Vertex) -> Dict[Vertex, None]:
+        """Target vertices receiving at least one synapse from ``vertex``,
+        merged over every projection (insertion-ordered)."""
+        merged: Dict[Vertex, None] = {}
+        for per_source in self._reach.values():
+            merged.update(per_source.get(vertex, {}))
+        return merged
+
+    def has_block(self, proj_index: int, source: Vertex,
+                  target: Vertex) -> bool:
+        """True if the projection has synapses from ``source`` to ``target``."""
+        return target in self._reach.get(proj_index, {}).get(source, {})
+
+    def feeders_of(self) -> Dict[Vertex, List[Tuple[int, Vertex]]]:
+        """Reverse reach: target vertex -> (projection index, source
+        vertex) pairs, in projection-major then source-slice order — the
+        canonical per-core block order of the synaptic-matrix builder."""
+        feeders: Dict[Vertex, List[Tuple[int, Vertex]]] = {}
+        for proj_index, projection in enumerate(self.network.projections):
+            per_source = self._reach.get(proj_index, {})
+            for source in self.partition[projection.pre.label]:
+                for target in per_source.get(source, {}):
+                    feeders.setdefault(target, []).append(
+                        (proj_index, source))
+        return feeders
+
+    def packed_block(self, proj_index: int, source: Vertex,
+                     target: Vertex) -> Tuple:
+        """The packed SDRAM block of one (projection, source, target) edge.
+
+        Placement-independent and cached: a re-map that moves either
+        vertex re-writes these words at a new address without re-packing.
+        """
+        cache_key = (proj_index, source, target)
+        cached = self.blocks.get(cache_key)
+        if cached is None:
+            from repro.mapping.synaptic_matrix import pack_block
+            from repro.neuron.population import expansion_rng
+            projection = self.network.projections[proj_index]
+            csr = projection.compile_csr(
+                expansion_rng(self.expansion_seed, proj_index),
+                seed=self.expansion_seed)
+            block = csr.submatrix(source.slice_start, source.slice_stop,
+                                  target.slice_start, target.slice_stop)
+            cached = pack_block(block)
+            self.blocks[cache_key] = cached
+        return cached

@@ -1,0 +1,511 @@
+"""The mapping-compiler passes.
+
+Each pass is one stage of the paper's partition-and-configure tool-chain,
+reading and writing artifacts on a shared :class:`MappingContext`:
+
+========================  =============================================
+pass                      artifact produced
+========================  =============================================
+``partition``             population slices (:class:`Vertex` lists)
+``place``                 vertex -> (chip, core) assignment
+``allocate-keys``         sticky AER key spaces per source vertex
+``route``                 per-key multicast (or broadcast) entries,
+                          installed into the chip routing tables
+``compress``              per-chip table minimisation
+``synaptic-matrices``     packed synaptic blocks in SDRAM + master
+                          population tables
+``compile-transport``     per-key :class:`RouteProgram`\\ s for the
+                          compiled transport fabric
+========================  =============================================
+
+Every pass exposes a *signature* — a tuple over the fingerprints and
+version counters of its inputs.  The pipeline skips a pass whose
+signature is unchanged since its last run (a cache hit) and otherwise
+re-runs it; the pass itself then limits the work to the vertices the
+change actually touched (an incremental re-map), bumping its output
+version only when something really changed so downstream passes can
+cache-hit in turn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compile.context import (
+    MappingContext,
+    RouteRecord,
+    machine_fingerprint,
+)
+from repro.core.geometry import ChipCoordinate
+from repro.mapping.keys import KeyAllocator
+from repro.mapping.placement import Placer, Vertex
+from repro.mapping.routing_generator import RoutingTableGenerator
+from repro.mapping.synaptic_matrix import (
+    CoreSynapticData,
+    write_packed_block,
+)
+from repro.router.fabric import compile_route
+from repro.router.routing_table import RoutingEntry
+
+__all__ = [
+    "MappingPass",
+    "PartitionPass",
+    "PlacePass",
+    "AllocateKeysPass",
+    "RoutePass",
+    "CompressPass",
+    "BuildSynapticMatricesPass",
+    "CompileTransportPass",
+    "DEFAULT_PASSES",
+]
+
+
+class MappingPass:
+    """Base class: a named, signature-cached stage of the pipeline."""
+
+    name = "pass"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        """Cache key over the pass's inputs; unchanged -> skip."""
+        raise NotImplementedError
+
+    def run(self, ctx: MappingContext) -> None:
+        """(Re)compute the pass's artifact, incrementally when possible."""
+        raise NotImplementedError
+
+
+class PartitionPass(MappingPass):
+    """Split every population into core-sized vertices."""
+
+    name = "partition"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        return (ctx.network_fp(), ctx.max_neurons_per_core)
+
+    def run(self, ctx: MappingContext) -> None:
+        placer = Placer(ctx.machine, ctx.max_neurons_per_core,
+                        ctx.placement_strategy)
+        partition = placer.partition(ctx.network)
+        if partition == ctx.partition:
+            ctx.last_scope[self.name] = "unchanged"
+            return
+        if ctx.partition is not None:
+            # The network itself changed: every derived artifact is void.
+            ctx.invalidate_artifacts()
+            ctx.full_rebuild = True
+        ctx.partition = partition
+        ctx.partition_version += 1
+        ctx.last_scope[self.name] = "%d vertices" % sum(
+            len(slices) for slices in partition.values())
+
+
+class PlacePass(MappingPass):
+    """Assign every vertex to an available application core.
+
+    Placement is always recomputed in full (it is cheap and the standard
+    placer is a deterministic function of the partition and the machine's
+    available slots, so a re-map lands exactly where a cold compile on
+    the same machine would); the *diff* against the previous placement is
+    what drives the incremental work of every later pass.
+    """
+
+    name = "place"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        return (ctx.partition_version, machine_fingerprint(ctx.machine),
+                ctx.placement_strategy)
+
+    def run(self, ctx: MappingContext) -> None:
+        placer = Placer(ctx.machine, ctx.max_neurons_per_core,
+                        ctx.placement_strategy)
+        fresh = placer.place(ctx.network, partition=ctx.partition)
+        if ctx.placement is None:
+            ctx.placement = fresh
+            ctx.moved_vertices = set(fresh.locations)
+            ctx.placement_version += 1
+            ctx.last_scope[self.name] = "full (%d vertices)" % len(
+                fresh.locations)
+            return
+        old = dict(ctx.placement.locations)
+        # Update the existing Placement object in place: the application,
+        # migrator and key allocator all hold references to it.
+        ctx.placement.max_neurons_per_core = fresh.max_neurons_per_core
+        ctx.placement.vertices = fresh.vertices
+        ctx.placement.by_population = fresh.by_population
+        ctx.placement.locations = fresh.locations
+        ctx.moved_vertices = {
+            vertex for vertex, slot in fresh.locations.items()
+            if old.get(vertex) != slot}
+        ctx.removed_vertices = set(old) - set(fresh.locations)
+        if ctx.moved_vertices or ctx.removed_vertices:
+            ctx.placement_version += 1
+        ctx.last_scope[self.name] = "%d moved" % len(ctx.moved_vertices)
+
+
+class AllocateKeysPass(MappingPass):
+    """Allocate AER key spaces — sticky across re-maps.
+
+    A vertex keeps its first-allocated key for life (the virtualised-
+    topology principle: a neuron's logical identity never changes, only
+    the routing tables follow it to a new physical home), so only brand-
+    new vertices receive keys here and a pure re-placement leaves the
+    key artifact untouched.
+    """
+
+    name = "allocate-keys"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        return (ctx.partition_version, ctx.placement_version)
+
+    def run(self, ctx: MappingContext) -> None:
+        if ctx.keys is None:
+            ctx.keys = KeyAllocator(ctx.placement)
+            ctx.keys_version += 1
+            ctx.last_scope[self.name] = "full (%d keys)" % len(
+                ctx.keys.all_key_spaces())
+            return
+        if ctx.full_rebuild:
+            ctx.keys.reallocate(ctx.placement)
+            ctx.keys_version += 1
+            ctx.last_scope[self.name] = "full (%d keys)" % len(
+                ctx.keys.all_key_spaces())
+            return
+        added = ctx.keys.allocate_missing()
+        if added:
+            ctx.keys_version += 1
+        ctx.last_scope[self.name] = "%d new keys" % len(added)
+
+
+class RoutePass(MappingPass):
+    """Build multicast (or broadcast) trees and install routing entries.
+
+    Keeps one :class:`RouteRecord` per source vertex.  A record is valid
+    as long as neither its source slot nor any of its destination slots
+    changed, so a re-map rebuilds only the trees the move actually bent;
+    chips whose entry set changed are re-installed (and later
+    re-minimised) while every other table is left untouched.
+    """
+
+    name = "route"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        return (ctx.placement_version, ctx.keys_version,
+                ctx.network_fp(), ctx.expansion_seed,
+                ctx.broadcast_routing)
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: MappingContext) -> None:
+        reach_changed = ctx.ensure_reach()
+        generator = RoutingTableGenerator(ctx.machine, ctx.placement,
+                                          ctx.keys)
+        locations = ctx.placement.locations
+
+        full = reach_changed or not ctx.routes
+        if full:
+            rebuild = list(ctx.placement.vertices)
+        else:
+            rebuild = []
+            for vertex in ctx.placement.vertices:
+                record = ctx.routes.get(vertex)
+                if record is None:
+                    if ctx.reach_of(vertex):
+                        rebuild.append(vertex)
+                    continue
+                if record.source_slot != locations[vertex]:
+                    rebuild.append(vertex)
+                    continue
+                if any(locations.get(target) != slot
+                       for target, slot in record.target_slots.items()):
+                    rebuild.append(vertex)
+
+        for vertex in ctx.removed_vertices:
+            record = ctx.routes.pop(vertex, None)
+            if record is not None:
+                self._retire(ctx, record)
+
+        broadcast_chips = (list(ctx.machine.geometry.all_chips())
+                           if ctx.broadcast_routing else None)
+        rebuilt = 0
+        for vertex in rebuild:
+            rebuilt += self._rebuild(ctx, generator, vertex,
+                                     broadcast_chips)
+
+        self._install(ctx)
+        self._summarise(ctx)
+        if ctx.dirty_chips or ctx.dirty_keys:
+            ctx.routes_version += 1
+        ctx.last_scope[self.name] = ("full (%d trees)" % rebuilt if full
+                                     else "%d trees" % rebuilt)
+
+    # ------------------------------------------------------------------
+    def _rebuild(self, ctx: MappingContext,
+                 generator: RoutingTableGenerator, vertex: Vertex,
+                 broadcast_chips: Optional[List[ChipCoordinate]]) -> int:
+        space = ctx.keys.key_space(vertex)
+        source_slot = ctx.placement.locations[vertex]
+        source_chip = source_slot[0]
+        targets = ctx.reach_of(vertex)
+        destinations: Dict[ChipCoordinate, Set[int]] = {}
+        target_slots: Dict[Vertex, Tuple[ChipCoordinate, int]] = {}
+        for target in targets:
+            slot = ctx.placement.locations[target]
+            target_slots[target] = slot
+            destinations.setdefault(slot[0], set()).add(slot[1])
+
+        old = ctx.routes.pop(vertex, None)
+        if not destinations:
+            if old is not None:
+                self._retire(ctx, old)
+            return 0
+
+        tree = generator.build_tree(
+            source_chip,
+            broadcast_chips if broadcast_chips is not None
+            else list(destinations))
+        entries: Dict[ChipCoordinate, RoutingEntry] = {}
+        n_links = 0
+        for chip_coordinate, link_directions in tree.items():
+            n_links += len(link_directions)
+            cores = destinations.get(chip_coordinate, set())
+            if not link_directions and not cores:
+                continue
+            entries[chip_coordinate] = RoutingEntry(
+                key=space.base_key, mask=space.mask,
+                link_directions=frozenset(link_directions),
+                processor_ids=frozenset(cores))
+
+        record = RouteRecord(key=space.base_key, source_chip=source_chip,
+                             source_slot=source_slot,
+                             target_slots=target_slots, entries=entries,
+                             n_tree_links=n_links)
+        self._merge(ctx, old, record)
+        ctx.routes[vertex] = record
+        return 1
+
+    @staticmethod
+    def _retire(ctx: MappingContext, record: RouteRecord) -> None:
+        for chip_coordinate in record.entries:
+            bucket = ctx.chip_entries.get(chip_coordinate)
+            if bucket and bucket.pop(record.key, None) is not None:
+                ctx.dirty_chips.add(chip_coordinate)
+        ctx.dirty_keys.add(record.key)
+
+    @staticmethod
+    def _merge(ctx: MappingContext, old: Optional[RouteRecord],
+               record: RouteRecord) -> None:
+        if old is not None and old.key != record.key:
+            RoutePass._retire(ctx, old)
+            old = None
+        old_entries = old.entries if old is not None else {}
+        for chip_coordinate in set(old_entries) | set(record.entries):
+            entry = record.entries.get(chip_coordinate)
+            bucket = ctx.chip_entries.setdefault(chip_coordinate, {})
+            if entry is None:
+                if bucket.pop(record.key, None) is not None:
+                    ctx.dirty_chips.add(chip_coordinate)
+            elif bucket.get(record.key) != entry:
+                bucket[record.key] = entry
+                ctx.dirty_chips.add(chip_coordinate)
+        if old_entries != record.entries:
+            ctx.dirty_keys.add(record.key)
+
+    # ------------------------------------------------------------------
+    def _install(self, ctx: MappingContext) -> None:
+        first = not getattr(ctx, "tables_installed", False)
+        if first and ctx.assume_stale_tables:
+            # The tables may hold a pre-pipeline tool-chain's entries for
+            # these very keys; start from a clean slate (the legacy
+            # full-migration behaviour).
+            for chip in ctx.machine:
+                chip.router.table.clear()
+        for chip_coordinate in ctx.dirty_chips:
+            chip = ctx.machine.chips.get(chip_coordinate)
+            if chip is None:
+                # A lease shrink removed the chip from the machine view
+                # while its old entries were being retired; there is no
+                # table left to rewrite.
+                continue
+            table = chip.router.table
+            if not first:
+                table.clear()
+            bucket = ctx.chip_entries.get(chip_coordinate, {})
+            table.extend(bucket.values())
+        ctx.tables_installed = True
+
+    def _summarise(self, ctx: MappingContext) -> None:
+        summary = ctx.routing_summary
+        summary.multicast_trees = len(ctx.routes)
+        summary.total_tree_links = sum(record.n_tree_links
+                                       for record in ctx.routes.values())
+        summary.entries_installed = sum(len(bucket)
+                                        for bucket in ctx.chip_entries.values())
+        summary.chips_touched = sum(1 for bucket in ctx.chip_entries.values()
+                                    if bucket)
+
+
+class CompressPass(MappingPass):
+    """Minimise the routing tables the route pass re-installed.
+
+    Broadcast tables are left raw (the E11 baseline measures the
+    uncompressed bus-style cost, as the legacy tool-chain did).
+    """
+
+    name = "compress"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        return (ctx.routes_version, ctx.minimise, ctx.broadcast_routing)
+
+    def run(self, ctx: MappingContext) -> None:
+        summary = ctx.routing_summary
+        if ctx.broadcast_routing or not ctx.minimise:
+            summary.entries_after_minimisation = summary.entries_installed
+            ctx.last_scope[self.name] = "skipped"
+            return
+        for chip_coordinate in ctx.dirty_chips:
+            chip = ctx.machine.chips.get(chip_coordinate)
+            if chip is not None:
+                chip.router.table.minimise()
+        summary.entries_after_minimisation = sum(
+            len(ctx.machine.chips[chip_coordinate].router.table)
+            for chip_coordinate, bucket in ctx.chip_entries.items()
+            if bucket and chip_coordinate in ctx.machine.chips)
+        ctx.last_scope[self.name] = "%d tables" % len(ctx.dirty_chips)
+
+
+class BuildSynapticMatricesPass(MappingPass):
+    """Pack synaptic blocks into SDRAM and build the population tables.
+
+    The packed words of a block depend only on the connectivity expansion
+    and the partition — never on the placement — and the key indexing a
+    block is sticky, so a re-map rebuilds just the cores whose vertex
+    moved, re-writing cached words at a fresh address.
+    """
+
+    name = "synaptic-matrices"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        return (ctx.placement_version, ctx.keys_version,
+                ctx.network_fp(), ctx.expansion_seed)
+
+    def run(self, ctx: MappingContext) -> None:
+        ctx.ensure_reach()
+        # A recomputed reach means the connectivity itself changed (for
+        # example a new projection between already-partitioned
+        # populations): every core's blocks are stale, not just moved
+        # ones, so this is a full rebuild too.
+        if ctx.reach_rebuilt or not ctx.core_data:
+            self._build_full(ctx)
+            return
+        self._build_incremental(ctx)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _free_core(ctx: MappingContext, slot, data: CoreSynapticData) -> None:
+        chip = ctx.machine.chips.get(slot[0])
+        if chip is None:
+            return
+        for region in data.regions:
+            try:
+                chip.sdram.free(region)
+            except ValueError:  # pragma: no cover - already gone
+                pass
+
+    def _build_full(self, ctx: MappingContext) -> None:
+        """Cold build, in the canonical projection -> target -> source
+        order (byte- and address-identical to the legacy builder)."""
+        for slot, data in ctx.core_data.items():
+            self._free_core(ctx, slot, data)
+        locations = ctx.placement.locations
+        ctx.core_data = {slot: CoreSynapticData(vertex=vertex)
+                         for vertex, slot in locations.items()}
+        for proj_index, projection in enumerate(ctx.network.projections):
+            sources = ctx.partition[projection.pre.label]
+            targets = ctx.partition[projection.post.label]
+            for target in targets:
+                slot = locations[target]
+                data = ctx.core_data[slot]
+                chip = ctx.machine.chips[slot[0]]
+                for source in sources:
+                    if not ctx.has_block(proj_index, source, target):
+                        continue
+                    self._write(ctx, chip, data, proj_index, source, target)
+        ctx.last_scope[self.name] = "full (%d cores)" % len(ctx.core_data)
+
+    def _build_incremental(self, ctx: MappingContext) -> None:
+        locations = ctx.placement.locations
+        # Retire stale cores: their vertex moved away (or vanished).
+        for slot, data in list(ctx.core_data.items()):
+            if locations.get(data.vertex) == slot:
+                continue
+            self._free_core(ctx, slot, data)
+            del ctx.core_data[slot]
+        # Rebuild the moved cores from the cached packed blocks.
+        feeders = None
+        rebuilt = 0
+        for vertex in ctx.placement.vertices:
+            slot = locations[vertex]
+            if slot in ctx.core_data:
+                continue
+            if feeders is None:
+                feeders = ctx.feeders_of()
+            data = CoreSynapticData(vertex=vertex)
+            ctx.core_data[slot] = data
+            chip = ctx.machine.chips[slot[0]]
+            for proj_index, source in feeders.get(vertex, []):
+                self._write(ctx, chip, data, proj_index, source, vertex)
+            rebuilt += 1
+        ctx.last_scope[self.name] = "%d cores" % rebuilt
+
+    @staticmethod
+    def _write(ctx: MappingContext, chip, data: CoreSynapticData,
+               proj_index: int, source: Vertex, target: Vertex) -> None:
+        packed_rows, row_lengths, stride, _n = ctx.packed_block(
+            proj_index, source, target)
+        write_packed_block(chip, data, ctx.keys.key_space(source), source,
+                           packed_rows, row_lengths, stride)
+
+
+class CompileTransportPass(MappingPass):
+    """Compile per-key route programs for the transport fabric.
+
+    Walks the *installed* (minimised) tables, so it must run after the
+    compress pass; only the keys whose routes changed are re-walked.
+    """
+
+    name = "compile-transport"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        return (ctx.routes_version, ctx.compile_transport)
+
+    def run(self, ctx: MappingContext) -> None:
+        if not ctx.compile_transport:
+            ctx.route_programs.clear()
+            ctx.routing_summary.programs_compiled = 0
+            ctx.last_scope[self.name] = "disabled"
+            return
+        live = {record.key: record.source_chip
+                for record in ctx.routes.values()}
+        stale = set(ctx.dirty_keys)
+        if not ctx.route_programs:
+            stale |= set(live)
+        for key in stale:
+            source_chip = live.get(key)
+            if source_chip is None:
+                ctx.route_programs.pop(key, None)
+            else:
+                ctx.route_programs[key] = compile_route(ctx.machine,
+                                                        source_chip, key)
+        ctx.routing_summary.programs_compiled = len(ctx.route_programs)
+        ctx.last_scope[self.name] = "%d programs" % len(stale)
+
+
+#: The canonical pass order of the mapping compiler.
+DEFAULT_PASSES = (
+    PartitionPass,
+    PlacePass,
+    AllocateKeysPass,
+    RoutePass,
+    CompressPass,
+    BuildSynapticMatricesPass,
+    CompileTransportPass,
+)

@@ -167,7 +167,14 @@ class ProcessorSubsystem:
         self.state = ProcessorState.MONITOR
 
     def start_application(self) -> None:
-        """Switch a ready core into the application-running state."""
+        """Switch a ready core into the application-running state.
+
+        Idempotent for a core already running an application: an
+        incremental re-map rebinds fresh runtimes onto cores that never
+        stopped, which must not trip the state check.
+        """
+        if self.state is ProcessorState.APPLICATION:
+            return
         if self.state not in (ProcessorState.READY, ProcessorState.SLEEPING):
             raise RuntimeError(
                 "core %d cannot start an application from state %s"

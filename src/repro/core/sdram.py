@@ -92,6 +92,27 @@ class SDRAM:
         self._regions.append(region)
         return region
 
+    def free(self, region: SDRAMRegion) -> None:
+        """Release a region allocated earlier.
+
+        The bump allocator only reclaims address space when the freed
+        region is the most recent allocation; interior regions are
+        forgotten (their words are dropped and the region no longer shows
+        up in :attr:`regions`) but their addresses are not reused.  This
+        matches the real machine's load-time layout discipline while
+        letting the incremental mapping compiler drop the synaptic blocks
+        of a vertex it moved off the chip.
+        """
+        try:
+            self._regions.remove(region)
+        except ValueError:
+            raise ValueError("region %r was not allocated from this SDRAM"
+                             % (region,))
+        for address in range(region.base, region.end, 4):
+            self._store.pop(address, None)
+        if region.end == self._next_free:
+            self._next_free = region.base
+
     @property
     def bytes_allocated(self) -> int:
         """Total bytes handed out so far."""

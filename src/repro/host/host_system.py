@@ -189,6 +189,22 @@ class HostSystem:
         self.send(SDPMessage(HostCommand.INJECT_SPIKE, destination,
                              {"key": key}))
 
+    def inject_population_spike(self, keys, label: str, neuron: int) -> None:
+        """Inject a spike on behalf of one mapped neuron.
+
+        ``keys`` is the key-allocation artifact of the mapping compiler
+        (``application.keys`` / ``MappingContext.keys``): the host shares
+        the compiled key spaces instead of re-deriving packet keys from a
+        private copy of the placement.  The packet is injected at the
+        neuron's source chip, so it takes exactly the multicast tree the
+        neuron's own spikes would.
+        """
+        key = keys.key_for_neuron(label, neuron)
+        vertex, _local = keys.placement.vertex_for_neuron(label, neuron)
+        source_chip, _core = keys.placement.location_of(vertex)
+        self.send(SDPMessage(HostCommand.INJECT_SPIKE, source_chip,
+                             {"key": key}))
+
     # ------------------------------------------------------------------
     # Allocation commands (require an attached allocation server)
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ bits, so one routing entry covers every neuron of the vertex.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.geometry import ChipCoordinate
 from repro.mapping.placement import Placement, Vertex
@@ -73,6 +73,33 @@ class KeyAllocator:
     def _allocate(self) -> None:
         for vertex, (chip, core) in self.placement.locations.items():
             self._spaces[vertex] = KeySpace(self.pack_base(chip, core))
+
+    def allocate_missing(self) -> List[Vertex]:
+        """Allocate key spaces for newly placed vertices only.
+
+        Keys are *sticky*: a vertex keeps the key space it was first
+        allocated even if a later re-map moves it to another core — the
+        paper's virtualised-topology principle (a neuron's logical
+        identity never changes; only the routing tables follow it).
+        Returns the vertices that received a new key space.
+        """
+        added: List[Vertex] = []
+        for vertex, (chip, core) in self.placement.locations.items():
+            if vertex not in self._spaces:
+                self._spaces[vertex] = KeySpace(self.pack_base(chip, core))
+                added.append(vertex)
+        return added
+
+    def reallocate(self, placement: Placement) -> None:
+        """Forget every key space and re-allocate from ``placement``.
+
+        Only for a full recompile (the network itself changed); an
+        incremental re-map must use :meth:`allocate_missing` so existing
+        keys stay stable.
+        """
+        self.placement = placement
+        self._spaces.clear()
+        self._allocate()
 
     @staticmethod
     def pack_base(chip: ChipCoordinate, core: int) -> int:

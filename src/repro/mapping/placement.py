@@ -152,15 +152,21 @@ class Placer:
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
-    def place(self, network: Network) -> Placement:
+    def place(self, network: Network,
+              partition: Optional[Dict[str, List[Vertex]]] = None) -> Placement:
         """Place ``network`` onto the machine.
+
+        ``partition`` lets a caller (the pass-based mapping compiler)
+        supply an already-computed partition artifact instead of
+        re-partitioning; the placement is identical either way.
 
         Raises
         ------
         PlacementError
             If there are more vertices than available application cores.
         """
-        partition = self.partition(network)
+        if partition is None:
+            partition = self.partition(network)
         all_vertices = [vertex for slices in partition.values()
                         for vertex in slices]
         slots = list(self._application_cores())

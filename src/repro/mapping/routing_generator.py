@@ -26,7 +26,7 @@ from repro.core.geometry import ChipCoordinate, Direction
 from repro.core.machine import SpiNNakerMachine
 from repro.mapping.keys import KeyAllocator
 from repro.mapping.placement import Placement, Vertex
-from repro.neuron.network import Network
+from repro.neuron.network import Network, expand_projections
 from repro.neuron.population import LATEST_EXPANSION, expansion_rng
 from repro.router.fabric import RouteProgram, compile_route
 from repro.router.routing_table import RoutingEntry
@@ -119,12 +119,12 @@ class RoutingTableGenerator:
         """Expand every projection under its own per-index stream.
 
         Registers the canonical connectivity for ``effective_seed`` before
-        the vertex loop, so ``destinations_of`` only ever cache-hits, and
-        returns a generator for any remaining (legacy, unseeded) draws.
+        the vertex loop — the same shared expansion artifact the host
+        simulator and the mapping compiler use — so ``destinations_of``
+        only ever cache-hits, and returns a generator for any remaining
+        (legacy, unseeded) draws.
         """
-        for index, projection in enumerate(network.projections):
-            projection.build_rows(expansion_rng(effective_seed, index),
-                                  seed=effective_seed)
+        expand_projections(network, effective_seed)
         return expansion_rng(effective_seed)
 
     # ------------------------------------------------------------------

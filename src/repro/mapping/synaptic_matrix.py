@@ -104,6 +104,47 @@ class CoreSynapticData:
         default_factory=MasterPopulationTable)
     total_synapses: int = 0
     total_sdram_words: int = 0
+    #: SDRAM regions backing this core's blocks, so an incremental re-map
+    #: can free them when the vertex moves off the chip.
+    regions: List = field(default_factory=list)
+
+
+def pack_block(block: "CSRMatrix"):
+    """Pack one (source vertex -> destination core) CSR block.
+
+    Returns ``(packed_rows, row_lengths, stride_words, n_synapses)`` —
+    the placement-independent artifact the mapping compiler caches: a
+    re-map that moves vertices around reuses these words verbatim, only
+    the SDRAM addresses and population-table records are rebuilt.
+    """
+    packed_rows = block.pack_rows()
+    row_lengths = block.row_lengths()
+    stride = max(len(words) for words in packed_rows)
+    return packed_rows, row_lengths, stride, block.n_synapses
+
+
+def write_packed_block(chip, data: CoreSynapticData, space: KeySpace,
+                       source_vertex: Vertex, packed_rows, row_lengths,
+                       stride: int) -> None:
+    """Write one packed block into ``chip``'s SDRAM and index it.
+
+    The rows are padded to the fixed ``stride`` so the packet handler can
+    compute a row address directly from the neuron index, exactly as the
+    real master population table does.
+    """
+    region = chip.sdram.allocate(
+        4 * stride * len(packed_rows),
+        tag="synapses:%s->%s" % (source_vertex, data.vertex))
+    for row_index, words in enumerate(packed_rows):
+        words = words + [0] * (stride - len(words))
+        chip.sdram.write_block(region.base + 4 * row_index * stride, words)
+        data.total_synapses += int(row_lengths[row_index])
+    data.total_sdram_words += stride * len(packed_rows)
+    data.regions.append(region)
+    data.population_table.add(PopulationTableEntry(
+        key=space.base_key, mask=space.mask,
+        sdram_address=region.base, row_stride_words=stride,
+        n_rows=len(packed_rows)))
 
 
 class SynapticMatrixBuilder:
@@ -165,22 +206,6 @@ class SynapticMatrixBuilder:
         packed rows are byte-identical to the old per-``SynapticRow``
         construction.
         """
-        space = self.keys.key_space(source_vertex)
-        packed_rows = block.pack_rows()
-        row_lengths = block.row_lengths()
-        # Fixed stride: every row occupies the same number of words so that
-        # the packet handler can compute the row address directly from the
-        # neuron index, as the real master population table does.
-        stride = max(len(words) for words in packed_rows)
-        region = chip.sdram.allocate(
-            4 * stride * len(packed_rows),
-            tag="synapses:%s->%s" % (source_vertex, data.vertex))
-        for row_index, words in enumerate(packed_rows):
-            words = words + [0] * (stride - len(words))
-            chip.sdram.write_block(region.base + 4 * row_index * stride, words)
-            data.total_synapses += int(row_lengths[row_index])
-        data.total_sdram_words += stride * len(packed_rows)
-        data.population_table.add(PopulationTableEntry(
-            key=space.base_key, mask=space.mask,
-            sdram_address=region.base, row_stride_words=stride,
-            n_rows=len(packed_rows)))
+        packed_rows, row_lengths, stride, _ = pack_block(block)
+        write_packed_block(chip, data, self.keys.key_space(source_vertex),
+                           source_vertex, packed_rows, row_lengths, stride)

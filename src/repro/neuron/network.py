@@ -29,6 +29,30 @@ from repro.neuron.population import (
 from repro.neuron.synapse import DeferredEventBuffer, MAX_DELAY_TICKS
 
 
+def expand_projections(network: "Network", seed: Optional[int],
+                       compile_csr: bool = False):
+    """Expand every projection of ``network`` once under ``seed``.
+
+    The single shared entry point to the connectivity-expansion artifact:
+    the host reference simulator, the routing/synaptic mapping passes of
+    :mod:`repro.compile` and the host system all go through here, so one
+    seed has exactly one expansion (cached on the projections) however
+    many layers consume it and in whatever order.
+
+    Returns ``[(index, projection, rows, csr-or-None)]`` with projections
+    in network order; ``compile_csr`` additionally compiles each
+    expansion to its flat CSR form.
+    """
+    expanded = []
+    for index, projection in enumerate(network.projections):
+        rng = expansion_rng(seed, index)
+        rows = projection.build_rows(rng, seed=seed)
+        csr = (projection.compile_csr(rng, seed=seed)
+               if compile_csr else None)
+        expanded.append((index, projection, rows, csr))
+    return expanded
+
+
 @dataclass
 class SimulationResult:
     """Recorded output of a network run.
@@ -179,17 +203,14 @@ class Network:
                     (n_ticks, population.size))
 
         # Expand every projection once (cached per seed); in CSR mode also
-        # compile each expansion into its flat-array form.  Expansion uses
-        # per-projection streams — shared with the mapping layer,
-        # decorrelated from the simulation draws — so results do not
-        # depend on expansion order or on cache hits/misses.
-        rows_by_projection = []
-        for index, projection in enumerate(self.projections):
-            rows_rng = expansion_rng(effective_seed, index)
-            rows = projection.build_rows(rows_rng, seed=effective_seed)
-            csr = (projection.compile_csr(rows_rng, seed=effective_seed)
-                   if propagation == "csr" else None)
-            rows_by_projection.append((projection, rows, csr))
+        # compile each expansion into its flat-array form.  The expansion
+        # artifact is shared with the mapping compiler — see
+        # :func:`expand_projections` — so results do not depend on
+        # expansion order or on cache hits/misses.
+        rows_by_projection = [
+            (projection, rows, csr)
+            for _index, projection, rows, csr in expand_projections(
+                self, effective_seed, compile_csr=(propagation == "csr"))]
 
         for tick in range(n_ticks):
             time_ms = tick * self.timestep_ms

@@ -35,6 +35,30 @@ LATEST_EXPANSION = object()
 #: seeded with the same value.
 _EXPANSION_STREAM = 0x5EED
 
+#: Stream-split constant for the per-core generators of the on-machine
+#: runtime (neuron-state initialisation, Poisson stimulus draws, timer
+#: stagger), keeping them independent of both the expansion stream and
+#: the host simulator's ``default_rng(seed)``.
+_CORE_STREAM = 0xC04E
+
+
+def core_rng(seed: Optional[int], chip_x: int, chip_y: int, core_id: int,
+             stream: int = 0) -> np.random.Generator:
+    """The generator of the application core at ``(chip_x, chip_y, core_id)``.
+
+    Derived purely from the seed and the core's physical location (the
+    same seed-sequence mechanism as :func:`expansion_rng`), so per-core
+    randomness does not depend on the order in which the mapping layer
+    happens to iterate over placements — any two tool-chains that put a
+    vertex on the same core give it the same stream.  ``stream``
+    separates independent uses at one core (0 = neuron state / stimulus,
+    1 = timer stagger).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(
+        [_CORE_STREAM, stream, chip_x, chip_y, core_id, seed])
+
 
 def expansion_rng(seed: Optional[int],
                   projection_index: int = 0) -> np.random.Generator:

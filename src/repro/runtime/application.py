@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.compile import MappingContext, MappingPipeline
 from repro.core.dma import DMARequest
 from repro.core.event_kernel import EventKernel, milliseconds
 from repro.core.geometry import ChipCoordinate
@@ -35,9 +36,8 @@ from repro.core.machine import SpiNNakerMachine
 from repro.core.packets import MulticastPacket
 from repro.core.processor import ProcessorSubsystem
 from repro.mapping.keys import KeyAllocator, KeySpace
-from repro.mapping.placement import Placement, Placer, Vertex
-from repro.mapping.routing_generator import RoutingTableGenerator
-from repro.mapping.synaptic_matrix import CoreSynapticData, SynapticMatrixBuilder
+from repro.mapping.placement import Placement, Vertex
+from repro.mapping.synaptic_matrix import CoreSynapticData
 from repro.neuron.engine import CSRMatrix, decode_packed_row
 from repro.router.fabric import RouteProgram, RouteTarget, TransportFabric
 from repro.neuron.network import Network
@@ -45,6 +45,7 @@ from repro.neuron.population import (
     Population,
     SpikeSourceArray,
     SpikeSourcePoisson,
+    core_rng,
 )
 from repro.neuron.synapse import MAX_DELAY_TICKS, DeferredEventBuffer, SynapticRow
 
@@ -441,83 +442,168 @@ class NeuralApplication:
 
         self.placement: Optional[Placement] = None
         self.keys: Optional[KeyAllocator] = None
+        #: The mapping compiler bound to this application; built by
+        #: :meth:`prepare`, re-driven by :meth:`remap`.
+        self.pipeline: Optional[MappingPipeline] = None
         self.core_runtimes: List[CoreRuntime] = []
         self.result = ApplicationResult(duration_ms=0.0)
         self.unmatched_packets = 0
         self.fabric: Optional[TransportFabric] = None
         self._prepared = False
+        self._broadcast_routing = False
 
     # ------------------------------------------------------------------
     # Mapping and configuration
     # ------------------------------------------------------------------
     def prepare(self, broadcast_routing: bool = False) -> None:
-        """Run the full mapping tool-chain and configure every core.
+        """Compile the mapping artifacts and configure every core.
 
+        A thin wrapper around the :mod:`repro.compile` pass pipeline.
         ``broadcast_routing`` selects the bus-style AER baseline of
         experiment E11 instead of multicast trees.
+
+        Preparing twice is guarded explicitly: a second call with the
+        same arguments is a no-op (it used to double-append core runtimes
+        and re-seed every per-core generator), and a second call that
+        asks for a *different* routing mode is an error — re-map through
+        :meth:`remap` instead.
         """
-        placer = Placer(self.machine, self.max_neurons_per_core,
-                        self.placement_strategy)
-        self.placement = placer.place(self.network)
-        self.keys = KeyAllocator(self.placement)
+        if self._prepared:
+            if broadcast_routing != self._broadcast_routing:
+                raise RuntimeError(
+                    "application already prepared with broadcast_routing=%r;"
+                    " it cannot be re-prepared with a different routing mode"
+                    % (self._broadcast_routing,))
+            return
+        self._broadcast_routing = broadcast_routing
+        self.pipeline = MappingPipeline(
+            self.machine, self.network, seed=self.seed,
+            expansion_seed=self.expansion_seed,
+            max_neurons_per_core=self.max_neurons_per_core,
+            placement_strategy=self.placement_strategy,
+            broadcast_routing=broadcast_routing,
+            compile_transport=(self.transport == "fabric"))
+        ctx = self.pipeline.run()
+        self.placement = ctx.placement
+        self.keys = ctx.keys
+        self._instantiate_runtimes(ctx)
+        self._reset_recording()
+        if self.transport == "fabric":
+            self._build_fabric(ctx.route_programs)
+        self._prepared = True
 
-        generator = RoutingTableGenerator(self.machine, self.placement, self.keys)
-        if broadcast_routing:
-            generator.generate_broadcast(self.network,
-                                         seed=self.expansion_seed)
-        else:
-            generator.generate(self.network, seed=self.expansion_seed,
-                               compile_programs=(self.transport == "fabric"))
+    def _reset_recording(self) -> None:
+        """Fresh recording state (shared by prepare and reset re-maps,
+        so a reset re-run cannot drift from a cold run)."""
+        self.result = ApplicationResult(duration_ms=0.0)
+        self.unmatched_packets = 0
+        for population in self.network.populations:
+            self.result.spike_counts[population.label] = np.zeros(
+                population.size, dtype=int)
+            if population.record_spikes:
+                self.result.spikes[population.label] = []
 
-        builder = SynapticMatrixBuilder(self.machine, self.placement, self.keys)
-        core_data = builder.build(self.network, seed=self.expansion_seed)
+    def _instantiate_runtimes(self, ctx: MappingContext,
+                              vertices: Optional[set] = None) -> int:
+        """Build core runtimes for placed vertices (all, or a subset).
 
-        rng = np.random.default_rng(self.seed)
+        Iterates the placement in its canonical order and derives every
+        per-core generator from the core's physical location
+        (:func:`core_rng`), so the runtimes any two compilations build
+        for the same core are identical regardless of iteration order or
+        how many re-maps happened in between.
+        """
         populations = {p.label: p for p in self.network.populations}
         projecting_labels = {projection.pre.label
                              for projection in self.network.projections}
+        built = 0
         for vertex, (chip_coordinate, core_id) in self.placement.locations.items():
+            if vertices is not None and vertex not in vertices:
+                continue
             chip = self.machine.chips[chip_coordinate]
             core = chip.cores[core_id]
             if not core.is_available:
                 continue
             if core.state.value == "off":
                 core.run_self_test(True)
-            data = core_data[(chip_coordinate, core_id)]
+            data = ctx.core_data[(chip_coordinate, core_id)]
             runtime = CoreRuntime(
                 application=self, core=core, chip_coordinate=chip_coordinate,
                 vertex=vertex, population=populations[vertex.population_label],
                 key_space=self.keys.key_space(vertex), synaptic_data=data,
-                rng=np.random.default_rng(rng.integers(0, 2 ** 31)),
+                rng=core_rng(self.seed, chip_coordinate.x, chip_coordinate.y,
+                             core_id),
                 has_outgoing_projections=(vertex.population_label
                                           in projecting_labels),
                 propagation=self.propagation,
                 transport=self.transport)
             self.core_runtimes.append(runtime)
+            built += 1
+        return built
 
-        for population in self.network.populations:
-            self.result.spike_counts[population.label] = np.zeros(
-                population.size, dtype=int)
-            if population.record_spikes:
-                self.result.spikes[population.label] = []
+    # ------------------------------------------------------------------
+    # Incremental re-mapping
+    # ------------------------------------------------------------------
+    def remap(self, reset: bool = False) -> MappingContext:
+        """Incrementally re-map after the machine changed underneath us.
+
+        Re-runs the pipeline (fingerprints decide which passes actually
+        execute) after a chip condemnation, core fault or lease shrink.
+        With ``reset=False`` (the live fault-mitigation path) only the
+        displaced vertices get fresh runtimes — surviving cores keep
+        their neuron state and simply see the new routes.  With
+        ``reset=True`` every runtime is rebuilt from scratch and the
+        recording state cleared, so the subsequent run reproduces a cold
+        compile on the shrunken machine bit for bit.
+        """
+        if not self._prepared:
+            raise RuntimeError("prepare() the application before remapping")
+        ctx = self.pipeline.run()
+        self.placement = ctx.placement
+        self.keys = ctx.keys
+        if reset:
+            for runtime in self.core_runtimes:
+                runtime.core.stop_timer()
+            self.core_runtimes = []
+            self._reset_recording()
+            self._instantiate_runtimes(ctx)
+        else:
+            moved = set(ctx.moved_vertices) | set(ctx.removed_vertices)
+            kept: List[CoreRuntime] = []
+            for runtime in self.core_runtimes:
+                if (runtime.vertex in moved
+                        or runtime.vertex not in self.placement.locations):
+                    runtime.core.stop_timer()
+                    continue
+                data = ctx.core_data.get((runtime.chip_coordinate,
+                                          runtime.core.core_id))
+                if data is not None and data is not runtime.synaptic_data:
+                    runtime.synaptic_data = data
+                    runtime._decoded_rows.clear()
+                kept.append(runtime)
+            self.core_runtimes = kept
+            self._instantiate_runtimes(
+                ctx, vertices={v for v in moved
+                               if v in self.placement.locations})
         if self.transport == "fabric":
-            self._build_fabric(generator)
-        self._prepared = True
+            self._build_fabric(ctx.route_programs)
+        return ctx
 
     # ------------------------------------------------------------------
     # Compiled transport fabric
     # ------------------------------------------------------------------
-    def _build_fabric(self, generator: RoutingTableGenerator) -> None:
+    def _build_fabric(self, programs: Dict[int, RouteProgram]) -> None:
         """Compile route programs and per-destination delivery legs.
 
-        Transport programs come from the mapping layer (walked from the
-        installed tables); any source vertex the generator skipped (for
-        example a projecting population whose slice has no synapses) is
-        compiled here so every sender has a program, even if that program
-        just records the packet drop the event path would perform.
+        Transport programs come from the mapping compiler (walked from
+        the installed tables); any source vertex the route pass skipped
+        (for example a projecting population whose slice has no synapses)
+        is compiled here so every sender has a program, even if that
+        program just records the packet drop the event path would
+        perform.
         """
         self.fabric = TransportFabric(self.machine)
-        self.fabric.adopt(generator.compiled_programs)
+        self.fabric.adopt(programs)
         by_location = {(runtime.chip_coordinate, runtime.core.core_id): runtime
                        for runtime in self.core_runtimes}
         for runtime in self.core_runtimes:
@@ -660,10 +746,17 @@ class NeuralApplication:
             self.prepare()
         if duration_ms < 0:
             raise ValueError("duration must be non-negative")
-        stagger = np.random.default_rng(self.seed)
         for runtime in self.core_runtimes:
-            offset = (float(stagger.uniform(0.0, self.stagger_us))
-                      if self.stagger_us > 0 else 0.0)
+            # The offset is derived from the core's location (stream 1 of
+            # the per-core generator family), so the stagger pattern is
+            # independent of runtime construction order and survives
+            # incremental re-maps.
+            offset = 0.0
+            if self.stagger_us > 0:
+                offset = float(core_rng(
+                    self.seed, runtime.chip_coordinate.x,
+                    runtime.chip_coordinate.y, runtime.core.core_id,
+                    stream=1).uniform(0.0, self.stagger_us))
             runtime.core.start_timer(TIMER_PERIOD_US, start_offset_us=offset)
         return self.kernel.now + milliseconds(duration_ms)
 

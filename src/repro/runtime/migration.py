@@ -10,13 +10,12 @@ topology principle (Section 3.2) is what makes this cheap: a neuron's
 tables and the local data need to follow it to its new physical home.
 
 :class:`FunctionalMigrator` implements that operation on top of the
-mapping layer:
+pass-based mapping compiler (:mod:`repro.compile`):
 
 * it finds spare application cores,
 * rebinds the evacuated vertices to them in the placement,
-* regenerates the multicast routing tables (same keys, new trees),
-* rebuilds the synaptic matrices so the new cores hold the connectivity
-  data, and
+* requests an *incremental* re-map from the pipeline — same keys, new
+  trees and synaptic blocks for just the moved vertices — and
 * when attached to a running :class:`~repro.runtime.application.NeuralApplication`,
   rebuilds the affected core runtimes so the application can simply be
   resumed.
@@ -30,15 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.compile import MappingPipeline
 from repro.core.geometry import ChipCoordinate
 from repro.core.machine import SpiNNakerMachine
 from repro.mapping.keys import KeyAllocator
 from repro.mapping.placement import Placement, PlacementError, Vertex
-from repro.mapping.routing_generator import RoutingTableGenerator
-from repro.mapping.synaptic_matrix import SynapticMatrixBuilder
 from repro.neuron.network import Network
+from repro.neuron.population import core_rng
 from repro.runtime.application import CoreRuntime, NeuralApplication
 
 __all__ = [
@@ -103,6 +100,25 @@ class FunctionalMigrator:
             self.seed = application.seed
         else:
             self.seed = network.seed or 0
+        self._own_pipeline: Optional[MappingPipeline] = None
+
+    def _pipeline(self) -> MappingPipeline:
+        """The mapping pipeline the migration re-maps through.
+
+        A prepared application's own pipeline when one is attached (its
+        artifact caches make the re-map incremental); otherwise a
+        standalone pipeline adopting the externally built placement and
+        keys, whose first re-map rebuilds the tables once and is
+        incremental from then on.
+        """
+        if (self.application is not None
+                and self.application.pipeline is not None):
+            return self.application.pipeline
+        if self._own_pipeline is None:
+            self._own_pipeline = MappingPipeline.from_existing(
+                self.machine, self.network, placement=self.placement,
+                keys=self.keys, seed=self.seed, expansion_seed=self.seed)
+        return self._own_pipeline
 
     @classmethod
     def for_application(cls, application: NeuralApplication) -> "FunctionalMigrator":
@@ -180,11 +196,19 @@ class FunctionalMigrator:
             report.cores_mapped_out.append((chip_coordinate, core_id))
 
         if report.moves:
-            self._rebuild_routing()
-            core_data = self._rebuild_synaptic_data()
+            # Request an incremental re-map from the mapping compiler:
+            # only the moved vertices' trees, tables and synaptic blocks
+            # are rebuilt (and the keys stay put, as migration requires).
+            context = self._pipeline().remap_moves(
+                {vertex: new_slot
+                 for vertex, _old, new_slot in report.moves})
             if self.application is not None:
                 report.runtimes_rebuilt = self._rebuild_runtimes(
-                    [move[0] for move in report.moves], core_data)
+                    [move[0] for move in report.moves], context.core_data)
+                if self.application.transport == "fabric":
+                    # Delivery legs reference runtime objects; recompile
+                    # them so no leg points at an evacuated runtime.
+                    self.application._build_fabric(context.route_programs)
         report.routing_entries_after = self._total_routing_entries()
         return report
 
@@ -225,16 +249,6 @@ class FunctionalMigrator:
     def _total_routing_entries(self) -> int:
         return sum(len(chip.router.table) for chip in self.machine)
 
-    def _rebuild_routing(self) -> None:
-        for chip in self.machine:
-            chip.router.table.clear()
-        generator = RoutingTableGenerator(self.machine, self.placement, self.keys)
-        generator.generate(self.network, seed=self.seed)
-
-    def _rebuild_synaptic_data(self):
-        builder = SynapticMatrixBuilder(self.machine, self.placement, self.keys)
-        return builder.build(self.network, seed=self.seed)
-
     def _rebuild_runtimes(self, moved: Sequence[Vertex], core_data) -> int:
         """Rebind the core runtimes of moved vertices to their new cores."""
         application = self.application
@@ -245,7 +259,6 @@ class FunctionalMigrator:
         kept: List[CoreRuntime] = [runtime for runtime in application.core_runtimes
                                    if runtime.vertex not in moved_set]
         rebuilt = 0
-        rng = np.random.default_rng(self.seed + 1)
         for vertex in moved:
             chip_coordinate, core_id = self.placement.location_of(vertex)
             chip = self.machine.chips[chip_coordinate]
@@ -258,8 +271,11 @@ class FunctionalMigrator:
                 population=populations[vertex.population_label],
                 key_space=self.keys.key_space(vertex),
                 synaptic_data=core_data[(chip_coordinate, core_id)],
-                rng=np.random.default_rng(rng.integers(0, 2 ** 31)),
-                has_outgoing_projections=(vertex.population_label in projecting))
+                rng=core_rng(self.seed, chip_coordinate.x, chip_coordinate.y,
+                             core_id),
+                has_outgoing_projections=(vertex.population_label in projecting),
+                propagation=application.propagation,
+                transport=application.transport)
             kept.append(runtime)
             rebuilt += 1
         application.core_runtimes = kept

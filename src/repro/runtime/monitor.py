@@ -34,6 +34,9 @@ class MitigationReport:
     packets_reissued: int = 0
     cores_disabled: int = 0
     chips_condemned: int = 0
+    #: Incremental re-maps requested from attached applications'
+    #: mapping pipelines after chip condemnations.
+    remaps_requested: int = 0
 
 
 class MonitorService:
@@ -168,6 +171,20 @@ class MonitorService:
         the monitor maps out dead silicon.
         """
         self._chip_death_listeners.append(listener)
+
+    def attach_application(self, application, reset: bool = False) -> None:
+        """Re-map ``application`` incrementally on every condemnation.
+
+        After :meth:`condemn_chip` maps a chip out, the application's
+        mapping pipeline is asked for an incremental re-map (only the
+        displaced vertices' passes re-run) instead of a full recompile;
+        the re-maps performed are counted in the mitigation report.
+        """
+        def remap(_coordinate: ChipCoordinate) -> None:
+            application.remap(reset=reset)
+            self.report.remaps_requested += 1
+
+        self.add_chip_death_listener(remap)
 
     def condemn_chip(self, coordinate: ChipCoordinate) -> None:
         """Map out an entire chip that can no longer be trusted.

@@ -88,6 +88,31 @@ class TestTransportCommand:
         assert args.duration == pytest.approx(60.0)
 
 
+class TestCompileCommand:
+    def test_report_prints_pass_table_and_remap(self, capsys):
+        status = main(["compile", "report", "--chips", "9", "--neurons",
+                       "96", "--neurons-per-core", "32", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "Mapping-compiler report" in out
+        assert "1 condemnation(s)" in out
+        for name in ("partition", "place", "allocate-keys", "route",
+                     "compress", "synaptic-matrices", "compile-transport"):
+            assert name in out
+        assert "hit rate" in out
+        assert "entries_after_minimisation" in out
+
+    def test_report_cold_compile_only(self, capsys):
+        status = main(["compile", "report", "--chips", "9", "--neurons",
+                       "64", "--neurons-per-core", "32", "--condemn", "0"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 condemnation(s)" in out
+
+    def test_report_rejects_tiny_arguments(self, capsys):
+        assert main(["compile", "report", "--chips", "2"]) == 2
+
+
 class TestSaturationCommand:
     def test_full_machine_has_headroom(self, capsys):
         status = main(["saturation", "--width", "48", "--height", "48"])

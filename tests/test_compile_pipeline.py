@@ -1,0 +1,385 @@
+"""The pass-based mapping compiler (`repro.compile`).
+
+Acceptance checks of the pipeline refactor:
+
+* pipeline equivalence — for seeded networks the pipeline produces
+  placements, key allocations, routing tables, route programs and SDRAM
+  synaptic blocks identical to the pre-refactor inline tool-chain
+  (replayed here through the legacy ``Placer`` / ``KeyAllocator`` /
+  ``RoutingTableGenerator`` / ``SynapticMatrixBuilder`` path), for event
+  and fabric transports and for multicast and broadcast routing;
+* per-pass artifact caching and dependency-tracked invalidation;
+* incremental re-map — a chip condemnation re-runs only the affected
+  passes over the affected vertices, and (after a reset) reproduces a
+  cold compile on the shrunken machine spike for spike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.server import AllocationServer
+from repro.compile import MappingPipeline
+from repro.core.geometry import ChipCoordinate
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.host.host_system import HostSystem
+from repro.mapping.keys import KeyAllocator
+from repro.mapping.placement import Placer
+from repro.mapping.routing_generator import RoutingTableGenerator
+from repro.mapping.synaptic_matrix import SynapticMatrixBuilder
+from repro.neuron.connectors import FixedProbabilityConnector, OneToOneConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.application import NeuralApplication
+from repro.runtime.boot import BootController
+from repro.runtime.monitor import MonitorService
+
+SEED = 91
+
+
+def booted_machine(width=3, height=3, cores=6):
+    machine = SpiNNakerMachine(MachineConfig(width=width, height=height,
+                                             cores_per_chip=cores))
+    BootController(machine, seed=1).boot()
+    return machine
+
+
+def layered_network(seed=SEED):
+    """Two projections, several vertices per population, mixed fan-out."""
+    network = Network(seed=seed)
+    stimulus = SpikeSourcePoisson(48, rate_hz=60.0, label="cp-stim")
+    relay = Population(48, "lif", label="cp-relay")
+    out = Population(32, "lif", label="cp-out")
+    relay.record(spikes=True)
+    out.record(spikes=True)
+    network.connect(stimulus, relay, OneToOneConnector(weight=4.0,
+                                                       delay_ticks=1))
+    network.connect(relay, out,
+                    FixedProbabilityConnector(0.25, weight=1.2,
+                                              delay_range=(1, 6)))
+    return network
+
+
+def legacy_toolchain(machine, network, *, expansion_seed,
+                     max_neurons_per_core=8, strategy="locality",
+                     broadcast=False, fabric=False):
+    """The pre-refactor inline mapping tool-chain, stage by stage."""
+    placer = Placer(machine, max_neurons_per_core, strategy)
+    placement = placer.place(network)
+    keys = KeyAllocator(placement)
+    generator = RoutingTableGenerator(machine, placement, keys)
+    if broadcast:
+        generator.generate_broadcast(network, seed=expansion_seed)
+    else:
+        generator.generate(network, seed=expansion_seed,
+                           compile_programs=fabric)
+    builder = SynapticMatrixBuilder(machine, placement, keys)
+    core_data = builder.build(network, seed=expansion_seed)
+    return placement, keys, generator, core_data
+
+
+def sdram_blocks(machine, core_data):
+    """Every core's population-table records plus the packed SDRAM words."""
+    blocks = {}
+    for (chip_coordinate, core_id), data in core_data.items():
+        chip = machine.chips[chip_coordinate]
+        records = []
+        for entry in data.population_table.entries:
+            words = chip.sdram.peek_block(
+                entry.sdram_address, entry.row_stride_words * entry.n_rows)
+            records.append((entry.key, entry.mask, entry.sdram_address,
+                            entry.row_stride_words, entry.n_rows,
+                            tuple(words)))
+        blocks[(chip_coordinate, core_id)] = records
+    return blocks
+
+
+class TestPipelineLegacyEquivalence:
+    @pytest.mark.parametrize("broadcast,fabric", [
+        (False, False),   # event transport, multicast routing
+        (False, True),    # fabric transport, multicast routing
+        (True, False),    # event transport, broadcast routing
+    ])
+    def test_pipeline_matches_legacy_toolchain(self, broadcast, fabric):
+        network = layered_network()
+        legacy_machine = booted_machine()
+        placement, keys, generator, core_data = legacy_toolchain(
+            legacy_machine, network, expansion_seed=SEED,
+            broadcast=broadcast, fabric=fabric)
+
+        pipeline_machine = booted_machine()
+        pipeline = MappingPipeline(pipeline_machine, network, seed=SEED,
+                                   max_neurons_per_core=8,
+                                   broadcast_routing=broadcast,
+                                   compile_transport=fabric)
+        ctx = pipeline.run()
+
+        # Placement and key allocation are identical.
+        assert ctx.placement.locations == placement.locations
+        assert ctx.keys.all_key_spaces() == keys.all_key_spaces()
+
+        # Every chip's installed routing table is identical, entry for
+        # entry and in order (same minimisation input -> same output).
+        for coordinate in legacy_machine.chips:
+            legacy_table = legacy_machine.chips[coordinate].router.table
+            pipeline_table = pipeline_machine.chips[coordinate].router.table
+            assert list(pipeline_table.entries) == list(legacy_table.entries)
+
+        # The SDRAM synaptic blocks land at the same addresses with the
+        # same packed words and population-table records.
+        assert (sdram_blocks(pipeline_machine, ctx.core_data)
+                == sdram_blocks(legacy_machine, core_data))
+
+        # And the compiled transport programs (fabric mode) agree.
+        if fabric:
+            assert ctx.route_programs == generator.compiled_programs
+        else:
+            assert ctx.route_programs == {}
+
+    def test_prepare_is_reentrant_with_mode_guard(self):
+        # A prepared application refuses to be silently re-prepared into
+        # a different routing mode (remap through the pipeline instead).
+        machine = booted_machine()
+        application = NeuralApplication(machine, layered_network(),
+                                        max_neurons_per_core=8, seed=SEED)
+        application.prepare(broadcast_routing=True)
+        with pytest.raises(RuntimeError):
+            application.prepare(broadcast_routing=False)
+
+
+class TestPassCaching:
+    def test_second_run_is_all_cache_hits(self):
+        machine = booted_machine()
+        pipeline = MappingPipeline(machine, layered_network(), seed=SEED,
+                                   max_neurons_per_core=8)
+        pipeline.run()
+        pipeline.run()
+        for row in pipeline.report():
+            assert row["cache_hits"] == 1, row
+            assert row["runs"] == 1, row
+
+    def test_unrelated_condemnation_keeps_downstream_cached(self):
+        # Condemning a chip that hosts no vertices changes the machine
+        # fingerprint (the place pass re-runs) but displaces nothing, so
+        # routing, synaptic matrices and transport all cache-hit.
+        machine = booted_machine(4, 4, 6)
+        pipeline = MappingPipeline(machine, layered_network(), seed=SEED,
+                                   max_neurons_per_core=8)
+        ctx = pipeline.run()
+        used = set(chip for chip, _ in ctx.placement.locations.values())
+        idle = [c for c in machine.chips if c not in used]
+        assert idle, "test needs an unused chip"
+        MonitorService(machine).condemn_chip(idle[-1])
+        pipeline.run()
+        assert pipeline.records["place"].runs == 2
+        for name in ("route", "compress", "synaptic-matrices",
+                     "compile-transport"):
+            assert pipeline.records[name].cache_hits == 1, name
+
+    def test_partition_preserving_network_change_rebuilds_synapses(self):
+        # Regression: adding a projection between already-partitioned
+        # populations (or changing connector parameters) changes the
+        # connectivity without changing the partition — the packed-block
+        # cache and every core's SDRAM data must still be rebuilt, or
+        # routing and synaptic data go out of sync.
+        machine = booted_machine(4, 4, 6)
+        network = layered_network()
+        pipeline = MappingPipeline(machine, network, seed=SEED,
+                                   max_neurons_per_core=8)
+        pipeline.run()
+        network.connect(network.population("cp-stim"),
+                        network.population("cp-out"),
+                        FixedProbabilityConnector(0.5, weight=0.3))
+        ctx = pipeline.run()
+        assert "full" in pipeline.records["synaptic-matrices"].last_scope
+        mapped = sum(data.total_synapses for data in ctx.core_data.values())
+        assert mapped == network.n_synapses()
+        # And the new projection's packets resolve at their targets.
+        application = NeuralApplication(booted_machine(4, 4, 6),
+                                        network, max_neurons_per_core=8,
+                                        seed=SEED, stagger_us=0.0)
+        result = application.run(40.0)
+        assert result.total_spikes() > 0
+        assert application.unmatched_packets == 0
+
+    def test_network_change_invalidates_everything(self):
+        machine = booted_machine(4, 4, 6)
+        network = layered_network()
+        pipeline = MappingPipeline(machine, network, seed=SEED,
+                                   max_neurons_per_core=8)
+        first = pipeline.run()
+        entries_before = first.routing_summary.entries_installed
+        feedback = Population(16, "lif", label="cp-feedback")
+        network.connect(network.population("cp-out"), feedback,
+                        FixedProbabilityConnector(0.3, weight=0.5))
+        ctx = pipeline.run()
+        assert pipeline.records["partition"].runs == 2
+        assert pipeline.records["route"].runs == 2
+        assert "full" in pipeline.records["synaptic-matrices"].last_scope
+        assert ctx.routing_summary.entries_installed > entries_before
+        assert any(v.population_label == "cp-feedback"
+                   for v in ctx.placement.locations)
+
+
+class TestIncrementalRemap:
+    def _prepare(self, seed=SEED):
+        machine = booted_machine(3, 3, 6)
+        application = NeuralApplication(machine, layered_network(seed),
+                                        max_neurons_per_core=8, seed=seed,
+                                        stagger_us=0.0)
+        application.prepare()
+        return machine, application
+
+    @staticmethod
+    def _victim(application):
+        """A chip hosting vertices, condemned last in raster order."""
+        return application.placement.chips_used()[-1]
+
+    def test_condemnation_remap_matches_cold_compile(self):
+        # Satellite: condemn a chip mid-run via the monitor, re-map
+        # incrementally, and check the re-mapped network reproduces a
+        # cold full compile on the shrunken machine — same placement,
+        # same spike trains.
+        machine, application = self._prepare()
+        monitor = MonitorService(machine)
+        monitor.attach_application(application, reset=True)
+        application.run(40.0)                  # mid-run fault
+        victim = self._victim(application)
+        monitor.condemn_chip(victim)           # triggers the re-map
+        assert monitor.report.remaps_requested == 1
+        remapped = application.run(80.0)
+
+        cold_machine = booted_machine(3, 3, 6)
+        MonitorService(cold_machine).condemn_chip(victim)
+        cold_application = NeuralApplication(cold_machine, layered_network(),
+                                             max_neurons_per_core=8,
+                                             seed=SEED, stagger_us=0.0)
+        cold = cold_application.run(80.0)
+
+        assert (application.placement.locations
+                == cold_application.placement.locations)
+        assert victim not in application.placement.chips_used()
+        for label in cold.spike_counts:
+            assert np.array_equal(remapped.spike_counts[label],
+                                  cold.spike_counts[label])
+        for label in cold.spikes:
+            assert sorted(remapped.spikes[label]) == sorted(cold.spikes[label])
+        assert remapped.delivered_charge_na == cold.delivered_charge_na
+
+    def test_condemnation_remaps_only_affected_passes(self):
+        machine, application = self._prepare()
+        monitor = MonitorService(machine)
+        monitor.attach_application(application)
+        victim = self._victim(application)
+        displaced = sum(1 for chip, _ in
+                        application.placement.locations.values()
+                        if chip == victim)
+        assert displaced > 0
+        monitor.condemn_chip(victim)
+        records = application.pipeline.records
+        # The partition artifact is untouched; the expensive expansion-
+        # derived artifacts (reach, packed blocks) were reused; only the
+        # displaced vertices' cores were rebuilt.
+        assert records["partition"].cache_hits >= 1
+        scope = records["synaptic-matrices"].last_scope
+        assert "full" not in scope
+        rebuilt = int(scope.split()[0])
+        assert rebuilt < len(application.placement.locations)
+
+    def test_live_remap_keeps_surviving_state_and_delivery(self):
+        machine, application = self._prepare()
+        monitor = MonitorService(machine)
+        monitor.attach_application(application)   # reset=False: live path
+        application.run(40.0)
+        before = application.result.total_spikes()
+        survivors = {id(r) for r in application.core_runtimes
+                     if r.chip_coordinate != self._victim(application)}
+        monitor.condemn_chip(self._victim(application))
+        result = application.run(60.0)
+        # Surviving runtimes were kept (state intact), displaced ones
+        # rebuilt, and the application keeps spiking with clean routing.
+        kept = {id(r) for r in application.core_runtimes}
+        assert survivors <= kept
+        assert result.total_spikes() > before
+        assert application.unmatched_packets == 0
+
+
+class TestSharedArtifacts:
+    def test_host_injects_spikes_through_compiled_keys(self):
+        machine = booted_machine()
+        network = layered_network()
+        application = NeuralApplication(machine, network,
+                                        max_neurons_per_core=8, seed=SEED)
+        application.prepare()
+        host = HostSystem(machine)
+        received_before = sum(r.core.packets_received
+                              for r in application.core_runtimes)
+        host.inject_population_spike(application.keys, "cp-relay", 3)
+        machine.run()
+        received_after = sum(r.core.packets_received
+                             for r in application.core_runtimes)
+        assert received_after > received_before
+        assert application.unmatched_packets == 0
+
+    def test_host_simulator_and_pipeline_share_expansion(self):
+        # Whichever side expands first, both count the same synapses for
+        # the same seed: one shared expansion artifact, no private caches.
+        network = layered_network()
+        reference = network.run(10.0)            # host expands first
+        machine = booted_machine()
+        pipeline = MappingPipeline(machine, network, seed=SEED,
+                                   max_neurons_per_core=8)
+        ctx = pipeline.run()
+        mapped = sum(data.total_synapses for data in ctx.core_data.values())
+        assert mapped == network.n_synapses() > 0
+        assert reference.total_spikes() >= 0
+
+
+class TestLeaseCompile:
+    def test_job_compiles_against_confined_view(self):
+        machine = SpiNNakerMachine(MachineConfig(width=8, height=8,
+                                                 cores_per_chip=6))
+        host = HostSystem(machine)
+        server = AllocationServer(host, power_on_delay_us=10.0)
+        job = server.create_job("tenant", 4, 4, keepalive_ms=1e9)
+        machine.run()
+        view = job.machine_view
+        assert view is not None
+        BootController(view, seed=7).boot()
+        application = NeuralApplication(view, layered_network(),
+                                        max_neurons_per_core=8, seed=SEED)
+        application.prepare()
+        leased = set(view.chips)
+        # The compiled artifacts never leave the lease.
+        assert set(application.placement.chips_used()) <= leased
+        assert set(application.pipeline.ctx.chip_entries) <= leased
+        result = application.run(40.0)
+        assert result.total_spikes() > 0
+
+    def test_lease_shrink_triggers_incremental_remap(self):
+        # A chip condemned inside a live lease is carved out of the view
+        # entirely; the job's re-map must re-place around the hole
+        # without touching (or crashing on) the chip that vanished.
+        machine = SpiNNakerMachine(MachineConfig(width=8, height=8,
+                                                 cores_per_chip=6))
+        host = HostSystem(machine)
+        server = AllocationServer(host, power_on_delay_us=10.0)
+        job = server.create_job("tenant", 4, 4, keepalive_ms=1e9)
+        machine.run()
+        view = job.machine_view
+        BootController(view, seed=7).boot()
+        application = NeuralApplication(view, layered_network(),
+                                        max_neurons_per_core=8, seed=SEED,
+                                        stagger_us=0.0)
+        application.run(20.0)
+        victim = application.placement.chips_used()[-1]
+        server.scheduler.handle_dead_chip(victim)
+        view.refresh()
+        assert victim not in view.chips
+        application.remap()
+        assert victim not in application.placement.chips_used()
+        before = application.result.total_spikes()
+        application.run(30.0)
+        assert application.result.total_spikes() > before
+        assert application.unmatched_packets == 0

@@ -154,6 +154,33 @@ class TestApplicationContinuity:
         second = application.run(50.0)
         assert second.total_spikes("mig-target") > spikes_before
 
+    def test_fabric_application_survives_migration(self):
+        # Regression: rebuilt runtimes must inherit the application's
+        # transport/propagation modes, and the fabric delivery legs must
+        # be recompiled so none point at an evacuated runtime object.
+        machine = booted_machine()
+        application = NeuralApplication(machine, small_feedforward(seed=29),
+                                        max_neurons_per_core=10, seed=29,
+                                        transport="fabric", stagger_us=0.0)
+        application.prepare()
+        first = application.run(40.0)
+        events_before = first.synaptic_events
+
+        migrator = FunctionalMigrator.for_application(application)
+        (old_chip, old_core), _ = next(iter(migrator.occupied_slots().items()))
+        migrator.evacuate_core(old_chip, old_core)
+
+        live = set(map(id, application.core_runtimes))
+        for runtime in application.core_runtimes:
+            assert runtime.transport == "fabric"
+            assert runtime.propagation == application.propagation
+            for delivery in runtime.fabric_deliveries:
+                assert id(delivery.runtime) in live
+
+        second = application.run(40.0)
+        assert second.synaptic_events > events_before
+        assert application.unmatched_packets == 0
+
     def test_prefer_same_chip_keeps_vertex_local_when_possible(self):
         application = prepared_application(booted_machine(3, 3, 8))
         migrator = FunctionalMigrator.for_application(application)
