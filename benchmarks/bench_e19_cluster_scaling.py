@@ -1,0 +1,172 @@
+"""E19 — Multi-board sharded simulation: scaling and equivalence.
+
+The paper's machine is assembled from 48-chip boards scaled toward a
+million cores.  `repro.cluster` shards a compiled network by board and
+runs one engine shard per board in parallel workers, exchanging
+cross-board spikes at tick barriers.  This benchmark runs a four-board
+machine (a row of production 8x6 boards) and checks the two promises
+that make the sharded runner usable:
+
+* **Equivalence** — the sharded run produces spike trains identical to
+  the unsharded on-machine engine
+  (``NeuralApplication(transport="fabric", stagger_us=0)``), and results
+  are bit-identical whatever the worker count.
+* **Scaling** — at 4 boards the pool achieves at least a 3x speedup
+  over 1 worker.  The load-balance bound (total engine compute over the
+  busiest worker's compute) is asserted always; the measured wall-clock
+  ratio is additionally asserted when the host has CPUs to spare beyond
+  the pool (single-CPU hosts cannot express pool parallelism in
+  wall-clock, and exactly-WORKERS-vCPU runners leave no headroom for
+  the parent's exchange routing).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.cluster import ClusterApplication
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.neuron.connectors import FixedProbabilityConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.application import NeuralApplication
+from repro.runtime.boot import BootController
+
+from .reporting import emit_json, print_metrics
+
+SEED = 19
+BOARDS_X, BOARDS_Y = 4, 1      # a row of four production 48-chip boards
+BOARD_W, BOARD_H = 8, 6
+CORES_PER_CHIP = 4             # 1 monitor + 3 application cores per chip
+N_PAIRS = 8                    # stimulus -> excitatory pairs, chained
+NEURONS = 1536
+NEURONS_PER_CORE = 256         # 96 vertices = exactly one full chip row,
+                               # so round-robin placement loads every
+                               # board with two pairs (balanced shards)
+RATE_HZ = 120.0
+EQUIV_MS = 40.0
+SCALING_MS = 80.0
+WORKERS = 4
+MIN_SPEEDUP = 3.0
+
+
+def _build_network() -> Network:
+    network = Network(seed=SEED)
+    excitatory = []
+    for pair in range(N_PAIRS):
+        stimulus = SpikeSourcePoisson(NEURONS, rate_hz=RATE_HZ,
+                                      label="c-stim-%d" % pair)
+        population = Population(NEURONS, "lif", label="c-exc-%d" % pair)
+        population.record(spikes=True)
+        network.connect(stimulus, population,
+                        FixedProbabilityConnector(0.12, weight=0.35,
+                                                  delay_range=(1, 8)))
+        network.connect(population, population,
+                        FixedProbabilityConnector(0.05, weight=0.1,
+                                                  delay_range=(1, 16)))
+        excitatory.append(population)
+    # Chain the pairs so spikes must cross board cables however the
+    # placer tiles them.
+    for index, population in enumerate(excitatory):
+        network.connect(population,
+                        excitatory[(index + 1) % len(excitatory)],
+                        FixedProbabilityConnector(0.05, weight=0.12,
+                                                  delay_range=(1, 16)))
+    return network
+
+
+def _machine() -> SpiNNakerMachine:
+    machine = SpiNNakerMachine(MachineConfig.multi_board(
+        BOARDS_X, BOARDS_Y, board_width=BOARD_W, board_height=BOARD_H,
+        cores_per_chip=CORES_PER_CHIP))
+    BootController(machine, seed=1).boot()
+    return machine
+
+
+def _assert_spike_equivalence(reference, candidate) -> None:
+    assert reference.total_spikes() == candidate.total_spikes()
+    for label in reference.spike_counts:
+        assert np.array_equal(reference.spike_counts[label],
+                              candidate.spike_counts[label]), label
+    for label in reference.spikes:
+        assert sorted(reference.spikes[label]) == sorted(
+            candidate.spikes[label]), label
+    assert reference.synaptic_events == candidate.synaptic_events
+    assert reference.delivered_charge_na == candidate.delivered_charge_na
+    assert reference.packets_sent == candidate.packets_sent
+
+
+def test_e19_cluster_scaling(benchmark):
+    network = _build_network()
+
+    # ------------------------------------------------------------------
+    # Equivalence with the unsharded engine
+    # ------------------------------------------------------------------
+    unsharded_app = NeuralApplication(
+        _machine(), network, max_neurons_per_core=NEURONS_PER_CORE,
+        placement_strategy="round-robin", seed=SEED, transport="fabric",
+        stagger_us=0.0)
+    unsharded = unsharded_app.run(EQUIV_MS)
+    assert unsharded.total_spikes() > 0
+
+    cluster = ClusterApplication(
+        _machine(), network, seed=SEED,
+        max_neurons_per_core=NEURONS_PER_CORE,
+        placement_strategy="round-robin", account_transport=True)
+    sharded = cluster.run(EQUIV_MS, workers=1)
+    _assert_spike_equivalence(unsharded, sharded)
+    assert cluster.n_boards == BOARDS_X * BOARDS_Y
+    assert cluster.report.cross_board_spikes > 0
+
+    # ------------------------------------------------------------------
+    # Scaling: 4 boards, 1 worker vs a pool
+    # ------------------------------------------------------------------
+    serial = benchmark.pedantic(
+        lambda: cluster.run(SCALING_MS, workers=1), rounds=1, iterations=1)
+    serial_report = cluster.report
+    pooled = cluster.run(SCALING_MS, workers=WORKERS)
+    pooled_report = cluster.report
+
+    # Bit-identical results whatever the worker count.
+    assert pooled.spikes == serial.spikes
+    for label in serial.spike_counts:
+        assert np.array_equal(serial.spike_counts[label],
+                              pooled.spike_counts[label])
+    assert pooled.synaptic_events == serial.synaptic_events
+    assert pooled.delivered_charge_na == serial.delivered_charge_na
+
+    measured_speedup = (serial_report.wall_s / pooled_report.wall_s
+                        if pooled_report.wall_s > 0 else float("inf"))
+    metrics = {
+        "boards": cluster.n_boards,
+        "chips": BOARDS_X * BOARDS_Y * BOARD_W * BOARD_H,
+        "vertices": sum(context.n_cores
+                        for context in cluster.board_contexts.values()),
+        "workers": pooled_report.workers,
+        "ticks": pooled_report.n_ticks,
+        "total_spikes": serial.total_spikes(),
+        "cross_board_spikes": pooled_report.cross_board_spikes,
+        "inter_board_traversals": pooled_report.inter_board_traversals,
+        "serial_wall_s": serial_report.wall_s,
+        "pool_wall_s": pooled_report.wall_s,
+        "measured_speedup": measured_speedup,
+        "speedup_bound": pooled_report.speedup_bound,
+        "host_cpus": os.cpu_count() or 1,
+    }
+    print_metrics("E19: cluster scaling (%d boards, %d workers)"
+                  % (cluster.n_boards, WORKERS), metrics)
+    emit_json("e19", metrics)
+
+    # The shards must divide the compute evenly enough that a pool of
+    # WORKERS workers can reach the target speedup...
+    assert pooled_report.speedup_bound >= MIN_SPEEDUP
+    # ... and on a host with real parallelism it must actually do so.
+    # The wall-clock gate needs headroom beyond the pool itself (the
+    # parent's exchange routing runs alongside the workers), so it is
+    # asserted with > WORKERS CPUs — or on demand via E19_ASSERT_WALLCLOCK
+    # — rather than flaking on exactly-4-vCPU CI runners.
+    if ((os.cpu_count() or 1) > WORKERS
+            or os.environ.get("E19_ASSERT_WALLCLOCK")):
+        assert measured_speedup >= MIN_SPEEDUP

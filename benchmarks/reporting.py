@@ -10,6 +10,7 @@ so CI can archive machine-readable results per run.
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Dict, Iterable, Optional, Sequence
 
@@ -22,22 +23,41 @@ def emit_json(bench_id: str, metrics: Dict[str, float],
               path: Optional[str] = None) -> str:
     """Write ``metrics`` to ``BENCH_<bench_id>.json`` at the repo root.
 
-    Values are coerced to ``float`` where possible (NumPy scalars
-    included) and to ``str`` otherwise, so every benchmark can pass its
-    metric dict unfiltered.  Returns the path written.
+    Numeric values (NumPy scalars and booleans included) are coerced to
+    ``float`` and plain strings pass through; anything else — ``None``,
+    containers, arbitrary objects, or a non-finite number — raises
+    immediately with the offending metric named, rather than silently
+    writing a file the regression gate cannot compare.  A stale file for
+    the same bench id is overwritten atomically (write + rename), so a
+    crashed benchmark can never leave a half-written JSON behind.
+    Returns the path written.
     """
+    if not bench_id:
+        raise ValueError("bench_id must be a non-empty string")
     serialised: Dict[str, object] = {}
     for name, value in metrics.items():
+        if isinstance(value, str):
+            serialised[name] = value
+            continue
         try:
-            serialised[name] = float(value)
+            numeric = float(value)
         except (TypeError, ValueError):
-            serialised[name] = str(value)
+            raise TypeError(
+                "metric %r of bench %r is not JSON-serialisable: %r "
+                "(pass a number or a string)" % (name, bench_id, value))
+        if not math.isfinite(numeric):
+            raise ValueError(
+                "metric %r of bench %r is not finite: %r"
+                % (name, bench_id, value))
+        serialised[name] = numeric
     if path is None:
         path = os.path.join(REPO_ROOT, "BENCH_%s.json" % (bench_id,))
-    with open(path, "w") as handle:
+    staging = path + ".tmp"
+    with open(staging, "w") as handle:
         json.dump({"bench": bench_id, "metrics": serialised}, handle,
                   indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(staging, path)
     return path
 
 

@@ -26,7 +26,7 @@ kernel, matching the time base of :mod:`repro.core.admission`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.geometry import ChipCoordinate, Direction
 from repro.core.machine import SpiNNakerMachine
@@ -248,6 +248,41 @@ class MachinePartitioner:
         choice = self._choose_placement(width, height, policy)
         if choice is None:
             return None
+        return self._commit(choice, tenant)
+
+    def allocate_boards(self, boards_wide: int, boards_high: int,
+                        policy: str = "first-fit",
+                        tenant: str = "") -> Optional[Lease]:
+        """Lease a whole-board rectangle spanning board boundaries.
+
+        On a multi-board machine (see
+        :attr:`~repro.core.machine.MachineConfig.board_width`) jobs large
+        enough to cross board cables are leased in whole boards, aligned
+        to the board grid — a ``2 x 1``-board request returns a
+        board-aligned ``2*board_width x board_height`` chip rectangle, so
+        the tenant's inter-board links are its own and the machine's
+        remaining boards stay whole for later multi-board jobs.
+        """
+        config = self.machine.config
+        if config.board_width is None:
+            raise ValueError("machine has no board grid; use allocate()")
+        if boards_wide < 1 or boards_high < 1:
+            raise ValueError("board-lease dimensions must be positive")
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError("unknown placement policy %r (expected one of %s)"
+                             % (policy, ", ".join(PLACEMENT_POLICIES)))
+        width = boards_wide * config.board_width
+        height = boards_high * config.board_height
+        if width > self.width or height > self.height:
+            return None
+        choice = self._choose_placement(width, height, policy,
+                                        align=(config.board_width,
+                                               config.board_height))
+        if choice is None:
+            return None
+        return self._commit(choice, tenant)
+
+    def _commit(self, choice: Tuple[Rect, Rect], tenant: str) -> Lease:
         free_rect, placed = choice
         self._free.remove(free_rect)
         self._free.extend(subtract(free_rect, placed))
@@ -256,33 +291,70 @@ class MachinePartitioner:
         self._leases[lease.lease_id] = lease
         return lease
 
-    def _choose_placement(self, width: int, height: int,
-                          policy: str) -> Optional[Tuple[Rect, Rect]]:
+    def boards_of(self, lease: Lease) -> List[int]:
+        """The board ids a lease's rectangle spans (sorted)."""
+        config = self.machine.config
+        return sorted({config.board_of(coordinate)
+                       for coordinate in lease.rect.chips()})
+
+    def _choose_placement(self, width: int, height: int, policy: str,
+                          align: Optional[Tuple[int, int]] = None
+                          ) -> Optional[Tuple[Rect, Rect]]:
         fitting = [rect for rect in self._free
                    if rect.width >= width and rect.height >= height]
         if not fitting:
             return None
-        if policy == "first-fit":
+        if align is None and policy == "first-fit":
             rect = min(fitting, key=lambda r: (r.y, r.x))
             return rect, Rect(rect.x, rect.y, width, height)
-        if policy == "best-fit":
+        if align is None and policy == "best-fit":
             rect = min(fitting,
                        key=lambda r: (r.area - width * height, r.y, r.x))
             return rect, Rect(rect.x, rect.y, width, height)
-        # locality-fit: of every corner placement in every fitting free
+        if align is not None and policy in ("first-fit", "best-fit"):
+            best_aligned: Optional[Tuple[Tuple, Rect, Rect]] = None
+            for rect in fitting:
+                for placed in self._aligned_placements(rect, width, height,
+                                                       align):
+                    if policy == "first-fit":
+                        score: Tuple = (placed.y, placed.x)
+                    else:
+                        score = (rect.area - width * height,
+                                 placed.y, placed.x)
+                    if best_aligned is None or score < best_aligned[0]:
+                        best_aligned = (score, rect, placed)
+            if best_aligned is None:
+                return None
+            return best_aligned[1], best_aligned[2]
+        # locality-fit: of every candidate placement in every fitting free
         # rectangle, pick the one closest to the host gateway that keeps
         # clear of known-bad silicon around its perimeter.
         gateway = self.machine.ethernet_chips[0]
         best: Optional[Tuple[Tuple[float, int, int], Rect, Rect]] = None
         for rect in fitting:
-            for placed in self._corner_placements(rect, width, height):
+            candidates = (self._aligned_placements(rect, width, height, align)
+                          if align is not None
+                          else self._corner_placements(rect, width, height))
+            for placed in candidates:
                 score = (self.machine.geometry.distance(placed.centre(), gateway)
                          + 4.0 * self._faulty_perimeter(placed),
                          placed.y, placed.x)
                 if best is None or score < best[0]:
                     best = (score, rect, placed)
-        assert best is not None
+        if best is None:
+            return None
         return best[1], best[2]
+
+    @staticmethod
+    def _aligned_placements(rect: Rect, width: int, height: int,
+                            align: Tuple[int, int]) -> List[Rect]:
+        """Placements inside ``rect`` whose origin sits on the grid."""
+        align_x, align_y = align
+        first_x = -(-rect.x // align_x) * align_x
+        first_y = -(-rect.y // align_y) * align_y
+        return [Rect(x, y, width, height)
+                for y in range(first_y, rect.y2 - height + 1, align_y)
+                for x in range(first_x, rect.x2 - width + 1, align_x)]
 
     @staticmethod
     def _corner_placements(rect: Rect, width: int,

@@ -24,13 +24,13 @@ Ties the other pieces of :mod:`repro.alloc` together:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.alloc.job import Job, JobRequest, JobState
 from repro.alloc.machine_view import LeasedMachineView
 from repro.alloc.partition import MachinePartitioner, PLACEMENT_POLICIES
-from repro.alloc.queue import JobQueue, TenantQuota
+from repro.alloc.queue import JobQueue
 from repro.core.clock import ClockDomain
 from repro.core.event_kernel import EventKernel, milliseconds
 from repro.core.geometry import ChipCoordinate

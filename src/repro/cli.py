@@ -13,6 +13,7 @@ quickest way to sanity-check an installation::
     spinnaker-repro alloc policies            # compare placement policies
     spinnaker-repro transport demo --chips 16 # fabric vs event transport
     spinnaker-repro compile report --chips 16 # mapping-compiler pass report
+    spinnaker-repro cluster demo --boards 2x2 # multi-board sharded run
 
 All output goes to stdout; the exit status is zero unless a subcommand
 fails (for example a boot in which chips stay dead).
@@ -375,6 +376,120 @@ def cmd_transport(args: argparse.Namespace) -> int:
     return 0 if equivalent else 1
 
 
+def _cluster_network(args: argparse.Namespace) -> "Network":
+    """A ring of stimulus->excitatory pairs with cross-pair projections.
+
+    The chain guarantees cross-board connectivity however the placer
+    tiles the pairs over the boards, so the demo always exercises the
+    inter-board exchange.
+    """
+    network = Network(seed=args.seed)
+    excitatory = []
+    for pair in range(args.pairs):
+        stimulus = SpikeSourcePoisson(args.neurons, rate_hz=args.rate,
+                                      label="stim-%d" % pair)
+        population = Population(args.neurons, "lif", label="exc-%d" % pair)
+        population.record(spikes=True)
+        network.connect(stimulus, population,
+                        FixedProbabilityConnector(p_connect=0.25, weight=0.9,
+                                                  delay_range=(1, 6)))
+        excitatory.append(population)
+    for index, population in enumerate(excitatory):
+        network.connect(population,
+                        excitatory[(index + 1) % len(excitatory)],
+                        FixedProbabilityConnector(p_connect=0.1, weight=0.4,
+                                                  delay_range=(1, 12)))
+    return network
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Dispatch the ``cluster`` subcommand group (currently: demo)."""
+    from repro.cluster import BoardTopology, ClusterApplication
+
+    try:
+        boards_x, boards_y = (int(part) for part in args.boards.split("x"))
+    except ValueError:
+        boards_x = boards_y = 0
+    if boards_x < 1 or boards_y < 1:
+        print("error: --boards must look like 2x2")
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1")
+        return 2
+    config = MachineConfig.multi_board(boards_x, boards_y,
+                                       board_width=args.board_width,
+                                       board_height=args.board_height,
+                                       cores_per_chip=args.cores)
+    topology = BoardTopology(config)
+    print("Board topology: %d boards of %dx%d chips (%d chips, %d cores)"
+          % (topology.n_boards, topology.board_width, topology.board_height,
+             config.n_chips, config.n_cores))
+    print(topology.ascii_diagram())
+
+    def build_machine() -> SpiNNakerMachine:
+        machine = SpiNNakerMachine(MachineConfig.multi_board(
+            boards_x, boards_y, board_width=args.board_width,
+            board_height=args.board_height, cores_per_chip=args.cores))
+        BootController(machine, seed=args.seed).boot()
+        return machine
+
+    results = {}
+    reports = {}
+    for workers in sorted({1, args.workers}):
+        application = ClusterApplication(
+            build_machine(), _cluster_network(args), seed=args.seed,
+            max_neurons_per_core=args.neurons_per_core,
+            workers=workers, account_transport=True)
+        results[workers] = application.run(args.duration)
+        reports[workers] = application.report
+
+    rows = []
+    for workers, result in results.items():
+        report = reports[workers]
+        rows.append([str(workers), "%d" % result.total_spikes(),
+                     "%d" % report.cross_board_spikes,
+                     "%d" % report.inter_board_traversals,
+                     "%.3f" % report.wall_s,
+                     "%.3f" % report.total_compute_s,
+                     "%.2f" % report.speedup_bound])
+    _print_table(rows, header=["workers", "spikes", "cross-board spikes",
+                               "inter-board hops", "wall s", "compute s",
+                               "speedup bound"])
+
+    reference = results[1]
+    identical = all(
+        other.spikes == reference.spikes
+        and other.delivered_charge_na == reference.delivered_charge_na
+        and all(np.array_equal(other.spike_counts[label],
+                               reference.spike_counts[label])
+                for label in reference.spike_counts)
+        for other in results.values())
+    print("  worker-count independence: %s"
+          % ("IDENTICAL" if identical else "DIVERGED"))
+
+    verdict = "not checked (--no-verify)"
+    equivalent = True
+    if args.verify:
+        machine = build_machine()
+        application = NeuralApplication(
+            machine, _cluster_network(args),
+            max_neurons_per_core=args.neurons_per_core, seed=args.seed,
+            transport="fabric", stagger_us=0.0)
+        unsharded = application.run(args.duration)
+        equivalent = (
+            unsharded.total_spikes() == reference.total_spikes()
+            and unsharded.delivered_charge_na == reference.delivered_charge_na
+            and all(np.array_equal(unsharded.spike_counts[label],
+                                   reference.spike_counts[label])
+                    for label in unsharded.spike_counts)
+            and all(sorted(unsharded.spikes[label])
+                    == sorted(reference.spikes[label])
+                    for label in unsharded.spikes))
+        verdict = "IDENTICAL" if equivalent else "DIVERGED"
+    print("  unsharded-engine equivalence: %s" % verdict)
+    return 0 if (identical and equivalent) else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -474,6 +589,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "transport stays in the lightly-loaded regime")
     demo.add_argument("--duration", type=float, default=60.0)
     demo.add_argument("--seed", type=int, default=11)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="multi-board sharded simulation")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+    cluster_demo = cluster_sub.add_parser(
+        "demo", help="run one seeded network sharded by board, checking "
+                     "worker-count independence and unsharded equivalence")
+    cluster_demo.add_argument("--boards", default="2x2",
+                              help="board grid, e.g. 2x2")
+    cluster_demo.add_argument("--board-width", type=int, default=4,
+                              help="chips per board along x (8 for the "
+                                   "production 48-chip board)")
+    cluster_demo.add_argument("--board-height", type=int, default=3,
+                              help="chips per board along y (6 for the "
+                                   "production 48-chip board)")
+    cluster_demo.add_argument("--cores", type=int, default=4)
+    cluster_demo.add_argument("--pairs", type=int, default=4,
+                              help="stimulus->excitatory population pairs")
+    cluster_demo.add_argument("--neurons", type=int, default=96,
+                              help="neurons per population")
+    cluster_demo.add_argument("--neurons-per-core", type=int, default=32)
+    cluster_demo.add_argument("--rate", type=float, default=40.0)
+    cluster_demo.add_argument("--duration", type=float, default=60.0)
+    cluster_demo.add_argument("--workers", type=int, default=2)
+    cluster_demo.add_argument("--seed", type=int, default=7)
+    cluster_demo.add_argument("--no-verify", dest="verify",
+                              action="store_false",
+                              help="skip the unsharded-engine equivalence "
+                                   "run")
     return parser
 
 
@@ -486,6 +631,7 @@ _COMMANDS = {
     "alloc": cmd_alloc,
     "compile": cmd_compile,
     "transport": cmd_transport,
+    "cluster": cmd_cluster,
 }
 
 

@@ -1,0 +1,32 @@
+"""Multi-board sharded simulation (``repro.cluster``).
+
+The paper's machine is assembled from 48-chip boards scaled towards a
+million cores; everything below one board is a PCB trace, everything
+between boards goes through slower serialising cables.  This package
+models that assembly and exploits it for execution:
+
+* :class:`~repro.cluster.board.BoardTopology` — the board grid of a
+  multi-board :class:`~repro.core.machine.MachineConfig` (board ids,
+  tile rectangles, the inter-board link census, an ASCII diagram);
+* :class:`~repro.cluster.shard.BoardEngine` — a deterministic,
+  tick-synchronous execution shard over one board's compiled sub-context
+  (see the ShardByBoard pass of :mod:`repro.compile`);
+* :class:`~repro.cluster.application.ClusterApplication` — the sharded
+  runner: one engine per board, spread over a pool of worker processes,
+  exchanging cross-board spike batches at tick barriers.  Results are
+  bit-identical whatever the worker count, and spike-train-equivalent to
+  the unsharded on-machine engine
+  (``NeuralApplication(transport="fabric", stagger_us=0)``).
+"""
+
+from repro.cluster.application import ClusterApplication, ClusterReport
+from repro.cluster.board import BoardTopology
+from repro.cluster.shard import BoardEngine, ShardResult
+
+__all__ = [
+    "BoardEngine",
+    "BoardTopology",
+    "ClusterApplication",
+    "ClusterReport",
+    "ShardResult",
+]

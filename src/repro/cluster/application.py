@@ -1,0 +1,349 @@
+"""The sharded cluster runner (:class:`ClusterApplication`).
+
+Runs a compiled network as one :class:`~repro.cluster.shard.BoardEngine`
+per board, spread over a pool of worker processes.  Execution is
+bulk-synchronous: every worker steps its boards through tick ``t``, the
+parent routes the tick's spike batches to their destination boards (a
+batch travels under its source vertex's sticky AER key), and tick
+``t + 1`` begins once every board has its inbound batches — the tick
+barrier standing in for the millisecond timer that keeps the real
+machine loosely synchronised.
+
+Three properties the tests and benchmark E19 rely on:
+
+* **Worker-count independence** — boards are stepped in canonical board
+  order, batches are routed in board order, and ring-buffer accumulation
+  is exact (fixed-point weights), so ``workers=4`` produces results
+  bit-identical to ``workers=1``.
+* **Engine equivalence** — the shard semantics replicate the unsharded
+  on-machine engine at zero timer stagger
+  (``NeuralApplication(transport="fabric", stagger_us=0)``): identical
+  spike trains, spike counts, synaptic-event totals and delivered
+  charge.
+* **Inter-board accounting** — with ``account_transport=True`` every
+  exchanged batch is replayed through the compiled route programs, so
+  routers, links and NoCs (including the new inter-board counters) show
+  the same loads the unsharded fabric transport would record.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.shard import BoardEngine, ShardResult, SpikeBatch
+from repro.compile import MappingPipeline
+from repro.compile.context import BoardContext
+from repro.core.machine import SpiNNakerMachine
+from repro.neuron.network import Network
+from repro.router.fabric import TransportFabric
+from repro.runtime.application import ApplicationResult
+
+__all__ = ["ClusterApplication", "ClusterReport"]
+
+
+@dataclass
+class ClusterReport:
+    """Execution statistics of one sharded run."""
+
+    n_boards: int
+    workers: int
+    n_ticks: int
+    wall_s: float = 0.0
+    #: Seconds each board's engine spent computing.
+    board_compute_s: Dict[int, float] = field(default_factory=dict)
+    #: Board -> worker assignment used by the run.
+    assignment: Dict[int, int] = field(default_factory=dict)
+    #: (key batch, destination board) deliveries exchanged at barriers.
+    exchanged_batches: int = 0
+    exchanged_spikes: int = 0
+    #: Of those, deliveries whose destination board differs from the
+    #: source board (the traffic that crosses board cables).
+    cross_board_batches: int = 0
+    cross_board_spikes: int = 0
+    #: Board-to-board link traversals replayed through the transport
+    #: fabric (``account_transport=True`` only).
+    inter_board_traversals: int = 0
+
+    @property
+    def total_compute_s(self) -> float:
+        """Engine compute summed over every board."""
+        return sum(self.board_compute_s.values())
+
+    def worker_compute_s(self) -> List[float]:
+        """Engine compute binned by the worker that ran each board."""
+        bins = [0.0] * max(self.workers, 1)
+        for board, seconds in self.board_compute_s.items():
+            bins[self.assignment.get(board, 0)] += seconds
+        return bins
+
+    @property
+    def critical_path_s(self) -> float:
+        """The busiest worker's compute — the parallel lower bound."""
+        return max(self.worker_compute_s(), default=0.0)
+
+    @property
+    def speedup_bound(self) -> float:
+        """Load-balance bound on pool speedup: total / busiest worker.
+
+        What a perfectly-overlapped pool of this run's worker count
+        could gain over one worker, given how evenly the boards'
+        compute divided; barrier and IPC overheads push the measured
+        wall-clock speedup below this.
+        """
+        critical = self.critical_path_s
+        if critical <= 0.0:
+            return 1.0
+        return self.total_compute_s / critical
+
+
+def _assign_boards(boards: List[int], workers: int) -> Dict[int, int]:
+    """Round-robin boards over workers (canonical board order)."""
+    return {board: index % workers for index, board in enumerate(boards)}
+
+
+def _shard_worker(conn, contexts: Dict[int, BoardContext], populations,
+                  seed: Optional[int], timestep_ms: float) -> None:
+    """Worker-process loop: step owned boards, swap batches at barriers."""
+    engines = {board: BoardEngine(context, populations, seed, timestep_ms)
+               for board, context in sorted(contexts.items())}
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "tick":
+                _, tick, inbound_by_board = message
+                outbound: Dict[int, List[SpikeBatch]] = {}
+                for board, engine in engines.items():
+                    batches = engine.step(tick, inbound_by_board.get(board))
+                    if batches:
+                        outbound[board] = batches
+                conn.send(outbound)
+            elif kind == "apply":
+                _, inbound_by_board = message
+                for board, batches in inbound_by_board.items():
+                    engines[board].apply(batches)
+                conn.send(None)
+            elif kind == "finish":
+                _, duration_ms = message
+                conn.send({board: engine.finish(duration_ms)
+                           for board, engine in engines.items()})
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ValueError("unknown worker message %r" % (kind,))
+    finally:
+        conn.close()
+
+
+class ClusterApplication:
+    """Compile a network once, run it sharded by board."""
+
+    def __init__(self, machine: SpiNNakerMachine, network: Network,
+                 seed: Optional[int] = None,
+                 max_neurons_per_core: int = 256,
+                 placement_strategy: str = "locality",
+                 workers: int = 1,
+                 account_transport: bool = False) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.machine = machine
+        self.network = network
+        self.timestep_ms = network.timestep_ms
+        self.seed = seed if seed is not None else (network.seed or 0)
+        self.expansion_seed = seed if seed is not None else network.seed
+        self.max_neurons_per_core = max_neurons_per_core
+        self.placement_strategy = placement_strategy
+        self.workers = workers
+        self.account_transport = account_transport
+
+        self.pipeline: Optional[MappingPipeline] = None
+        self.board_contexts: Dict[int, BoardContext] = {}
+        #: key -> destination boards, in board order.
+        self._key_destinations: Dict[int, tuple] = {}
+        self.fabric: Optional[TransportFabric] = None
+        self.result: Optional[ApplicationResult] = None
+        self.report: Optional[ClusterReport] = None
+        self.unmatched_packets = 0
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Run the mapping pipeline with the ShardByBoard pass enabled."""
+        if self._prepared:
+            return
+        self.pipeline = MappingPipeline(
+            self.machine, self.network, seed=self.seed,
+            expansion_seed=self.expansion_seed,
+            max_neurons_per_core=self.max_neurons_per_core,
+            placement_strategy=self.placement_strategy,
+            compile_transport=self.account_transport,
+            shard_by_board=True)
+        ctx = self.pipeline.run()
+        self.board_contexts = dict(sorted(ctx.board_contexts.items()))
+        self._key_destinations = {}
+        for board, context in self.board_contexts.items():
+            for key in context.deliveries:
+                existing = self._key_destinations.get(key, ())
+                self._key_destinations[key] = existing + (board,)
+        if self.account_transport:
+            self.fabric = TransportFabric(self.machine)
+            self.fabric.adopt(ctx.route_programs)
+        self._prepared = True
+
+    @property
+    def n_boards(self) -> int:
+        """Boards holding at least one placed vertex."""
+        return len(self.board_contexts)
+
+    def _populations(self) -> Dict[str, object]:
+        return {population.label: population
+                for population in self.network.populations}
+
+    # ------------------------------------------------------------------
+    # Batch routing (the tick barrier's exchange step)
+    # ------------------------------------------------------------------
+    def _route(self, outbound_by_board: Dict[int, List[SpikeBatch]],
+               report: ClusterReport) -> Dict[int, List[SpikeBatch]]:
+        """Route one tick's outbound batches to their destination boards.
+
+        Iterates source boards in canonical order, so every destination
+        board's inbound list is deterministic whatever worker produced
+        the batches.
+        """
+        inbound: Dict[int, List[SpikeBatch]] = {}
+        for board in sorted(outbound_by_board):
+            for key, spiking in outbound_by_board[board]:
+                n = int(spiking.size)
+                if self.fabric is not None:
+                    program = self.fabric.program_for(key)
+                    if program is not None:
+                        self.fabric.account_batch(program, n)
+                for destination in self._key_destinations.get(key, ()):
+                    inbound.setdefault(destination, []).append((key, spiking))
+                    report.exchanged_batches += 1
+                    report.exchanged_spikes += n
+                    if destination != board:
+                        report.cross_board_batches += 1
+                        report.cross_board_spikes += n
+        return inbound
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_ms: float,
+            workers: Optional[int] = None) -> ApplicationResult:
+        """Run for ``duration_ms`` of biological time; return the merged
+        result (also kept on :attr:`result`, statistics on :attr:`report`)."""
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        self.prepare()
+        n_ticks = int(round(duration_ms / self.timestep_ms))
+        effective = workers if workers is not None else self.workers
+        if effective < 1:
+            raise ValueError("workers must be at least 1")
+        boards = sorted(self.board_contexts)
+        effective = max(1, min(effective, len(boards))) if boards else 1
+        report = ClusterReport(n_boards=len(boards), workers=effective,
+                               n_ticks=n_ticks,
+                               assignment=_assign_boards(boards, effective))
+        # The fabric's counters are cumulative over the application's
+        # lifetime; the report carries this run's delta.
+        traversals_before = (self.fabric.inter_board_traversals
+                             if self.fabric is not None else 0)
+        began = time.perf_counter()
+        if effective == 1:
+            shard_results = self._run_serial(n_ticks, duration_ms, report)
+        else:
+            shard_results = self._run_pool(n_ticks, duration_ms, report)
+        report.wall_s = time.perf_counter() - began
+        if self.fabric is not None:
+            report.inter_board_traversals = (
+                self.fabric.inter_board_traversals - traversals_before)
+        for shard in shard_results:
+            report.board_compute_s[shard.board] = shard.compute_s
+        self.unmatched_packets = sum(shard.unmatched_packets
+                                     for shard in shard_results)
+        self.result = ApplicationResult.merge(
+            [shard.result for shard in shard_results])
+        self.result.duration_ms = duration_ms
+        self.report = report
+        return self.result
+
+    def _run_serial(self, n_ticks: int, duration_ms: float,
+                    report: ClusterReport) -> List[ShardResult]:
+        populations = self._populations()
+        engines = {board: BoardEngine(context, populations, self.seed,
+                                      self.timestep_ms)
+                   for board, context in self.board_contexts.items()}
+        inbound: Dict[int, List[SpikeBatch]] = {}
+        for tick in range(n_ticks):
+            outbound: Dict[int, List[SpikeBatch]] = {}
+            for board, engine in engines.items():
+                batches = engine.step(tick, inbound.get(board))
+                if batches:
+                    outbound[board] = batches
+            inbound = self._route(outbound, report)
+        # The final tick's batches still land in the ring buffers (the
+        # on-machine run drains in-flight deliveries after halting).
+        for board, batches in inbound.items():
+            engines[board].apply(batches)
+        return [engine.finish(duration_ms) for engine in engines.values()]
+
+    def _run_pool(self, n_ticks: int, duration_ms: float,
+                  report: ClusterReport) -> List[ShardResult]:
+        populations = self._populations()
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        by_worker: Dict[int, Dict[int, BoardContext]] = {}
+        for board, worker in report.assignment.items():
+            by_worker.setdefault(worker, {})[board] = (
+                self.board_contexts[board])
+        connections = []
+        processes = []
+        try:
+            for worker in sorted(by_worker):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(child_end, by_worker[worker], populations,
+                          self.seed, self.timestep_ms),
+                    daemon=True)
+                process.start()
+                child_end.close()
+                connections.append(parent_end)
+                processes.append(process)
+            inbound: Dict[int, List[SpikeBatch]] = {}
+            for tick in range(n_ticks):
+                for worker, connection in enumerate(connections):
+                    connection.send(("tick", tick, {
+                        board: inbound[board]
+                        for board in by_worker[worker] if board in inbound}))
+                outbound: Dict[int, List[SpikeBatch]] = {}
+                for connection in connections:
+                    outbound.update(connection.recv())
+                inbound = self._route(outbound, report)
+            for worker, connection in enumerate(connections):
+                final = {board: inbound[board]
+                         for board in by_worker[worker] if board in inbound}
+                connection.send(("apply", final))
+            for connection in connections:
+                connection.recv()
+            for connection in connections:
+                connection.send(("finish", duration_ms))
+            shard_results: Dict[int, ShardResult] = {}
+            for connection in connections:
+                shard_results.update(connection.recv())
+            return [shard_results[board] for board in sorted(shard_results)]
+        finally:
+            for connection in connections:
+                connection.close()
+            for process in processes:
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()

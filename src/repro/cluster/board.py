@@ -1,0 +1,127 @@
+"""The board grid of a multi-board machine.
+
+A thin, read-only view over :class:`~repro.core.machine.MachineConfig`'s
+board tiling: board ids are row-major over the grid (board 0 holds chip
+(0, 0)), each board is a ``board_width x board_height`` rectangle of
+chips, and links whose endpoints lie on different boards are the
+machine's *inter-board* links.  The topology object is what the CLI
+demo, the allocation layer and the benchmarks use to reason about
+boards without walking chips themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.geometry import ChipCoordinate
+from repro.core.machine import MachineConfig
+
+__all__ = ["BoardTopology"]
+
+
+class BoardTopology:
+    """Board-level view of a (possibly single-board) machine config."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_boards(self) -> int:
+        """Number of boards in the machine."""
+        return self.config.n_boards
+
+    @property
+    def boards_x(self) -> int:
+        """Board columns."""
+        return self.config.boards_x
+
+    @property
+    def boards_y(self) -> int:
+        """Board rows."""
+        return self.config.boards_y
+
+    @property
+    def board_width(self) -> int:
+        """Chips per board along x."""
+        return self.config.board_width or self.config.width
+
+    @property
+    def board_height(self) -> int:
+        """Chips per board along y."""
+        return self.config.board_height or self.config.height
+
+    @property
+    def chips_per_board(self) -> int:
+        """Chips per board (48 for the production 8 x 6 tile)."""
+        return self.board_width * self.board_height
+
+    def boards(self) -> List[int]:
+        """All board ids, in row-major grid order."""
+        return list(range(self.n_boards))
+
+    def board_of(self, coordinate: ChipCoordinate) -> int:
+        """The board holding a chip."""
+        return self.config.board_of(coordinate)
+
+    def rect(self, board: int) -> Tuple[int, int, int, int]:
+        """One board's chip rectangle as ``(x, y, width, height)``."""
+        origin = self.config.board_origin(board)
+        return (origin.x, origin.y, self.board_width, self.board_height)
+
+    def chips(self, board: int) -> List[ChipCoordinate]:
+        """One board's chips in raster order."""
+        return list(self.config.board_chips(board))
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    def inter_board_link_census(self, machine) -> Dict[Tuple[int, int], int]:
+        """Count the directed links between each ordered board pair.
+
+        ``machine`` is an instantiated
+        :class:`~repro.core.machine.SpiNNakerMachine` built from this
+        config (or a compatible view exposing ``links``).
+        """
+        census: Dict[Tuple[int, int], int] = {}
+        for link in machine.links.values():
+            if not link.inter_board:
+                continue
+            pair = (self.board_of(link.source), self.board_of(link.target))
+            census[pair] = census.get(pair, 0) + 1
+        return census
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def ascii_diagram(self) -> str:
+        """The board grid as a small ASCII map (y grows upwards).
+
+        ::
+
+            +--------+--------+
+            | b2     | b3     |
+            | 8x6    | 8x6    |
+            +--------+--------+
+            | b0     | b1     |
+            | 8x6    | 8x6    |
+            +--------+--------+
+        """
+        cell_width = max(8, len("%dx%d" % (self.board_width,
+                                           self.board_height)) + 3)
+        rule = "+" + ("-" * cell_width + "+") * self.boards_x
+        lines = [rule]
+        for row in reversed(range(self.boards_y)):
+            ids = []
+            sizes = []
+            for column in range(self.boards_x):
+                board = row * self.boards_x + column
+                ids.append((" b%d" % board).ljust(cell_width))
+                sizes.append((" %dx%d" % (self.board_width,
+                                          self.board_height)).ljust(cell_width))
+            lines.append("|" + "|".join(ids) + "|")
+            lines.append("|" + "|".join(sizes) + "|")
+            lines.append(rule)
+        return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""One board's execution shard (:class:`BoardEngine`).
+
+The engine replays the on-machine application model of Figure 7 for one
+board's compiled sub-context, tick-synchronously and without the event
+kernel in the loop:
+
+* each placed vertex ("core") keeps the same neuron state, deferred
+  -event ring buffer and per-core generator
+  (:func:`~repro.neuron.population.core_rng` keyed by the core's
+  physical location) the on-machine runtime would give it;
+* every tick, each core drains its ring slot, integrates and spikes —
+  exactly the millisecond-timer handler;
+* spike batches are delivered through the decoded synaptic blocks of the
+  board sub-context (the same fixed-point SDRAM words the transport
+  fabric replays), landing in the destination ring at
+  ``tick + 1 + delay`` — the arrival tick of the fabric transport at
+  zero timer stagger.
+
+Determinism: ring-buffer accumulation sums fixed-point weights (exact
+multiples of 2^-4 in float64), so the sum is exact and independent of
+delivery order; each core owns its generator; and the engine touches no
+shared machine state.  A shard therefore computes the same spike trains
+wherever and next to whatever it runs — the property the cluster runner
+relies on for worker-count-independent results, and the reason the
+sharded run is spike-train-equivalent to the unsharded engine
+(``NeuralApplication(transport="fabric", stagger_us=0)``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compile.context import BoardContext
+from repro.neuron.population import (
+    Population,
+    SpikeSourceArray,
+    SpikeSourcePoisson,
+    core_rng,
+)
+from repro.neuron.synapse import MAX_DELAY_TICKS, DeferredEventBuffer
+from repro.runtime.application import ApplicationResult
+
+__all__ = ["BoardEngine", "ShardResult", "SpikeBatch"]
+
+#: One cross-core spike batch: the source vertex's sticky AER base key
+#: plus the spiking neurons' vertex-local indices.
+SpikeBatch = Tuple[int, np.ndarray]
+
+
+@dataclass
+class ShardResult:
+    """What one board shard hands back after a run."""
+
+    board: int
+    result: ApplicationResult
+    #: Packets that matched no synaptic block at their destination.
+    unmatched_packets: int = 0
+    #: Seconds this shard spent stepping neurons and scattering events.
+    compute_s: float = 0.0
+
+
+class _ShardCoreState:
+    """Runtime state of one placed vertex inside a shard."""
+
+    __slots__ = ("spec", "population", "state", "buffer", "rng", "bias",
+                 "is_source")
+
+    def __init__(self, spec, population: Population, timestep_ms: float,
+                 seed: Optional[int]) -> None:
+        self.spec = spec
+        self.population = population
+        self.rng = core_rng(seed, spec.chip.x, spec.chip.y, spec.core_id)
+        self.is_source = population.is_spike_source
+        self.state = None
+        if not self.is_source:
+            # The same sliced-population construction as the on-machine
+            # runtime's _VertexState, fed the same per-core generator.
+            sliced = Population(
+                spec.vertex.n_neurons, population.parameters,
+                label="%s-shard-%d" % (population.label, spec.vertex.index))
+            self.state = sliced.build_state(timestep_ms, self.rng)
+        self.buffer = DeferredEventBuffer(spec.vertex.n_neurons,
+                                          MAX_DELAY_TICKS)
+        self.bias = None
+        if population.bias_current_na:
+            self.bias = np.full(spec.vertex.n_neurons,
+                                population.bias_current_na)
+
+
+class BoardEngine:
+    """Tick-synchronous executor of one board's compiled sub-context."""
+
+    def __init__(self, context: BoardContext,
+                 populations: Dict[str, Population],
+                 seed: Optional[int], timestep_ms: float) -> None:
+        self.context = context
+        self.board = context.board
+        self.timestep_ms = timestep_ms
+        self.cores = [
+            _ShardCoreState(spec, populations[spec.vertex.population_label],
+                            timestep_ms, seed)
+            for spec in context.cores]
+        self.result = ApplicationResult(duration_ms=0.0)
+        for label, population in populations.items():
+            self.result.spike_counts[label] = np.zeros(population.size,
+                                                       dtype=int)
+            if population.record_spikes:
+                self.result.spikes[label] = []
+        self.unmatched_packets = 0
+        self.compute_s = 0.0
+        self.ticks_run = 0
+
+    # ------------------------------------------------------------------
+    # Delivery (the packet-received + DMA-complete half of Figure 7)
+    # ------------------------------------------------------------------
+    def apply(self, batches: List[SpikeBatch]) -> None:
+        """Scatter inbound spike batches into the ring buffers.
+
+        Called at the tick barrier with the previous tick's batches, so
+        the buffers' current tick is already one past the send tick and
+        a delay-``d`` synapse lands ``d`` ticks ahead — the arrival slot
+        of the fabric transport.
+        """
+        began = time.perf_counter()
+        deliveries = self.context.deliveries
+        result = self.result
+        for key, spiking in batches:
+            for core_index, csr in deliveries.get(key, ()):
+                if csr is None:
+                    self.unmatched_packets += int(spiking.size)
+                    continue
+                core = self.cores[core_index]
+                slots = csr.synapse_slots(spiking)
+                if slots.size:
+                    core.buffer.add_events(csr.targets[slots],
+                                           csr.weights[slots],
+                                           csr.delay_ticks[slots])
+                    result.synaptic_events += int(slots.size)
+                    result.delivered_charge_na += float(
+                        csr.weights[slots].sum())
+        self.compute_s += time.perf_counter() - began
+
+    # ------------------------------------------------------------------
+    # One tick (the millisecond-timer half of Figure 7)
+    # ------------------------------------------------------------------
+    def step(self, tick: int,
+             inbound: Optional[List[SpikeBatch]] = None) -> List[SpikeBatch]:
+        """Apply ``inbound`` (the previous tick's batches), then run one
+        tick over every core.  Returns the board's outbound batches."""
+        if inbound:
+            self.apply(inbound)
+        began = time.perf_counter()
+        time_ms = tick * self.timestep_ms
+        outbound: List[SpikeBatch] = []
+        result = self.result
+        for core in self.cores:
+            spec = core.spec
+            if core.is_source:
+                spikes = self._source_spikes(core, tick)
+            else:
+                inputs = core.buffer.drain()
+                core.state.inject_synaptic_input(inputs)
+                spikes = core.state.step(core.bias)
+            spiking = np.flatnonzero(spikes)
+            if spiking.size == 0:
+                continue
+            label = spec.vertex.population_label
+            global_indices = spiking + spec.vertex.slice_start
+            result.spike_counts[label][global_indices] += 1
+            if label in result.spikes:
+                result.spikes[label].extend(
+                    (time_ms, int(index)) for index in global_indices)
+            if spec.has_outgoing:
+                result.packets_sent += int(spiking.size)
+                outbound.append((spec.base_key, spiking))
+        self.compute_s += time.perf_counter() - began
+        self.ticks_run = tick + 1
+        return outbound
+
+    def _source_spikes(self, core: _ShardCoreState, tick: int) -> np.ndarray:
+        population = core.population
+        vertex = core.spec.vertex
+        if isinstance(population, SpikeSourcePoisson):
+            probability = SpikeSourcePoisson.spike_probability(
+                population.rate_hz, self.timestep_ms)
+            return core.rng.random(vertex.n_neurons) < probability
+        if isinstance(population, SpikeSourceArray):
+            mask = population.spikes_for_tick(tick, self.timestep_ms)
+            return mask[vertex.slice_start:vertex.slice_stop]
+        return np.zeros(vertex.n_neurons, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finish(self, duration_ms: float) -> ShardResult:
+        """Close out the shard's recording and return its result."""
+        self.result.duration_ms = duration_ms
+        return ShardResult(board=self.board, result=self.result,
+                           unmatched_packets=self.unmatched_packets,
+                           compute_s=self.compute_s)

@@ -5,7 +5,7 @@ network description in, per-core routing tables and synaptic data out —
 as an ordered, pluggable pass pipeline over a single artifact context:
 
     Partition -> Place -> AllocateKeys -> Route -> Compress
-              -> BuildSynapticMatrices -> CompileTransport
+              -> BuildSynapticMatrices -> CompileTransport -> ShardByBoard
 
 Every consumer of mapping artifacts (the on-machine application, the
 functional migrator, the monitor's fault mitigation, allocation-job
@@ -16,8 +16,10 @@ recompiling the world.
 """
 
 from repro.compile.context import (
+    BoardContext,
     MappingContext,
     RouteRecord,
+    ShardCore,
     machine_fingerprint,
     network_fingerprint,
 )
@@ -31,15 +33,18 @@ from repro.compile.passes import (
     PartitionPass,
     PlacePass,
     RoutePass,
+    ShardByBoardPass,
 )
 from repro.compile.pipeline import MappingPipeline, PassRecord
 
 __all__ = [
+    "BoardContext",
     "MappingContext",
     "MappingPipeline",
     "MappingPass",
     "PassRecord",
     "RouteRecord",
+    "ShardCore",
     "DEFAULT_PASSES",
     "PartitionPass",
     "PlacePass",
@@ -48,6 +53,7 @@ __all__ = [
     "CompressPass",
     "BuildSynapticMatricesPass",
     "CompileTransportPass",
+    "ShardByBoardPass",
     "machine_fingerprint",
     "network_fingerprint",
 ]

@@ -27,13 +27,16 @@ from repro.mapping.keys import KeyAllocator
 from repro.mapping.placement import Placement, Vertex
 from repro.mapping.routing_generator import RoutingSummary
 from repro.mapping.synaptic_matrix import CoreSynapticData
+from repro.neuron.engine import CSRMatrix
 from repro.neuron.network import Network, expand_projections
 from repro.router.fabric import RouteProgram
 from repro.router.routing_table import RoutingEntry
 
 __all__ = [
+    "BoardContext",
     "MappingContext",
     "RouteRecord",
+    "ShardCore",
     "network_fingerprint",
     "machine_fingerprint",
 ]
@@ -114,6 +117,53 @@ class RouteRecord:
     n_tree_links: int = 0
 
 
+@dataclass(frozen=True)
+class ShardCore:
+    """One placed vertex as seen by a board shard.
+
+    Self-contained and picklable: the sharded runner ships these to
+    worker processes, so a shard core carries its physical location (the
+    per-core RNG derivation key), its population slice and its *sticky*
+    AER base key — the cross-board spike-batch address.
+    """
+
+    chip: ChipCoordinate
+    core_id: int
+    vertex: Vertex
+    #: The vertex's sticky AER base key (:class:`KeySpace.base_key`).
+    base_key: int
+    #: False for vertices of populations with no outgoing projections;
+    #: their spikes are recorded but never shipped (mirroring the
+    #: on-machine runtime).
+    has_outgoing: bool
+
+
+@dataclass
+class BoardContext:
+    """The per-board sub-context the ShardByBoard pass produces.
+
+    Everything one board's execution shard needs, detached from the
+    machine model: the board's cores in canonical placement order and,
+    for every source key that reaches the board, the precompiled
+    delivery legs (destination core plus the decoded synaptic block —
+    the same SDRAM words the transport fabric decodes, so fixed-point
+    quantisation matches the on-machine run exactly).
+    """
+
+    board: int
+    cores: List[ShardCore] = field(default_factory=list)
+    #: source base key -> [(local core index, decoded block)].  A
+    #: ``None`` block mirrors a delivery whose destination core has no
+    #: population-table entry for the key (counted as unmatched).
+    deliveries: Dict[int, List[Tuple[int, Optional[CSRMatrix]]]] = field(
+        default_factory=dict)
+
+    @property
+    def n_cores(self) -> int:
+        """Number of placed vertices on this board."""
+        return len(self.cores)
+
+
 @dataclass
 class MappingContext:
     """Inputs plus accumulated artifacts of one mapping compilation."""
@@ -129,6 +179,9 @@ class MappingContext:
     placement_strategy: str
     broadcast_routing: bool = False
     compile_transport: bool = False
+    #: When set, the ShardByBoard pass splits the compiled artifacts into
+    #: per-board :class:`BoardContext`\ s for the cluster runner.
+    shard_by_board: bool = False
     minimise: bool = True
     #: Set by :meth:`MappingPipeline.from_existing`: the machine's tables
     #: may hold entries from a pre-pipeline tool-chain, so the first
@@ -157,6 +210,8 @@ class MappingContext:
         default_factory=dict)
     route_programs: Dict[int, RouteProgram] = field(default_factory=dict)
     routing_summary: RoutingSummary = field(default_factory=RoutingSummary)
+    #: Per-board sub-contexts (ShardByBoard pass; empty when disabled).
+    board_contexts: Dict[int, BoardContext] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Version counters (bumped only when a pass's output actually

@@ -32,8 +32,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.compile.context import (
+    BoardContext,
     MappingContext,
     RouteRecord,
+    ShardCore,
     machine_fingerprint,
 )
 from repro.core.geometry import ChipCoordinate
@@ -56,6 +58,7 @@ __all__ = [
     "CompressPass",
     "BuildSynapticMatricesPass",
     "CompileTransportPass",
+    "ShardByBoardPass",
     "DEFAULT_PASSES",
 ]
 
@@ -499,6 +502,92 @@ class CompileTransportPass(MappingPass):
         ctx.last_scope[self.name] = "%d programs" % len(stale)
 
 
+class ShardByBoardPass(MappingPass):
+    """Split the compiled artifacts into per-board sub-contexts.
+
+    The cluster runner (:mod:`repro.cluster`) executes one engine shard
+    per board; this pass gives each board everything it needs without
+    the machine model in the loop: the board's cores (in canonical
+    placement order, so results are independent of how shards are later
+    spread over workers) and the decoded delivery legs of every source
+    key reaching the board.  Sticky keys are preserved — a vertex's AER
+    base key *is* the address cross-board spike batches travel under, so
+    the key spaces of :class:`~repro.mapping.keys.KeyAllocator` are used
+    verbatim.  Delivery blocks are decoded from the destination cores'
+    installed SDRAM blocks (the very words the transport fabric reads),
+    keeping the shards' fixed-point arithmetic identical to an
+    unsharded on-machine run.
+    """
+
+    name = "shard-by-board"
+
+    def signature(self, ctx: MappingContext) -> Tuple:
+        config = ctx.machine.config
+        return (ctx.shard_by_board, config.board_width, config.board_height,
+                ctx.placement_version, ctx.keys_version, ctx.routes_version,
+                ctx.network_fp(), ctx.expansion_seed)
+
+    def run(self, ctx: MappingContext) -> None:
+        ctx.board_contexts.clear()
+        if not ctx.shard_by_board:
+            ctx.last_scope[self.name] = "disabled"
+            return
+        config = ctx.machine.config
+        projecting = {projection.pre.label
+                      for projection in ctx.network.projections}
+
+        # Cores, grouped by board in canonical placement order.
+        local_index: Dict[Tuple[ChipCoordinate, int], Tuple[int, int]] = {}
+        for vertex, (chip, core_id) in ctx.placement.locations.items():
+            board = config.board_of(chip)
+            context = ctx.board_contexts.setdefault(board,
+                                                    BoardContext(board=board))
+            local_index[(chip, core_id)] = (board, len(context.cores))
+            context.cores.append(ShardCore(
+                chip=chip, core_id=core_id, vertex=vertex,
+                base_key=ctx.keys.key_space(vertex).base_key,
+                has_outgoing=vertex.population_label in projecting))
+
+        # Delivery legs, from the routing records (vertex order keeps the
+        # per-key lists deterministic across re-maps and worker counts).
+        n_deliveries = 0
+        for vertex in ctx.placement.vertices:
+            record = ctx.routes.get(vertex)
+            if record is None:
+                continue
+            for target, slot in record.target_slots.items():
+                board, core_index = local_index[slot]
+                csr = self._decode_block(ctx, slot, record.key,
+                                         target.n_neurons)
+                ctx.board_contexts[board].deliveries.setdefault(
+                    record.key, []).append((core_index, csr))
+                n_deliveries += 1
+        ctx.last_scope[self.name] = "%d boards, %d deliveries" % (
+            len(ctx.board_contexts), n_deliveries)
+
+    @staticmethod
+    def _decode_block(ctx: MappingContext, slot: Tuple[ChipCoordinate, int],
+                      key: int, n_post: int):
+        """Decode one destination core's block for ``key`` from its SDRAM.
+
+        Mirrors ``NeuralApplication._compile_delivery``: the first
+        matching population-table entry is used, and a missing entry
+        yields ``None`` (the shard counts unmatched packets, exactly as
+        the fabric transport does).
+        """
+        from repro.neuron.engine import CSRMatrix
+        data = ctx.core_data[slot]
+        entry = data.population_table.entry_for(key)
+        if entry is None:
+            return None
+        chip = ctx.machine.chips[slot[0]]
+        stride = entry.row_stride_words
+        packed = [chip.sdram.peek_block(
+            entry.sdram_address + 4 * row * stride, stride)
+            for row in range(entry.n_rows)]
+        return CSRMatrix.from_packed_rows(packed, n_post=n_post)
+
+
 #: The canonical pass order of the mapping compiler.
 DEFAULT_PASSES = (
     PartitionPass,
@@ -508,4 +597,5 @@ DEFAULT_PASSES = (
     CompressPass,
     BuildSynapticMatricesPass,
     CompileTransportPass,
+    ShardByBoardPass,
 )

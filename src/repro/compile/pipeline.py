@@ -73,6 +73,7 @@ class MappingPipeline:
                  placement_strategy: str = "locality",
                  broadcast_routing: bool = False,
                  compile_transport: bool = False,
+                 shard_by_board: bool = False,
                  minimise: bool = True) -> None:
         self.ctx = MappingContext(
             machine=machine, network=network, seed=seed,
@@ -82,6 +83,7 @@ class MappingPipeline:
             placement_strategy=placement_strategy,
             broadcast_routing=broadcast_routing,
             compile_transport=compile_transport,
+            shard_by_board=shard_by_board,
             minimise=minimise)
         self.passes: List[MappingPass] = [cls() for cls in DEFAULT_PASSES]
         self.records: Dict[str, PassRecord] = {

@@ -25,8 +25,8 @@ control sits in front of the router's injection port.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 __all__ = [
     "TrafficClass",

@@ -15,7 +15,7 @@ SDRAM.  This module assembles those components and wires them together:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.clock import GALSClockSystem

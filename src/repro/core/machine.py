@@ -20,7 +20,7 @@ without instantiating chips.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.chip import DEFAULT_CORES_PER_CHIP, Chip
 from repro.core.event_kernel import EventKernel
@@ -36,6 +36,14 @@ DEFAULT_LINK_PACKETS_PER_US = 6.0
 #: Backlog (in microseconds of queued service time) beyond which the link
 #: reports itself blocked to the router, triggering emergency routing.
 DEFAULT_BLOCK_THRESHOLD_US = 1.0
+
+#: Standard production board: 48 chips arranged as an 8 x 6 tile.
+DEFAULT_BOARD_WIDTH = 8
+DEFAULT_BOARD_HEIGHT = 6
+#: Board-to-board links leave the PCB through serialising connectors and
+#: cables, so they are slower and longer-latency than on-board traces.
+DEFAULT_INTER_BOARD_LATENCY_US = 1.0
+DEFAULT_INTER_BOARD_PACKETS_PER_US = 2.0
 
 
 @dataclass
@@ -55,6 +63,10 @@ class Link:
     latency_us: float = DEFAULT_LINK_LATENCY_US
     packets_per_us: float = DEFAULT_LINK_PACKETS_PER_US
     block_threshold_us: float = DEFAULT_BLOCK_THRESHOLD_US
+    #: True when the link crosses a board boundary of a multi-board
+    #: machine (see :attr:`MachineConfig.board_width`); such links carry
+    #: the distinct inter-board latency/bandwidth figures.
+    inter_board: bool = False
     failed: bool = False
     _busy_until: float = 0.0
     packets_carried: int = 0
@@ -126,12 +138,33 @@ class MachineConfig:
     #: Chips with an Ethernet connection to the host.  Chip (0, 0) is the
     #: origin node used for boot (Section 5.2).
     ethernet_chips: Tuple[Tuple[int, int], ...] = ((0, 0),)
+    #: Board tiling of a multi-board machine.  ``None`` (the default)
+    #: means the mesh is a single board and every link is on-board, which
+    #: preserves the behaviour of every pre-cluster configuration.  When
+    #: set, the mesh is tiled into ``board_width x board_height`` boards
+    #: and links crossing a tile boundary become *inter-board* links with
+    #: the distinct latency/bandwidth figures below.
+    board_width: Optional[int] = None
+    board_height: Optional[int] = None
+    inter_board_latency_us: float = DEFAULT_INTER_BOARD_LATENCY_US
+    inter_board_packets_per_us: float = DEFAULT_INTER_BOARD_PACKETS_PER_US
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
             raise ValueError("machine dimensions must be positive")
         if self.cores_per_chip < 1:
             raise ValueError("cores_per_chip must be positive")
+        if (self.board_width is None) != (self.board_height is None):
+            raise ValueError("board_width and board_height must be set "
+                             "together (or both left None)")
+        if self.board_width is not None:
+            if self.board_width < 1 or self.board_height < 1:
+                raise ValueError("board dimensions must be positive")
+            if self.width % self.board_width or self.height % self.board_height:
+                raise ValueError(
+                    "a %dx%d mesh cannot be tiled into %dx%d boards"
+                    % (self.width, self.height, self.board_width,
+                       self.board_height))
 
     @classmethod
     def full_machine(cls) -> "MachineConfig":
@@ -141,6 +174,68 @@ class MachineConfig:
         embedded processors".
         """
         return cls(width=256, height=256, cores_per_chip=20)
+
+    @classmethod
+    def multi_board(cls, boards_x: int, boards_y: int,
+                    board_width: int = DEFAULT_BOARD_WIDTH,
+                    board_height: int = DEFAULT_BOARD_HEIGHT,
+                    **kwargs: Any) -> "MachineConfig":
+        """A machine assembled from a ``boards_x x boards_y`` grid of boards.
+
+        The default tile is the production 48-chip (8 x 6) board the paper
+        scales from; remaining keyword arguments are forwarded to the
+        config (``cores_per_chip``, link figures, ...).
+        """
+        if boards_x < 1 or boards_y < 1:
+            raise ValueError("board grid dimensions must be positive")
+        return cls(width=boards_x * board_width,
+                   height=boards_y * board_height,
+                   board_width=board_width, board_height=board_height,
+                   **kwargs)
+
+    # ------------------------------------------------------------------
+    # Board-aware geometry
+    # ------------------------------------------------------------------
+    @property
+    def boards_x(self) -> int:
+        """Number of board columns (1 for a single-board machine)."""
+        return self.width // self.board_width if self.board_width else 1
+
+    @property
+    def boards_y(self) -> int:
+        """Number of board rows (1 for a single-board machine)."""
+        return self.height // self.board_height if self.board_height else 1
+
+    @property
+    def n_boards(self) -> int:
+        """Total number of boards in the machine."""
+        return self.boards_x * self.boards_y
+
+    def board_of(self, coordinate: ChipCoordinate) -> int:
+        """The board id (row-major over the board grid) holding a chip."""
+        if self.board_width is None:
+            return 0
+        return ((coordinate.y // self.board_height) * self.boards_x
+                + coordinate.x // self.board_width)
+
+    def board_origin(self, board: int) -> ChipCoordinate:
+        """The lowest-coordinate chip of one board."""
+        if not 0 <= board < self.n_boards:
+            raise ValueError("board %d outside the %dx%d board grid"
+                             % (board, self.boards_x, self.boards_y))
+        if self.board_width is None:
+            return ChipCoordinate(0, 0)
+        return ChipCoordinate((board % self.boards_x) * self.board_width,
+                              (board // self.boards_x) * self.board_height)
+
+    def board_chips(self, board: int) -> Iterator[ChipCoordinate]:
+        """Iterate over one board's chip coordinates in raster order."""
+        origin = self.board_origin(board)
+        width = self.board_width or self.width
+        height = self.board_height or self.height
+        for y in range(origin.y, origin.y + height):
+            for x in range(origin.x, origin.x + width):
+                yield ChipCoordinate(x, y)
 
     @property
     def n_chips(self) -> int:
@@ -180,11 +275,25 @@ class SpiNNakerMachine:
             for direction in Direction:
                 target = coordinate.neighbour(direction, self.config.width,
                                               self.config.height)
+                inter_board = (self.config.board_of(coordinate)
+                               != self.config.board_of(target))
                 self.links[(coordinate, direction)] = Link(
                     source=coordinate, direction=direction, target=target,
-                    latency_us=self.config.link_latency_us,
-                    packets_per_us=self.config.link_packets_per_us,
-                    block_threshold_us=self.config.block_threshold_us)
+                    latency_us=(self.config.inter_board_latency_us
+                                if inter_board
+                                else self.config.link_latency_us),
+                    packets_per_us=(self.config.inter_board_packets_per_us
+                                    if inter_board
+                                    else self.config.link_packets_per_us),
+                    block_threshold_us=self.config.block_threshold_us,
+                    inter_board=inter_board)
+        # Tell each router which of its outgoing directions leave the
+        # board, so per-router forwarding statistics can split on-board
+        # from board-to-board traffic.
+        for coordinate, chip in self.chips.items():
+            chip.router.inter_board_directions = frozenset(
+                direction for direction in Direction
+                if self.links[(coordinate, direction)].inter_board)
 
         self.ethernet_chips: List[ChipCoordinate] = [
             ChipCoordinate(x, y) for (x, y) in self.config.ethernet_chips]
@@ -225,6 +334,19 @@ class SpiNNakerMachine:
     def link(self, coordinate: ChipCoordinate, direction: Direction) -> Link:
         """The outgoing link of ``coordinate`` in ``direction``."""
         return self.links[(coordinate, direction)]
+
+    @property
+    def n_boards(self) -> int:
+        """Number of boards the machine is assembled from."""
+        return self.config.n_boards
+
+    def board_of(self, coordinate: ChipCoordinate) -> int:
+        """The board id holding ``coordinate``."""
+        return self.config.board_of(coordinate)
+
+    def inter_board_links(self) -> List[Link]:
+        """Every link crossing a board boundary."""
+        return [link for link in self.links.values() if link.inter_board]
 
     @property
     def origin(self) -> Chip:
@@ -308,6 +430,11 @@ class SpiNNakerMachine:
     def total_link_traffic(self) -> int:
         """Total packets carried by all inter-chip links."""
         return sum(link.packets_carried for link in self.links.values())
+
+    def total_inter_board_traffic(self) -> int:
+        """Total packets carried over board-to-board links."""
+        return sum(link.packets_carried for link in self.links.values()
+                   if link.inter_board)
 
     def run(self, duration_us: Optional[float] = None) -> None:
         """Advance the simulation (until quiescent, or for ``duration_us``)."""

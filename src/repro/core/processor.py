@@ -21,10 +21,9 @@ the real-time deadlines of Section 3.1 are met.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.clock import ClockDomain
 from repro.core.dma import DMAController, DMARequest

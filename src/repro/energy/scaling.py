@@ -26,8 +26,8 @@ simulated machine.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.clock import ClockDomain, DEFAULT_CORE_FREQUENCY_MHZ
 

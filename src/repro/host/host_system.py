@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.geometry import ChipCoordinate
 from repro.core.machine import SpiNNakerMachine
-from repro.core.packets import MulticastPacket, PointToPointPacket
+from repro.core.packets import MulticastPacket
 
 #: Latency of the Ethernet + frame-handling path between the host and its
 #: attached chip, in microseconds.

@@ -26,7 +26,7 @@ and orderings are used by the tests and benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.link.codes import BITS_PER_SYMBOL, DelayInsensitiveCode, three_of_six_rtz

@@ -22,7 +22,7 @@ The paper's comparison (which this module regenerates exactly) is:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 #: Number of data bits carried per symbol by both codes.

@@ -11,8 +11,8 @@ the transition-sensing circuit of Figure 6.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.link.phase_converter import (
     ConventionalPhaseConverter,

@@ -28,8 +28,8 @@ tests verify exhaustively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.geometry import ChipCoordinate, Direction
 from repro.core.machine import SpiNNakerMachine

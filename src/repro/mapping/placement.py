@@ -15,12 +15,11 @@ placer implements both policies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.geometry import ChipCoordinate
 from repro.core.machine import SpiNNakerMachine
 from repro.neuron.network import Network
-from repro.neuron.population import Population
 
 #: Default maximum number of neurons simulated by one application core; the
 #: real-time budget of the SpiNNaker kernel is of this order for LIF /

@@ -17,7 +17,7 @@ and gives the traffic reduction measured in experiment E11.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.machine import SpiNNakerMachine
 from repro.mapping.keys import KeyAllocator, KeySpace

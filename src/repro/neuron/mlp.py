@@ -26,7 +26,7 @@ Everything is deliberately dependency-light: plain numpy, no autograd.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -291,7 +291,6 @@ class MLP:
             raise ValueError("inputs and labels must be aligned")
         rng = np.random.default_rng(seed)
         n_samples = inputs.shape[0]
-        n_classes = self.layer_sizes[-1]
         result = TrainingResult()
 
         for _epoch in range(epochs):

@@ -103,6 +103,9 @@ class RouteProgram:
     dropped_at_source: bool = False
     #: Branches terminated by the time-phase (max hops) guard.
     aged_out_paths: int = 0
+    #: Of :attr:`link_hops`, how many cross a board boundary (multi-board
+    #: machines; 0 on a single board).
+    n_inter_board_hops: int = 0
 
     @property
     def n_destinations(self) -> int:
@@ -196,6 +199,8 @@ def compile_route(machine, source: ChipCoordinate, key: int) -> RouteProgram:
         for direction in links:
             link = machine.links[(coordinate, direction)]
             program.link_hops.append((coordinate, direction))
+            if link.inter_board:
+                program.n_inter_board_hops += 1
             frontier.append((link.target, direction.opposite, hops + 1,
                              latency + 1.0 / link.packets_per_us
                              + link.latency_us))
@@ -217,6 +222,9 @@ class TransportFabric:
         self.programs: Dict[int, RouteProgram] = {}
         self.batches_accounted = 0
         self.packets_accounted = 0
+        #: Board-to-board link traversals replayed (packets x crossing
+        #: hops), the fabric-side view of inter-board load.
+        self.inter_board_traversals = 0
 
     # ------------------------------------------------------------------
     # Compilation
@@ -249,6 +257,7 @@ class TransportFabric:
             return
         self.batches_accounted += 1
         self.packets_accounted += n_packets
+        self.inter_board_traversals += n_packets * program.n_inter_board_hops
         machine = self.machine
         for visit in program.chip_visits:
             machine.chips[visit.chip].router.account_batch(
@@ -280,4 +289,5 @@ class TransportFabric:
             "link_hops": float(sum(p.n_link_hops for p in programs)),
             "batches_accounted": float(self.batches_accounted),
             "packets_accounted": float(self.packets_accounted),
+            "inter_board_traversals": float(self.inter_board_traversals),
         }

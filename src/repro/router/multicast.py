@@ -23,7 +23,7 @@ table and delivers nearest-neighbour packets to the Monitor Processor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.event_kernel import EventKernel
 from repro.core.geometry import ChipCoordinate, Direction
@@ -77,6 +77,9 @@ class RouterStatistics:
     #: transport fabric, so per-link load analyses read the same counters
     #: whichever transport carried the traffic.
     forwarded_by_link: Dict[Direction, int] = field(default_factory=dict)
+    #: Packets forwarded onto links that leave the board (multi-board
+    #: machines only; see :attr:`Router.inter_board_directions`).
+    inter_board_forwarded: int = 0
     #: Spike batches accounted by the compiled transport fabric.
     fabric_batches: int = 0
 
@@ -123,6 +126,10 @@ class Router:
         self._deliver_local = deliver_local
         self._notify_monitor = notify_monitor
         self.stats = RouterStatistics()
+        #: Outgoing directions whose links cross a board boundary, set by
+        #: the machine after link construction (empty for single-board
+        #: machines and stand-alone routers under unit test).
+        self.inter_board_directions: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -284,6 +291,8 @@ class Router:
         self.stats.forwarded += 1
         self.stats.forwarded_by_link[direction] = (
             self.stats.forwarded_by_link.get(direction, 0) + 1)
+        if direction in self.inter_board_directions:
+            self.stats.inter_board_forwarded += 1
 
     # ------------------------------------------------------------------
     # Bulk accounting (compiled transport fabric)
@@ -330,6 +339,8 @@ class Router:
             stats.forwarded += n_packets
             stats.forwarded_by_link[direction] = (
                 stats.forwarded_by_link.get(direction, 0) + n_packets)
+            if direction in self.inter_board_directions:
+                stats.inter_board_forwarded += n_packets
         if aged_out:
             stats.aged_out += n_packets
         if dropped or aged_out:

@@ -24,7 +24,7 @@ so the service can coexist with the boot and flood-fill layers.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.geometry import ChipCoordinate, Direction

@@ -16,7 +16,7 @@ sufficient for large networks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.geometry import Direction

@@ -95,6 +95,15 @@ class _SampleAccumulator:
         self._data[self._size:self._size + count] = value
         self._size += count
 
+    def extend(self, values: np.ndarray) -> None:
+        """Append a whole sample array (merging shard results)."""
+        values = np.asarray(values, dtype=self._data.dtype)
+        if values.size == 0:
+            return
+        self._reserve(values.size)
+        self._data[self._size:self._size + values.size] = values
+        self._size += values.size
+
     def view(self) -> np.ndarray:
         """Read-only internal view of the samples (no allocation).
 
@@ -175,6 +184,39 @@ class ApplicationResult:
         """Record a whole delivered batch (compiled transport fabric)."""
         self.latency_samples.extend_constant(latency_us, count)
         self.distance_samples.extend_constant(distance, count)
+
+    @classmethod
+    def merge(cls, results: List["ApplicationResult"]) -> "ApplicationResult":
+        """Merge per-shard results into one machine-wide result.
+
+        Used by the cluster runner (:mod:`repro.cluster`): shards are
+        merged *in list order*, so callers that always present shards in
+        canonical board order get a bit-identical merge regardless of how
+        many workers produced them.  Spike counts are summed per label,
+        spike records are stably sorted by time (preserving the
+        board-order tie-break within a tick), and scalar counters add up.
+        """
+        merged = cls(duration_ms=max(
+            (result.duration_ms for result in results), default=0.0))
+        for result in results:
+            for label, counts in result.spike_counts.items():
+                existing = merged.spike_counts.get(label)
+                if existing is None:
+                    merged.spike_counts[label] = counts.copy()
+                else:
+                    existing += counts
+            for label, spikes in result.spikes.items():
+                merged.spikes.setdefault(label, []).extend(spikes)
+            merged.latency_samples.extend(result.latency_samples.view())
+            merged.distance_samples.extend(result.distance_samples.view())
+            merged.packets_sent += result.packets_sent
+            merged.packets_dropped += result.packets_dropped
+            merged.emergency_invocations += result.emergency_invocations
+            merged.synaptic_events += result.synaptic_events
+            merged.delivered_charge_na += result.delivered_charge_na
+        for label in merged.spikes:
+            merged.spikes[label].sort(key=lambda pair: pair[0])
+        return merged
 
     def total_spikes(self, label: Optional[str] = None) -> int:
         """Total spikes of one population, or of all populations.

@@ -23,8 +23,8 @@ diameter exactly as in the real system.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set
 
 from repro.core.event_kernel import EventKernel
 from repro.core.geometry import ChipCoordinate, Direction

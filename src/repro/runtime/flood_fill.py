@@ -19,8 +19,8 @@ Experiment E7 sweeps both dimensions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.event_kernel import EventKernel
 from repro.core.geometry import ChipCoordinate, Direction

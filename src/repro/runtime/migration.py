@@ -33,7 +33,7 @@ from repro.compile import MappingPipeline
 from repro.core.geometry import ChipCoordinate
 from repro.core.machine import SpiNNakerMachine
 from repro.mapping.keys import KeyAllocator
-from repro.mapping.placement import Placement, PlacementError, Vertex
+from repro.mapping.placement import Placement, Vertex
 from repro.neuron.network import Network
 from repro.neuron.population import core_rng
 from repro.runtime.application import CoreRuntime, NeuralApplication

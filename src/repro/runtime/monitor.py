@@ -14,8 +14,8 @@ the machine model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set, Tuple
 
 from repro.core.geometry import ChipCoordinate, Direction
 from repro.core.machine import SpiNNakerMachine

@@ -1,0 +1,72 @@
+"""Edge-case tests for ``benchmarks.reporting.emit_json``."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.reporting import emit_json
+
+
+def read(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+class TestEmitJson:
+    def test_writes_numeric_metrics(self, tmp_path):
+        path = str(tmp_path / "BENCH_x1.json")
+        written = emit_json("x1", {"a": 1, "b": 2.5,
+                                   "c": np.float64(0.125),
+                                   "d": np.int64(7),
+                                   "flag": True}, path=path)
+        assert written == path
+        payload = read(path)
+        assert payload["bench"] == "x1"
+        assert payload["metrics"] == {"a": 1.0, "b": 2.5, "c": 0.125,
+                                      "d": 7.0, "flag": 1.0}
+
+    def test_strings_pass_through(self, tmp_path):
+        path = str(tmp_path / "BENCH_x2.json")
+        emit_json("x2", {"verdict": "IDENTICAL", "n": 3}, path=path)
+        assert read(path)["metrics"] == {"verdict": "IDENTICAL", "n": 3.0}
+
+    def test_partial_metrics_are_fine(self, tmp_path):
+        # A benchmark cut short may emit a subset (or none) of its
+        # metrics; the file must still be valid, comparable JSON.
+        path = str(tmp_path / "BENCH_x3.json")
+        emit_json("x3", {}, path=path)
+        assert read(path) == {"bench": "x3", "metrics": {}}
+
+    def test_overwrites_a_stale_file(self, tmp_path):
+        path = str(tmp_path / "BENCH_x4.json")
+        emit_json("x4", {"value": 1.0, "stale_only": 9.0}, path=path)
+        emit_json("x4", {"value": 2.0}, path=path)
+        # The rewrite fully replaces the old metrics (no merge residue)
+        # and leaves no temporary file behind.
+        assert read(path)["metrics"] == {"value": 2.0}
+        assert os.listdir(str(tmp_path)) == ["BENCH_x4.json"]
+
+    @pytest.mark.parametrize("bad", [None, {"nested": 1}, [1, 2],
+                                     object(), np.array([1.0, 2.0])])
+    def test_non_serialisable_values_raise_cleanly(self, tmp_path, bad):
+        path = str(tmp_path / "BENCH_x5.json")
+        with pytest.raises(TypeError, match="metric 'bad' of bench 'x5'"):
+            emit_json("x5", {"bad": bad}, path=path)
+        # The failed emit must not leave a partial file behind.
+        assert not os.path.exists(path)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf")])
+    def test_non_finite_values_raise_cleanly(self, tmp_path, bad):
+        path = str(tmp_path / "BENCH_x6.json")
+        with pytest.raises(ValueError, match="not finite"):
+            emit_json("x6", {"bad": bad}, path=path)
+        assert not os.path.exists(path)
+
+    def test_empty_bench_id_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            emit_json("", {"a": 1.0}, path=str(tmp_path / "BENCH_.json"))

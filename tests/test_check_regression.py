@@ -1,0 +1,153 @@
+"""Tests for the benchmark perf-regression gate
+(``benchmarks/check_regression.py``)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks.check_regression import (
+    IMPROVED,
+    KEY_METRICS,
+    MISSING,
+    OK,
+    REGRESSED,
+    compare_bench,
+    main,
+    run_gate,
+)
+
+
+def write_bench(directory, bench_id, metrics):
+    path = os.path.join(str(directory), "BENCH_%s.json" % bench_id)
+    with open(path, "w") as handle:
+        json.dump({"bench": bench_id, "metrics": metrics}, handle)
+    return path
+
+
+class TestCompareBench:
+    def test_within_tolerance_is_ok(self):
+        deviations = compare_bench(
+            "e18", {"remap_speedup": 100.0, "pass_cache_hit_rate": 0.10},
+            {"remap_speedup": 90.0, "pass_cache_hit_rate": 0.11},
+            tolerance=0.25)
+        assert [d.status for d in deviations] == [OK, OK]
+        assert deviations[0].change == pytest.approx(-0.10)
+
+    def test_regression_beyond_tolerance_fails(self):
+        deviations = compare_bench(
+            "e16", {"speedup": 100.0},
+            {"speedup": 70.0}, tolerance=0.25)
+        assert deviations[0].status == REGRESSED
+        assert deviations[0].failed
+
+    def test_improvement_beyond_tolerance_is_not_a_failure(self):
+        deviations = compare_bench(
+            "e16", {"speedup": 10.0}, {"speedup": 20.0}, tolerance=0.25)
+        assert deviations[0].status == IMPROVED
+        assert not deviations[0].failed
+
+    def test_missing_current_metric_fails(self):
+        deviations = compare_bench(
+            "e16", {"speedup": 10.0}, {"csr_events_per_s": 1.0},
+            tolerance=0.25)  # events/s is deliberately ungated
+        assert deviations[0].status == MISSING
+        assert deviations[0].failed
+
+    def test_missing_current_file_fails(self):
+        deviations = compare_bench("e16", {"speedup": 10.0}, None)
+        assert deviations[0].status == MISSING
+
+    def test_ungated_metrics_are_ignored(self):
+        # Absolute throughput and wall-clock figures move with the
+        # runner hardware, so only the ratio metrics are gated.
+        deviations = compare_bench(
+            "e16", {"csr_wall_s": 1.0, "csr_events_per_s": 5.0,
+                    "speedup": 10.0},
+            {"csr_wall_s": 99.0, "csr_events_per_s": 500.0,
+             "speedup": 10.0})
+        assert [d.metric for d in deviations] == ["speedup"]
+
+    def test_unknown_bench_gates_nothing(self):
+        assert compare_bench("e99", {"anything": 1.0},
+                             {"anything": 0.0}) == []
+
+    def test_baseline_without_the_gated_metric_is_skipped(self):
+        # A baseline seeded before a gate was added must not fail.
+        assert compare_bench("e19", {"total_spikes": 5.0},
+                             {"speedup_bound": 4.0}) == []
+
+
+class TestRunGateAndMain:
+    def _seed(self, baseline_dir, current_dir, current_speedup):
+        write_bench(baseline_dir, "e16", {"speedup": 20.0})
+        write_bench(current_dir, "e16", {"speedup": current_speedup})
+
+    def test_passes_against_identical_current(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        current_dir = tmp_path / "current"
+        baseline_dir.mkdir()
+        current_dir.mkdir()
+        self._seed(baseline_dir, current_dir, 20.0)
+        status = main(["--baseline-dir", str(baseline_dir),
+                       "--current-dir", str(current_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "PASS" in out
+
+    def test_fails_when_a_baseline_metric_is_perturbed(self, tmp_path,
+                                                       capsys):
+        baseline_dir = tmp_path / "baselines"
+        current_dir = tmp_path / "current"
+        baseline_dir.mkdir()
+        current_dir.mkdir()
+        # 20.0 -> 10.0 is a 50 % regression: well past the tolerance.
+        self._seed(baseline_dir, current_dir, 10.0)
+        status = main(["--baseline-dir", str(baseline_dir),
+                       "--current-dir", str(current_dir)])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "REGRESSED" in out
+        assert "FAIL" in out
+
+    def test_fails_when_the_current_file_is_absent(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        current_dir = tmp_path / "current"
+        baseline_dir.mkdir()
+        current_dir.mkdir()
+        write_bench(baseline_dir, "e16", {"speedup": 20.0})
+        status = main(["--baseline-dir", str(baseline_dir),
+                       "--current-dir", str(current_dir)])
+        assert status == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_no_baselines_is_a_pass(self, tmp_path, capsys):
+        status = main(["--baseline-dir", str(tmp_path),
+                       "--current-dir", str(tmp_path)])
+        assert status == 0
+        assert "nothing gated" in capsys.readouterr().out
+
+    def test_bench_filter(self, tmp_path):
+        baseline_dir = tmp_path / "baselines"
+        current_dir = tmp_path / "current"
+        baseline_dir.mkdir()
+        current_dir.mkdir()
+        self._seed(baseline_dir, current_dir, 10.0)   # a regression...
+        write_bench(baseline_dir, "e17", {"speedup": 5.0})
+        write_bench(current_dir, "e17", {"speedup": 5.0})
+        deviations = run_gate(str(baseline_dir), str(current_dir),
+                              benches=["e17"])        # ...filtered out
+        assert all(not deviation.failed for deviation in deviations)
+
+    def test_checked_in_baselines_cover_the_gated_benches(self):
+        baseline_dir = os.path.join(os.path.dirname(__file__), os.pardir,
+                                    "benchmarks", "baselines")
+        seeded = {name[len("BENCH_"):-len(".json")]
+                  for name in os.listdir(baseline_dir)
+                  if name.startswith("BENCH_")}
+        # The three trajectory benches are seeded; every seeded bench is
+        # actually gated by a KEY_METRICS entry.
+        assert {"e16", "e17", "e18"} <= seeded
+        assert seeded <= set(KEY_METRICS)

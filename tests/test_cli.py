@@ -88,6 +88,29 @@ class TestTransportCommand:
         assert args.duration == pytest.approx(60.0)
 
 
+class TestClusterCommand:
+    def test_demo_reports_identical_shards(self, capsys):
+        status = main(["cluster", "demo", "--boards", "2x1", "--pairs", "2",
+                       "--neurons", "64", "--neurons-per-core", "32",
+                       "--duration", "30", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "Board topology" in out
+        assert "worker-count independence: IDENTICAL" in out
+        assert "unsharded-engine equivalence: IDENTICAL" in out
+        assert "cross-board spikes" in out
+
+    def test_demo_rejects_bad_board_grid(self, capsys):
+        assert main(["cluster", "demo", "--boards", "two-by-two"]) == 2
+
+    def test_demo_parser_defaults(self):
+        args = build_parser().parse_args(["cluster", "demo"])
+        assert args.cluster_command == "demo"
+        assert args.boards == "2x2"
+        assert args.workers == 2
+        assert args.verify is True
+
+
 class TestCompileCommand:
     def test_report_prints_pass_table_and_remap(self, capsys):
         status = main(["compile", "report", "--chips", "9", "--neurons",

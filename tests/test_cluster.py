@@ -1,0 +1,364 @@
+"""Tests for the multi-board sharded simulation (``repro.cluster``).
+
+Covers the board-aware machine model, the ShardByBoard compile pass,
+the sharded runner's two core guarantees (worker-count independence and
+equivalence with the unsharded on-machine engine), the inter-board
+accounting, board-aligned allocation and the merged-result semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc.partition import MachinePartitioner
+from repro.cluster import BoardTopology, ClusterApplication
+from repro.compile import MappingPipeline
+from repro.core.geometry import ChipCoordinate, Direction
+from repro.core.machine import (
+    DEFAULT_INTER_BOARD_LATENCY_US,
+    DEFAULT_LINK_LATENCY_US,
+    MachineConfig,
+    SpiNNakerMachine,
+)
+from repro.neuron.connectors import FixedProbabilityConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.application import ApplicationResult, NeuralApplication
+from repro.runtime.boot import BootController
+
+SEED = 7
+
+
+def chained_network(pairs: int = 4, neurons: int = 96) -> Network:
+    """Stimulus->excitatory pairs chained in a ring (forces cross-board
+    projections however the placer tiles the pairs)."""
+    network = Network(seed=SEED)
+    excitatory = []
+    for pair in range(pairs):
+        stimulus = SpikeSourcePoisson(neurons, rate_hz=40.0,
+                                      label="t-stim-%d" % pair)
+        population = Population(neurons, "lif", label="t-exc-%d" % pair)
+        population.record(spikes=True)
+        network.connect(stimulus, population,
+                        FixedProbabilityConnector(0.3, weight=0.9,
+                                                  delay_range=(1, 6)))
+        excitatory.append(population)
+    for index, population in enumerate(excitatory):
+        network.connect(population,
+                        excitatory[(index + 1) % len(excitatory)],
+                        FixedProbabilityConnector(0.15, weight=0.5,
+                                                  delay_range=(1, 12)))
+    return network
+
+
+def small_cluster_machine() -> SpiNNakerMachine:
+    machine = SpiNNakerMachine(MachineConfig.multi_board(
+        2, 2, board_width=4, board_height=3, cores_per_chip=4))
+    BootController(machine, seed=1).boot()
+    return machine
+
+
+# ----------------------------------------------------------------------
+# Board-aware machine model
+# ----------------------------------------------------------------------
+class TestBoardGeometry:
+    def test_single_board_default(self):
+        config = MachineConfig(width=8, height=8)
+        assert config.n_boards == 1
+        assert config.board_of(ChipCoordinate(7, 7)) == 0
+        machine = SpiNNakerMachine(config)
+        assert machine.inter_board_links() == []
+        assert machine.n_boards == 1
+
+    def test_board_grid_ids_row_major(self):
+        config = MachineConfig.multi_board(2, 2, board_width=4,
+                                           board_height=3)
+        assert (config.width, config.height) == (8, 6)
+        assert config.n_boards == 4
+        assert config.board_of(ChipCoordinate(0, 0)) == 0
+        assert config.board_of(ChipCoordinate(5, 2)) == 1
+        assert config.board_of(ChipCoordinate(3, 3)) == 2
+        assert config.board_of(ChipCoordinate(4, 5)) == 3
+        assert config.board_origin(3) == ChipCoordinate(4, 3)
+        chips = list(config.board_chips(1))
+        assert len(chips) == 12
+        assert chips[0] == ChipCoordinate(4, 0)
+
+    def test_production_board_is_48_chips(self):
+        config = MachineConfig.multi_board(2, 1)
+        assert config.board_width * config.board_height == 48
+        assert config.n_chips == 96
+
+    def test_board_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(width=8, height=8, board_width=3, board_height=3)
+        with pytest.raises(ValueError):
+            MachineConfig(width=8, height=8, board_width=4)
+        with pytest.raises(ValueError):
+            MachineConfig.multi_board(0, 2)
+        with pytest.raises(ValueError):
+            config = MachineConfig.multi_board(2, 1, board_width=4,
+                                               board_height=4)
+            config.board_origin(config.n_boards)
+
+    def test_inter_board_links_have_distinct_figures(self):
+        machine = SpiNNakerMachine(MachineConfig.multi_board(
+            2, 1, board_width=4, board_height=3, cores_per_chip=2))
+        crossing = machine.inter_board_links()
+        assert crossing
+        for link in crossing:
+            assert link.inter_board
+            assert link.latency_us == DEFAULT_INTER_BOARD_LATENCY_US
+        boundary = machine.link(ChipCoordinate(3, 0), Direction.EAST)
+        assert boundary.inter_board
+        on_board = machine.link(ChipCoordinate(1, 0), Direction.EAST)
+        assert not on_board.inter_board
+        assert on_board.latency_us == DEFAULT_LINK_LATENCY_US
+
+    def test_routers_know_their_crossing_directions(self):
+        machine = SpiNNakerMachine(MachineConfig.multi_board(
+            2, 1, board_width=4, board_height=3, cores_per_chip=2))
+        edge = machine.chip(3, 0).router
+        assert Direction.EAST in edge.inter_board_directions
+        interior = machine.chip(1, 1).router
+        assert not interior.inter_board_directions
+
+    def test_topology_census_and_diagram(self):
+        config = MachineConfig.multi_board(2, 2, board_width=4,
+                                           board_height=3)
+        topology = BoardTopology(config)
+        assert topology.boards() == [0, 1, 2, 3]
+        assert topology.chips_per_board == 12
+        assert topology.rect(3) == (4, 3, 4, 3)
+        machine = SpiNNakerMachine(config)
+        census = topology.inter_board_link_census(machine)
+        assert sum(census.values()) == len(machine.inter_board_links())
+        assert census[(0, 1)] > 0
+        diagram = topology.ascii_diagram()
+        assert "b0" in diagram and "b3" in diagram
+
+
+# ----------------------------------------------------------------------
+# The ShardByBoard pass
+# ----------------------------------------------------------------------
+class TestShardByBoardPass:
+    def test_disabled_by_default(self):
+        machine = small_cluster_machine()
+        pipeline = MappingPipeline(machine, chained_network(), seed=SEED,
+                                   max_neurons_per_core=32)
+        ctx = pipeline.run()
+        assert ctx.board_contexts == {}
+
+    def test_shards_cover_the_placement_with_sticky_keys(self):
+        machine = small_cluster_machine()
+        pipeline = MappingPipeline(machine, chained_network(), seed=SEED,
+                                   max_neurons_per_core=32,
+                                   shard_by_board=True)
+        ctx = pipeline.run()
+        assert ctx.board_contexts
+        sharded = {core.vertex: core
+                   for context in ctx.board_contexts.values()
+                   for core in context.cores}
+        assert set(sharded) == set(ctx.placement.locations)
+        for vertex, core in sharded.items():
+            chip, core_id = ctx.placement.locations[vertex]
+            assert (core.chip, core.core_id) == (chip, core_id)
+            home = next(board
+                        for board, context in ctx.board_contexts.items()
+                        if core in context.cores)
+            assert machine.config.board_of(chip) == home
+            # Sticky keys: the shard address is the allocator's key space.
+            assert core.base_key == ctx.keys.key_space(vertex).base_key
+
+    def test_deliveries_decode_installed_blocks(self):
+        machine = small_cluster_machine()
+        pipeline = MappingPipeline(machine, chained_network(), seed=SEED,
+                                   max_neurons_per_core=32,
+                                   shard_by_board=True)
+        ctx = pipeline.run()
+        n_deliveries = 0
+        for context in ctx.board_contexts.values():
+            for key, legs in context.deliveries.items():
+                assert key in {core.base_key
+                               for board in ctx.board_contexts.values()
+                               for core in board.cores}
+                for core_index, csr in legs:
+                    assert 0 <= core_index < len(context.cores)
+                    assert csr is not None
+                    vertex = context.cores[core_index].vertex
+                    assert csr.n_post == vertex.n_neurons
+                    n_deliveries += 1
+        assert n_deliveries > 0
+
+
+# ----------------------------------------------------------------------
+# The sharded runner
+# ----------------------------------------------------------------------
+class TestClusterApplication:
+    def _sharded(self, workers: int, **kwargs) -> ClusterApplication:
+        return ClusterApplication(small_cluster_machine(), chained_network(),
+                                  seed=SEED, max_neurons_per_core=32,
+                                  workers=workers, **kwargs)
+
+    def test_equivalent_to_the_unsharded_engine(self):
+        unsharded_app = NeuralApplication(
+            small_cluster_machine(), chained_network(),
+            max_neurons_per_core=32, seed=SEED, transport="fabric",
+            stagger_us=0.0)
+        unsharded = unsharded_app.run(60.0)
+        assert unsharded.total_spikes() > 0
+
+        cluster = self._sharded(workers=1)
+        sharded = cluster.run(60.0)
+
+        assert sharded.total_spikes() == unsharded.total_spikes()
+        for label in unsharded.spike_counts:
+            assert np.array_equal(unsharded.spike_counts[label],
+                                  sharded.spike_counts[label]), label
+        for label in unsharded.spikes:
+            assert sorted(unsharded.spikes[label]) == sorted(
+                sharded.spikes[label]), label
+        assert sharded.synaptic_events == unsharded.synaptic_events
+        assert sharded.delivered_charge_na == unsharded.delivered_charge_na
+        assert sharded.packets_sent == unsharded.packets_sent
+
+    def test_results_are_worker_count_independent(self):
+        serial = self._sharded(workers=1).run(60.0)
+        pooled_app = self._sharded(workers=2)
+        pooled = pooled_app.run(60.0)
+        assert pooled.spikes == serial.spikes
+        for label in serial.spike_counts:
+            assert np.array_equal(serial.spike_counts[label],
+                                  pooled.spike_counts[label])
+        assert pooled.synaptic_events == serial.synaptic_events
+        assert pooled.delivered_charge_na == serial.delivered_charge_na
+        report = pooled_app.report
+        assert report.workers == 2
+        assert set(report.assignment.values()) == {0, 1}
+        assert report.total_compute_s > 0
+        assert report.speedup_bound >= 1.0
+
+    def test_cross_board_traffic_is_counted_and_replayed(self):
+        cluster = self._sharded(workers=1, account_transport=True)
+        machine = cluster.machine
+        boot_traffic = machine.total_inter_board_traffic()
+        cluster.run(60.0)
+        report = cluster.report
+        assert report.cross_board_spikes > 0
+        assert report.cross_board_batches > 0
+        assert report.inter_board_traversals > 0
+        # The fabric replay lands on the same link counters the event
+        # path would have charged.
+        delta = machine.total_inter_board_traffic() - boot_traffic
+        assert delta == report.inter_board_traversals
+        assert sum(chip.router.stats.inter_board_forwarded
+                   for chip in machine) >= report.inter_board_traversals
+
+    def test_reruns_are_reproducible(self):
+        cluster = self._sharded(workers=1, account_transport=True)
+        first = cluster.run(40.0)
+        first_traversals = cluster.report.inter_board_traversals
+        second = cluster.run(40.0)
+        assert first.spikes == second.spikes
+        assert first.delivered_charge_na == second.delivered_charge_na
+        # The report carries per-run deltas even though the fabric's
+        # counters accumulate over the application's lifetime.
+        assert cluster.report.inter_board_traversals == first_traversals
+        assert cluster.fabric.inter_board_traversals == 2 * first_traversals
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            self._sharded(workers=0)
+        cluster = self._sharded(workers=1)
+        with pytest.raises(ValueError):
+            cluster.run(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Result merging
+# ----------------------------------------------------------------------
+class TestApplicationResultMerge:
+    def test_merge_sums_and_sorts(self):
+        left = ApplicationResult(duration_ms=50.0)
+        left.spike_counts["a"] = np.array([1, 0])
+        left.spikes["a"] = [(1.0, 0), (2.0, 0)]
+        left.packets_sent = 3
+        left.synaptic_events = 10
+        left.delivered_charge_na = 1.5
+        right = ApplicationResult(duration_ms=50.0)
+        right.spike_counts["a"] = np.array([0, 2])
+        right.spike_counts["b"] = np.array([4])
+        right.spikes["a"] = [(1.0, 1)]
+        right.packets_sent = 2
+        right.synaptic_events = 5
+        right.delivered_charge_na = 0.25
+
+        merged = ApplicationResult.merge([left, right])
+        assert merged.duration_ms == 50.0
+        assert np.array_equal(merged.spike_counts["a"], [1, 2])
+        assert np.array_equal(merged.spike_counts["b"], [4])
+        # Stable by time: the tick-1 spikes keep shard order.
+        assert merged.spikes["a"] == [(1.0, 0), (1.0, 1), (2.0, 0)]
+        assert merged.packets_sent == 5
+        assert merged.synaptic_events == 15
+        assert merged.delivered_charge_na == 1.75
+
+    def test_merge_of_nothing(self):
+        merged = ApplicationResult.merge([])
+        assert merged.duration_ms == 0.0
+        assert merged.total_spikes() == 0
+
+
+# ----------------------------------------------------------------------
+# Board-aligned allocation
+# ----------------------------------------------------------------------
+class TestBoardAllocation:
+    def _machine(self) -> SpiNNakerMachine:
+        return SpiNNakerMachine(MachineConfig.multi_board(
+            2, 2, board_width=4, board_height=3, cores_per_chip=2))
+
+    def test_whole_board_leases_are_aligned(self):
+        partitioner = MachinePartitioner(self._machine())
+        lease = partitioner.allocate_boards(1, 1, tenant="a")
+        assert lease is not None
+        assert (lease.rect.width, lease.rect.height) == (4, 3)
+        assert lease.rect.x % 4 == 0 and lease.rect.y % 3 == 0
+        assert partitioner.boards_of(lease) == [0]
+
+    def test_lease_spans_board_boundaries(self):
+        partitioner = MachinePartitioner(self._machine())
+        lease = partitioner.allocate_boards(2, 1, tenant="wide")
+        assert lease is not None
+        assert (lease.rect.width, lease.rect.height) == (8, 3)
+        assert partitioner.boards_of(lease) == [0, 1]
+        tall = partitioner.allocate_boards(2, 1, tenant="wide-2")
+        assert partitioner.boards_of(tall) == [2, 3]
+        assert partitioner.allocate_boards(1, 1) is None
+
+    def test_alignment_survives_fragmentation(self):
+        partitioner = MachinePartitioner(self._machine())
+        # A small unaligned chip lease fragments the free space...
+        small = partitioner.allocate(2, 2, tenant="chip-job")
+        assert small is not None
+        # ...but board leases still come back aligned to the grid.
+        lease = partitioner.allocate_boards(1, 1, policy="best-fit")
+        assert lease is not None
+        assert lease.rect.x % 4 == 0 and lease.rect.y % 3 == 0
+        assert len(partitioner.boards_of(lease)) == 1
+
+    def test_board_allocation_needs_a_board_grid(self):
+        machine = SpiNNakerMachine(MachineConfig(width=8, height=6,
+                                                 cores_per_chip=2))
+        partitioner = MachinePartitioner(machine)
+        with pytest.raises(ValueError):
+            partitioner.allocate_boards(1, 1)
+
+    def test_released_board_lease_is_reusable(self):
+        partitioner = MachinePartitioner(self._machine())
+        first = partitioner.allocate_boards(2, 2)
+        assert partitioner.boards_of(first) == [0, 1, 2, 3]
+        assert partitioner.allocate_boards(1, 1) is None
+        partitioner.release(first)
+        again = partitioner.allocate_boards(2, 2)
+        assert again is not None
