@@ -55,6 +55,13 @@ KEY_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
     "e18": (GatedMetric("remap_speedup"),
             GatedMetric("pass_cache_hit_rate")),
     "e19": (GatedMetric("speedup_bound"),),
+    # a7 gates the service-quality ratios: every paced tenant completes
+    # (completion_rate), nobody is starved (fairness_jain), and the
+    # zero-baseline 5xx count means any internal error trips the gate.
+    "a7": (GatedMetric("completion_rate"),
+           GatedMetric("fairness_jain"),
+           GatedMetric("service_http_5xx_total",
+                       higher_is_better=False)),
 }
 
 OK = "ok"

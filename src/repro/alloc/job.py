@@ -170,9 +170,15 @@ class Job:
             "height": self.request.height,
             "priority": self.request.priority,
             "submitted_ms": self.submitted_ms,
+            "keepalive_ms": self.request.keepalive_ms,
+            "wait_ms": self.wait_ms(),
         }
         if self.lease is not None:
             summary["lease"] = str(self.lease.rect)
+            summary["rect"] = {"x": self.lease.rect.x,
+                               "y": self.lease.rect.y,
+                               "width": self.lease.rect.width,
+                               "height": self.lease.rect.height}
             summary["n_chips"] = self.lease.n_chips
         return summary
 

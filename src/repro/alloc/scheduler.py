@@ -262,8 +262,12 @@ class AllocationScheduler:
         Both leased jobs and jobs still waiting in the queue expire: a
         crashed client must not haunt the queue any more than the
         machine.  Returns the jobs expired by this sweep.  Driven either
-        directly by tests or periodically through
-        :meth:`start_expiry_timer`.
+        directly by tests, periodically through :meth:`start_expiry_timer`,
+        or — in the live HTTP service — by the
+        :class:`repro.service.runtime.ServiceRuntime` reaper, which is the
+        *single* place expiry is evaluated against the monotonic wall
+        clock, so status queries can never observe a READY job whose
+        lease has already lapsed.
         """
         expired: List[Job] = []
         candidates = list(self._active.values()) + self.queue.pending()
@@ -323,6 +327,37 @@ class AllocationScheduler:
     def job(self, job_id: int) -> Optional[Job]:
         """Look up a job by id."""
         return self.jobs.get(job_id)
+
+    def queue_depth(self) -> int:
+        """Number of jobs waiting in the queue (the backpressure signal)."""
+        return len(self.queue)
+
+    def load_snapshot(self) -> Dict[str, float]:
+        """A point-in-time load summary for service endpoints and gates."""
+        return {
+            "queued": float(len(self.queue)),
+            "active": float(len(self._active)),
+            "leased_chips": float(self.partitioner.leased_area),
+            "free_chips": float(self.partitioner.free_area),
+            "fragmentation": self.partitioner.fragmentation(),
+        }
+
+    def prune_terminal(self, keep: int = 10000) -> int:
+        """Forget the oldest terminal jobs beyond ``keep``.
+
+        The historical record (`self.jobs`) would otherwise grow without
+        bound in a long-running service.  Returns the number pruned.
+        Terminal jobs stay addressable until pruned, so recently released
+        jobs still answer status queries.
+        """
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        terminal = [job_id for job_id, job in self.jobs.items()
+                    if job.state.is_terminal]
+        excess = len(terminal) - keep
+        for job_id in terminal[:max(excess, 0)]:
+            del self.jobs[job_id]
+        return max(excess, 0)
 
     def machine_view(self, job_id: int) -> Optional[LeasedMachineView]:
         """The READY job's scoped machine, or ``None``."""

@@ -31,7 +31,21 @@ from repro.alloc.machine_view import LeasedMachineView
 from repro.alloc.scheduler import AllocationScheduler
 from repro.host.host_system import HostCommand, HostSystem
 
-__all__ = ["AllocationServer"]
+__all__ = ["AllocationServer", "ERROR_BAD_REQUEST", "ERROR_NO_SUCH_JOB",
+           "ERROR_BAD_COMMAND", "ERROR_INTERNAL"]
+
+#: Typed error codes carried in the ``code`` field of error responses.
+#: The wire path (SDP today, HTTP via :mod:`repro.service`) maps these to
+#: transport-level statuses; internal exceptions never cross the wire.
+ERROR_BAD_REQUEST = "bad-request"
+ERROR_NO_SUCH_JOB = "no-such-job"
+ERROR_BAD_COMMAND = "bad-command"
+ERROR_INTERNAL = "internal-error"
+
+
+def error_response(code: str, message: str) -> Dict[str, Any]:
+    """A structured error body (``error`` text plus a typed ``code``)."""
+    return {"error": message, "code": code}
 
 
 class AllocationServer:
@@ -54,14 +68,29 @@ class AllocationServer:
     # ------------------------------------------------------------------
     def handle(self, command: HostCommand,
                arguments: Dict[str, Any]) -> Dict[str, Any]:
-        """Execute one allocation command and build its response."""
-        if command is HostCommand.CREATE_JOB:
-            return self._handle_create(arguments)
-        if command is HostCommand.JOB_KEEPALIVE:
-            return self._handle_keepalive(arguments)
-        if command is HostCommand.RELEASE_JOB:
-            return self._handle_release(arguments)
-        return {"error": "not an allocation command: %s" % (command,)}
+        """Execute one allocation command and build its response.
+
+        Every failure comes back as a structured error body with a typed
+        ``code``; no exception — malformed arguments *or* an internal
+        scheduler fault — ever propagates into the host's dispatch loop.
+        """
+        try:
+            if not isinstance(arguments, dict):
+                return error_response(
+                    ERROR_BAD_REQUEST,
+                    "arguments must be a mapping, got %s"
+                    % type(arguments).__name__)
+            if command is HostCommand.CREATE_JOB:
+                return self._handle_create(arguments)
+            if command is HostCommand.JOB_KEEPALIVE:
+                return self._handle_keepalive(arguments)
+            if command is HostCommand.RELEASE_JOB:
+                return self._handle_release(arguments)
+            return error_response(ERROR_BAD_COMMAND,
+                                  "not an allocation command: %s" % (command,))
+        except Exception as error:  # the wire path must never crash
+            return error_response(ERROR_INTERNAL,
+                                  "%s: %s" % (type(error).__name__, error))
 
     def _handle_create(self, arguments: Dict[str, Any]) -> Dict[str, Any]:
         try:
@@ -73,14 +102,14 @@ class AllocationServer:
                 keepalive_ms=float(arguments.get("keepalive_ms", 1000.0)),
                 label=str(arguments.get("label", "")))
         except (TypeError, ValueError) as error:
-            return {"error": str(error)}
+            return error_response(ERROR_BAD_REQUEST, str(error))
         job = self.scheduler.submit(request)
         return job.describe()
 
     def _handle_keepalive(self, arguments: Dict[str, Any]) -> Dict[str, Any]:
         job = self._job_from(arguments)
         if job is None:
-            return {"error": "no such job"}
+            return error_response(ERROR_NO_SUCH_JOB, "no such job")
         alive = self.scheduler.keepalive(job.job_id)
         response = job.describe()
         response["alive"] = alive
@@ -89,7 +118,7 @@ class AllocationServer:
     def _handle_release(self, arguments: Dict[str, Any]) -> Dict[str, Any]:
         job = self._job_from(arguments)
         if job is None:
-            return {"error": "no such job"}
+            return error_response(ERROR_NO_SUCH_JOB, "no such job")
         released = self.scheduler.release(job.job_id)
         response = job.describe()
         response["released"] = released

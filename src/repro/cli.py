@@ -190,6 +190,10 @@ def _alloc_stream_config(args: argparse.Namespace) -> JobStreamConfig:
 
 def cmd_alloc(args: argparse.Namespace) -> int:
     """Dispatch the ``alloc`` subcommand group."""
+    if args.alloc_command == "serve":
+        return cmd_alloc_serve(args)
+    if args.alloc_command == "client":
+        return cmd_alloc_client(args)
     if not 0 <= args.fault_chips <= args.width * args.height:
         print("error: --fault-chips must lie in [0, %d] for a %dx%d machine"
               % (args.width * args.height, args.width, args.height))
@@ -206,6 +210,96 @@ def cmd_alloc(args: argparse.Namespace) -> int:
     if args.alloc_command == "demo":
         return cmd_alloc_demo(args)
     return cmd_alloc_policies(args)
+
+
+def cmd_alloc_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP/JSON allocation service until stopped."""
+    from repro.service import (AllocationService, BackpressureConfig,
+                               ENDPOINTS)
+
+    if args.width < 1 or args.height < 1:
+        print("error: machine dimensions must be positive")
+        return 2
+    service = AllocationService.build(
+        width=args.width, height=args.height, cores_per_chip=args.cores,
+        host=args.host, port=args.port, time_scale=args.time_scale,
+        backpressure=BackpressureConfig(max_queue_depth=args.max_queue_depth))
+    service.start()
+    print("Allocation service: %dx%d machine at %s (queue limit %d, "
+          "time scale %gx)" % (args.width, args.height, service.url,
+                               args.max_queue_depth, args.time_scale))
+    _print_table([[method, path, response] for method, path, _request,
+                  response in ENDPOINTS],
+                 header=["method", "path", "response"])
+    try:
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            print("serving until interrupted (Ctrl-C) ...")
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ninterrupt: draining ...")
+    drained = service.stop()
+    summary = service.scheduler.stats.summary()
+    print("Served %.1f s:" % service.runtime.uptime_s)
+    for key in ("submitted", "scheduled", "rejected", "freed", "expired"):
+        print("  %-22s %g" % (key, summary[key]))
+    print("  %-22s %s" % ("drained cleanly", drained))
+    return 0 if drained else 1
+
+
+def cmd_alloc_client(args: argparse.Namespace) -> int:
+    """Drive sessionful jobs against a service (embedded by default)."""
+    from repro.service import (AllocationService, ServiceBusy, ServiceClient,
+                               ServiceClientError)
+
+    if args.jobs < 1 or args.tenants < 1:
+        print("error: --jobs and --tenants must be at least 1")
+        return 2
+    service = None
+    url = args.url
+    if url is None:
+        service = AllocationService.build(width=args.width,
+                                          height=args.height).start()
+        url = service.url
+        print("started an embedded service at %s" % url)
+
+    rows = []
+    failures = 0
+    clients = [ServiceClient(url, tenant="tenant-%d" % index)
+               for index in range(args.tenants)]
+    try:
+        for number in range(args.jobs):
+            client = clients[number % args.tenants]
+            started = time.perf_counter()
+            try:
+                with client.session(args.side, args.side,
+                                    keepalive_ms=args.keepalive_ms) as run:
+                    ready = run.wait_ready(timeout_s=10.0)
+                    elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    rows.append([str(ready["job_id"]), client.tenant,
+                                 ready["lease"], "%.1f" % elapsed_ms,
+                                 "%.2f" % ready["wait_ms"]])
+            except (ServiceBusy, ServiceClientError, TimeoutError) as error:
+                failures += 1
+                rows.append(["-", client.tenant, "failed: %s" % error,
+                             "-", "-"])
+        metrics = clients[0].metrics()
+    finally:
+        for client in clients:
+            client.close()
+        if service is not None:
+            service.stop()
+    print("Ran %d sessionful %dx%d jobs over %d tenants:"
+          % (args.jobs, args.side, args.side, args.tenants))
+    _print_table(rows, header=["job", "tenant", "lease", "ready ms",
+                               "queue wait ms"])
+    create = metrics["requests"].get("create", {})
+    print("  create p50/p99:      %.2f / %.2f ms"
+          % (create.get("p50_ms", 0.0), create.get("p99_ms", 0.0)))
+    print("  failures:            %d" % failures)
+    return 0 if failures == 0 else 1
 
 
 def cmd_alloc_demo(args: argparse.Namespace) -> int:
@@ -553,6 +647,38 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "demo":
             sub.add_argument("--policy", choices=PLACEMENT_POLICIES,
                              default="first-fit")
+
+    serve = alloc_sub.add_parser(
+        "serve", help="run the HTTP/JSON allocation service")
+    serve.add_argument("--width", type=int, default=16)
+    serve.add_argument("--height", type=int, default=16)
+    serve.add_argument("--cores", type=int, default=1)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="serve for this many seconds, then drain "
+                            "(0 = until interrupted)")
+    serve.add_argument("--time-scale", type=float, default=1.0,
+                       help="simulated us advanced per wall us")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="admission-queue depth beyond which creates "
+                            "are shed with 429")
+
+    client = alloc_sub.add_parser(
+        "client", help="drive sessionful jobs against a service")
+    client.add_argument("--url", default=None,
+                        help="service base URL (default: start an "
+                             "embedded service)")
+    client.add_argument("--width", type=int, default=16,
+                        help="embedded-service machine width")
+    client.add_argument("--height", type=int, default=16,
+                        help="embedded-service machine height")
+    client.add_argument("--jobs", type=int, default=8)
+    client.add_argument("--tenants", type=int, default=2)
+    client.add_argument("--side", type=int, default=2,
+                        help="requested job side (side x side chips)")
+    client.add_argument("--keepalive-ms", type=float, default=1000.0)
 
     compile_parser = subparsers.add_parser(
         "compile", help="the pass-based mapping compiler")

@@ -77,6 +77,16 @@ class HostSystem:
         """Route the allocation commands to ``server`` from now on."""
         self.allocation_server = server
 
+    def detach_allocation_server(self, server=None) -> None:
+        """Stop routing allocation commands (a stopping service detaches).
+
+        Passing the server makes the detach idempotent and safe against
+        interleaving: only the currently attached server is removed, so a
+        replacement attached in the meantime keeps serving.
+        """
+        if server is None or self.allocation_server is server:
+            self.allocation_server = None
+
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""repro.service — spalloc as a long-running HTTP/JSON service.
+
+The shared million-core facility of the paper is not driven by one-shot
+SDP datagrams: thousands of concurrent tenants talk to a persistent
+allocation service.  This package turns the in-process
+:class:`~repro.alloc.server.AllocationServer` into that service, using
+only the standard library:
+
+* :mod:`repro.service.api` — the versioned wire protocol: endpoint
+  table, typed error codes, structured error bodies;
+* :mod:`repro.service.server` — :class:`AllocationService`, the
+  threaded HTTP server with per-endpoint metrics and graceful
+  drain-on-shutdown;
+* :mod:`repro.service.client` — :class:`ServiceClient` /
+  :class:`JobSession`, sessionful clients with connection reuse, a
+  keepalive heartbeat thread and retry-with-backoff on transient 503s;
+* :mod:`repro.service.backpressure` — the admission gate mapping
+  per-tenant token-bucket quotas and queue overload onto
+  ``429`` + ``Retry-After`` (load shedding, never a 500);
+* :mod:`repro.service.runtime` — the wall-clock bridge: the monotonic
+  clock drives the event kernel and the keepalive-expiry reaper in one
+  place, plus in-flight draining for graceful shutdown;
+* :mod:`repro.service.metrics` — request counters and latency
+  histograms behind the ``/v1/metrics`` endpoint.
+"""
+
+from repro.service.api import API_PREFIX, API_VERSION, ENDPOINTS, ServiceError
+from repro.service.backpressure import AdmissionGate, BackpressureConfig
+from repro.service.client import (BadRequest, JobSession, NoSuchJob,
+                                  ServiceBusy, ServiceClient,
+                                  ServiceClientError, ServiceUnavailable)
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.runtime import ServiceRuntime
+from repro.service.server import AllocationService
+
+__all__ = [
+    "API_PREFIX",
+    "API_VERSION",
+    "ENDPOINTS",
+    "ServiceError",
+    "AdmissionGate",
+    "BackpressureConfig",
+    "BadRequest",
+    "JobSession",
+    "NoSuchJob",
+    "ServiceBusy",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceUnavailable",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ServiceRuntime",
+    "AllocationService",
+]

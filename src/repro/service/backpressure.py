@@ -1,0 +1,110 @@
+"""Admission control for the allocation service.
+
+Two independent defences keep a flooded service answering fast instead
+of collapsing, both surfaced to clients as ``429 Too Many Requests``
+with a ``Retry-After`` header (never a 500):
+
+* **per-tenant quota exhaustion** — the scheduler's token-bucket
+  submission policing (see :mod:`repro.alloc.queue`) rejects over-rate
+  jobs; the gate translates the rejection into a 429 whose
+  ``Retry-After`` is the time the tenant's bucket needs to refill one
+  token;
+* **queue overload (load shedding)** — a bounded admission queue: once
+  the scheduler's backlog crosses ``max_queue_depth``, new submissions
+  are shed *before* they are queued, so the backlog — and every queued
+  job's wait — stays bounded however hard the facility is hammered.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.alloc.scheduler import AllocationScheduler
+from repro.service.api import (CODE_QUEUE_OVERLOADED, CODE_QUOTA_EXHAUSTED,
+                               ServiceError)
+
+__all__ = ["BackpressureConfig", "AdmissionGate"]
+
+
+@dataclass(frozen=True)
+class BackpressureConfig:
+    """Tunables of the admission gate."""
+
+    #: Queued jobs beyond which new submissions are shed with a 429.
+    max_queue_depth: int = 64
+    #: ``Retry-After`` hint handed to shed clients, in wall seconds.
+    shed_retry_after_s: float = 0.5
+    #: Floor for quota-rejection ``Retry-After`` hints, in wall seconds.
+    quota_min_retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("the admission queue must hold at least one job")
+        if self.shed_retry_after_s <= 0 or self.quota_min_retry_after_s <= 0:
+            raise ValueError("retry-after hints must be positive")
+
+
+class AdmissionGate:
+    """Bounded admission in front of the allocation scheduler."""
+
+    def __init__(self, scheduler: AllocationScheduler,
+                 config: BackpressureConfig = BackpressureConfig(),
+                 time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.scheduler = scheduler
+        self.config = config
+        #: Simulated microseconds per wall microsecond (the service
+        #: runtime's clock ratio) — used to convert bucket-refill times
+        #: expressed in simulated ms into wall-clock Retry-After hints.
+        self.time_scale = time_scale
+        self._lock = threading.Lock()
+        self.shed_total = 0
+        self.quota_rejected_total = 0
+
+    # ------------------------------------------------------------------
+    # Gate checks (called with the runtime lock held)
+    # ------------------------------------------------------------------
+    def check_queue_depth(self) -> None:
+        """Shed the submission if the backlog is over the threshold."""
+        depth = self.scheduler.queue_depth()
+        if depth >= self.config.max_queue_depth:
+            with self._lock:
+                self.shed_total += 1
+            raise ServiceError(
+                429, CODE_QUEUE_OVERLOADED,
+                "admission queue is full (%d queued >= limit %d)"
+                % (depth, self.config.max_queue_depth),
+                retry_after_s=self.config.shed_retry_after_s)
+
+    def quota_rejection(self, tenant: str) -> ServiceError:
+        """The 429 for a token-bucket rejection, with a refill hint."""
+        with self._lock:
+            self.quota_rejected_total += 1
+        return ServiceError(
+            429, CODE_QUOTA_EXHAUSTED,
+            "tenant %r is over its job-submission rate" % tenant,
+            retry_after_s=self.quota_retry_after_s(tenant))
+
+    def quota_retry_after_s(self, tenant: str) -> float:
+        """Wall seconds until the tenant's bucket can admit one job."""
+        queue = self.scheduler.queue
+        quota = queue.quota_for(tenant)
+        rate_per_ms = quota.submission_rate_per_ms
+        if rate_per_ms <= 0:
+            return self.config.shed_retry_after_s
+        deficit = max(0.0, 1.0 - queue.submission_tokens(tenant))
+        sim_ms = deficit / rate_per_ms
+        wall_s = (sim_ms / 1000.0) / self.time_scale
+        return max(self.config.quota_min_retry_after_s, wall_s)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters for the ``/v1/metrics`` endpoint."""
+        with self._lock:
+            return {
+                "max_queue_depth": float(self.config.max_queue_depth),
+                "shed_total": float(self.shed_total),
+                "quota_rejected_total": float(self.quota_rejected_total),
+            }

@@ -1,0 +1,348 @@
+"""Sessionful client for the HTTP allocation service.
+
+:class:`ServiceClient` keeps one persistent HTTP/1.1 connection to the
+service (reconnecting transparently when the server or a proxy drops
+it), retries transient ``503`` responses with exponential backoff
+honouring the server's ``Retry-After`` hint, and maps API error bodies
+onto typed exceptions.  :class:`JobSession` layers the tenancy
+protocol on top: create, background keepalive heartbeat on a second
+connection, wait-until-READY polling, and guaranteed release on exit::
+
+    client = ServiceClient(service.url, tenant="alice")
+    with client.session(4, 4, keepalive_ms=500.0) as session:
+        session.wait_ready(timeout_s=5.0)
+        ...                      # the lease is held and heartbeated
+    # released on exit, heartbeat stopped
+
+429 (quota exhaustion / load shedding) is *not* retried silently — it
+is the server telling this tenant to slow down — and surfaces as
+:class:`ServiceBusy` carrying the ``Retry-After`` hint, so callers
+implement their own pacing policy.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.parse
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service import api
+
+__all__ = ["ServiceClient", "JobSession", "ServiceClientError",
+           "ServiceBusy", "ServiceUnavailable", "NoSuchJob", "BadRequest"]
+
+
+class ServiceClientError(Exception):
+    """Base of every client-side failure; carries the typed code."""
+
+    def __init__(self, message: str, status: int = 0, code: str = "",
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+class ServiceBusy(ServiceClientError):
+    """429 — quota exhausted or the admission queue shed the request."""
+
+
+class ServiceUnavailable(ServiceClientError):
+    """503 (still draining after retries) or the connection kept failing."""
+
+
+class NoSuchJob(ServiceClientError):
+    """404 — the job id is unknown (or already pruned)."""
+
+
+class BadRequest(ServiceClientError):
+    """400/405 — the request itself is malformed."""
+
+
+class ServiceClient:
+    """One tenant's persistent connection to the allocation service."""
+
+    def __init__(self, base_url: str, tenant: Optional[str] = None, *,
+                 timeout_s: float = 10.0, max_attempts: int = 6,
+                 backoff_s: float = 0.05, backoff_cap_s: float = 2.0) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("", "http") or not parsed.netloc:
+            raise ValueError("base_url must look like http://host:port, "
+                             "got %r" % base_url)
+        self.netloc = parsed.netloc
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._connection: Optional[http.client.HTTPConnection] = None
+        #: Transport-level statistics of this session.
+        self.requests_sent = 0
+        self.retries = 0
+        self.reconnects = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            connection = http.client.HTTPConnection(
+                self.netloc, timeout=self.timeout_s)
+            connection.connect()
+            # Requests are written as more than one segment; Nagle +
+            # delayed ACK would add ~40 ms to every exchange on Linux.
+            connection.sock.setsockopt(socket.IPPROTO_TCP,
+                                       socket.TCP_NODELAY, 1)
+            self._connection = connection
+        return self._connection
+
+    def close(self) -> None:
+        """Close the persistent connection."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _once(self, method: str, path: str,
+              body: Optional[bytes]) -> Tuple[int, Dict[str, Any],
+                                              Optional[float]]:
+        connection = self._connect()
+        headers = {"Content-Type": "application/json"}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()     # always drain: keeps the connection usable
+        retry_after = response.getheader("Retry-After")
+        retry_after_s = float(retry_after) if retry_after else None
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            payload = {"error": "undecodable response body"}
+        return response.status, payload, retry_after_s
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None
+                ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """One API call with reconnect + retry-on-503 semantics.
+
+        Returns ``(status, body, retry_after_s)`` for every status the
+        server produced; raises :class:`ServiceUnavailable` only when
+        the transport kept failing or 503s outlasted the retry budget.
+        """
+        body = api.dump_body(payload) if payload is not None else None
+        delay = self.backoff_s
+        last_error: Optional[str] = None
+        retry_after_s: Optional[float] = None
+        for attempt in range(self.max_attempts):
+            retry_after_s = None
+            try:
+                self.requests_sent += 1
+                status, response, retry_after_s = self._once(method, path,
+                                                             body)
+            except (OSError, http.client.HTTPException) as error:
+                # Stale keep-alive or a dropped listener: reconnect and
+                # retry — the request may not have reached the server,
+                # which is safe for this API (creates are the only
+                # non-idempotent call, and a failed send never created).
+                last_error = "%s: %s" % (type(error).__name__, error)
+                self.close()
+                self.reconnects += 1
+            else:
+                if status != 503:
+                    return status, response, retry_after_s
+                last_error = response.get("error", "service unavailable")
+            if attempt == self.max_attempts - 1:
+                break
+            self.retries += 1
+            wait_s = retry_after_s if (last_error and retry_after_s) \
+                else delay
+            time.sleep(min(wait_s, self.backoff_cap_s))
+            delay = min(delay * 2.0, self.backoff_cap_s)
+        raise ServiceUnavailable(
+            "gave up after %d attempts: %s"
+            % (self.max_attempts, last_error or "unknown error"),
+            status=503, code=api.CODE_DRAINING)
+
+    def _call(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        status, response, retry_after_s = self.request(method, path, payload)
+        if status < 400:
+            return response
+        message = response.get("error", "HTTP %d" % status)
+        code = response.get("code", "")
+        if status == 429:
+            raise ServiceBusy(message, status, code, retry_after_s)
+        if status == 404 and code == api.CODE_NO_SUCH_JOB:
+            raise NoSuchJob(message, status, code)
+        if status in (400, 404, 405):
+            raise BadRequest(message, status, code)
+        raise ServiceClientError(message, status, code, retry_after_s)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def create_job(self, width: int, height: int, *,
+                   tenant: Optional[str] = None, priority: int = 5,
+                   keepalive_ms: float = 1000.0,
+                   label: str = "") -> Dict[str, Any]:
+        """Submit a job; returns its summary (state ``queued``)."""
+        tenant_name = tenant or self.tenant
+        if not tenant_name:
+            raise ValueError("no tenant: pass one here or to the client")
+        return self._call("POST", "%s/jobs" % api.API_PREFIX, {
+            "tenant": tenant_name, "width": width, "height": height,
+            "priority": priority, "keepalive_ms": keepalive_ms,
+            "label": label})
+
+    def status(self, job_id: int) -> Dict[str, Any]:
+        """The job's current summary."""
+        return self._call("GET", "%s/jobs/%d" % (api.API_PREFIX, job_id))
+
+    def keepalive(self, job_id: int) -> Dict[str, Any]:
+        """Refresh the job's lease; ``response["alive"]`` is the verdict."""
+        return self._call("POST", "%s/jobs/%d/keepalive"
+                          % (api.API_PREFIX, job_id))
+
+    def release(self, job_id: int) -> Dict[str, Any]:
+        """Give the lease back (idempotent on terminal jobs)."""
+        return self._call("DELETE", "%s/jobs/%d" % (api.API_PREFIX, job_id))
+
+    def list_jobs(self, tenant: Optional[str] = None,
+                  state: Optional[str] = None) -> Dict[str, Any]:
+        """List jobs, optionally filtered by tenant and/or state."""
+        query = {}
+        if tenant:
+            query["tenant"] = tenant
+        if state:
+            query["state"] = state
+        suffix = "?" + urllib.parse.urlencode(query) if query else ""
+        return self._call("GET", "%s/jobs%s" % (api.API_PREFIX, suffix))
+
+    def machine(self) -> Dict[str, Any]:
+        """Machine dimensions, free/leased chips and queue depth."""
+        return self._call("GET", "%s/machine" % api.API_PREFIX)
+
+    def metrics(self) -> Dict[str, Any]:
+        """The service's metrics snapshot."""
+        return self._call("GET", "%s/metrics" % api.API_PREFIX)
+
+    def session(self, width: int, height: int, **kwargs: Any) -> "JobSession":
+        """A managed tenancy (see :class:`JobSession`)."""
+        return JobSession(self, width, height, **kwargs)
+
+
+class JobSession:
+    """Create-heartbeat-release, packaged as a context manager.
+
+    The heartbeat runs on its own connection (HTTP connections are not
+    thread-safe) at ``heartbeat_s`` — by default a third of the lease's
+    keepalive interval, the classic safety margin.
+    """
+
+    def __init__(self, client: ServiceClient, width: int, height: int, *,
+                 priority: int = 5, keepalive_ms: float = 1000.0,
+                 label: str = "", heartbeat_s: Optional[float] = None,
+                 heartbeat: bool = True) -> None:
+        self.client = client
+        self.width = width
+        self.height = height
+        self.priority = priority
+        self.keepalive_ms = keepalive_ms
+        self.label = label
+        self.heartbeat_enabled = heartbeat
+        self.heartbeat_s = heartbeat_s
+        self.job_id: Optional[int] = None
+        self.created: Optional[Dict[str, Any]] = None
+        self.heartbeats_sent = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._heartbeat_client: Optional[ServiceClient] = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "JobSession":
+        self.created = self.client.create_job(
+            self.width, self.height, priority=self.priority,
+            keepalive_ms=self.keepalive_ms, label=self.label)
+        self.job_id = int(self.created["job_id"])
+        if self.heartbeat_enabled:
+            self.start_heartbeat()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.stop_heartbeat()
+        try:
+            self.release()
+        except (NoSuchJob, ServiceUnavailable):
+            pass      # expired or the service is gone — nothing to hold
+
+    # ------------------------------------------------------------------
+    def start_heartbeat(self) -> None:
+        """Start the keepalive thread (no-op if already beating)."""
+        if self._thread is not None or self.job_id is None:
+            return
+        interval = self.heartbeat_s
+        if interval is None:
+            interval = max(0.01, self.keepalive_ms / 3000.0)
+        self._heartbeat_client = ServiceClient(
+            "http://" + self.client.netloc, self.client.tenant,
+            timeout_s=self.client.timeout_s)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._beat, args=(interval,),
+            name="job-%d-heartbeat" % self.job_id, daemon=True)
+        self._thread.start()
+
+    def _beat(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            try:
+                response = self._heartbeat_client.keepalive(self.job_id)
+                self.heartbeats_sent += 1
+                if not response.get("alive", False):
+                    break         # terminal: stop beating a dead job
+            except (NoSuchJob, ServiceUnavailable, ServiceClientError):
+                break
+
+    def stop_heartbeat(self) -> None:
+        """Stop the keepalive thread and close its connection."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._heartbeat_client is not None:
+            self._heartbeat_client.close()
+            self._heartbeat_client = None
+
+    # ------------------------------------------------------------------
+    def wait_ready(self, timeout_s: float = 10.0,
+                   poll_s: float = 0.005) -> Dict[str, Any]:
+        """Poll until the job is READY; returns the READY summary.
+
+        Raises :class:`ServiceClientError` if the job reaches a terminal
+        state instead, or :class:`TimeoutError` on timeout.
+        """
+        if self.job_id is None:
+            raise RuntimeError("the session has no job yet")
+        deadline = time.monotonic() + timeout_s
+        while True:
+            summary = self.client.status(self.job_id)
+            state = summary.get("state")
+            if state == "ready":
+                return summary
+            if state in ("freed", "expired", "rejected"):
+                raise ServiceClientError(
+                    "job %d ended %s while waiting for READY"
+                    % (self.job_id, state))
+            if time.monotonic() >= deadline:
+                raise TimeoutError("job %d not READY after %.1f s (state %s)"
+                                   % (self.job_id, timeout_s, state))
+            time.sleep(poll_s)
+
+    def release(self) -> Dict[str, Any]:
+        """Release the lease now (also called on context exit)."""
+        if self.job_id is None:
+            return {}
+        return self.client.release(self.job_id)

@@ -1,0 +1,143 @@
+"""Request counters and latency histograms for the allocation service.
+
+Zero-dependency observability: every handled request is recorded under
+its endpoint label (``create``, ``status``, ``keepalive``, ...) with its
+HTTP status class and wall-clock latency.  Latencies land in a fixed
+log-spaced bucket histogram, so percentile estimates cost O(buckets)
+with no per-request allocation, and the whole registry snapshots into
+the JSON served at ``/v1/metrics``.
+
+:meth:`MetricsRegistry.flatten` renders the same figures as a flat
+``{name: float}`` dictionary compatible with
+``benchmarks/reporting.emit_json``, which is how ``bench_a7`` wires the
+per-endpoint service timings into the ``BENCH_a7.json`` the weekly
+sweep archives.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LatencyHistogram", "MetricsRegistry"]
+
+#: Upper bucket bounds in milliseconds, log-spaced from 50 us to 30 s;
+#: the final implicit bucket is open-ended.
+BUCKET_BOUNDS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 30000.0)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram with percentile estimation."""
+
+    def __init__(self) -> None:
+        self._counts: List[int] = [0] * (len(BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def record(self, elapsed_ms: float) -> None:
+        """Record one observation."""
+        index = 0
+        for index, bound in enumerate(BUCKET_BOUNDS_MS):
+            if elapsed_ms <= bound:
+                break
+        else:
+            index = len(BUCKET_BOUNDS_MS)
+        self._counts[index] += 1
+        self.count += 1
+        self.total_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean latency of the observations so far."""
+        return self.total_ms / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) as its bucket's upper bound.
+
+        Reported as the conservative (upper) edge of the bucket the
+        quantile falls in; an empty histogram reports 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(BUCKET_BOUNDS_MS):
+                    return BUCKET_BOUNDS_MS[index]
+                return self.max_ms
+        return self.max_ms
+
+    def snapshot(self) -> Dict[str, float]:
+        """The summary figures served at ``/v1/metrics``."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.percentile(0.50),
+            "p99_ms": self.percentile(0.99),
+            "max_ms": self.max_ms,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe per-endpoint request counters and latency histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._statuses: Dict[str, Dict[int, int]] = {}
+
+    def observe(self, endpoint: str, status: int, elapsed_ms: float) -> None:
+        """Record one handled request."""
+        with self._lock:
+            histogram = self._histograms.get(endpoint)
+            if histogram is None:
+                histogram = self._histograms[endpoint] = LatencyHistogram()
+                self._statuses[endpoint] = {}
+            histogram.record(elapsed_ms)
+            statuses = self._statuses[endpoint]
+            statuses[status] = statuses.get(status, 0) + 1
+
+    def status_total(self, status_floor: int,
+                     status_ceiling: Optional[int] = None) -> int:
+        """Requests whose status fell in ``[floor, ceiling]`` (any endpoint)."""
+        ceiling = status_ceiling if status_ceiling is not None else status_floor
+        with self._lock:
+            return sum(count
+                       for statuses in self._statuses.values()
+                       for status, count in statuses.items()
+                       if status_floor <= status <= ceiling)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Nested per-endpoint figures for the ``/v1/metrics`` body."""
+        with self._lock:
+            report: Dict[str, Dict[str, object]] = {}
+            for endpoint, histogram in sorted(self._histograms.items()):
+                entry: Dict[str, object] = dict(histogram.snapshot())
+                entry["status"] = {str(status): count for status, count
+                                   in sorted(self._statuses[endpoint].items())}
+                report[endpoint] = entry
+            return report
+
+    def flatten(self) -> Dict[str, float]:
+        """Flat ``{metric_name: value}`` figures for ``emit_json``.
+
+        Keys look like ``service_create_p99_ms`` /
+        ``service_create_count``, one set per endpoint, plus the
+        cross-endpoint error totals.
+        """
+        flat: Dict[str, float] = {}
+        with self._lock:
+            for endpoint, histogram in self._histograms.items():
+                for name, value in histogram.snapshot().items():
+                    flat["service_%s_%s" % (endpoint, name)] = float(value)
+        flat["service_http_4xx_total"] = float(self.status_total(400, 499))
+        flat["service_http_5xx_total"] = float(self.status_total(500, 599))
+        return flat

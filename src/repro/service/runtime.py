@@ -1,0 +1,202 @@
+"""The long-running side of the allocation service.
+
+The library scheduler lives in *simulated* time (the event kernel);
+a network service lives in *wall* time.  :class:`ServiceRuntime` is the
+bridge, and deliberately the **only** place where the two clocks meet:
+
+* :meth:`advance` maps the monotonic wall clock onto simulated
+  microseconds (``time_scale`` simulated us per wall us) and runs the
+  event kernel up to that instant — firing pending power-on events —
+  then runs exactly one keepalive-expiry sweep *at* that instant.
+  Every request handler advances before it reads or writes scheduler
+  state, so a job can never be observed READY after its lease expired:
+  whatever wall moment an observation happens at, the sweep for that
+  moment has already reclaimed lapsed leases.  Expiry is therefore never
+  evaluated ad hoc at query time, and never against any clock other
+  than the monotonic one sampled here.
+* the **reaper thread** calls the same :meth:`advance` on a short
+  period, so leases of silent clients are reclaimed even when no
+  requests arrive, and prunes the scheduler's terminal-job history so
+  a service that runs for weeks holds bounded memory.
+* **graceful drain** — :meth:`begin_request` refuses new work with a
+  503 (+ ``Retry-After``) once draining starts, while :meth:`drain`
+  waits for the in-flight requests to finish, so shutdown never drops
+  a half-processed release on the floor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.alloc.scheduler import AllocationScheduler
+from repro.service.api import CODE_DRAINING, ServiceError
+
+__all__ = ["ServiceRuntime"]
+
+#: Wall-clock period of the reaper thread (seconds).
+DEFAULT_REAPER_PERIOD_S = 0.02
+#: Terminal jobs kept addressable for status queries before pruning.
+DEFAULT_TERMINAL_HISTORY = 10000
+
+
+class ServiceRuntime:
+    """Wall-clock execution, expiry reaping and graceful drain."""
+
+    def __init__(self, scheduler: AllocationScheduler, *,
+                 time_scale: float = 1.0,
+                 reaper_period_s: float = DEFAULT_REAPER_PERIOD_S,
+                 max_terminal_history: int = DEFAULT_TERMINAL_HISTORY,
+                 drain_retry_after_s: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if reaper_period_s <= 0:
+            raise ValueError("the reaper period must be positive")
+        self.scheduler = scheduler
+        self.kernel = scheduler.kernel
+        #: Simulated microseconds advanced per wall-clock microsecond.
+        self.time_scale = time_scale
+        self.reaper_period_s = reaper_period_s
+        self.max_terminal_history = max_terminal_history
+        self.drain_retry_after_s = drain_retry_after_s
+        #: Serialises every touch of the scheduler/kernel — the library
+        #: objects are single-threaded by design.
+        self.lock = threading.RLock()
+        self._flow = threading.Condition(threading.Lock())
+        self._in_flight = 0
+        self._draining = False
+        self._stopped = threading.Event()
+        self._reaper: Optional[threading.Thread] = None
+        self._wall_epoch = time.monotonic()
+        self._started_at: Optional[float] = None
+        self.reaper_passes = 0
+        self.jobs_pruned = 0
+
+    # ------------------------------------------------------------------
+    # Clock bridge
+    # ------------------------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        """Wall seconds since :meth:`start` (0 before it)."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def _target_us(self) -> float:
+        """Simulated time corresponding to the wall clock right now."""
+        elapsed_s = time.monotonic() - self._wall_epoch
+        return elapsed_s * 1e6 * self.time_scale
+
+    def advance(self) -> None:
+        """Advance simulated time to the wall clock and reap expiries.
+
+        The single point where the monotonic clock drives the scheduler:
+        run the kernel to "now" (power-ons, any timers), then one expiry
+        sweep exactly at "now".
+        """
+        with self.lock:
+            target_us = self._target_us()
+            if target_us > self.kernel.now:
+                self.kernel.run_until(target_us)
+            self.scheduler.sweep()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Anchor the clock bridge and start the reaper thread."""
+        if self._reaper is not None:
+            raise RuntimeError("the service runtime is already running")
+        self._wall_epoch = time.monotonic() - (self.kernel.now /
+                                               (1e6 * self.time_scale))
+        self._started_at = time.monotonic()
+        self._stopped.clear()
+        self._reaper = threading.Thread(target=self._reaper_loop,
+                                        name="alloc-service-reaper",
+                                        daemon=True)
+        self._reaper.start()
+
+    def _reaper_loop(self) -> None:
+        while not self._stopped.wait(self.reaper_period_s):
+            self.advance()
+            with self.lock:
+                self.jobs_pruned += self.scheduler.prune_terminal(
+                    self.max_terminal_history)
+            self.reaper_passes += 1
+
+    def stop(self, drain_timeout_s: float = 5.0) -> bool:
+        """Drain in-flight requests, then stop the reaper.
+
+        Returns ``True`` if the drain completed inside the timeout.
+        Safe to call more than once.
+        """
+        drained = self.drain(drain_timeout_s)
+        self._stopped.set()
+        reaper, self._reaper = self._reaper, None
+        if reaper is not None:
+            reaper.join(timeout=5.0)
+        # One final reap so anything that lapsed mid-shutdown is
+        # reclaimed before the owner tears the machine down.
+        self.advance()
+        return drained
+
+    # ------------------------------------------------------------------
+    # In-flight accounting and drain
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Requests currently being handled."""
+        with self._flow:
+            return self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has started refusing new requests."""
+        with self._flow:
+            return self._draining
+
+    def begin_request(self) -> None:
+        """Admit one request, or refuse with a 503 while draining."""
+        with self._flow:
+            if self._draining:
+                raise ServiceError(
+                    503, CODE_DRAINING,
+                    "the service is draining for shutdown",
+                    retry_after_s=self.drain_retry_after_s)
+            self._in_flight += 1
+
+    def end_request(self) -> None:
+        """Mark one request finished."""
+        with self._flow:
+            self._in_flight = max(0, self._in_flight - 1)
+            self._flow.notify_all()
+
+    def drain(self, timeout_s: float = 5.0) -> bool:
+        """Refuse new requests and wait for in-flight ones to finish."""
+        deadline = time.monotonic() + timeout_s
+        with self._flow:
+            self._draining = True
+            while self._in_flight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._flow.wait(remaining)
+        return True
+
+    def resume(self) -> None:
+        """Leave the draining state (tests and rolling restarts)."""
+        with self._flow:
+            self._draining = False
+
+    def snapshot(self) -> Dict[str, float]:
+        """Runtime figures for the ``/v1/metrics`` endpoint."""
+        return {
+            "uptime_s": self.uptime_s,
+            "time_scale": self.time_scale,
+            "in_flight": float(self.in_flight),
+            "draining": float(self.draining),
+            "reaper_passes": float(self.reaper_passes),
+            "jobs_pruned": float(self.jobs_pruned),
+            "simulated_now_ms": self.kernel.now / 1000.0,
+        }

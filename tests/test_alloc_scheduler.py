@@ -8,7 +8,9 @@ from repro.alloc.job import JobRequest, JobState
 from repro.alloc.partition import MachinePartitioner, Rect, subtract
 from repro.alloc.queue import TenantQuota
 from repro.alloc.scheduler import AllocationScheduler
-from repro.alloc.server import AllocationServer
+from repro.alloc.server import (ERROR_BAD_COMMAND, ERROR_BAD_REQUEST,
+                                ERROR_INTERNAL, ERROR_NO_SUCH_JOB,
+                                AllocationServer)
 from repro.core.geometry import ChipCoordinate, Direction
 from repro.core.machine import MachineConfig, SpiNNakerMachine
 from repro.host.host_system import HostCommand, HostSystem, SDPMessage
@@ -445,3 +447,45 @@ class TestAllocationServerSDP:
         AllocationServer(host)
         status = host.query_status(host.gateway)
         assert "booted" in status
+
+    def test_malformed_create_job_gets_a_typed_error_not_a_crash(self):
+        machine = make_machine()
+        host = HostSystem(machine)
+        server = AllocationServer(host)
+        # Arguments that are not even a mapping must not raise.
+        response = server.handle(HostCommand.CREATE_JOB, None)
+        assert response["code"] == ERROR_BAD_REQUEST
+        # A mapping whose fields do not coerce is a bad request too.
+        response = host.send(SDPMessage(HostCommand.CREATE_JOB, host.gateway,
+                                        {"tenant": "alice", "width": "wide",
+                                         "height": 2})).response
+        assert response["code"] == ERROR_BAD_REQUEST
+        # The dispatch loop survived: a well-formed command still works.
+        created = host.create_job("alice", 2, 2)
+        assert created["state"] in ("queued", "powering")
+
+    def test_unknown_jobs_and_commands_carry_typed_codes(self):
+        machine = make_machine()
+        host = HostSystem(machine)
+        server = AllocationServer(host)
+        assert host.job_keepalive(999)["code"] == ERROR_NO_SUCH_JOB
+        assert host.release_job(999)["code"] == ERROR_NO_SUCH_JOB
+        response = server.handle(HostCommand.QUERY_STATUS, {})
+        assert response["code"] == ERROR_BAD_COMMAND
+
+    def test_internal_faults_map_to_internal_error(self, monkeypatch):
+        machine = make_machine()
+        host = HostSystem(machine)
+        server = AllocationServer(host)
+
+        def explode(_request):
+            raise RuntimeError("scheduler fault")
+
+        monkeypatch.setattr(server.scheduler, "submit", explode)
+        response = host.send(SDPMessage(HostCommand.CREATE_JOB, host.gateway,
+                                        {"tenant": "alice", "width": 1,
+                                         "height": 1})).response
+        assert response["code"] == ERROR_INTERNAL
+        assert "scheduler fault" in response["error"]
+        # The host is still serving: the fault never crossed the wire.
+        assert "booted" in host.query_status(host.gateway)

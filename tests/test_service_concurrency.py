@@ -1,0 +1,159 @@
+"""Concurrency tests: parallel clients hammering one live service.
+
+The invariants a multi-tenant facility lives or dies by:
+
+* **no double allocation** — two concurrently-held leases never overlap;
+* **no lost leases** — every chip comes back once the tenants are done;
+* **typed backpressure** — over-quota and over-queue submissions are
+  429s, never 500s, no matter how many clients collide.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service import (AllocationService, BackpressureConfig,
+                           ServiceBusy, ServiceClient, ServiceClientError)
+
+
+def _intersects(a, b):
+    """Whether two ``{"x","y","width","height"}`` rects overlap."""
+    return (a["x"] < b["x"] + b["width"] and b["x"] < a["x"] + a["width"]
+            and a["y"] < b["y"] + b["height"]
+            and b["y"] < a["y"] + a["height"])
+
+
+class TestParallelClients:
+    def test_concurrent_leases_never_overlap_and_all_return(self):
+        service = AllocationService.build(width=8, height=8).start()
+        held = {}
+        lock = threading.Lock()
+        overlaps = []
+        errors = []
+
+        def worker(index):
+            client = ServiceClient(service.url, tenant="t%02d" % index)
+            try:
+                for _ in range(2):
+                    with client.session(2, 2,
+                                        keepalive_ms=5000.0) as session:
+                        ready = session.wait_ready(timeout_s=20.0)
+                        rect = ready["rect"]
+                        with lock:
+                            for other in held.values():
+                                if _intersects(rect, other):
+                                    overlaps.append((rect, other))
+                            held[session.job_id] = rect
+                        time.sleep(0.01)
+                        # Forget the rect *before* releasing: a stale
+                        # entry must never indict the next tenant.
+                        with lock:
+                            del held[session.job_id]
+            except (ServiceClientError, TimeoutError) as error:
+                errors.append("%s: %s" % (type(error).__name__, error))
+            finally:
+                client.close()
+
+        # 16 tenants of 2x2 = the whole 8x8 machine when all hold at
+        # once, so late arrivals exercise the queue as well.
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(16)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors
+            assert not overlaps, overlaps
+            with service.runtime.lock:
+                service.runtime.advance()
+                summary = service.scheduler.stats.summary()
+                # No lost leases: everything scheduled was freed, and
+                # the machine is whole again.
+                assert summary["scheduled"] == 32
+                assert summary["freed"] == 32
+                assert summary["expired"] == 0
+                assert service.scheduler.partitioner.leased_area == 0
+                assert service.scheduler.partitioner.free_area == 64
+            assert service.metrics.status_total(500, 599) == 0
+        finally:
+            service.stop()
+
+    def test_parallel_keepalives_and_releases_do_not_lose_jobs(self):
+        service = AllocationService.build(width=8, height=8).start()
+
+        def worker(index, failures):
+            client = ServiceClient(service.url, tenant="t%02d" % index)
+            try:
+                created = client.create_job(1, 1, keepalive_ms=2000.0)
+                job_id = int(created["job_id"])
+                for _ in range(5):
+                    if not client.keepalive(job_id)["alive"]:
+                        failures.append("job %d died early" % job_id)
+                released = client.release(job_id)
+                if released["state"] != "freed":
+                    failures.append("job %d ended %s"
+                                    % (job_id, released["state"]))
+            finally:
+                client.close()
+
+        failures = []
+        threads = [threading.Thread(target=worker, args=(index, failures))
+                   for index in range(12)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures, failures
+            assert service.scheduler.partitioner.leased_area == 0
+            assert service.metrics.status_total(500, 599) == 0
+        finally:
+            service.stop()
+
+    def test_colliding_over_quota_clients_see_429_not_500(self):
+        service = AllocationService.build(
+            width=4, height=4,
+            backpressure=BackpressureConfig(max_queue_depth=4)).start()
+        outcomes = {"accepted": 0, "busy": 0, "wrong": []}
+        lock = threading.Lock()
+
+        def hammer():
+            # Every thread shares ONE tenant, so the token bucket and
+            # queue limits collide across threads, not just within one.
+            client = ServiceClient(service.url, tenant="greedy")
+            try:
+                for _ in range(10):
+                    try:
+                        created = client.create_job(1, 1)
+                        with lock:
+                            outcomes["accepted"] += 1
+                        client.release(int(created["job_id"]))
+                    except ServiceBusy as busy:
+                        with lock:
+                            outcomes["busy"] += 1
+                            if busy.status != 429 or not busy.code:
+                                outcomes["wrong"].append(
+                                    (busy.status, busy.code))
+                    except ServiceClientError as error:
+                        with lock:
+                            outcomes["wrong"].append(
+                                (error.status, str(error)))
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # The bucket holds a burst of 8: forty rapid submissions
+            # must include both admissions and typed rejections.
+            assert outcomes["accepted"] >= 8
+            assert outcomes["busy"] > 0
+            assert not outcomes["wrong"], outcomes["wrong"]
+            assert service.metrics.status_total(500, 599) == 0
+        finally:
+            service.stop()
