@@ -20,7 +20,7 @@ from repro.neuron.network import Network
 from repro.neuron.population import Population, SpikeSourcePoisson
 from repro.runtime.boot import BootController
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 WIDTH = HEIGHT = 4
 NEURONS = 160
@@ -87,6 +87,14 @@ def test_a1_table_compression(benchmark):
                                      keys_checked),
                 rows, headers=("tool-chain pass", "total entries",
                                "worst chip"))
+
+    emit_json("a1", {
+        "uncompressed_total_entries": uncompressed["total"],
+        "minimised_total_entries": minimised["total"],
+        "compressed_total_entries": compressed["total"],
+        "compressed_worst_chip_entries": compressed["worst"],
+        "keys_checked": keys_checked,
+    })
 
     # Each pass must be at least as small as the one before it, and every
     # chip must fit comfortably inside the 1024-entry CAM.

@@ -20,7 +20,7 @@ from repro.neuron.population import Population, SpikeSourcePoisson
 from repro.runtime.application import NeuralApplication
 from repro.runtime.boot import BootController
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 DURATION_MS = 80.0
 NEURONS = 120
@@ -80,6 +80,13 @@ def test_a2_placement_locality(benchmark):
 
     locality = results["locality"]
     scattered = results["round-robin"]
+    emit_json("a2", {
+        "locality_link_packets": locality["link_packets"],
+        "round_robin_link_packets": scattered["link_packets"],
+        "locality_max_latency_us": locality["max_latency_us"],
+        "round_robin_max_latency_us": scattered["max_latency_us"],
+        "locality_dropped": locality["dropped"],
+    })
     # Both placements are functionally correct (virtualised topology) ...
     assert locality["spikes"] > 0
     assert scattered["spikes"] > 0

@@ -16,7 +16,7 @@ from repro.neuron.mlp import (
     synthetic_classification_task,
 )
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 LAYERS = [16, 32, 4]
 EPOCHS = 40
@@ -70,6 +70,14 @@ def test_a3_mlp_fan_in_and_precision(benchmark):
 
     by_fan_in = {row["fan_in"]: row for row in fan_in_rows}
     by_format = {row["format"]: row for row in format_rows}
+    emit_json("a3", {
+        "accuracy_full_fan_in": by_fan_in["full"]["accuracy"],
+        "accuracy_fan_in_8": by_fan_in[8]["accuracy"],
+        "accuracy_fan_in_2": by_fan_in[2]["accuracy"],
+        "accuracy_float": by_format["float"]["accuracy"],
+        "accuracy_16bit_fixed": by_format["s8.7 (16-bit)"]["accuracy"],
+        "accuracy_2bit_fixed": by_format["s1.0 (2-bit)"]["accuracy"],
+    })
 
     # The dense network learns the task and moderate sparsity is nearly free
     # (the "optimal connectivity" claim of reference [3]): a fan-in of 8 out

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.core.clock import DEFAULT_CORE_FREQUENCY_MHZ, ClockDomain
 from repro.energy.scaling import DVFSPolicy, VariabilityStudy
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 SIGMAS = (0.0, 0.05, 0.10, 0.20)
 TRIALS = 200
@@ -61,6 +61,13 @@ def test_a4_gals_and_dvfs(benchmark):
 
     # GALS never loses, and its advantage grows monotonically with spread.
     advantages = [sweep[sigma]["mean_advantage"] for sigma in SIGMAS]
+    emit_json("a4", {
+        "gals_advantage_no_spread": advantages[0],
+        "gals_advantage_max_spread": advantages[-1],
+        "dvfs_low_load_power_fraction": dvfs_rows[0]["power_fraction"],
+        "dvfs_full_load_frequency_fraction":
+            dvfs_rows[-1]["frequency_fraction"],
+    })
     assert advantages[0] == 1.0
     assert all(later >= earlier for earlier, later
                in zip(advantages, advantages[1:]))

@@ -15,7 +15,7 @@ from repro.core.admission import (
     TrafficClass,
 )
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 SIMULATED_MS = 50
 REALTIME_RATE = 20.0          # packets/ms a core's neurons are entitled to
@@ -80,6 +80,14 @@ def test_a5_admission_control(benchmark):
 
     protected = results["admission control ON"]
     unprotected = results["admission control OFF"]
+    emit_json("a5", {
+        "protected_realtime_fraction": protected["realtime_fraction"],
+        "unprotected_realtime_fraction":
+            unprotected["realtime_fraction"],
+        "protected_admitted_per_ms": protected["total_admitted_per_ms"],
+        "unprotected_admitted_per_ms":
+            unprotected["total_admitted_per_ms"],
+    })
     # With a reservation the real-time traffic gets essentially all of its
     # contracted rate despite the flood; without one it fights the flood for
     # spare capacity and loses a substantial share.

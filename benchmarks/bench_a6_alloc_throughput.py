@@ -19,7 +19,7 @@ from repro.alloc.scheduler import AllocationScheduler
 from repro.alloc.workload import JobStreamConfig, run_job_stream
 from repro.core.machine import MachineConfig, SpiNNakerMachine
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 MACHINE_SIDE = 16
 N_JOBS = 120
@@ -55,6 +55,14 @@ def test_a6_alloc_throughput(benchmark):
                 headers=("policy", "submitted", "scheduled", "cap skips",
                          "mean wait ms", "peak frag", "final frag",
                          "jobs/sim-s"))
+
+    emit_json("a6", {
+        "%s_%s" % (policy.replace("-", "_").replace(" ", "_"), key):
+            summary[key]
+        for policy, summary in results.items()
+        for key in ("scheduled", "mean_wait_ms", "peak_fragmentation",
+                    "jobs_per_simulated_s")
+    })
 
     for policy, summary in results.items():
         # Every job is accounted for: scheduled, rate-limited, or released

@@ -20,7 +20,7 @@ from repro.neuron.population import Population, SpikeSourcePoisson
 from repro.runtime.application import NeuralApplication
 from repro.runtime.boot import BootController
 
-from .reporting import print_metrics, print_table
+from .reporting import emit_json, print_metrics, print_table
 
 DURATION_MS = 300.0
 
@@ -79,6 +79,17 @@ def test_e10_realtime_snn(benchmark):
             machine_result.within_deadline_fraction(1000.0),
         "mean core utilisation": float(np.mean(utilisations)),
         "max core utilisation": float(np.max(utilisations)),
+    })
+
+    emit_json("e10", {
+        "spike_deliveries": latency.count,
+        "mean_delivery_latency_us": latency.mean_us,
+        "p99_delivery_latency_us": latency.p99_us,
+        "max_delivery_latency_us": latency.max_us,
+        "within_deadline_fraction":
+            machine_result.within_deadline_fraction(1000.0),
+        "mean_core_utilisation": float(np.mean(utilisations)),
+        "max_core_utilisation": float(np.max(utilisations)),
     })
 
     # Shape checks: everything arrives well inside the 1 ms window, no

@@ -17,7 +17,7 @@ from repro.neuron.population import Population, SpikeSourcePoisson
 from repro.runtime.application import NeuralApplication
 from repro.runtime.boot import BootController
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 DURATION_MS = 150.0
 
@@ -82,4 +82,10 @@ def test_e11_multicast_vs_broadcast(benchmark):
                             max(multicast_result.packets_sent, 1))
     broadcast_per_packet = (broadcast_traffic.total_packets /
                             max(broadcast_result.packets_sent, 1))
+    emit_json("e11", {
+        "multicast_transits_per_packet": multicast_per_packet,
+        "broadcast_transits_per_packet": broadcast_per_packet,
+        "multicast_link_transits": multicast_traffic.total_packets,
+        "broadcast_link_transits": broadcast_traffic.total_packets,
+    })
     assert broadcast_per_packet > 3.0 * multicast_per_packet

@@ -18,7 +18,7 @@ from repro.neuron.connectors import OneToOneConnector
 from repro.neuron.network import Network
 from repro.neuron.population import Population, SpikeSourceArray
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 STAGES = 5
 STAGE_DELAY_TICKS = 8
@@ -75,6 +75,13 @@ def test_e12_soft_delay_model(benchmark):
     # between successive stages must reflect the programmed delay.
     soft_intervals = np.diff(soft_times)
     collapsed_intervals = np.diff(collapsed_times)
+    emit_json("e12", {
+        "soft_span_ms": soft_times[-1] - soft_times[0],
+        "collapsed_span_ms": collapsed_times[-1] - collapsed_times[0],
+        "soft_mean_interval_ms": float(np.mean(soft_intervals)),
+        "collapsed_mean_interval_ms":
+            float(np.mean(collapsed_intervals)),
+    })
     assert np.all(np.isfinite(soft_times))
     assert np.all(np.isfinite(collapsed_times))
     assert np.all(soft_intervals >= STAGE_DELAY_TICKS - 2)

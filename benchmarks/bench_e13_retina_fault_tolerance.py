@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.coding.retina import RetinaModel, RetinaParameters
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 IMAGE_SHAPE = (16, 16)
 FAILURE_FRACTIONS = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5)
@@ -52,6 +52,11 @@ def test_e13_retina_fault_tolerance(benchmark):
 
     baseline = rows[0][1]
     by_fraction = {fraction: similarity for fraction, similarity, _ in rows}
+    emit_json("e13", {
+        "baseline_similarity": baseline,
+        "similarity_at_20pct_loss": by_fraction[0.2],
+        "similarity_at_50pct_loss": by_fraction[0.5],
+    })
 
     # The intact retina reconstructs the stimulus well.
     assert baseline > 0.6

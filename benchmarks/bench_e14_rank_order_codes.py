@@ -15,7 +15,7 @@ import numpy as np
 from repro.coding.rank_order import RankOrderCode, RankOrderDecoder
 from repro.coding.rate import RateCode
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 POPULATION = 64
 N_STIMULI = 10
@@ -76,6 +76,12 @@ def test_e14_rank_order_vs_rate(benchmark):
                 headers=("decoder", "observation window", "accuracy"))
 
     rate_by_window = dict(rate_rows)
+    emit_json("e14", {
+        "rank_order_accuracy": rank_accuracy,
+        "mean_spikes_used": mean_spikes,
+        "rate_accuracy_1ms": rate_by_window[1.0],
+        "rate_accuracy_200ms": rate_by_window[200.0],
+    })
     # A single salvo is enough for rank-order decoding...
     assert rank_accuracy >= 0.9
     # ...while the rate decoder is near chance at the single-spike

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core.machine import MachineConfig
 from repro.energy.model import MachineScaleModel
 
-from .reporting import print_metrics
+from .reporting import emit_json, print_metrics
 
 
 def _scale_summary():
@@ -29,6 +29,8 @@ def _scale_summary():
 def test_e15_system_scale(benchmark):
     summary = benchmark(_scale_summary)
     print_metrics("E15: full-machine scale accounting", summary)
+
+    emit_json("e15", summary)
 
     # "more than a million embedded processors"
     assert summary["config_cores"] > 1_000_000

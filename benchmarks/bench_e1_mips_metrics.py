@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.energy.model import EMBEDDED_NODE, HIGH_END_DESKTOP, EnergyModel
 
-from .reporting import print_metrics
+from .reporting import emit_json, print_metrics
 
 
 def test_e1_processor_efficiency_metrics(benchmark):
@@ -26,6 +26,8 @@ def test_e1_processor_efficiency_metrics(benchmark):
         "node power (W)": EMBEDDED_NODE.power_w,
         "desktop power (W)": HIGH_END_DESKTOP.power_w,
     })
+
+    emit_json("e1", summary)
 
     # Shape checks from the paper.
     assert 0.5 < summary["area_efficiency_ratio"] < 4.0

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.energy.cost import OwnershipCostModel
 
-from .reporting import print_metrics, print_table
+from .reporting import emit_json, print_metrics, print_table
 
 
 def _cost_sweep():
@@ -35,6 +35,10 @@ def test_e2_ownership_cost_crossover(benchmark):
 
     summary = OwnershipCostModel.ownership_comparison(lifetime_years=3.0)
     print_metrics("E2: headline comparison (3-year life)", summary)
+
+    emit_json("e2", dict(summary,
+                         pc_crossover_years=pc.crossover_years,
+                         node_crossover_years=node.crossover_years))
 
     # Shape checks: crossover a little over three years; ~10x ownership win.
     assert 3.0 < pc.crossover_years < 4.0

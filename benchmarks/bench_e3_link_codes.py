@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.link.codes import LinkPerformanceModel, three_of_six_rtz, two_of_seven_nrz
 
-from .reporting import print_metrics, print_table
+from .reporting import emit_json, print_metrics, print_table
 
 
 def _link_comparison():
@@ -40,6 +40,7 @@ def test_e3_nrz_vs_rtz_codes(benchmark):
     print_metrics("E3: headline ratios", model.comparison())
 
     summary = model.comparison()
+    emit_json("e3", summary)
     assert summary["nrz_transitions_per_symbol"] == 3
     assert summary["rtz_transitions_per_symbol"] == 8
     assert summary["throughput_ratio_nrz_over_rtz"] == 2.0

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.link.glitch import GlitchInjectionExperiment
 
-from .reporting import print_metrics, print_table
+from .reporting import emit_json, print_metrics, print_table
 
 TRIALS = 300
 
@@ -48,6 +48,13 @@ def test_e4_glitch_deadlock_reduction(benchmark):
 
     conventional = outcomes["conventional"]
     sensing = outcomes["transition-sensing"]
+    emit_json("e4", {
+        "deadlock_reduction_factor": factor,
+        "conventional_deadlocks_per_glitch":
+            conventional.deadlocks_per_glitch,
+        "sensing_deadlocks_per_glitch": sensing.deadlocks_per_glitch,
+        "sensing_corrupted_runs": sensing.corrupted_runs,
+    })
     # Shape checks: the conventional circuit deadlocks readily, the
     # transition-sensing circuit almost never, and the ratio is in the
     # orders-of-magnitude regime the paper reports (>= 10^2, around 10^3).

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.link.channel import TokenChannel
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 RESETS = 500
 
@@ -39,6 +39,15 @@ def test_e5_token_reset_protocol(benchmark):
                   int(without_injection["symbols_transferred"]))],
                 headers=("protocol", "deadlocks", "deadlock fraction",
                          "symbols transferred"))
+
+    emit_json("e5", {
+        "with_injection_deadlocks": with_injection["deadlocks"],
+        "without_injection_deadlock_fraction":
+            without_injection["deadlock_fraction"],
+        "with_injection_symbols": with_injection["symbols_transferred"],
+        "without_injection_symbols":
+            without_injection["symbols_transferred"],
+    })
 
     assert with_injection["deadlocks"] == 0.0
     assert without_injection["deadlock_fraction"] > 0.3

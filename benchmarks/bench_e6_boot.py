@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core.machine import MachineConfig, SpiNNakerMachine
 from repro.runtime.boot import BootController
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 FAILURE_RATES = (0.0, 0.1, 0.2, 0.4)
 
@@ -44,6 +44,16 @@ def test_e6_boot_with_failures(benchmark):
                 headers=("chip fail rate", "booted unaided", "repaired",
                          "dead", "monitors", "max monitors/chip",
                          "nn packets", "coord flood time (us)"))
+
+    worst = rows[-1]
+    emit_json("e6", {
+        "max_chip_fail_rate": worst[0],
+        "chips_repaired_at_max_rate": worst[2],
+        "chips_dead_at_max_rate": worst[3],
+        "monitors_elected_at_max_rate": worst[4],
+        "nn_packets_at_max_rate": worst[6],
+        "coord_flood_time_us_at_max_rate": worst[7],
+    })
 
     for rate, unaided, repaired, dead, monitors, max_monitors, _, _ in rows:
         # Exactly one monitor per operational chip, never more than one.

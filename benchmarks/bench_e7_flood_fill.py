@@ -12,7 +12,7 @@ from repro.core.machine import MachineConfig, SpiNNakerMachine
 from repro.runtime.boot import BootController
 from repro.runtime.flood_fill import ApplicationImage, FloodFillLoader
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 MACHINE_SIZES = ((2, 2), (4, 4), (6, 6), (10, 10))
 REDUNDANCIES = (1, 2, 3)
@@ -68,5 +68,13 @@ def test_e7_flood_fill_scaling(benchmark):
     # cost in time and a linear cost in traffic.
     copies = [row[2] for row in redundancy_rows]
     packets = [row[4] for row in redundancy_rows]
+    emit_json("e7", {
+        "load_time_smallest_us": times[0],
+        "load_time_largest_us": times[-1],
+        "load_time_ratio": times[-1] / times[0],
+        "chip_count_ratio": chips[-1] / chips[0],
+        "redundancy3_mean_copies": copies[-1],
+        "redundancy3_nn_packets": packets[-1],
+    })
     assert copies[-1] > copies[0]
     assert packets[-1] > packets[0]

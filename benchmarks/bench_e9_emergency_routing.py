@@ -14,7 +14,7 @@ from repro.core.machine import MachineConfig, SpiNNakerMachine
 from repro.core.packets import MulticastPacket
 from repro.router.multicast import RouterConfig
 
-from .reporting import print_table
+from .reporting import emit_json, print_table
 
 PACKETS = 200
 PATH_LENGTH = 6
@@ -82,6 +82,15 @@ def test_e9_emergency_routing(benchmark):
     healthy = scenarios["healthy link"]
     with_emergency = scenarios["failed link, emergency ON"]
     without = scenarios["failed link, emergency OFF"]
+
+    emit_json("e9", {
+        "healthy_delivered": healthy["delivered"],
+        "emergency_on_delivered": with_emergency["delivered"],
+        "emergency_on_dropped": with_emergency["dropped"],
+        "emergency_invocations": with_emergency["emergency"],
+        "emergency_on_max_latency_us": with_emergency["max_latency_us"],
+        "emergency_off_dropped": without["dropped"],
+    })
 
     assert healthy["delivered"] == PACKETS
     assert healthy["emergency"] == 0

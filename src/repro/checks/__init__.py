@@ -1,0 +1,38 @@
+"""``repro.checks`` — the project's AST invariant linter.
+
+A zero-dependency static-analysis pass (stdlib ``ast`` only) encoding
+the invariants this reproduction's equivalence gates rest on:
+determinism (seeded, seam-routed RNGs), clock discipline (one
+wall-clock seam), lock discipline (``# guarded-by:`` annotations, no
+blocking calls under the runtime lock), API-surface consistency and
+benchmark reporting hygiene.  Run it exactly as CI does::
+
+    python -m repro.checks src tests benchmarks
+
+See :mod:`repro.checks.framework` for the engine and suppression
+syntax, and :mod:`repro.checks.rules` for the built-in rules.
+"""
+
+from repro.checks.framework import (
+    CheckContext,
+    Checker,
+    Project,
+    Violation,
+    register,
+    registered_checkers,
+    render_human,
+    render_report,
+    run_paths,
+)
+
+__all__ = [
+    "CheckContext",
+    "Checker",
+    "Project",
+    "Violation",
+    "register",
+    "registered_checkers",
+    "render_human",
+    "render_report",
+    "run_paths",
+]

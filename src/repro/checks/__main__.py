@@ -1,0 +1,8 @@
+"""``python -m repro.checks`` — run the invariant linter."""
+
+import sys
+
+from repro.checks.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Small AST utilities shared by the checkers.
+
+The central piece is :class:`ImportMap`: checkers reason about *what a
+call resolves to* (``numpy.random.default_rng``, ``time.monotonic``),
+not what it happens to be spelled as at the call site (``np.…``,
+``from time import monotonic``), so aliasing cannot hide a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["ImportMap", "call_has_argument", "final_attribute",
+           "self_attribute"]
+
+
+class ImportMap:
+    """Resolves names at call sites back to dotted module paths."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: ``import numpy as np`` → ``{"np": "numpy"}``;
+        #: ``import numpy.random as nr`` → ``{"nr": "numpy.random"}``;
+        #: plain ``import numpy.random`` binds ``numpy``.
+        self.modules: Dict[str, str] = {}
+        #: ``from numpy.random import default_rng as d`` →
+        #: ``{"d": "numpy.random.default_rng"}``.
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.modules[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    qualified = ("%s.%s" % (module, alias.name)
+                                 if module else alias.name)
+                    self.names[local] = qualified
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of an expression like ``np.random.default_rng``.
+
+        Returns ``None`` for anything that does not bottom out in a
+        plain name (subscripts, call results, ...).
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        name = node.id
+        base = self.names.get(name) or self.modules.get(name) or name
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def call_has_argument(call: ast.Call) -> bool:
+    """True if the call passes any positional or keyword argument."""
+    return bool(call.args) or bool(call.keywords)
+
+
+def final_attribute(node: ast.AST) -> Optional[str]:
+    """The last attribute name of a dotted expression, if it is one."""
+    return node.attr if isinstance(node, ast.Attribute) else None
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """``attr`` for an expression that is exactly ``self.<attr>``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None

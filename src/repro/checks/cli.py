@@ -1,0 +1,83 @@
+"""Command line of the invariant linter.
+
+::
+
+    python -m repro.checks src tests benchmarks
+    python -m repro.checks --format json src tests benchmarks
+    python -m repro.checks --list-rules
+    python -m repro.checks report --json CHECKS_report.json src tests benchmarks
+
+The plain form prints human diff-style findings and exits 1 when any
+rule is violated (the blocking CI gate).  ``report`` additionally
+writes the machine-readable JSON — per-rule counts, zeroes included —
+that CI uploads next to the ``BENCH_*.json`` artifacts so the weekly
+sweep can trend rule-violation counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.checks.framework import (registered_checkers, render_human,
+                                    render_report, run_paths, write_report)
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def _add_paths(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to scan (default: %s)"
+             % " ".join(DEFAULT_PATHS))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "report":
+        return _report(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="AST linter for this repo's determinism, clock, "
+                    "lock, API-surface and benchmark invariants.")
+    _add_paths(parser)
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human",
+                        help="output style (default: human)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, checker in sorted(registered_checkers().items()):
+            print("%-18s %s" % (name, checker.description))
+        return 0
+
+    violations, n_files = run_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps(render_report(violations, n_files),
+                         indent=2, sort_keys=True))
+    else:
+        print(render_human(violations, n_files))
+    return 1 if violations else 0
+
+
+def _report(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks report",
+        description="Run every rule and write the JSON report artifact.")
+    _add_paths(parser)
+    parser.add_argument("--json", dest="json_path",
+                        default="CHECKS_report.json",
+                        help="where to write the machine-readable report "
+                             "(default: CHECKS_report.json)")
+    args = parser.parse_args(argv)
+
+    violations, n_files = run_paths(args.paths)
+    write_report(args.json_path, render_report(violations, n_files))
+    print(render_human(violations, n_files))
+    print("report written to %s" % args.json_path)
+    return 1 if violations else 0

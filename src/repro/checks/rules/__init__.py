@@ -1,0 +1,16 @@
+"""The built-in rules of ``repro.checks``.
+
+Importing this package registers every checker with the framework
+registry (see :func:`repro.checks.framework.register`); adding a rule
+is: write a module here with a ``@register``-decorated
+:class:`~repro.checks.framework.Checker` subclass, import it below, and
+add a flagged + clean fixture pair under ``tests/fixtures/checks/``.
+"""
+
+from repro.checks.rules import (  # noqa: F401  (import registers)
+    api_surface,
+    bench_hygiene,
+    clocks,
+    determinism,
+    locks,
+)

@@ -1,0 +1,229 @@
+"""Rule ``api-surface`` — the endpoint table, the server, the metrics
+labels, the error codes and the README never drift apart.
+
+:data:`repro.service.api.ENDPOINTS` is the declared public surface:
+one ``(method, path, request, response, label)`` row per endpoint,
+where ``label`` is both the route's name in ``server.py`` and the
+per-endpoint metrics key.  This rule cross-checks, for every tree that
+contains a ``repro/service/api.py``:
+
+* the table is a well-formed literal: 5-element rows, known HTTP
+  methods, paths under the declared API version, unique non-empty
+  labels;
+* every label appears in ``server.py``'s ``_route`` — i.e. each
+  declared endpoint has a wired route and therefore a metrics label;
+* every ``CODE_*`` typed error code defined in ``api.py`` is exported
+  via ``__all__`` *and* referenced somewhere in the service package —
+  a dead code constant means an error path the clients can no longer
+  distinguish;
+* every path template in the table appears in the repository README
+  (the rendered endpoint table), so the documented surface is the
+  shipped surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional
+
+from repro.checks.framework import (CheckContext, Checker, Project,
+                                    Violation, register)
+
+HTTP_METHODS = frozenset({"GET", "POST", "PUT", "PATCH", "DELETE"})
+
+API_SUFFIX = "repro/service/api.py"
+
+#: Sibling modules scanned for error-code references.
+SERVICE_MODULES = ("api.py", "server.py", "runtime.py", "client.py",
+                   "backpressure.py", "metrics.py", "__init__.py")
+
+
+def _module_assign(tree: ast.Module, name: str) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node
+    return None
+
+
+def _string_constants(node: ast.AST) -> Iterable[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and isinstance(child.value, str):
+            yield child.value
+
+
+@register
+class ApiSurfaceChecker(Checker):
+    name = "api-surface"
+    description = ("ENDPOINTS rows ↔ server routes/metrics labels, typed "
+                   "error codes exported and raised, README table current")
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        out: List[Violation] = []
+        for api_ctx in project.matching(r"repro/service/api\.py$"):
+            if api_ctx.tree is not None:
+                out.extend(self._check_surface(project, api_ctx))
+        return out
+
+    def _check_surface(self, project: Project,
+                       api_ctx: CheckContext) -> Iterable[Violation]:
+        out: List[Violation] = []
+        service_dir = os.path.dirname(api_ctx.path)
+        version = self._api_version(api_ctx)
+
+        table = _module_assign(api_ctx.tree, "ENDPOINTS")
+        if table is None:
+            out.append(api_ctx.violation(
+                self.name, 1, "no module-level ENDPOINTS table"))
+            return out
+        try:
+            rows = ast.literal_eval(table.value)
+        except ValueError:
+            out.append(api_ctx.violation(
+                self.name, table,
+                "ENDPOINTS must be a pure literal so tooling can read "
+                "it without importing the service"))
+            return out
+
+        labels: List[str] = []
+        for row in rows:
+            if not (isinstance(row, tuple) and len(row) == 5):
+                out.append(api_ctx.violation(
+                    self.name, table,
+                    "ENDPOINTS row %r must be (method, path, request, "
+                    "response, label)" % (row,)))
+                continue
+            method, path, _request, _response, label = row
+            if method not in HTTP_METHODS:
+                out.append(api_ctx.violation(
+                    self.name, table,
+                    "unknown HTTP method %r in ENDPOINTS" % (method,)))
+            if version and not path.startswith("/%s" % version):
+                out.append(api_ctx.violation(
+                    self.name, table,
+                    "endpoint path %r is outside the declared API "
+                    "version /%s" % (path, version)))
+            if not label or not isinstance(label, str):
+                out.append(api_ctx.violation(
+                    self.name, table,
+                    "endpoint %s %s has no metrics label" % (method, path)))
+            else:
+                labels.append(label)
+        duplicates = {name for name in labels if labels.count(name) > 1}
+        for name in sorted(duplicates):
+            out.append(api_ctx.violation(
+                self.name, table,
+                "metrics label %r is used by more than one endpoint "
+                "— per-endpoint histograms would merge" % name))
+
+        out.extend(self._check_server(project, api_ctx, service_dir,
+                                      labels))
+        out.extend(self._check_error_codes(project, api_ctx, service_dir))
+        out.extend(self._check_readme(api_ctx, service_dir, rows))
+        return out
+
+    # ------------------------------------------------------------------
+    def _api_version(self, api_ctx: CheckContext) -> Optional[str]:
+        node = _module_assign(api_ctx.tree, "API_VERSION")
+        if node is not None and isinstance(node.value, ast.Constant):
+            return str(node.value.value)
+        return None
+
+    def _sibling(self, project: Project, service_dir: str,
+                 filename: str) -> Optional[CheckContext]:
+        wanted = os.path.join(service_dir, filename).replace(os.sep, "/")
+        for ctx in project.files:
+            if ctx.posix_path == wanted:
+                return ctx
+        return None
+
+    def _check_server(self, project: Project, api_ctx: CheckContext,
+                      service_dir: str,
+                      labels: List[str]) -> Iterable[Violation]:
+        server_ctx = self._sibling(project, service_dir, "server.py")
+        if server_ctx is None or server_ctx.tree is None:
+            yield api_ctx.violation(
+                self.name, 1,
+                "no server.py next to the ENDPOINTS table — every "
+                "declared endpoint needs a route")
+            return
+        route_fn = None
+        for node in ast.walk(server_ctx.tree):
+            if (isinstance(node, ast.FunctionDef)
+                    and node.name == "_route"):
+                route_fn = node
+                break
+        haystack = route_fn if route_fn is not None else server_ctx.tree
+        routed = set(_string_constants(haystack))
+        for label in labels:
+            if label not in routed:
+                yield api_ctx.violation(
+                    self.name, 1,
+                    "endpoint label %r from ENDPOINTS has no matching "
+                    "route (no metrics will ever carry it) in %s"
+                    % (label, server_ctx.path))
+
+    def _check_error_codes(self, project: Project, api_ctx: CheckContext,
+                           service_dir: str) -> Iterable[Violation]:
+        exported: List[str] = []
+        all_node = _module_assign(api_ctx.tree, "__all__")
+        if all_node is not None:
+            exported = list(_string_constants(all_node.value))
+        codes = {}
+        for node in api_ctx.tree.body:
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id.startswith("CODE_")):
+                codes[node.targets[0].id] = node.lineno
+        references = set()
+        for filename in SERVICE_MODULES:
+            ctx = self._sibling(project, service_dir, filename)
+            if ctx is None or ctx.tree is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Name):
+                    if (ctx is api_ctx
+                            and node.id in codes
+                            and node.lineno == codes[node.id]):
+                        continue      # the definition itself
+                    references.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    references.add(node.attr)
+        for code, lineno in sorted(codes.items()):
+            if exported and code not in exported:
+                yield api_ctx.violation(
+                    self.name, lineno,
+                    "typed error code %s is not exported via __all__"
+                    % code)
+            if code not in references:
+                yield api_ctx.violation(
+                    self.name, lineno,
+                    "typed error code %s is defined but never raised "
+                    "or matched in the service package" % code)
+
+    def _check_readme(self, api_ctx: CheckContext, service_dir: str,
+                      rows) -> Iterable[Violation]:
+        root = os.path.normpath(os.path.join(service_dir, os.pardir,
+                                             os.pardir, os.pardir))
+        readme_path = os.path.join(root, "README.md")
+        if not os.path.exists(readme_path):
+            yield api_ctx.violation(
+                self.name, 1,
+                "no README.md at %s — the endpoint table must be "
+                "documented" % root)
+            return
+        with open(readme_path, encoding="utf-8") as handle:
+            readme = handle.read()
+        documented_paths = set()
+        for row in rows:
+            if isinstance(row, tuple) and len(row) == 5:
+                documented_paths.add(row[1])
+        for path in sorted(documented_paths):
+            if path not in readme:
+                yield api_ctx.violation(
+                    self.name, 1,
+                    "endpoint path %r is missing from the README "
+                    "endpoint table" % path)

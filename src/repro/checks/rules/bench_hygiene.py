@@ -1,0 +1,152 @@
+"""Rule ``bench-hygiene`` — every benchmark reports, every gate has a
+baseline to gate against.
+
+The perf-regression gate (``benchmarks/check_regression.py``) and the
+weekly trend artifact only see what the benchmarks *emit*: a bench that
+prints a table but never calls ``reporting.emit_json`` is invisible to
+both, so a regression in it lands silently.  This rule flags:
+
+* a ``benchmarks/bench_<id>_*.py`` file with no ``emit_json`` call;
+* an ``emit_json`` whose literal bench id disagrees with the filename
+  (the JSON would land under the wrong ``BENCH_<id>.json`` and the
+  gate would report the real bench as MISSING);
+* a gated key in ``check_regression.py``'s ``KEY_METRICS`` whose
+  checked-in baseline JSON is absent or lacks that metric — the gate
+  would silently skip it, which reads as "protected" when it is not.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from typing import Iterable, List, Optional
+
+from repro.checks.framework import (CheckContext, Checker, Project,
+                                    Violation, register)
+
+BENCH_FILE_RE = re.compile(r"(^|/)benchmarks/bench_([a-z0-9]+)_[^/]*\.py$")
+
+
+def _emit_json_calls(tree: ast.Module) -> List[ast.Call]:
+    calls = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "emit_json":
+            calls.append(node)
+    return calls
+
+
+@register
+class BenchHygieneChecker(Checker):
+    name = "bench-hygiene"
+    description = ("every bench_*.py emits via reporting.emit_json under "
+                   "its filename id; every gated baseline key exists")
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        out: List[Violation] = []
+        for ctx in project.files:
+            match = BENCH_FILE_RE.search(ctx.posix_path)
+            if match and ctx.tree is not None:
+                out.extend(self._check_bench(ctx, match.group(2)))
+        for ctx in project.matching(r"benchmarks/check_regression\.py$"):
+            if ctx.tree is not None:
+                out.extend(self._check_gate(ctx))
+        return out
+
+    def _check_bench(self, ctx: CheckContext,
+                     bench_id: str) -> Iterable[Violation]:
+        calls = _emit_json_calls(ctx.tree)
+        if not calls:
+            yield ctx.violation(
+                self.name, 1,
+                "benchmark emits no machine-readable results — call "
+                "reporting.emit_json(%r, {...}) so the regression gate "
+                "and the weekly trend artifact can see it" % bench_id)
+            return
+        for call in calls:
+            literal = self._literal_first_arg(call)
+            if literal is not None and literal != bench_id:
+                yield ctx.violation(
+                    self.name, call,
+                    "emit_json bench id %r disagrees with the filename "
+                    "id %r — the JSON would land under the wrong "
+                    "BENCH_<id>.json" % (literal, bench_id))
+
+    @staticmethod
+    def _literal_first_arg(call: ast.Call) -> Optional[str]:
+        if (call.args and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)):
+            return call.args[0].value
+        return None
+
+    # ------------------------------------------------------------------
+    def _check_gate(self, ctx: CheckContext) -> Iterable[Violation]:
+        key_metrics = None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+            elif isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            else:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Name)
+                        and target.id == "KEY_METRICS"):
+                    key_metrics = (node, value)
+        if key_metrics is None or not isinstance(key_metrics[1], ast.Dict):
+            return
+        node, table = key_metrics
+        baseline_dir = os.path.join(os.path.dirname(ctx.path), "baselines")
+        for key_node, value_node in zip(table.keys, table.values):
+            if not (isinstance(key_node, ast.Constant)
+                    and isinstance(key_node.value, str)):
+                continue
+            bench_id = key_node.value
+            gated = self._gated_names(value_node)
+            baseline_path = os.path.join(baseline_dir,
+                                         "BENCH_%s.json" % bench_id)
+            if not os.path.exists(baseline_path):
+                yield ctx.violation(
+                    self.name, key_node,
+                    "KEY_METRICS gates bench %r but no baseline "
+                    "%s is checked in — the gate silently skips it"
+                    % (bench_id, os.path.basename(baseline_path)))
+                continue
+            try:
+                with open(baseline_path, encoding="utf-8") as handle:
+                    metrics = json.load(handle).get("metrics", {})
+            except (OSError, ValueError) as error:
+                yield ctx.violation(
+                    self.name, key_node,
+                    "baseline %s is unreadable: %s"
+                    % (os.path.basename(baseline_path), error))
+                continue
+            for name in gated:
+                if name not in metrics:
+                    yield ctx.violation(
+                        self.name, key_node,
+                        "KEY_METRICS gates %r of bench %r but the "
+                        "checked-in baseline has no such key — the "
+                        "gate silently skips it" % (name, bench_id))
+
+    @staticmethod
+    def _gated_names(value_node: ast.AST) -> List[str]:
+        names = []
+        for node in ast.walk(value_node):
+            if isinstance(node, ast.Call) and node.args:
+                first = node.args[0]
+                if (isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)):
+                    names.append(first.value)
+        return names

@@ -1,0 +1,90 @@
+"""Rule ``clock-discipline`` — one wall-clock seam, everywhere else
+simulated time.
+
+PR 6's central invariant ("a job is never observed READY past its
+lease") holds because :class:`repro.service.runtime.ServiceRuntime` is
+the *only* place the monotonic wall clock drives scheduler state: every
+observation advances the event kernel to the sampled instant and runs
+the expiry sweep exactly there.  A second, ad-hoc clock read anywhere
+else re-introduces the class of bug the single-clock design removed
+(expiry evaluated against a different "now" than promotion).
+
+Flagged outside :mod:`repro.service.runtime` and the ``benchmarks/``
+harnesses:
+
+* ``time.time()`` / ``time.monotonic()`` (and their ``_ns`` variants),
+* argless ``datetime.now()`` and ``datetime.utcnow()`` / ``today()``.
+
+``time.perf_counter()`` stays legal everywhere: it measures *durations*
+(profiling), and its absolute value is meaningless, so it cannot leak
+into scheduling decisions the way an absolute "now" can.  Simulation
+code takes simulated microseconds from the event kernel; service-side
+helpers use :func:`repro.service.runtime.wall_now`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.checks.asthelpers import ImportMap
+from repro.checks.framework import (CheckContext, Checker, Violation,
+                                    register)
+
+#: Absolute-clock reads; durations (``perf_counter``) are not listed.
+FORBIDDEN_TIME_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+})
+
+#: The sanctioned wall-clock seam (plus the benchmark harnesses).
+ALLOWED_SUFFIXES = ("repro/service/runtime.py",)
+
+
+def _is_exempt(ctx: CheckContext) -> bool:
+    path = ctx.posix_path
+    if any(path.endswith(suffix) for suffix in ALLOWED_SUFFIXES):
+        return True
+    return path.startswith("benchmarks/") or "/benchmarks/" in path
+
+
+@register
+class ClockDisciplineChecker(Checker):
+    name = "clock-discipline"
+    description = ("wall-clock reads only in repro.service.runtime and "
+                   "benchmark harnesses; everything else runs on "
+                   "simulated time")
+
+    def check_file(self, ctx: CheckContext) -> Iterable[Violation]:
+        if _is_exempt(ctx):
+            return ()
+        imports = ImportMap(ctx.tree)
+        out: List[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = imports.resolve(node.func)
+            if dotted is None:
+                continue
+            if dotted in FORBIDDEN_TIME_CALLS:
+                out.append(ctx.violation(
+                    self.name, node,
+                    "`%s()` outside the clock seam — take simulated-us "
+                    "from the event kernel, or route wall time through "
+                    "repro.service.runtime.wall_now()" % dotted))
+            elif dotted.endswith("datetime.now") and not (node.args
+                                                          or node.keywords):
+                out.append(ctx.violation(
+                    self.name, node,
+                    "argless `datetime.now()` reads the ambient wall "
+                    "clock — use the event kernel's simulated time, or "
+                    "repro.service.runtime.wall_now()"))
+            elif (dotted.endswith("datetime.utcnow")
+                    or dotted.endswith("datetime.today")
+                    or dotted.endswith("date.today")):
+                out.append(ctx.violation(
+                    self.name, node,
+                    "`%s()` reads the ambient wall clock — use the "
+                    "event kernel's simulated time, or "
+                    "repro.service.runtime.wall_now()" % dotted))
+        return out

@@ -1,0 +1,207 @@
+"""Rule ``lock-discipline`` — annotated shared state stays under its
+lock, and nothing blocks while holding the runtime lock.
+
+Threaded modules (the allocation service) declare which lock protects a
+piece of shared state with a trailing comment on the attribute's
+initialisation::
+
+    self._in_flight = 0      # guarded-by: _flow
+
+The rule then flags, in every method of that class except ``__init__``
+(construction happens-before publication):
+
+* any read or write of ``self._in_flight`` that is not lexically inside
+  a ``with self._flow:`` block;
+* a ``guarded-by`` comment naming a lock the class never assigns
+  (a typo would otherwise disable the rule silently).
+
+Independently, inside any ``with … .lock:`` block (the
+``ServiceRuntime.lock`` convention — the lock serialising scheduler and
+event kernel), it flags *blocking* calls — ``time.sleep``, socket
+``send``/``recv``/``connect``/``accept``, and HTTP
+``request``/``getresponse`` — because every request handler queues on
+that lock: one sleeping holder stalls the whole service (the PR 6
+Nagle stall was exactly one hidden 40 ms block on this path).
+
+Closures and nested functions are analysed with *no* lock assumed held:
+they may run on another thread or after the ``with`` block exits.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.checks.asthelpers import (ImportMap, final_attribute,
+                                     self_attribute)
+from repro.checks.framework import (CheckContext, Checker, Violation,
+                                    register)
+
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Attribute names whose *call* blocks the calling thread.
+BLOCKING_ATTRS = frozenset({
+    "send", "sendall", "sendto", "recv", "recvfrom", "recv_into",
+    "connect", "accept", "getresponse", "request",
+})
+
+
+def _with_lock_attrs(node: ast.With) -> List[str]:
+    """Names of ``self.<attr>`` context expressions of a with-statement."""
+    attrs = []
+    for item in node.items:
+        attr = self_attribute(item.context_expr)
+        if attr is not None:
+            attrs.append(attr)
+    return attrs
+
+
+def _holds_runtime_lock(node: ast.With) -> bool:
+    """True for ``with <anything>.lock:`` (the runtime-lock convention)."""
+    return any(final_attribute(item.context_expr) == "lock"
+               for item in node.items)
+
+
+@register
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    description = ("`# guarded-by:` attributes only touched under their "
+                   "lock; no blocking calls while holding `….lock`")
+
+    def check_file(self, ctx: CheckContext) -> Iterable[Violation]:
+        out: List[Violation] = []
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                out.extend(self._check_class(ctx, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_blocking(ctx, imports, node.body, False, out)
+        return out
+
+    # -- guarded-by attributes --------------------------------------------
+    def _collect_guards(self, ctx: CheckContext, classdef: ast.ClassDef,
+                        out: List[Violation]) -> Dict[str, str]:
+        guards: Dict[str, Tuple[str, int]] = {}
+        assigned: Set[str] = set()
+        for node in ast.walk(classdef):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = self_attribute(target)
+                if attr is None:
+                    continue
+                assigned.add(attr)
+                match = GUARDED_BY_RE.search(
+                    ctx.lines[node.lineno - 1]
+                    if node.lineno <= len(ctx.lines) else "")
+                if match:
+                    guards[attr] = (match.group(1), node.lineno)
+        valid: Dict[str, str] = {}
+        for attr, (lock, lineno) in sorted(guards.items()):
+            if lock in assigned:
+                valid[attr] = lock
+            else:
+                # Typo guard: an unknown lock name would make the
+                # annotation dead and hide the intent silently.
+                out.append(ctx.violation(
+                    self.name, lineno,
+                    "`%s` is declared guarded-by `%s`, but class `%s` "
+                    "never assigns `self.%s`"
+                    % (attr, lock, classdef.name, lock)))
+        return valid
+
+    def _check_class(self, ctx: CheckContext,
+                     classdef: ast.ClassDef) -> Iterable[Violation]:
+        out: List[Violation] = []
+        guards = self._collect_guards(ctx, classdef, out)
+        if not guards:
+            return out
+        for node in classdef.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "__init__":
+                continue
+            self._walk_guarded(ctx, guards, node.body, set(), out)
+        return out
+
+    def _walk_guarded(self, ctx: CheckContext, guards: Dict[str, str],
+                      body: Iterable[ast.AST], held: Set[str],
+                      out: List[Violation]) -> None:
+        for node in body:
+            self._visit_guarded(ctx, guards, node, held, out)
+
+    def _visit_guarded(self, ctx: CheckContext, guards: Dict[str, str],
+                       node: ast.AST, held: Set[str],
+                       out: List[Violation]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self._visit_guarded(ctx, guards, item.context_expr,
+                                    held, out)
+            self._walk_guarded(ctx, guards, node.body,
+                               held | set(_with_lock_attrs(node)), out)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A closure may run later / on another thread: assume no
+            # lock is held inside it.
+            inner = (node.body if isinstance(node.body, list)
+                     else [node.body])
+            self._walk_guarded(ctx, guards, inner, set(), out)
+            return
+        attr = self_attribute(node)
+        if attr is not None and attr in guards and guards[attr] not in held:
+            out.append(ctx.violation(
+                self.name, node,
+                "`self.%s` is guarded-by `%s` but touched outside "
+                "`with self.%s:`" % (attr, guards[attr], guards[attr])))
+        for child in ast.iter_child_nodes(node):
+            self._visit_guarded(ctx, guards, child, held, out)
+
+    # -- blocking calls under the runtime lock ----------------------------
+    def _check_blocking(self, ctx: CheckContext, imports: ImportMap,
+                        body: Iterable[ast.AST], under_lock: bool,
+                        out: List[Violation]) -> None:
+        for node in body:
+            self._visit_blocking(ctx, imports, node, under_lock, out)
+
+    def _visit_blocking(self, ctx: CheckContext, imports: ImportMap,
+                        node: ast.AST, under_lock: bool,
+                        out: List[Violation]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inside = under_lock or _holds_runtime_lock(node)
+            for item in node.items:
+                self._visit_blocking(ctx, imports, item.context_expr,
+                                     under_lock, out)
+            self._check_blocking(ctx, imports, node.body, inside, out)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            inner = (node.body if isinstance(node.body, list)
+                     else [node.body])
+            self._check_blocking(ctx, imports, inner, False, out)
+            return
+        if under_lock and isinstance(node, ast.Call):
+            blocked = self._blocking_name(imports, node)
+            if blocked is not None:
+                out.append(ctx.violation(
+                    self.name, node,
+                    "blocking call `%s` while holding the runtime lock "
+                    "— every request handler queues on it; do the I/O "
+                    "or sleep outside the `with … .lock:` block"
+                    % blocked))
+        for child in ast.iter_child_nodes(node):
+            self._visit_blocking(ctx, imports, child, under_lock, out)
+
+    def _blocking_name(self, imports: ImportMap,
+                       node: ast.Call) -> Optional[str]:
+        dotted = imports.resolve(node.func)
+        if dotted == "time.sleep":
+            return dotted
+        attr = final_attribute(node.func)
+        if attr in BLOCKING_ATTRS:
+            return dotted or ("….%s" % attr)
+        return None

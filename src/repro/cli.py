@@ -229,7 +229,7 @@ def cmd_alloc_serve(args: argparse.Namespace) -> int:
           "time scale %gx)" % (args.width, args.height, service.url,
                                args.max_queue_depth, args.time_scale))
     _print_table([[method, path, response] for method, path, _request,
-                  response in ENDPOINTS],
+                  response, _label in ENDPOINTS],
                  header=["method", "path", "response"])
     try:
         if args.duration > 0:

@@ -20,6 +20,8 @@ from typing import FrozenSet, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.neuron.population import simulation_rng
+
 
 @dataclass(frozen=True)
 class NOfMCode:
@@ -113,7 +115,7 @@ class NOfMCode:
     def corrupt(self, active: FrozenSet[int], n_errors: int,
                 rng: Optional[np.random.Generator] = None) -> FrozenSet[int]:
         """Flip ``n_errors`` active neurons to inactive ones (noise model)."""
-        rng = rng or np.random.default_rng()
+        rng = rng or simulation_rng(None)
         active_list = sorted(active)
         inactive = sorted(set(range(self.m)) - active)
         n_errors = min(n_errors, len(active_list), len(inactive))

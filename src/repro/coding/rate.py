@@ -15,6 +15,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.neuron.population import simulation_rng
+
 
 @dataclass
 class RateCode:
@@ -52,7 +54,7 @@ class RateCode:
     def encode(self, values: np.ndarray, duration_ms: float,
                rng: Optional[np.random.Generator] = None) -> List[List[float]]:
         """Generate Poisson spike trains (per-neuron lists of spike times)."""
-        rng = rng or np.random.default_rng()
+        rng = rng or simulation_rng(None)
         rates = self.rates_for(values)
         n_ticks = int(round(duration_ms / self.timestep_ms))
         trains: List[List[float]] = []

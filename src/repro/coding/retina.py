@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.neuron.population import simulation_rng
+
 
 class GanglionCellType(Enum):
     """Polarity of a ganglion cell's receptive field."""
@@ -159,7 +161,7 @@ class RetinaModel:
         """Mark a random ``fraction`` of cells as failed; return their indices."""
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("failure fraction must be in [0, 1]")
-        rng = rng or np.random.default_rng()
+        rng = rng or simulation_rng(None)
         n_failures = int(round(fraction * self.n_cells))
         failed = rng.choice(self.n_cells, size=n_failures, replace=False)
         for index in failed:
@@ -297,7 +299,7 @@ class RetinaModel:
         bright disc on a dark background) or ``"noise"``.
         """
         rows, cols = shape
-        rng = rng or np.random.default_rng(0)
+        rng = rng or simulation_rng(0)
         if kind == "bars":
             cc = np.tile(np.arange(cols), (rows, 1))
             return 0.5 + 0.5 * np.sin(2 * np.pi * cc / max(4, cols // 4))

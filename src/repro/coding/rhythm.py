@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.coding.rank_order import RankOrderCode
+from repro.neuron.population import simulation_rng
 
 __all__ = [
     "BackgroundRhythm",
@@ -196,7 +197,7 @@ class RhythmicRankOrderChannel:
         self.rhythm = rhythm
         self.codebook = [np.asarray(word, dtype=float) for word in codebook]
         self.jitter_ms = jitter_ms
-        self._rng = np.random.default_rng(seed)
+        self._rng = simulation_rng(seed)
 
     @property
     def population_size(self) -> int:

@@ -70,7 +70,9 @@ class IzhikevichPopulation:
         self.size = size
         self.parameters = parameters or IzhikevichParameters()
         self.timestep_ms = timestep_ms
-        self._rng = rng or np.random.default_rng()
+        # Deferred import: population.py imports this module at load time.
+        from repro.neuron.population import simulation_rng
+        self._rng = rng or simulation_rng(None)
 
         p = self.parameters
         self.v = np.full(size, p.c, dtype=float)

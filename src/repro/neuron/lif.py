@@ -88,7 +88,9 @@ class LIFPopulation:
         self._alpha_syn = float(np.exp(-timestep_ms / p.tau_syn_ms))
 
         self.spike_count = np.zeros(size, dtype=int)
-        self._rng = rng or np.random.default_rng()
+        # Deferred import: population.py imports this module at load time.
+        from repro.neuron.population import simulation_rng
+        self._rng = rng or simulation_rng(None)
 
     def randomise_membrane(self, low_mv: Optional[float] = None,
                            high_mv: Optional[float] = None) -> None:

@@ -30,6 +30,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.neuron.population import simulation_rng
+
 __all__ = [
     "FixedPointFormat",
     "SparseLayer",
@@ -115,7 +117,7 @@ class SparseLayer:
             raise ValueError("fan_in must lie in [1, n_inputs]")
         if activation not in ("relu", "tanh", "linear"):
             raise ValueError("unknown activation %r" % (activation,))
-        rng = rng or np.random.default_rng()
+        rng = rng or simulation_rng(None)
         self.n_inputs = n_inputs
         self.n_outputs = n_outputs
         self.fan_in = fan_in
@@ -230,7 +232,7 @@ class MLP:
                  seed: Optional[int] = None) -> None:
         if len(layer_sizes) < 2:
             raise ValueError("an MLP needs at least input and output layers")
-        rng = np.random.default_rng(seed)
+        rng = simulation_rng(seed)
         self.layer_sizes = list(layer_sizes)
         self.fan_in = fan_in
         self.layers: List[SparseLayer] = []
@@ -289,7 +291,7 @@ class MLP:
         labels = np.asarray(labels)
         if inputs.shape[0] != labels.shape[0]:
             raise ValueError("inputs and labels must be aligned")
-        rng = np.random.default_rng(seed)
+        rng = simulation_rng(seed)
         n_samples = inputs.shape[0]
         result = TrainingResult()
 
@@ -348,7 +350,7 @@ def synthetic_classification_task(n_classes: int = 4, n_features: int = 16,
         raise ValueError("need positive feature and sample counts")
     if noise < 0:
         raise ValueError("noise must be non-negative")
-    rng = np.random.default_rng(seed)
+    rng = simulation_rng(seed)
     prototypes = rng.integers(0, 2, size=(n_classes, n_features)).astype(float)
     inputs = []
     labels = []

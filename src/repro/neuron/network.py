@@ -25,6 +25,7 @@ from repro.neuron.population import (
     SpikeSourceArray,
     SpikeSourcePoisson,
     expansion_rng,
+    simulation_rng,
 )
 from repro.neuron.synapse import DeferredEventBuffer, MAX_DELAY_TICKS
 
@@ -179,7 +180,7 @@ class Network:
             raise ValueError("propagation must be 'csr' or 'reference', "
                              "got %r" % (propagation,))
         effective_seed = self.seed if seed is None else seed
-        rng = np.random.default_rng(effective_seed)
+        rng = simulation_rng(effective_seed)
         n_ticks = int(round(duration_ms / self.timestep_ms))
 
         # Build per-population state, input buffers and recording stores.

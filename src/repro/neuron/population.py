@@ -60,6 +60,22 @@ def core_rng(seed: Optional[int], chip_x: int, chip_y: int, core_id: int,
         [_CORE_STREAM, stream, chip_x, chip_y, core_id, seed])
 
 
+def simulation_rng(seed: Optional[int]) -> np.random.Generator:
+    """The host-side simulation/workload stream for ``seed``.
+
+    Exactly ``np.random.default_rng(seed)`` — the stream that drives
+    membrane initialisation, stimulus draws and host-side workloads,
+    decorrelated from :func:`expansion_rng` and :func:`core_rng` by
+    their stream-split constants.  The third sanctioned seam: shipped
+    code constructs generators only here (``repro.checks`` enforces
+    it), so every stream stays pinned to the run's seed and audits of
+    "where does randomness enter?" have one module to read.  Passing
+    ``None`` explicitly opts out of determinism, exactly like the other
+    seams.
+    """
+    return np.random.default_rng(seed)
+
+
 def expansion_rng(seed: Optional[int],
                   projection_index: int = 0) -> np.random.Generator:
     """The generator every layer uses to expand connectivity for ``seed``.

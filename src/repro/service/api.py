@@ -44,32 +44,42 @@ CODE_QUEUE_OVERLOADED = "queue-overloaded"
 CODE_DRAINING = "draining"
 CODE_INTERNAL = "internal-error"
 
-#: ``(method, path template, request schema, response schema)`` — the
-#: complete public surface, one row per endpoint.
+#: ``(method, path template, request schema, response schema, label)``
+#: — the complete public surface, one row per endpoint.  The label is
+#: both the route name in :mod:`repro.service.server` and the
+#: per-endpoint metrics key; ``repro.checks`` (rule ``api-surface``)
+#: verifies the three stay in sync.
 ENDPOINTS = (
     ("POST", "/v1/jobs",
      '{"tenant", "width", "height", "priority"?, "keepalive_ms"?, '
      '"label"?}',
-     "job summary + queue_depth (201)"),
+     "job summary + queue_depth (201)",
+     "create"),
     ("GET", "/v1/jobs",
      "?tenant=&state= filters",
-     '{"jobs": [job summary, ...]}'),
+     '{"jobs": [job summary, ...]}',
+     "list"),
     ("GET", "/v1/jobs/<id>",
      "-",
-     "job summary (state, lease rect, wait_ms)"),
+     "job summary (state, lease rect, wait_ms)",
+     "status"),
     ("POST", "/v1/jobs/<id>/keepalive",
      "-",
-     'job summary + {"alive": bool}'),
+     'job summary + {"alive": bool}',
+     "keepalive"),
     ("DELETE", "/v1/jobs/<id>",
      "-",
-     'job summary + {"released": bool}'),
+     'job summary + {"released": bool}',
+     "release"),
     ("GET", "/v1/machine",
      "-",
-     "dimensions, free/leased chips, fragmentation, queue depth"),
+     "dimensions, free/leased chips, fragmentation, queue depth",
+     "machine"),
     ("GET", "/v1/metrics",
      "-",
      "uptime, per-endpoint counters + latency histograms, scheduler "
-     "stats, backpressure counters"),
+     "stats, backpressure counters",
+     "metrics"),
 )
 
 

@@ -61,8 +61,8 @@ class AdmissionGate:
         #: expressed in simulated ms into wall-clock Retry-After hints.
         self.time_scale = time_scale
         self._lock = threading.Lock()
-        self.shed_total = 0
-        self.quota_rejected_total = 0
+        self.shed_total = 0  # guarded-by: _lock
+        self.quota_rejected_total = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Gate checks (called with the runtime lock held)

@@ -31,6 +31,7 @@ import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
 from repro.service import api
+from repro.service.runtime import wall_now
 
 __all__ = ["ServiceClient", "JobSession", "ServiceClientError",
            "ServiceBusy", "ServiceUnavailable", "NoSuchJob", "BadRequest"]
@@ -158,8 +159,8 @@ class ServiceClient:
             if attempt == self.max_attempts - 1:
                 break
             self.retries += 1
-            wait_s = retry_after_s if (last_error and retry_after_s) \
-                else delay
+            wait_s = (retry_after_s if (last_error and retry_after_s)
+                      else delay)
             time.sleep(min(wait_s, self.backoff_cap_s))
             delay = min(delay * 2.0, self.backoff_cap_s)
         raise ServiceUnavailable(
@@ -326,7 +327,7 @@ class JobSession:
         """
         if self.job_id is None:
             raise RuntimeError("the session has no job yet")
-        deadline = time.monotonic() + timeout_s
+        deadline = wall_now() + timeout_s
         while True:
             summary = self.client.status(self.job_id)
             state = summary.get("state")
@@ -336,7 +337,7 @@ class JobSession:
                 raise ServiceClientError(
                     "job %d ended %s while waiting for READY"
                     % (self.job_id, state))
-            if time.monotonic() >= deadline:
+            if wall_now() >= deadline:
                 raise TimeoutError("job %d not READY after %.1f s (state %s)"
                                    % (self.job_id, timeout_s, state))
             time.sleep(poll_s)

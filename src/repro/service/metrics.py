@@ -91,8 +91,8 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._histograms: Dict[str, LatencyHistogram] = {}
-        self._statuses: Dict[str, Dict[int, int]] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}  # guarded-by: _lock
+        self._statuses: Dict[str, Dict[int, int]] = {}  # guarded-by: _lock
 
     def observe(self, endpoint: str, status: int, elapsed_ms: float) -> None:
         """Record one handled request."""

@@ -33,12 +33,24 @@ from typing import Dict, Optional
 from repro.alloc.scheduler import AllocationScheduler
 from repro.service.api import CODE_DRAINING, ServiceError
 
-__all__ = ["ServiceRuntime"]
+__all__ = ["ServiceRuntime", "wall_now"]
 
 #: Wall-clock period of the reaper thread (seconds).
 DEFAULT_REAPER_PERIOD_S = 0.02
 #: Terminal jobs kept addressable for status queries before pruning.
 DEFAULT_TERMINAL_HISTORY = 10000
+
+
+def wall_now() -> float:
+    """The sanctioned monotonic wall-clock read (seconds).
+
+    Client-side code (deadline loops, retry backoff) reads the wall
+    clock through this seam rather than calling ``time.monotonic``
+    directly, so every wall-time dependency in the package is findable
+    from this module — the one place the two clocks are allowed to
+    meet (see the module docstring).
+    """
+    return time.monotonic()
 
 
 class ServiceRuntime:
@@ -64,8 +76,8 @@ class ServiceRuntime:
         #: objects are single-threaded by design.
         self.lock = threading.RLock()
         self._flow = threading.Condition(threading.Lock())
-        self._in_flight = 0
-        self._draining = False
+        self._in_flight = 0  # guarded-by: _flow
+        self._draining = False  # guarded-by: _flow
         self._stopped = threading.Event()
         self._reaper: Optional[threading.Thread] = None
         self._wall_epoch = time.monotonic()

@@ -1,0 +1,12 @@
+"""Fixture: a consistent API surface."""
+
+__all__ = ["API_VERSION", "ENDPOINTS", "CODE_BAD_REQUEST"]
+
+API_VERSION = "v1"
+
+CODE_BAD_REQUEST = "bad-request"
+
+ENDPOINTS = (
+    ("POST", "/v1/things", "{...}", "thing summary", "create"),
+    ("GET", "/v1/things", "-", "thing list", "list"),
+)

@@ -1,0 +1,11 @@
+"""Fixture: a server routing every declared endpoint."""
+
+from .api import CODE_BAD_REQUEST
+
+
+def _route(method, path):
+    if method == "POST":
+        return ("create", 201)
+    if method == "GET":
+        return ("list", 200)
+    return (CODE_BAD_REQUEST, 400)

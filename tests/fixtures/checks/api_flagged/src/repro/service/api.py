@@ -1,0 +1,18 @@
+"""Fixture: an API surface that drifted apart everywhere at once."""
+
+__all__ = ["API_VERSION", "ENDPOINTS"]
+
+API_VERSION = "v1"
+
+# Never exported, never referenced by a sibling module.
+CODE_ORPHANED = "orphaned"
+
+ENDPOINTS = (
+    # Missing its label entirely (4-tuple row).
+    ("POST", "/v1/things", "{...}", "thing summary"),
+    # Labelled, but server.py routes no such label, and the path is
+    # documented nowhere in the README.
+    ("GET", "/v1/undocumented", "-", "mystery", "ghost"),
+    # Outside the declared API version.
+    ("GET", "/v2/things", "-", "thing list", "list"),
+)

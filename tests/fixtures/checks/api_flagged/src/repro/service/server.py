@@ -1,0 +1,7 @@
+"""Fixture: a server that only knows one of the declared labels."""
+
+
+def _route(method, path):
+    if method == "GET":
+        return ("list", 200)
+    return ("unknown", 404)

@@ -1,0 +1,8 @@
+"""Fixture: a benchmark that reports under its filename id."""
+
+from .reporting import emit_json
+
+
+def test_x1_demo(benchmark):
+    metrics = {"speedup": 2.0}
+    emit_json("x1", metrics)

@@ -1,0 +1,10 @@
+"""Fixture: a regression gate whose baselines all exist."""
+
+
+def higher_is_better(name, floor):
+    return (name, floor)
+
+
+KEY_METRICS = {
+    "x1": [higher_is_better("speedup", 1.5)],
+}

@@ -1,0 +1,5 @@
+"""Fixture: a benchmark that prints but never reports."""
+
+
+def test_x2_demo(benchmark):
+    print("x2 ran, nobody will ever know the numbers")

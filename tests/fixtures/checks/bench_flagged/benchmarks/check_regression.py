@@ -1,0 +1,11 @@
+"""Fixture: a regression gate with a missing baseline and a missing key."""
+
+
+def higher_is_better(name, floor):
+    return (name, floor)
+
+
+KEY_METRICS = {
+    "x9": [higher_is_better("speedup", 1.5)],
+    "x8": [higher_is_better("speedup", 1.5)],
+}

@@ -1,0 +1,7 @@
+"""Fixture: benchmark harnesses may read the wall clock."""
+
+import time
+
+
+def stamp():
+    return time.time()

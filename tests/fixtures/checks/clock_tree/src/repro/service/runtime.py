@@ -1,0 +1,7 @@
+"""Fixture: the clock seam module may read the monotonic clock."""
+
+import time
+
+
+def wall_now():
+    return time.monotonic()

@@ -1,0 +1,10 @@
+"""Fixture: duration measurement and zoned datetimes are legal."""
+
+import datetime
+import time
+
+
+def reads(tz):
+    start = time.perf_counter()
+    stamped = datetime.datetime.now(tz)   # explicit tz: not the ambient clock
+    return time.perf_counter() - start, stamped

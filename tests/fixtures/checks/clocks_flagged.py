@@ -1,0 +1,12 @@
+"""Fixture: every forbidden ambient-clock read."""
+
+import datetime
+import time
+
+
+def reads():
+    a = time.time()
+    b = time.monotonic()
+    c = datetime.datetime.now()
+    d = datetime.datetime.utcnow()
+    return a, b, c, d

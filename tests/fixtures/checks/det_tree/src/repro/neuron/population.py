@@ -1,0 +1,7 @@
+"""Fixture: the seam module itself may call default_rng directly."""
+
+import numpy as np
+
+
+def simulation_rng(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,8 @@
+"""Fixture: shipped code building a private generator — even seeded,
+it must route through the population seams."""
+
+import numpy as np
+
+
+def private_stream(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,11 @@
+"""Fixture: seeded, explicit generators — nothing to flag."""
+
+import random
+
+import numpy as np
+
+
+def draws(seed):
+    rng = random.Random(seed)
+    generator = np.random.default_rng(seed)
+    return rng.random(), generator.random(4)

@@ -1,0 +1,14 @@
+"""Fixture: every form of hidden-global or unseeded RNG."""
+
+import random
+
+import numpy as np
+
+
+def draws():
+    a = random.random()            # hidden module-global RNG
+    b = random.randint(0, 10)      # hidden module-global RNG
+    rng = random.Random()          # unseeded
+    c = np.random.rand(4)          # numpy hidden global RNG
+    d = np.random.default_rng()    # unseeded generator
+    return a, b, rng, c, d

@@ -1,0 +1,25 @@
+"""Fixture: guarded state always under its lock, no blocking held calls."""
+
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self.lock = threading.RLock()
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def read(self):
+        with self._lock:
+            return self._count
+
+    def slow_publish(self, sock):
+        with self.lock:
+            payload = b"data"
+        time.sleep(0.1)
+        sock.sendall(payload)

@@ -1,0 +1,22 @@
+"""Fixture: guarded state touched without its lock, blocking under lock."""
+
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self.lock = threading.RLock()
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self._count += 1            # touched outside `with self._lock:`
+
+    def read(self):
+        return self._count          # touched outside `with self._lock:`
+
+    def slow_publish(self, sock):
+        with self.lock:
+            time.sleep(0.1)         # blocking while holding the runtime lock
+            sock.sendall(b"data")   # blocking while holding the runtime lock

@@ -1,0 +1,9 @@
+"""Fixture: a guarded-by annotation naming a lock that never exists."""
+
+import threading
+
+
+class Broken:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lokc

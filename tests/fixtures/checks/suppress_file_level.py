@@ -1,0 +1,13 @@
+"""Fixture: an own-line suppression disables a rule for the whole file."""
+
+# checks: disable=clock-discipline -- fixture exercising file-level suppression
+
+import time
+
+
+def first():
+    return time.time()
+
+
+def second():
+    return time.monotonic()

@@ -1,0 +1,3 @@
+"""Fixture: a suppression naming a rule that does not exist."""
+
+VALUE = 1  # checks: disable=no-such-rule -- the rule name is a typo

@@ -1,0 +1,7 @@
+"""Fixture: a real violation silenced by a reasoned suppression."""
+
+import time
+
+
+def stamp():
+    return time.time()  # checks: disable=clock-discipline -- fixture exercising line-level suppression

@@ -1,0 +1,7 @@
+"""Fixture: a suppression with no written reason is itself a violation."""
+
+import time
+
+
+def stamp():
+    return time.time()  # checks: disable=clock-discipline

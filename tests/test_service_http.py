@@ -5,6 +5,10 @@ loopback TCP — the full stack: handler threads, the runtime's
 wall-clock bridge, the admission gate, and the sessionful client.
 """
 
+# checks: disable=clock-discipline -- these tests drive the service from
+# the wall-clock side, exactly as an external client would: deadline
+# loops here must read the same real clock the runtime bridges from.
+
 from __future__ import annotations
 
 import http.client
