@@ -3,21 +3,24 @@
 The paper's machine is assembled from 48-chip boards scaled toward a
 million cores.  `repro.cluster` shards a compiled network by board and
 runs one engine shard per board in parallel workers, exchanging
-cross-board spikes at tick barriers.  This benchmark runs a four-board
-machine (a row of production 8x6 boards) and checks the two promises
-that make the sharded runner usable:
+cross-board spikes through preallocated shared memory at conservative
+-lookahead super-step barriers.  This benchmark runs a four-board
+machine (a row of production 8x6 boards) and checks the promises that
+make the sharded runner usable:
 
 * **Equivalence** — the sharded run produces spike trains identical to
   the unsharded on-machine engine
   (``NeuralApplication(transport="fabric", stagger_us=0)``), and results
-  are bit-identical whatever the worker count.
-* **Scaling** — at 4 boards the pool achieves at least a 3x speedup
-  over 1 worker.  The load-balance bound (total engine compute over the
-  busiest worker's compute) is asserted always; the measured wall-clock
-  ratio is additionally asserted when the host has CPUs to spare beyond
-  the pool (single-CPU hosts cannot express pool parallelism in
-  wall-clock, and exactly-WORKERS-vCPU runners leave no headroom for
-  the parent's exchange routing).
+  are bit-identical whatever the worker count *and* lookahead depth.
+* **Scaling** — at 4 boards the shards divide the compute evenly enough
+  for a 3x load-balance bound (asserted always), and on a host with at
+  least 4 CPUs the pool must actually deliver a measured wall-clock
+  speedup of at least 2x over 1 worker (single-CPU hosts cannot express
+  pool parallelism in wall-clock, so there the bound is the gate).
+* **Overheads stay visible** — the per-stage worker timers
+  (compute / serialize / exchange / barrier-wait) are emitted into the
+  gated BENCH JSON, so an exchange-path regression shows up as a
+  ``stage_overhead_ratio`` move even on hosts where wall-clock cannot.
 """
 
 from __future__ import annotations
@@ -49,7 +52,8 @@ RATE_HZ = 120.0
 EQUIV_MS = 40.0
 SCALING_MS = 80.0
 WORKERS = 4
-MIN_SPEEDUP = 3.0
+MIN_SPEEDUP = 3.0              # load-balance bound, asserted always
+MIN_MEASURED_SPEEDUP = 2.0     # wall-clock, asserted with >= 4 CPUs
 
 
 def _build_network() -> Network:
@@ -98,6 +102,15 @@ def _assert_spike_equivalence(reference, candidate) -> None:
     assert reference.packets_sent == candidate.packets_sent
 
 
+def _assert_bit_identical(reference, candidate) -> None:
+    assert candidate.spikes == reference.spikes
+    for label in reference.spike_counts:
+        assert np.array_equal(reference.spike_counts[label],
+                              candidate.spike_counts[label])
+    assert candidate.synaptic_events == reference.synaptic_events
+    assert candidate.delivered_charge_na == reference.delivered_charge_na
+
+
 def test_e19_cluster_scaling(benchmark):
     network = _build_network()
 
@@ -114,11 +127,13 @@ def test_e19_cluster_scaling(benchmark):
     cluster = ClusterApplication(
         _machine(), network, seed=SEED,
         max_neurons_per_core=NEURONS_PER_CORE,
-        placement_strategy="round-robin", account_transport=True)
+        placement_strategy="round-robin", account_transport=True,
+        profile=True)
     sharded = cluster.run(EQUIV_MS, workers=1)
     _assert_spike_equivalence(unsharded, sharded)
     assert cluster.n_boards == BOARDS_X * BOARDS_Y
     assert cluster.report.cross_board_spikes > 0
+    assert cluster.report.lookahead == 1 + cluster.report.d_min
 
     # ------------------------------------------------------------------
     # Scaling: 4 boards, 1 worker vs a pool
@@ -129,16 +144,23 @@ def test_e19_cluster_scaling(benchmark):
     pooled = cluster.run(SCALING_MS, workers=WORKERS)
     pooled_report = cluster.report
 
-    # Bit-identical results whatever the worker count.
-    assert pooled.spikes == serial.spikes
-    for label in serial.spike_counts:
-        assert np.array_equal(serial.spike_counts[label],
-                              pooled.spike_counts[label])
-    assert pooled.synaptic_events == serial.synaptic_events
-    assert pooled.delivered_charge_na == serial.delivered_charge_na
+    # Bit-identical results whatever the worker count...
+    _assert_bit_identical(serial, pooled)
+    # ...and whatever the lookahead depth: a pool exchanging every tick
+    # must reproduce the full-lookahead runs exactly.
+    per_tick = cluster.run(SCALING_MS, workers=WORKERS, lookahead=1)
+    assert cluster.report.lookahead == 1
+    _assert_bit_identical(serial, per_tick)
 
     measured_speedup = (serial_report.wall_s / pooled_report.wall_s
                         if pooled_report.wall_s > 0 else float("inf"))
+    stage_totals = {stage: pooled_report.stage_total(stage)
+                    for stage in ("compute", "serialize", "exchange",
+                                  "barrier_wait")}
+    overhead_s = (stage_totals["serialize"] + stage_totals["exchange"]
+                  + stage_totals["barrier_wait"])
+    stage_overhead_ratio = (overhead_s / stage_totals["compute"]
+                            if stage_totals["compute"] > 0 else 0.0)
     metrics = {
         "boards": cluster.n_boards,
         "chips": BOARDS_X * BOARDS_Y * BOARD_W * BOARD_H,
@@ -146,6 +168,9 @@ def test_e19_cluster_scaling(benchmark):
                         for context in cluster.board_contexts.values()),
         "workers": pooled_report.workers,
         "ticks": pooled_report.n_ticks,
+        "lookahead": pooled_report.lookahead,
+        "d_min": pooled_report.d_min,
+        "supersteps": pooled_report.supersteps,
         "total_spikes": serial.total_spikes(),
         "cross_board_spikes": pooled_report.cross_board_spikes,
         "inter_board_traversals": pooled_report.inter_board_traversals,
@@ -153,6 +178,13 @@ def test_e19_cluster_scaling(benchmark):
         "pool_wall_s": pooled_report.wall_s,
         "measured_speedup": measured_speedup,
         "speedup_bound": pooled_report.speedup_bound,
+        "compute_s": stage_totals["compute"],
+        "serialize_s": stage_totals["serialize"],
+        "exchange_s": stage_totals["exchange"],
+        "barrier_wait_s": stage_totals["barrier_wait"],
+        "parent_exchange_s": pooled_report.parent_exchange_s,
+        "stage_overhead_ratio": stage_overhead_ratio,
+        "exchange_segment_bytes": pooled_report.exchange_segment_bytes,
         "host_cpus": os.cpu_count() or 1,
     }
     print_metrics("E19: cluster scaling (%d boards, %d workers)"
@@ -162,11 +194,11 @@ def test_e19_cluster_scaling(benchmark):
     # The shards must divide the compute evenly enough that a pool of
     # WORKERS workers can reach the target speedup...
     assert pooled_report.speedup_bound >= MIN_SPEEDUP
-    # ... and on a host with real parallelism it must actually do so.
-    # The wall-clock gate needs headroom beyond the pool itself (the
-    # parent's exchange routing runs alongside the workers), so it is
-    # asserted with > WORKERS CPUs — or on demand via E19_ASSERT_WALLCLOCK
-    # — rather than flaking on exactly-4-vCPU CI runners.
-    if ((os.cpu_count() or 1) > WORKERS
+    # ... and on a host with real parallelism the pool must actually
+    # beat one worker by a solid margin in wall-clock.  Single- and
+    # dual-CPU hosts cannot express 4-way pool parallelism, so there
+    # only the bound is asserted (E19_ASSERT_WALLCLOCK forces the
+    # wall-clock gate regardless).
+    if ((os.cpu_count() or 1) >= WORKERS
             or os.environ.get("E19_ASSERT_WALLCLOCK")):
-        assert measured_speedup >= MIN_SPEEDUP
+        assert measured_speedup >= MIN_MEASURED_SPEEDUP

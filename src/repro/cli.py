@@ -543,11 +543,14 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         rows.append([str(workers), "%d" % result.total_spikes(),
                      "%d" % report.cross_board_spikes,
                      "%d" % report.inter_board_traversals,
+                     "%d" % report.lookahead,
+                     "%d" % report.supersteps,
                      "%.3f" % report.wall_s,
                      "%.3f" % report.total_compute_s,
                      "%.2f" % report.speedup_bound])
     _print_table(rows, header=["workers", "spikes", "cross-board spikes",
-                               "inter-board hops", "wall s", "compute s",
+                               "inter-board hops", "lookahead",
+                               "supersteps", "wall s", "compute s",
                                "speedup bound"])
 
     reference = results[1]

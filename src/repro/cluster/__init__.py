@@ -11,16 +11,32 @@ models that assembly and exploits it for execution:
 * :class:`~repro.cluster.shard.BoardEngine` — a deterministic,
   tick-synchronous execution shard over one board's compiled sub-context
   (see the ShardByBoard pass of :mod:`repro.compile`);
+* :class:`~repro.cluster.exchange.ExchangePlan` and the two exchange
+  implementations — the cluster's spike data path: worker-side routing
+  tables, preallocated shared-memory regions of packed ``uint32``
+  batches, and the conservative-lookahead super-step schedule
+  (``L = 1 + d_min`` ticks between barriers);
 * :class:`~repro.cluster.application.ClusterApplication` — the sharded
-  runner: one engine per board, spread over a pool of worker processes,
-  exchanging cross-board spike batches at tick barriers.  Results are
-  bit-identical whatever the worker count, and spike-train-equivalent to
-  the unsharded on-machine engine
+  runner: one engine per board, spread over a pool of persistent worker
+  processes exchanging cross-board spike batches through shared memory
+  at super-step barriers.  Results are bit-identical whatever the
+  worker count or lookahead depth, and spike-train-equivalent to the
+  unsharded on-machine engine
   (``NeuralApplication(transport="fabric", stagger_us=0)``).
 """
 
-from repro.cluster.application import ClusterApplication, ClusterReport
+from repro.cluster.application import (
+    ClusterApplication,
+    ClusterReport,
+    ClusterWorkerError,
+)
 from repro.cluster.board import BoardTopology
+from repro.cluster.exchange import (
+    ExchangePlan,
+    InProcessExchange,
+    SharedMemoryExchange,
+    superstep_schedule,
+)
 from repro.cluster.shard import BoardEngine, ShardResult
 
 __all__ = [
@@ -28,5 +44,10 @@ __all__ = [
     "BoardTopology",
     "ClusterApplication",
     "ClusterReport",
+    "ClusterWorkerError",
+    "ExchangePlan",
+    "InProcessExchange",
+    "SharedMemoryExchange",
     "ShardResult",
+    "superstep_schedule",
 ]

@@ -1,39 +1,58 @@
 """The sharded cluster runner (:class:`ClusterApplication`).
 
 Runs a compiled network as one :class:`~repro.cluster.shard.BoardEngine`
-per board, spread over a pool of worker processes.  Execution is
-bulk-synchronous: every worker steps its boards through tick ``t``, the
-parent routes the tick's spike batches to their destination boards (a
-batch travels under its source vertex's sticky AER key), and tick
-``t + 1`` begins once every board has its inbound batches — the tick
-barrier standing in for the millisecond timer that keeps the real
-machine loosely synchronised.
+per board, spread over a pool of persistent worker processes.  The
+execution is a conservative-lookahead PDES over the board graph (see
+:mod:`repro.cluster.exchange` for the data path):
+
+* boards run ``L = 1 + d_min`` ticks between barriers (``d_min`` = the
+  minimum cross-board synaptic delay, decoded per board pair by the
+  ShardByBoard pass) — cross-board spikes cannot arrive sooner, so the
+  barrier amortises over the whole super-step;
+* same-board traffic is delivered inside the owning worker and never
+  serialised at all;
+* cross-board batches travel as packed ``uint32`` records through
+  preallocated shared-memory regions, routed worker-side via the
+  ``key -> destination boards`` table — the parent sequences barriers
+  over tiny pipe messages and (with ``account_transport=True``) replays
+  the same shared regions through the transport fabric, but is never on
+  the per-spike data path.
 
 Three properties the tests and benchmark E19 rely on:
 
-* **Worker-count independence** — boards are stepped in canonical board
-  order, batches are routed in board order, and ring-buffer accumulation
-  is exact (fixed-point weights), so ``workers=4`` produces results
-  bit-identical to ``workers=1``.
+* **Worker-count and lookahead independence** — boards are stepped in
+  canonical board order, inbound regions are drained in canonical
+  source order, and ring-buffer accumulation is exact (fixed-point
+  weights), so ``workers=4`` at full lookahead produces results
+  bit-identical to ``workers=1`` exchanging every tick.
 * **Engine equivalence** — the shard semantics replicate the unsharded
   on-machine engine at zero timer stagger
   (``NeuralApplication(transport="fabric", stagger_us=0)``): identical
   spike trains, spike counts, synaptic-event totals and delivered
   charge.
 * **Inter-board accounting** — with ``account_transport=True`` every
-  exchanged batch is replayed through the compiled route programs, so
-  routers, links and NoCs (including the new inter-board counters) show
-  the same loads the unsharded fabric transport would record.
+  outbound batch is replayed through the compiled route programs
+  (cross-board batches from their exchange regions, local-only batches
+  from count-only stub records), so routers, links and NoCs show the
+  same loads the unsharded fabric transport would record.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.shard import BoardEngine, ShardResult, SpikeBatch
+from repro.cluster.exchange import (
+    ExchangePlan,
+    InProcessExchange,
+    SharedMemoryExchange,
+    superstep_schedule,
+)
+from repro.cluster.shard import BoardEngine, ShardResult
 from repro.compile import MappingPipeline
 from repro.compile.context import BoardContext
 from repro.core.machine import SpiNNakerMachine
@@ -41,7 +60,36 @@ from repro.neuron.network import Network
 from repro.router.fabric import TransportFabric
 from repro.runtime.application import ApplicationResult
 
-__all__ = ["ClusterApplication", "ClusterReport"]
+__all__ = ["ClusterApplication", "ClusterReport", "ClusterWorkerError"]
+
+#: Set (to anything but ``0``/empty) to enable the per-stage worker
+#: timers without touching code — the env-flag gate keeps four
+#: ``perf_counter`` pairs out of the tick loop on production runs.
+PROFILE_ENV = "REPRO_CLUSTER_PROFILE"
+
+#: The per-worker wall-clock decomposition the profiler reports:
+#: stepping neurons + local delivery / packing outbound batches into
+#: shared memory / draining + applying inbound regions / blocked waiting
+#: for the next barrier command.
+STAGES = ("compute", "serialize", "exchange", "barrier_wait")
+
+
+class ClusterWorkerError(RuntimeError):
+    """A pool worker died mid-run (crash, kill, ``os._exit``...).
+
+    Carries which worker it was, the boards it owned and the process
+    exit code, so a crashed shard is a diagnosis instead of a bare
+    ``EOFError`` from a pipe (or a silent hang).
+    """
+
+    def __init__(self, worker: int, boards: Sequence[int],
+                 exitcode: Optional[int]) -> None:
+        self.worker = worker
+        self.boards = tuple(boards)
+        self.exitcode = exitcode
+        super().__init__(
+            "cluster worker %d (boards %s) died with exit code %s before "
+            "completing the run" % (worker, list(self.boards), exitcode))
 
 
 @dataclass
@@ -52,20 +100,39 @@ class ClusterReport:
     workers: int
     n_ticks: int
     wall_s: float = 0.0
-    #: Seconds each board's engine spent computing.
+    #: Ticks per super-step this run used (``1 + d_min`` unless capped).
+    lookahead: int = 1
+    #: Minimum cross-board synaptic delay (``0``: no synapse crosses a
+    #: board boundary, so lookahead was unconstrained).
+    d_min: int = 0
+    #: Barriers taken (``ceil(n_ticks / lookahead)``).
+    supersteps: int = 0
+    #: Seconds each board's engine spent computing (stepping + local
+    #: same-board delivery; exchange work is profiled separately).
     board_compute_s: Dict[int, float] = field(default_factory=dict)
     #: Board -> worker assignment used by the run.
     assignment: Dict[int, int] = field(default_factory=dict)
-    #: (key batch, destination board) deliveries exchanged at barriers.
+    #: Cross-board batch copies / spikes that went through the exchange
+    #: (same-board traffic is delivered worker-locally and not counted).
     exchanged_batches: int = 0
     exchanged_spikes: int = 0
-    #: Of those, deliveries whose destination board differs from the
-    #: source board (the traffic that crosses board cables).
+    #: Synonyms of the exchanged figures, kept because the exchange now
+    #: carries exactly the traffic that crosses board cables.
     cross_board_batches: int = 0
     cross_board_spikes: int = 0
     #: Board-to-board link traversals replayed through the transport
     #: fabric (``account_transport=True`` only).
     inter_board_traversals: int = 0
+    #: Per-worker stage seconds (:data:`STAGES`), filled when profiling
+    #: is enabled (``profile=True`` or :data:`PROFILE_ENV`).  The serial
+    #: path reports itself as worker ``0``.
+    worker_stages: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Parent-side seconds spent scanning regions for the report's
+    #: traffic counters and the fabric replay.
+    parent_exchange_s: float = 0.0
+    #: Size of the shared-memory segment backing the exchange (pool
+    #: runs only; the serial path exchanges in-process).
+    exchange_segment_bytes: int = 0
 
     @property
     def total_compute_s(self) -> float:
@@ -90,46 +157,117 @@ class ClusterReport:
 
         What a perfectly-overlapped pool of this run's worker count
         could gain over one worker, given how evenly the boards'
-        compute divided; barrier and IPC overheads push the measured
-        wall-clock speedup below this.
+        compute divided; barrier and exchange overheads push the
+        measured wall-clock speedup below this.
         """
         critical = self.critical_path_s
         if critical <= 0.0:
             return 1.0
         return self.total_compute_s / critical
 
+    def stage_total(self, stage: str) -> float:
+        """One stage's seconds summed over every profiled worker."""
+        return sum(stages.get(stage, 0.0)
+                   for stages in self.worker_stages.values())
 
-def _assign_boards(boards: List[int], workers: int) -> Dict[int, int]:
-    """Round-robin boards over workers (canonical board order)."""
-    return {board: index % workers for index, board in enumerate(boards)}
+
+def _assign_boards(boards: List[int], workers: int,
+                   weights: Optional[Dict[int, int]] = None,
+                   strategy: str = "lpt") -> Dict[int, int]:
+    """Assign boards to workers.
+
+    ``lpt`` (the default) is greedy longest-processing-time: boards are
+    taken heaviest-first (weight = placed-vertex count) and each lands
+    on the least-loaded worker, which raises the load-balance
+    ``speedup_bound`` on skewed placements.  ``round-robin`` keeps the
+    PR 5 behaviour and stays reachable for the determinism tests.  Both
+    are fully deterministic (ties break on lowest board id / lowest
+    worker index).
+    """
+    if strategy == "round-robin":
+        return {board: index % workers
+                for index, board in enumerate(boards)}
+    if strategy != "lpt":
+        raise ValueError("unknown assignment strategy %r" % (strategy,))
+    weights = weights or {}
+    loads = [0.0] * workers
+    assignment: Dict[int, int] = {}
+    for board in sorted(boards, key=lambda b: (-weights.get(b, 1), b)):
+        worker = min(range(workers), key=lambda w: (loads[w], w))
+        assignment[board] = worker
+        loads[worker] += weights.get(board, 1)
+    return {board: assignment[board] for board in boards}
+
+
+def _apply_inbound(engines: Dict[int, BoardEngine], my_boards: List[int],
+                   exchange, bank: int) -> None:
+    """Drain a bank's inbound regions into the owned engines.
+
+    Destination boards and their source regions are visited in
+    canonical order — the same order whatever the worker count.
+    """
+    plan = exchange.plan
+    for dst in my_boards:
+        engine = engines[dst]
+        for src, _ in plan.inbound_pairs(dst):
+            engine.apply_remote(exchange.read(src, dst, bank))
 
 
 def _shard_worker(conn, contexts: Dict[int, BoardContext], populations,
-                  seed: Optional[int], timestep_ms: float) -> None:
-    """Worker-process loop: step owned boards, swap batches at barriers."""
-    engines = {board: BoardEngine(context, populations, seed, timestep_ms)
+                  seed: Optional[int], timestep_ms: float,
+                  plan: ExchangePlan, exchange: SharedMemoryExchange,
+                  profile: bool) -> None:
+    """Worker-process loop: run super-steps, exchanging through shared
+    memory; the pipe carries only barrier commands and acks."""
+    engines = {board: BoardEngine(context, populations, seed, timestep_ms,
+                                  export_keys=plan.export_keys[board])
                for board, context in sorted(contexts.items())}
+    my_boards = sorted(contexts)
+    stages = dict.fromkeys(STAGES, 0.0)
+    clock = time.perf_counter
     try:
         while True:
-            message = conn.recv()
+            if profile:
+                waited = clock()
+                message = conn.recv()
+                stages["barrier_wait"] += clock() - waited
+            else:
+                message = conn.recv()
             kind = message[0]
-            if kind == "tick":
-                _, tick, inbound_by_board = message
-                outbound: Dict[int, List[SpikeBatch]] = {}
-                for board, engine in engines.items():
-                    batches = engine.step(tick, inbound_by_board.get(board))
-                    if batches:
-                        outbound[board] = batches
-                conn.send(outbound)
-            elif kind == "apply":
-                _, inbound_by_board = message
-                for board, batches in inbound_by_board.items():
-                    engines[board].apply(batches)
-                conn.send(None)
+            if kind == "superstep":
+                _, start, length, bank, inbound_bank = message
+                if inbound_bank is not None:
+                    began = clock() if profile else 0.0
+                    _apply_inbound(engines, my_boards, exchange,
+                                   inbound_bank)
+                    if profile:
+                        stages["exchange"] += clock() - began
+                exchange.begin(bank, my_boards)
+                for tick in range(start, start + length):
+                    for board in my_boards:
+                        exported = engines[board].step(tick)
+                        if exported:
+                            began = clock() if profile else 0.0
+                            exchange.write_board_batches(board, bank, tick,
+                                                         exported)
+                            if profile:
+                                stages["serialize"] += clock() - began
+                conn.send(("ok",))
+            elif kind == "drain":
+                _, inbound_bank = message
+                began = clock() if profile else 0.0
+                _apply_inbound(engines, my_boards, exchange, inbound_bank)
+                if profile:
+                    stages["exchange"] += clock() - began
+                conn.send(("ok",))
             elif kind == "finish":
                 _, duration_ms = message
-                conn.send({board: engine.finish(duration_ms)
-                           for board, engine in engines.items()})
+                results = {board: engine.finish(duration_ms)
+                           for board, engine in engines.items()}
+                if profile:
+                    stages["compute"] = sum(engine.compute_s
+                                            for engine in engines.values())
+                conn.send((results, stages if profile else None))
                 return
             else:  # pragma: no cover - protocol misuse
                 raise ValueError("unknown worker message %r" % (kind,))
@@ -145,9 +283,16 @@ class ClusterApplication:
                  max_neurons_per_core: int = 256,
                  placement_strategy: str = "locality",
                  workers: int = 1,
-                 account_transport: bool = False) -> None:
+                 account_transport: bool = False,
+                 lookahead: Optional[int] = None,
+                 assignment: str = "lpt",
+                 profile: Optional[bool] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if lookahead is not None and lookahead < 1:
+            raise ValueError("lookahead must be at least 1")
+        if assignment not in ("lpt", "round-robin"):
+            raise ValueError("unknown assignment strategy %r" % (assignment,))
         self.machine = machine
         self.network = network
         self.timestep_ms = network.timestep_ms
@@ -157,15 +302,25 @@ class ClusterApplication:
         self.placement_strategy = placement_strategy
         self.workers = workers
         self.account_transport = account_transport
+        #: ``None``: run at the deepest safe lookahead (``1 + d_min``);
+        #: an explicit depth is clamped to that bound.
+        self.lookahead = lookahead
+        self.assignment = assignment
+        self.profile = (os.environ.get(PROFILE_ENV, "") not in ("", "0")
+                        if profile is None else bool(profile))
 
         self.pipeline: Optional[MappingPipeline] = None
         self.board_contexts: Dict[int, BoardContext] = {}
-        #: key -> destination boards, in board order.
-        self._key_destinations: Dict[int, tuple] = {}
+        #: (source board, destination board) -> minimum cross-board
+        #: synaptic delay, from the ShardByBoard pass.
+        self.board_pair_min_delay: Dict[Tuple[int, int], int] = {}
         self.fabric: Optional[TransportFabric] = None
         self.result: Optional[ApplicationResult] = None
         self.report: Optional[ClusterReport] = None
         self.unmatched_packets = 0
+        #: Shared-memory segment names of the most recent pool run —
+        #: all unlinked by the time :meth:`run` returns (leak check).
+        self.last_exchange_segments: List[str] = []
         self._prepared = False
 
     # ------------------------------------------------------------------
@@ -184,11 +339,7 @@ class ClusterApplication:
             shard_by_board=True)
         ctx = self.pipeline.run()
         self.board_contexts = dict(sorted(ctx.board_contexts.items()))
-        self._key_destinations = {}
-        for board, context in self.board_contexts.items():
-            for key in context.deliveries:
-                existing = self._key_destinations.get(key, ())
-                self._key_destinations[key] = existing + (board,)
+        self.board_pair_min_delay = dict(ctx.board_pair_min_delay)
         if self.account_transport:
             self.fabric = TransportFabric(self.machine)
             self.fabric.adopt(ctx.route_programs)
@@ -204,42 +355,18 @@ class ClusterApplication:
                 for population in self.network.populations}
 
     # ------------------------------------------------------------------
-    # Batch routing (the tick barrier's exchange step)
-    # ------------------------------------------------------------------
-    def _route(self, outbound_by_board: Dict[int, List[SpikeBatch]],
-               report: ClusterReport) -> Dict[int, List[SpikeBatch]]:
-        """Route one tick's outbound batches to their destination boards.
-
-        Iterates source boards in canonical order, so every destination
-        board's inbound list is deterministic whatever worker produced
-        the batches.
-        """
-        inbound: Dict[int, List[SpikeBatch]] = {}
-        for board in sorted(outbound_by_board):
-            for key, spiking in outbound_by_board[board]:
-                n = int(spiking.size)
-                if self.fabric is not None:
-                    program = self.fabric.program_for(key)
-                    if program is not None:
-                        self.fabric.account_batch(program, n)
-                for destination in self._key_destinations.get(key, ()):
-                    inbound.setdefault(destination, []).append((key, spiking))
-                    report.exchanged_batches += 1
-                    report.exchanged_spikes += n
-                    if destination != board:
-                        report.cross_board_batches += 1
-                        report.cross_board_spikes += n
-        return inbound
-
-    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, duration_ms: float,
-            workers: Optional[int] = None) -> ApplicationResult:
+    def run(self, duration_ms: float, workers: Optional[int] = None,
+            lookahead: Optional[int] = None) -> ApplicationResult:
         """Run for ``duration_ms`` of biological time; return the merged
-        result (also kept on :attr:`result`, statistics on :attr:`report`)."""
+        result (also kept on :attr:`result`, statistics on
+        :attr:`report`).  ``workers`` and ``lookahead`` override the
+        constructor's values for this run only."""
         if duration_ms < 0:
             raise ValueError("duration must be non-negative")
+        if lookahead is not None and lookahead < 1:
+            raise ValueError("lookahead must be at least 1")
         self.prepare()
         n_ticks = int(round(duration_ms / self.timestep_ms))
         effective = workers if workers is not None else self.workers
@@ -247,18 +374,29 @@ class ClusterApplication:
             raise ValueError("workers must be at least 1")
         boards = sorted(self.board_contexts)
         effective = max(1, min(effective, len(boards))) if boards else 1
-        report = ClusterReport(n_boards=len(boards), workers=effective,
-                               n_ticks=n_ticks,
-                               assignment=_assign_boards(boards, effective))
+        plan = ExchangePlan.build(
+            self.board_contexts, self.board_pair_min_delay,
+            lookahead=lookahead if lookahead is not None else self.lookahead,
+            account_transport=self.account_transport)
+        weights = {board: self.board_contexts[board].n_cores
+                   for board in boards}
+        report = ClusterReport(
+            n_boards=len(boards), workers=effective, n_ticks=n_ticks,
+            lookahead=plan.lookahead, d_min=plan.d_min or 0,
+            supersteps=len(superstep_schedule(n_ticks, plan.lookahead)),
+            assignment=_assign_boards(boards, effective, weights,
+                                      self.assignment))
         # The fabric's counters are cumulative over the application's
         # lifetime; the report carries this run's delta.
         traversals_before = (self.fabric.inter_board_traversals
                              if self.fabric is not None else 0)
         began = time.perf_counter()
         if effective == 1:
-            shard_results = self._run_serial(n_ticks, duration_ms, report)
+            shard_results = self._run_serial(n_ticks, duration_ms, report,
+                                             plan)
         else:
-            shard_results = self._run_pool(n_ticks, duration_ms, report)
+            shard_results = self._run_pool(n_ticks, duration_ms, report,
+                                           plan)
         report.wall_s = time.perf_counter() - began
         if self.fabric is not None:
             report.inter_board_traversals = (
@@ -273,72 +411,149 @@ class ClusterApplication:
         self.report = report
         return self.result
 
+    # ------------------------------------------------------------------
+    # Accounting (the only per-batch work left on the parent)
+    # ------------------------------------------------------------------
+    def _account_bank(self, exchange, bank: int, plan: ExchangePlan,
+                      report: ClusterReport) -> None:
+        """Scan one bank for the traffic counters and fabric replay.
+
+        Reads only batch headers (key + count; payloads are skipped), so
+        the parent's cost per super-step is proportional to the batch
+        count, not the spike count.  Each outbound batch is replayed
+        exactly once: cross-board batches from their first destination's
+        region, local-only batches from their count-only stub record.
+        """
+        began = time.perf_counter()
+        fabric = self.fabric
+        first_cross = plan.first_cross_destination
+        for src in plan.boards:
+            for dst in plan.boards:
+                if (src, dst) not in plan.region_capacity:
+                    continue
+                for key, count in exchange.read_counts(src, dst, bank):
+                    if dst != src:
+                        report.exchanged_batches += 1
+                        report.exchanged_spikes += count
+                        report.cross_board_batches += 1
+                        report.cross_board_spikes += count
+                    if fabric is not None and (
+                            dst == src or dst == first_cross.get(key)):
+                        program = fabric.program_for(key)
+                        if program is not None:
+                            fabric.account_batch(program, count)
+        report.parent_exchange_s += time.perf_counter() - began
+
+    # ------------------------------------------------------------------
+    # Serial path (workers=1: same super-step schedule, no processes)
+    # ------------------------------------------------------------------
     def _run_serial(self, n_ticks: int, duration_ms: float,
-                    report: ClusterReport) -> List[ShardResult]:
+                    report: ClusterReport,
+                    plan: ExchangePlan) -> List[ShardResult]:
         populations = self._populations()
         engines = {board: BoardEngine(context, populations, self.seed,
-                                      self.timestep_ms)
+                                      self.timestep_ms,
+                                      export_keys=plan.export_keys[board])
                    for board, context in self.board_contexts.items()}
-        inbound: Dict[int, List[SpikeBatch]] = {}
-        for tick in range(n_ticks):
-            outbound: Dict[int, List[SpikeBatch]] = {}
-            for board, engine in engines.items():
-                batches = engine.step(tick, inbound.get(board))
-                if batches:
-                    outbound[board] = batches
-            inbound = self._route(outbound, report)
-        # The final tick's batches still land in the ring buffers (the
-        # on-machine run drains in-flight deliveries after halting).
-        for board, batches in inbound.items():
-            engines[board].apply(batches)
-        return [engine.finish(duration_ms) for engine in engines.values()]
+        my_boards = sorted(engines)
+        exchange = InProcessExchange(plan)
+        profile = self.profile
+        stages = dict.fromkeys(STAGES, 0.0)
+        clock = time.perf_counter
+        prev_bank = None
+        for index, (start, length) in enumerate(
+                superstep_schedule(n_ticks, plan.lookahead)):
+            bank = index % 2
+            if prev_bank is not None:
+                began = clock() if profile else 0.0
+                _apply_inbound(engines, my_boards, exchange, prev_bank)
+                if profile:
+                    stages["exchange"] += clock() - began
+            exchange.begin(bank, my_boards)
+            for tick in range(start, start + length):
+                for board in my_boards:
+                    exported = engines[board].step(tick)
+                    if exported:
+                        began = clock() if profile else 0.0
+                        exchange.write_board_batches(board, bank, tick,
+                                                     exported)
+                        if profile:
+                            stages["serialize"] += clock() - began
+            self._account_bank(exchange, bank, plan, report)
+            prev_bank = bank
+        # The final super-step's batches still land in the ring buffers
+        # (the on-machine run drains in-flight deliveries after halting).
+        if prev_bank is not None:
+            _apply_inbound(engines, my_boards, exchange, prev_bank)
+        if profile:
+            stages["compute"] = sum(engine.compute_s
+                                    for engine in engines.values())
+            report.worker_stages[0] = stages
+        return [engines[board].finish(duration_ms) for board in my_boards]
 
+    # ------------------------------------------------------------------
+    # Pool path
+    # ------------------------------------------------------------------
     def _run_pool(self, n_ticks: int, duration_ms: float,
-                  report: ClusterReport) -> List[ShardResult]:
+                  report: ClusterReport,
+                  plan: ExchangePlan) -> List[ShardResult]:
         populations = self._populations()
         try:
-            context = multiprocessing.get_context("fork")
+            mp_context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context()
+            mp_context = multiprocessing.get_context()
         by_worker: Dict[int, Dict[int, BoardContext]] = {}
         for board, worker in report.assignment.items():
             by_worker.setdefault(worker, {})[board] = (
                 self.board_contexts[board])
-        connections = []
-        processes = []
+        worker_boards = {worker: sorted(owned)
+                         for worker, owned in by_worker.items()}
+        exchange = SharedMemoryExchange(plan)
+        self.last_exchange_segments = [exchange.name]
+        report.exchange_segment_bytes = 4 * plan.total_words
+        connections: List = []
+        processes: List = []
         try:
             for worker in sorted(by_worker):
-                parent_end, child_end = context.Pipe()
-                process = context.Process(
+                parent_end, child_end = mp_context.Pipe()
+                process = mp_context.Process(
                     target=_shard_worker,
                     args=(child_end, by_worker[worker], populations,
-                          self.seed, self.timestep_ms),
+                          self.seed, self.timestep_ms, plan, exchange,
+                          self.profile),
                     daemon=True)
                 process.start()
                 child_end.close()
                 connections.append(parent_end)
                 processes.append(process)
-            inbound: Dict[int, List[SpikeBatch]] = {}
-            for tick in range(n_ticks):
-                for worker, connection in enumerate(connections):
-                    connection.send(("tick", tick, {
-                        board: inbound[board]
-                        for board in by_worker[worker] if board in inbound}))
-                outbound: Dict[int, List[SpikeBatch]] = {}
-                for connection in connections:
-                    outbound.update(connection.recv())
-                inbound = self._route(outbound, report)
-            for worker, connection in enumerate(connections):
-                final = {board: inbound[board]
-                         for board in by_worker[worker] if board in inbound}
-                connection.send(("apply", final))
-            for connection in connections:
-                connection.recv()
-            for connection in connections:
-                connection.send(("finish", duration_ms))
+            prev_bank = None
+            for index, (start, length) in enumerate(
+                    superstep_schedule(n_ticks, plan.lookahead)):
+                bank = index % 2
+                self._broadcast(connections, processes, worker_boards,
+                                ("superstep", start, length, bank,
+                                 prev_bank))
+                # Account the previous bank while the workers overlap it
+                # as *their* inbound read — both only read it, and the
+                # bank is not recycled before the next barrier.
+                if prev_bank is not None:
+                    self._account_bank(exchange, prev_bank, plan, report)
+                self._collect_acks(connections, processes, worker_boards)
+                prev_bank = bank
+            if prev_bank is not None:
+                self._account_bank(exchange, prev_bank, plan, report)
+                self._broadcast(connections, processes, worker_boards,
+                                ("drain", prev_bank))
+                self._collect_acks(connections, processes, worker_boards)
+            self._broadcast(connections, processes, worker_boards,
+                            ("finish", duration_ms))
             shard_results: Dict[int, ShardResult] = {}
-            for connection in connections:
-                shard_results.update(connection.recv())
+            for worker in range(len(connections)):
+                results, stages = self._recv_checked(
+                    worker, connections, processes, worker_boards)
+                shard_results.update(results)
+                if stages is not None:
+                    report.worker_stages[worker] = stages
             return [shard_results[board] for board in sorted(shard_results)]
         finally:
             for connection in connections:
@@ -347,3 +562,58 @@ class ClusterApplication:
                 process.join(timeout=10.0)
                 if process.is_alive():  # pragma: no cover - hung worker
                     process.terminate()
+                    process.join(timeout=5.0)
+            # Unlink on every exit path — a crashed worker must not
+            # leave the segment behind in /dev/shm.
+            exchange.close()
+            exchange.unlink()
+
+    def _broadcast(self, connections, processes, worker_boards,
+                   message) -> None:
+        for worker, connection in enumerate(connections):
+            try:
+                connection.send(message)
+            except (BrokenPipeError, OSError):
+                self._fail_pool(worker, processes, worker_boards)
+
+    def _collect_acks(self, connections, processes, worker_boards) -> None:
+        for worker in range(len(connections)):
+            self._recv_checked(worker, connections, processes,
+                               worker_boards)
+
+    def _recv_checked(self, worker: int, connections, processes,
+                      worker_boards):
+        """Receive one message, detecting a dead worker instead of
+        surfacing a bare ``EOFError`` or hanging forever."""
+        connection = connections[worker]
+        process = processes[worker]
+        # A dying peer surfaces as EOF or, when it still held unread
+        # data, as a connection reset — both mean "worker died".
+        dead = (EOFError, ConnectionResetError)
+        while True:
+            ready = connection_wait([connection, process.sentinel])
+            if connection in ready:
+                try:
+                    return connection.recv()
+                except dead:
+                    break
+            if not process.is_alive():
+                # The process died; a final message may still have
+                # raced into the pipe ahead of the EOF.
+                if connection.poll(0):
+                    try:
+                        return connection.recv()
+                    except dead:
+                        break
+                break
+        self._fail_pool(worker, processes, worker_boards)
+
+    def _fail_pool(self, worker: int, processes, worker_boards) -> None:
+        process = processes[worker]
+        process.join(timeout=5.0)
+        exitcode = process.exitcode
+        for other in processes:
+            if other.is_alive():
+                other.terminate()
+        raise ClusterWorkerError(worker, worker_boards.get(worker, ()),
+                                 exitcode)

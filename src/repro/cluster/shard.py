@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -96,10 +96,19 @@ class BoardEngine:
 
     def __init__(self, context: BoardContext,
                  populations: Dict[str, Population],
-                 seed: Optional[int], timestep_ms: float) -> None:
+                 seed: Optional[int], timestep_ms: float,
+                 export_keys: Optional[Set[int]] = None) -> None:
         self.context = context
         self.board = context.board
         self.timestep_ms = timestep_ms
+        #: Keys whose spiking indices :meth:`step` must hand back for
+        #: the exchange.  When given, the engine also delivers its own
+        #: board's legs *locally* at the end of each tick (worker-side
+        #: routing: same-board traffic never leaves the process); when
+        #: ``None`` the engine keeps the legacy route-everything
+        #: behaviour and exports every outgoing key.
+        self.export_keys = export_keys
+        self.local_delivery = export_keys is not None
         self.cores = [
             _ShardCoreState(spec, populations[spec.vertex.population_label],
                             timestep_ms, seed)
@@ -144,6 +153,39 @@ class BoardEngine:
                         csr.weights[slots].sum())
         self.compute_s += time.perf_counter() - began
 
+    def apply_remote(self,
+                     batches: Iterable[Tuple[int, int, np.ndarray]]) -> None:
+        """Scatter exchanged cross-board batches at a super-step barrier.
+
+        Each batch carries its *send tick*: under conservative lookahead
+        the barrier may be up to ``L - 1`` ticks later than the per-tick
+        exchange would have been, so every event's programmable delay is
+        re-based by the batch's age (``delay - age``; the lookahead
+        bound ``L <= 1 + d_min`` guarantees this never goes negative).
+        Timing of this path is accounted by the caller as exchange work,
+        not board compute — it is the cost of the data path, not of the
+        neuron model.
+        """
+        deliveries = self.context.deliveries
+        result = self.result
+        current = self.ticks_run
+        for key, send_tick, spiking in batches:
+            age = current - 1 - send_tick
+            for core_index, csr in deliveries.get(key, ()):
+                if csr is None:
+                    self.unmatched_packets += int(spiking.size)
+                    continue
+                core = self.cores[core_index]
+                slots = csr.synapse_slots(spiking)
+                if slots.size:
+                    core.buffer.add_events_aged(csr.targets[slots],
+                                                csr.weights[slots],
+                                                csr.delay_ticks[slots],
+                                                age)
+                    result.synaptic_events += int(slots.size)
+                    result.delivered_charge_na += float(
+                        csr.weights[slots].sum())
+
     # ------------------------------------------------------------------
     # One tick (the millisecond-timer half of Figure 7)
     # ------------------------------------------------------------------
@@ -156,6 +198,8 @@ class BoardEngine:
         began = time.perf_counter()
         time_ms = tick * self.timestep_ms
         outbound: List[SpikeBatch] = []
+        local: List[SpikeBatch] = []
+        deliveries = self.context.deliveries
         result = self.result
         for core in self.cores:
             spec = core.spec
@@ -176,9 +220,21 @@ class BoardEngine:
                     (time_ms, int(index)) for index in global_indices)
             if spec.has_outgoing:
                 result.packets_sent += int(spiking.size)
-                outbound.append((spec.base_key, spiking))
+                if self.local_delivery:
+                    if spec.base_key in deliveries:
+                        local.append((spec.base_key, spiking))
+                    if spec.base_key in self.export_keys:
+                        outbound.append((spec.base_key, spiking))
+                else:
+                    outbound.append((spec.base_key, spiking))
         self.compute_s += time.perf_counter() - began
         self.ticks_run = tick + 1
+        # Same-board legs are delivered after every core has drained
+        # tick ``t`` (all ring buffers now sit at ``t + 1``), which is
+        # exactly when the old parent-routed path applied them — but
+        # without the batch ever leaving this process.
+        if local:
+            self.apply(local)
         return outbound
 
     def _source_spikes(self, core: _ShardCoreState, tick: int) -> np.ndarray:

@@ -163,6 +163,11 @@ class BoardContext:
         """Number of placed vertices on this board."""
         return len(self.cores)
 
+    @property
+    def placed_vertices(self) -> int:
+        """Alias of :attr:`n_cores` — the LPT assignment weight."""
+        return len(self.cores)
+
 
 @dataclass
 class MappingContext:
@@ -212,6 +217,15 @@ class MappingContext:
     routing_summary: RoutingSummary = field(default_factory=RoutingSummary)
     #: Per-board sub-contexts (ShardByBoard pass; empty when disabled).
     board_contexts: Dict[int, BoardContext] = field(default_factory=dict)
+    #: Minimum synaptic delay (ticks) of every *cross-board* delivery,
+    #: per ``(source board, destination board)`` pair — decoded from the
+    #: shard delivery blocks by the ShardByBoard pass.  This is the
+    #: conservative-lookahead budget of the cluster runner: a spike
+    #: emitted at tick ``t`` cannot influence another board before tick
+    #: ``t + 1 + d_min``, so boards may run ``1 + d_min`` ticks between
+    #: exchange barriers (classic conservative PDES).
+    board_pair_min_delay: Dict[Tuple[int, int], int] = field(
+        default_factory=dict)
 
     # ------------------------------------------------------------------
     # Version counters (bumped only when a pass's output actually
@@ -256,6 +270,16 @@ class MappingContext:
         if self._network_fp is None:
             self._network_fp = network_fingerprint(self.network)
         return self._network_fp
+
+    def min_inter_board_delay(self) -> Optional[int]:
+        """The global ``d_min`` over every cross-board delivery.
+
+        ``None`` when no synapse crosses a board boundary (the sharded
+        run then has no exchange-timing constraint at all).
+        """
+        if not self.board_pair_min_delay:
+            return None
+        return min(self.board_pair_min_delay.values())
 
     def begin_run(self) -> None:
         """Reset the per-run change-tracking state."""

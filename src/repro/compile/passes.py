@@ -529,6 +529,7 @@ class ShardByBoardPass(MappingPass):
 
     def run(self, ctx: MappingContext) -> None:
         ctx.board_contexts.clear()
+        ctx.board_pair_min_delay.clear()
         if not ctx.shard_by_board:
             ctx.last_scope[self.name] = "disabled"
             return
@@ -550,11 +551,15 @@ class ShardByBoardPass(MappingPass):
 
         # Delivery legs, from the routing records (vertex order keeps the
         # per-key lists deterministic across re-maps and worker counts).
+        # Cross-board legs additionally contribute their smallest decoded
+        # synaptic delay to the per-board-pair d_min — the lookahead
+        # budget the cluster runner's exchange schedule is derived from.
         n_deliveries = 0
         for vertex in ctx.placement.vertices:
             record = ctx.routes.get(vertex)
             if record is None:
                 continue
+            source_board = config.board_of(record.source_chip)
             for target, slot in record.target_slots.items():
                 board, core_index = local_index[slot]
                 csr = self._decode_block(ctx, slot, record.key,
@@ -562,6 +567,13 @@ class ShardByBoardPass(MappingPass):
                 ctx.board_contexts[board].deliveries.setdefault(
                     record.key, []).append((core_index, csr))
                 n_deliveries += 1
+                if (board != source_board and csr is not None
+                        and csr.delay_ticks.size):
+                    pair = (source_board, board)
+                    leg_min = int(csr.delay_ticks.min())
+                    known = ctx.board_pair_min_delay.get(pair)
+                    if known is None or leg_min < known:
+                        ctx.board_pair_min_delay[pair] = leg_min
         ctx.last_scope[self.name] = "%d boards, %d deliveries" % (
             len(ctx.board_contexts), n_deliveries)
 

@@ -233,6 +233,47 @@ class DeferredEventBuffer:
         if delay_ticks.min() < 1 or delay_ticks.max() > self.max_delay_ticks:
             raise ValueError("event delays outside 1..%d"
                              % (self.max_delay_ticks,))
+        self._scatter(targets, weights, delay_ticks)
+
+    def add_events_aged(self, targets: np.ndarray, weights: np.ndarray,
+                        delay_ticks: np.ndarray, age: int) -> None:
+        """Defer events whose *send* tick lies ``age`` ticks in the past.
+
+        The conservative-lookahead cluster exchange applies cross-board
+        batches at super-step barriers instead of every tick, so a batch
+        sent at tick ``t`` may only reach its destination ring when the
+        buffer has already advanced to tick ``t + 1 + age``.  The event's
+        programmable delay is re-based onto the buffer's current tick:
+        an effective delay of ``delay - age``, where ``0`` is legal and
+        means the event drains *this* tick (it arrived exactly at the
+        barrier).  Lookahead never exceeds ``1 + d_min`` ticks, so the
+        effective delay of a correctly exchanged batch is never
+        negative; a negative value here means the caller violated the
+        lookahead bound and is rejected before any mutation.
+        """
+        if age < 0:
+            raise ValueError("age must be non-negative, got %d" % (age,))
+        if age == 0:
+            self.add_events(targets, weights, delay_ticks)
+            return
+        targets = np.asarray(targets, dtype=np.intp)
+        delay_ticks = np.asarray(delay_ticks, dtype=np.intp)
+        weights = np.asarray(weights, dtype=float)
+        if targets.size == 0:
+            return
+        if targets.min() < 0 or targets.max() >= self.n_neurons:
+            raise IndexError("event targets outside population of %d neurons"
+                             % (self.n_neurons,))
+        effective = delay_ticks - age
+        if effective.min() < 0 or delay_ticks.max() > self.max_delay_ticks:
+            raise ValueError(
+                "aged event delays outside %d..%d (lookahead bound "
+                "violated)" % (age, self.max_delay_ticks))
+        self._scatter(targets, weights, effective)
+
+    def _scatter(self, targets: np.ndarray, weights: np.ndarray,
+                 delay_ticks: np.ndarray) -> None:
+        """Accumulate a validated batch at ``current + delay`` slots."""
         if targets.size <= 32:
             # Small batches (single DMA rows on the machine model) are
             # cheaper through a scalar accumulate than through the fixed

@@ -79,6 +79,29 @@ class TestCompareBench:
         assert compare_bench("e19", {"total_spikes": 5.0},
                              {"speedup_bound": 4.0}) == []
 
+    def test_per_metric_tolerance_overrides_the_gate_wide_one(self):
+        # e19's stage_overhead_ratio carries a loose per-metric
+        # tolerance (1.5): a 2x move passes where the gate-wide 25 %
+        # would have failed it...
+        deviations = compare_bench(
+            "e19", {"speedup_bound": 4.0, "stage_overhead_ratio": 0.2},
+            {"speedup_bound": 4.0, "stage_overhead_ratio": 0.4},
+            tolerance=0.25)
+        by_name = {d.metric: d for d in deviations}
+        assert by_name["stage_overhead_ratio"].status == OK
+        assert by_name["speedup_bound"].status == OK
+
+    def test_per_metric_tolerance_still_gates(self):
+        # ...but a 4x overhead blow-up regresses even the loose gate,
+        # and a tight metric still uses the gate-wide tolerance.
+        deviations = compare_bench(
+            "e19", {"speedup_bound": 4.0, "stage_overhead_ratio": 0.2},
+            {"speedup_bound": 2.0, "stage_overhead_ratio": 0.8},
+            tolerance=0.25)
+        by_name = {d.metric: d for d in deviations}
+        assert by_name["stage_overhead_ratio"].status == REGRESSED
+        assert by_name["speedup_bound"].status == REGRESSED
+
 
 class TestRunGateAndMain:
     def _seed(self, baseline_dir, current_dir, current_speedup):

@@ -8,11 +8,22 @@ accounting, board-aligned allocation and the merged-result semantics.
 
 from __future__ import annotations
 
+import os
+from multiprocessing import shared_memory
+
 import numpy as np
 import pytest
 
+import repro.cluster.application as cluster_application
 from repro.alloc.partition import MachinePartitioner
-from repro.cluster import BoardTopology, ClusterApplication
+from repro.cluster import (
+    BoardTopology,
+    ClusterApplication,
+    ClusterWorkerError,
+    ExchangePlan,
+    superstep_schedule,
+)
+from repro.cluster.application import _assign_boards
 from repro.compile import MappingPipeline
 from repro.core.geometry import ChipCoordinate, Direction
 from repro.core.machine import (
@@ -52,11 +63,51 @@ def chained_network(pairs: int = 4, neurons: int = 96) -> Network:
     return network
 
 
+def deep_delay_network(pairs: int = 4, neurons: int = 96) -> Network:
+    """The chained topology with every synaptic delay at least 4 ticks,
+    so the conservative lookahead opens to ``L = 1 + d_min >= 5`` and
+    exchanged batches arrive with ages well past 1."""
+    network = Network(seed=SEED)
+    excitatory = []
+    for pair in range(pairs):
+        stimulus = SpikeSourcePoisson(neurons, rate_hz=40.0,
+                                      label="d-stim-%d" % pair)
+        population = Population(neurons, "lif", label="d-exc-%d" % pair)
+        population.record(spikes=True)
+        network.connect(stimulus, population,
+                        FixedProbabilityConnector(0.3, weight=0.9,
+                                                  delay_range=(4, 9)))
+        excitatory.append(population)
+    for index, population in enumerate(excitatory):
+        network.connect(population,
+                        excitatory[(index + 1) % len(excitatory)],
+                        FixedProbabilityConnector(0.15, weight=0.5,
+                                                  delay_range=(4, 10)))
+    return network
+
+
 def small_cluster_machine() -> SpiNNakerMachine:
     machine = SpiNNakerMachine(MachineConfig.multi_board(
         2, 2, board_width=4, board_height=3, cores_per_chip=4))
     BootController(machine, seed=1).boot()
     return machine
+
+
+def sharded_app(workers: int, network: Network = None,
+                **kwargs) -> ClusterApplication:
+    return ClusterApplication(small_cluster_machine(),
+                              network if network is not None
+                              else chained_network(),
+                              seed=SEED, max_neurons_per_core=32,
+                              workers=workers, **kwargs)
+
+
+def assert_shm_unlinked(cluster: ClusterApplication) -> None:
+    """The run's shared-memory segments must all be gone by now."""
+    assert cluster.last_exchange_segments
+    for name in cluster.last_exchange_segments:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
 
 
 # ----------------------------------------------------------------------
@@ -270,9 +321,252 @@ class TestClusterApplication:
     def test_rejects_bad_arguments(self):
         with pytest.raises(ValueError):
             self._sharded(workers=0)
+        with pytest.raises(ValueError):
+            self._sharded(workers=1, lookahead=0)
+        with pytest.raises(ValueError):
+            self._sharded(workers=1, assignment="random")
         cluster = self._sharded(workers=1)
         with pytest.raises(ValueError):
             cluster.run(-1.0)
+        with pytest.raises(ValueError):
+            cluster.run(10.0, lookahead=0)
+
+
+# ----------------------------------------------------------------------
+# The exchange plan and super-step schedule
+# ----------------------------------------------------------------------
+class TestExchangePlan:
+    def test_superstep_schedule_covers_every_tick(self):
+        assert superstep_schedule(7, 3) == [(0, 3), (3, 3), (6, 1)]
+        assert superstep_schedule(4, 1) == [(0, 1), (1, 1), (2, 1), (3, 1)]
+        assert superstep_schedule(0, 4) == []
+        with pytest.raises(ValueError):
+            superstep_schedule(4, 0)
+
+    def _prepared(self) -> ClusterApplication:
+        cluster = sharded_app(workers=1)
+        cluster.prepare()
+        return cluster
+
+    def test_lookahead_defaults_to_the_conservative_bound(self):
+        cluster = self._prepared()
+        plan = ExchangePlan.build(cluster.board_contexts,
+                                  cluster.board_pair_min_delay)
+        assert plan.d_min is not None and plan.d_min >= 1
+        assert plan.max_lookahead == 1 + plan.d_min
+        assert plan.lookahead == plan.max_lookahead
+
+    def test_explicit_lookahead_is_clamped_to_the_bound(self):
+        cluster = self._prepared()
+        contexts = cluster.board_contexts
+        delays = cluster.board_pair_min_delay
+        clamped = ExchangePlan.build(contexts, delays, lookahead=99)
+        assert clamped.lookahead == clamped.max_lookahead
+        per_tick = ExchangePlan.build(contexts, delays, lookahead=1)
+        assert per_tick.lookahead == 1
+        with pytest.raises(ValueError):
+            ExchangePlan.build(contexts, delays, lookahead=0)
+
+    def test_routing_table_is_cross_board_only(self):
+        cluster = self._prepared()
+        plan = ExchangePlan.build(cluster.board_contexts,
+                                  cluster.board_pair_min_delay)
+        assert any(plan.remote_keys.values())
+        for board, keys in plan.remote_keys.items():
+            for key in keys:
+                destinations = plan.cross_destinations[key]
+                assert destinations
+                assert board not in destinations
+                assert plan.first_cross_destination[key] == destinations[0]
+        # Accounting stubs exist only when accounting is requested.
+        assert all(not keys for keys in plan.stub_keys.values())
+        accounted = ExchangePlan.build(cluster.board_contexts,
+                                       cluster.board_pair_min_delay,
+                                       account_transport=True)
+        for board in accounted.boards:
+            assert accounted.export_keys[board] == (
+                accounted.remote_keys[board] | accounted.stub_keys[board])
+
+    def test_region_capacity_scales_with_lookahead(self):
+        cluster = self._prepared()
+        contexts = cluster.board_contexts
+        delays = cluster.board_pair_min_delay
+        one = ExchangePlan.build(contexts, delays, lookahead=1)
+        two = ExchangePlan.build(contexts, delays, lookahead=2)
+        assert set(one.region_capacity) == set(two.region_capacity)
+        for pair, words in one.region_capacity.items():
+            assert two.region_capacity[pair] == 2 * words
+        assert two.total_words > one.total_words
+
+
+# ----------------------------------------------------------------------
+# Board -> worker assignment
+# ----------------------------------------------------------------------
+class TestBoardAssignment:
+    def test_round_robin_stays_reachable(self):
+        assert _assign_boards([0, 1, 2, 3], 2, strategy="round-robin") == {
+            0: 0, 1: 1, 2: 0, 3: 1}
+
+    def test_lpt_balances_skewed_weights(self):
+        weights = {0: 10, 1: 4, 2: 3, 3: 3}
+        assignment = _assign_boards([0, 1, 2, 3], 2, weights)
+        loads = {0: 0, 1: 0}
+        for board, worker in assignment.items():
+            loads[worker] += weights[board]
+        # Round-robin would split 13 / 7; LPT lands 10 / 10.
+        assert sorted(loads.values()) == [10, 10]
+
+    def test_lpt_is_deterministic_on_ties(self):
+        weights = {board: 1 for board in range(4)}
+        assert _assign_boards([0, 1, 2, 3], 2, weights) == {
+            0: 0, 1: 1, 2: 0, 3: 1}
+
+    def test_unknown_strategy_is_rejected(self):
+        with pytest.raises(ValueError):
+            _assign_boards([0, 1], 2, strategy="random")
+
+    def test_lpt_raises_the_speedup_bound_on_skew(self):
+        # Same skewed compute, two workers: the busiest-worker bound is
+        # strictly better under LPT than under round-robin.
+        compute = {0: 10.0, 1: 4.0, 2: 3.0, 3: 3.0}
+        weights = {board: int(seconds) for board, seconds
+                   in compute.items()}
+
+        def bound(assignment):
+            from repro.cluster import ClusterReport
+            report = ClusterReport(n_boards=4, workers=2, n_ticks=1,
+                                   board_compute_s=compute,
+                                   assignment=assignment)
+            return report.speedup_bound
+
+        lpt = bound(_assign_boards([0, 1, 2, 3], 2, weights))
+        round_robin = bound(_assign_boards([0, 1, 2, 3], 2,
+                                           strategy="round-robin"))
+        assert lpt > round_robin
+        assert lpt == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Conservative lookahead
+# ----------------------------------------------------------------------
+class TestLookahead:
+    def test_bit_identical_across_workers_and_lookahead(self):
+        reference = None
+        for workers in (1, 2, 4):
+            for lookahead in (1, None):
+                cluster = sharded_app(workers=workers, lookahead=lookahead)
+                result = cluster.run(40.0)
+                report = cluster.report
+                if lookahead == 1:
+                    assert report.lookahead == 1
+                    assert report.supersteps == report.n_ticks
+                else:
+                    assert report.lookahead == 1 + report.d_min
+                current = (result.spikes,
+                           {label: counts.tolist() for label, counts
+                            in result.spike_counts.items()},
+                           result.synaptic_events,
+                           result.delivered_charge_na)
+                if reference is None:
+                    reference = current
+                assert current == reference, (workers, lookahead)
+
+    def test_deep_delays_open_the_lookahead_window(self):
+        cluster = sharded_app(workers=2, network=deep_delay_network())
+        deep = cluster.run(60.0)
+        report = cluster.report
+        # Every synapse carries at least 4 ticks of delay, so batches
+        # arrive with ages up to L - 1 >= 4 and are re-based on apply.
+        assert report.d_min >= 4
+        assert report.lookahead == 1 + report.d_min
+        assert report.supersteps < report.n_ticks
+        per_tick_cluster = sharded_app(workers=2,
+                                       network=deep_delay_network())
+        per_tick = per_tick_cluster.run(60.0, lookahead=1)
+        assert per_tick_cluster.report.lookahead == 1
+        assert deep.spikes == per_tick.spikes
+        assert deep.synaptic_events == per_tick.synaptic_events
+        assert deep.delivered_charge_na == per_tick.delivered_charge_na
+
+    def test_run_override_beats_the_constructor(self):
+        cluster = sharded_app(workers=1, lookahead=1)
+        cluster.run(20.0, lookahead=2)
+        assert cluster.report.lookahead == 2
+
+
+# ----------------------------------------------------------------------
+# Worker failure and shared-memory hygiene
+# ----------------------------------------------------------------------
+class TestWorkerFailure:
+    def test_worker_death_raises_a_diagnosable_error(self, monkeypatch):
+        def _dying_worker(conn, contexts, *args, **kwargs):
+            os._exit(3)
+
+        monkeypatch.setattr(cluster_application, "_shard_worker",
+                            _dying_worker)
+        cluster = sharded_app(workers=2)
+        with pytest.raises(ClusterWorkerError) as excinfo:
+            cluster.run(20.0)
+        error = excinfo.value
+        assert error.exitcode == 3
+        assert error.boards
+        assert "exit code 3" in str(error)
+        assert str(list(error.boards)) in str(error)
+
+    def test_worker_death_still_unlinks_the_segment(self, monkeypatch):
+        def _dying_worker(conn, contexts, *args, **kwargs):
+            os._exit(1)
+
+        monkeypatch.setattr(cluster_application, "_shard_worker",
+                            _dying_worker)
+        cluster = sharded_app(workers=2)
+        with pytest.raises(ClusterWorkerError):
+            cluster.run(20.0)
+        assert_shm_unlinked(cluster)
+
+    def test_clean_run_leaves_no_segment_behind(self):
+        cluster = sharded_app(workers=2)
+        cluster.run(20.0)
+        assert_shm_unlinked(cluster)
+
+
+# ----------------------------------------------------------------------
+# Per-stage profiling
+# ----------------------------------------------------------------------
+class TestProfiling:
+    def test_off_by_default(self):
+        cluster = sharded_app(workers=1)
+        assert not cluster.profile
+        cluster.run(20.0)
+        assert cluster.report.worker_stages == {}
+
+    def test_env_flag_enables_it(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_PROFILE", "1")
+        assert sharded_app(workers=1).profile
+        monkeypatch.setenv("REPRO_CLUSTER_PROFILE", "0")
+        assert not sharded_app(workers=1).profile
+        # An explicit argument beats the environment.
+        assert sharded_app(workers=1, profile=True).profile
+
+    def test_stage_timers_cover_serial_and_pool(self):
+        serial = sharded_app(workers=1, profile=True)
+        serial.run(20.0)
+        assert set(serial.report.worker_stages) == {0}
+        stages = serial.report.worker_stages[0]
+        assert set(stages) == set(cluster_application.STAGES)
+        assert stages["compute"] > 0.0
+
+        pooled = sharded_app(workers=2, profile=True)
+        pooled.run(20.0)
+        report = pooled.report
+        assert set(report.worker_stages) == set(
+            report.assignment.values())
+        for stages in report.worker_stages.values():
+            assert set(stages) == set(cluster_application.STAGES)
+            assert stages["compute"] > 0.0
+        assert report.stage_total("compute") == pytest.approx(
+            sum(stages["compute"]
+                for stages in report.worker_stages.values()))
 
 
 # ----------------------------------------------------------------------

@@ -188,6 +188,52 @@ class TestDeferredEventBuffer:
         assert drained[0] == pytest.approx(WEIGHT_SATURATION_NA)
         assert drained[2] == pytest.approx(1.0)
 
+    def test_aged_events_land_in_the_original_arrival_slot(self):
+        # A batch applied 2 ticks after its send barrier (age 2) with a
+        # programmed delay of 5 must arrive 5 - 2 = 3 ticks from now —
+        # the same absolute tick a per-tick exchange would have hit.
+        aged = DeferredEventBuffer(3)
+        aged.drain(); aged.drain()                       # now at tick 2
+        aged.add_events_aged(np.array([1]), np.array([2.0]),
+                             np.array([5]), age=2)
+        reference = DeferredEventBuffer(3)
+        reference.add_events(np.array([1]), np.array([2.0]), np.array([5]))
+        for _ in range(2):
+            assert reference.drain().sum() == 0.0        # ticks 0 and 1
+        for _ in range(6):
+            assert np.array_equal(aged.drain(), reference.drain())
+
+    def test_age_zero_can_arrive_this_tick(self):
+        # Full lookahead makes effective delay 0 reachable: the event
+        # drains on the very next call, which plain add_events rejects.
+        buffer = DeferredEventBuffer(2)
+        buffer.add_events_aged(np.array([0]), np.array([1.5]),
+                               np.array([3]), age=3)
+        assert buffer.drain()[0] == pytest.approx(1.5)
+
+    def test_aged_events_are_validated(self):
+        buffer = DeferredEventBuffer(2)
+        with pytest.raises(ValueError):
+            buffer.add_events_aged(np.array([0]), np.array([1.0]),
+                                   np.array([1]), age=-1)
+        with pytest.raises(ValueError):
+            # age beyond the delay: the lookahead bound was violated.
+            buffer.add_events_aged(np.array([0]), np.array([1.0]),
+                                   np.array([2]), age=3)
+        with pytest.raises(ValueError):
+            buffer.add_events_aged(np.array([0]), np.array([1.0]),
+                                   np.array([MAX_DELAY_TICKS + 1]), age=1)
+        with pytest.raises(IndexError):
+            buffer.add_events_aged(np.array([5]), np.array([1.0]),
+                                   np.array([2]), age=1)
+
+    def test_age_zero_delegates_to_the_plain_path(self):
+        buffer = DeferredEventBuffer(2)
+        buffer.add_events_aged(np.array([1]), np.array([2.0]),
+                               np.array([1]), age=0)
+        buffer.drain()
+        assert buffer.drain()[1] == pytest.approx(2.0)
+
     def test_reset_clears_saturation_counter(self):
         buffer = DeferredEventBuffer(1)
         buffer.add_input(0, 2.0 * WEIGHT_SATURATION_NA, 1)
