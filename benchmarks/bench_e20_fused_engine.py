@@ -1,0 +1,179 @@
+"""E20 — Fused board engine: per-tick speedup at cluster scale.
+
+The per-core :class:`~repro.cluster.shard.BoardEngine` replays Figure 7
+with one Python-level loop iteration per core per tick; the fused
+:class:`~repro.cluster.fused.FusedBoardEngine` computes the same run
+with the per-core loops hoisted out of the tick path (stacked per-model
+state blocks, one shared deferred-event ring, one merged delivery
+scatter per batch list).  This benchmark pins the two claims that make
+the fused engine the runner's default:
+
+* **Bit-identity** — at the E19 cluster scale (a row of four production
+  8x6 boards, 96 vertices of 256 LIF neurons), the fused serial run
+  reproduces the per-core serial run bit for bit: spike trains, spike
+  counts, synaptic events, delivered charge and packet counters.
+* **Per-tick speedup** — the fused engine's serial per-tick compute
+  cost (the engines' own stage timers: step + local/remote scatters) is
+  at least ``MIN_FUSED_SPEEDUP`` times lower.  Compute seconds rather
+  than wall-clock carry the gate because they exclude one-time engine
+  construction and result materialisation, and each side takes its best
+  of ``ROUNDS`` rounds to shed scheduler jitter; the wall-clock ratio
+  is emitted unasserted alongside.
+
+A pooled fused run (4 workers) is also checked for bit-identity and its
+per-stage split emitted, so the split-barrier overlap (barrier-wait
+share of worker time) stays visible in the gated JSON.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.cluster import ClusterApplication
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.neuron.connectors import FixedProbabilityConnector
+from repro.neuron.network import Network
+from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.runtime.boot import BootController
+
+from .reporting import emit_json, print_metrics
+
+SEED = 19                      # the E19 workload, byte for byte
+BOARDS_X, BOARDS_Y = 4, 1
+BOARD_W, BOARD_H = 8, 6
+CORES_PER_CHIP = 4
+N_PAIRS = 8
+NEURONS = 1536
+NEURONS_PER_CORE = 256
+RATE_HZ = 120.0
+DURATION_MS = 80.0
+ROUNDS = 3                     # best-of-N per engine, jitter suppression
+WORKERS = 4
+MIN_FUSED_SPEEDUP = 3.0        # serial per-tick compute, asserted always
+
+
+def _build_network() -> Network:
+    network = Network(seed=SEED)
+    excitatory = []
+    for pair in range(N_PAIRS):
+        stimulus = SpikeSourcePoisson(NEURONS, rate_hz=RATE_HZ,
+                                      label="c-stim-%d" % pair)
+        population = Population(NEURONS, "lif", label="c-exc-%d" % pair)
+        population.record(spikes=True)
+        network.connect(stimulus, population,
+                        FixedProbabilityConnector(0.12, weight=0.35,
+                                                  delay_range=(1, 8)))
+        network.connect(population, population,
+                        FixedProbabilityConnector(0.05, weight=0.1,
+                                                  delay_range=(1, 16)))
+        excitatory.append(population)
+    for index, population in enumerate(excitatory):
+        network.connect(population,
+                        excitatory[(index + 1) % len(excitatory)],
+                        FixedProbabilityConnector(0.05, weight=0.12,
+                                                  delay_range=(1, 16)))
+    return network
+
+
+def _machine() -> SpiNNakerMachine:
+    machine = SpiNNakerMachine(MachineConfig.multi_board(
+        BOARDS_X, BOARDS_Y, board_width=BOARD_W, board_height=BOARD_H,
+        cores_per_chip=CORES_PER_CHIP))
+    BootController(machine, seed=1).boot()
+    return machine
+
+
+def _bit_identical(reference, candidate) -> bool:
+    if candidate.spikes != reference.spikes:
+        return False
+    for label in reference.spike_counts:
+        if not np.array_equal(reference.spike_counts[label],
+                              candidate.spike_counts[label]):
+            return False
+    return (candidate.synaptic_events == reference.synaptic_events
+            and candidate.delivered_charge_na
+            == reference.delivered_charge_na
+            and candidate.packets_sent == reference.packets_sent)
+
+
+def test_e20_fused_engine(benchmark):
+    network = _build_network()
+    apps = {
+        engine: ClusterApplication(
+            _machine(), network, seed=SEED,
+            max_neurons_per_core=NEURONS_PER_CORE,
+            placement_strategy="round-robin", profile=True, engine=engine)
+        for engine in ("percore", "fused")}
+    for app in apps.values():
+        app.prepare()          # compile outside the timed rounds
+
+    # ------------------------------------------------------------------
+    # Serial per-tick cost, best of ROUNDS per engine
+    # ------------------------------------------------------------------
+    compute_s = {"percore": [], "fused": []}
+    wall_s = {"percore": [], "fused": []}
+    results = {}
+    for round_index in range(ROUNDS):
+        for engine, app in apps.items():
+            if engine == "fused" and round_index == 0:
+                results[engine] = benchmark.pedantic(
+                    lambda: app.run(DURATION_MS, workers=1),
+                    rounds=1, iterations=1)
+            else:
+                results[engine] = app.run(DURATION_MS, workers=1)
+            compute_s[engine].append(
+                sum(app.report.board_compute_s.values()))
+            wall_s[engine].append(app.report.wall_s)
+
+    bit_identical = _bit_identical(results["percore"], results["fused"])
+    n_ticks = apps["fused"].report.n_ticks
+    best = {engine: min(times) for engine, times in compute_s.items()}
+    fused_speedup = best["percore"] / best["fused"]
+    wall_speedup = min(wall_s["percore"]) / min(wall_s["fused"])
+
+    # ------------------------------------------------------------------
+    # Pooled fused run: still bit-identical, barrier share visible
+    # ------------------------------------------------------------------
+    pooled = apps["fused"].run(DURATION_MS, workers=WORKERS)
+    pooled_report = apps["fused"].report
+    pooled_identical = _bit_identical(results["percore"], pooled)
+    stage_totals = {stage: pooled_report.stage_total(stage)
+                    for stage in ("compute", "serialize", "exchange",
+                                  "barrier_wait")}
+    stage_sum = sum(stage_totals.values())
+    barrier_share = (stage_totals["barrier_wait"] / stage_sum
+                     if stage_sum > 0 else 0.0)
+
+    metrics = {
+        "boards": apps["fused"].n_boards,
+        "vertices": sum(context.n_cores
+                        for context in apps["fused"].board_contexts.values()),
+        "ticks": n_ticks,
+        "rounds": ROUNDS,
+        "total_spikes": results["fused"].total_spikes(),
+        "synaptic_events": results["fused"].synaptic_events,
+        "percore_compute_s": best["percore"],
+        "fused_compute_s": best["fused"],
+        "percore_tick_ms": 1e3 * best["percore"] / n_ticks,
+        "fused_tick_ms": 1e3 * best["fused"] / n_ticks,
+        "fused_speedup": fused_speedup,
+        "wall_speedup": wall_speedup,
+        "bit_identical": bit_identical and pooled_identical,
+        "pool_workers": pooled_report.workers,
+        "pool_compute_s": stage_totals["compute"],
+        "pool_barrier_wait_s": stage_totals["barrier_wait"],
+        "pool_barrier_share": barrier_share,
+        "host_cpus": os.cpu_count() or 1,
+    }
+    print_metrics("E20: fused board engine (%d vertices, %d ticks)"
+                  % (int(metrics["vertices"]), n_ticks), metrics)
+    emit_json("e20", metrics)
+
+    # The whole point of the fused engine: same bits, several times
+    # cheaper per tick.  ``fused_speedup`` is recorded in the emitted
+    # JSON above, so the regression gate tracks the measured ratio.
+    assert bit_identical, "fused serial run diverged from per-core"
+    assert pooled_identical, "pooled fused run diverged from per-core"
+    assert fused_speedup >= MIN_FUSED_SPEEDUP

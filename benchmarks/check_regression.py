@@ -68,6 +68,12 @@ KEY_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
     "e19": (GatedMetric("speedup_bound"),
             GatedMetric("stage_overhead_ratio", higher_is_better=False,
                         tolerance=1.5)),
+    # e20 gates the fused engine's serial per-tick compute ratio over
+    # the per-core reference (jitter-suppressed best-of-rounds, so the
+    # default tolerance holds) and its bit-identity verdict, whose 1.0
+    # baseline means any divergence trips the gate outright.
+    "e20": (GatedMetric("fused_speedup"),
+            GatedMetric("bit_identical")),
     # a7 gates the service-quality ratios: every paced tenant completes
     # (completion_rate), nobody is starved (fairness_jain), and the
     # zero-baseline 5xx count means any internal error trips the gate.

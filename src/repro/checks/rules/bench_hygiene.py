@@ -10,6 +10,11 @@ both, so a regression in it lands silently.  This rule flags:
 * an ``emit_json`` whose literal bench id disagrees with the filename
   (the JSON would land under the wrong ``BENCH_<id>.json`` and the
   gate would report the real bench as MISSING);
+* a speedup assertion (``assert <something>speedup<something> >= ...``)
+  whose measured ratio is recorded under no metric key anywhere in the
+  module — the bench would hard-fail below the threshold but the
+  *measured* value would be invisible to the regression gate and the
+  trend artifact, so slow erosion towards the threshold lands silently;
 * a gated key in ``check_regression.py``'s ``KEY_METRICS`` whose
   checked-in baseline JSON is absent or lacks that metric — the gate
   would silently skip it, which reads as "protected" when it is not.
@@ -80,6 +85,55 @@ class BenchHygieneChecker(Checker):
                     "emit_json bench id %r disagrees with the filename "
                     "id %r — the JSON would land under the wrong "
                     "BENCH_<id>.json" % (literal, bench_id))
+        yield from self._check_speedup_asserts(ctx)
+
+    def _check_speedup_asserts(self, ctx: CheckContext) -> Iterable[Violation]:
+        """A bench gating on a speedup must also *record* it.
+
+        The metrics dict is often built in a variable before the
+        ``emit_json`` call, so every string dict key in the module
+        counts as recorded; the assert's measured name and a key relate
+        when either contains the other (e.g. an ``assert speedup >= N``
+        recorded under ``"remap_speedup"``).
+        """
+        keys = {key.value.lower()
+                for node in ast.walk(ctx.tree)
+                if isinstance(node, ast.Dict)
+                for key in node.keys
+                if isinstance(key, ast.Constant)
+                and isinstance(key.value, str)}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            test = node.test
+            if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+                continue
+            op = test.ops[0]
+            if isinstance(op, (ast.Gt, ast.GtE)):
+                measured = test.left
+            elif isinstance(op, (ast.Lt, ast.LtE)):
+                measured = test.comparators[0]
+            else:
+                continue
+            name = self._terminal_name(measured)
+            if name is None or "speedup" not in name.lower():
+                continue
+            lowered = name.lower()
+            if not any(lowered in key or key in lowered for key in keys):
+                yield ctx.violation(
+                    self.name, node,
+                    "asserts the speedup gate %r but records no related "
+                    "metric key — put the measured ratio in the emitted "
+                    "JSON so the regression gate tracks what this assert "
+                    "protects" % (name,))
+
+    @staticmethod
+    def _terminal_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
 
     @staticmethod
     def _literal_first_arg(call: ast.Call) -> Optional[str]:

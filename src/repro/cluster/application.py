@@ -13,10 +13,22 @@ execution is a conservative-lookahead PDES over the board graph (see
   serialised at all;
 * cross-board batches travel as packed ``uint32`` records through
   preallocated shared-memory regions, routed worker-side via the
-  ``key -> destination boards`` table — the parent sequences barriers
-  over tiny pipe messages and (with ``account_transport=True``) replays
-  the same shared regions through the transport fabric, but is never on
-  the per-spike data path.
+  ``key -> destination boards`` table — the parent joins a shared
+  *split barrier* per super-step and (with ``account_transport=True``)
+  replays the same shared regions through the transport fabric, but is
+  never on the per-spike data path;
+* the super-step schedule is shipped to the workers up front, so the
+  only synchronisation left is one ``multiprocessing.Barrier`` per
+  super-step: workers publish their batches, prefetch the next
+  super-step's stimulus while the slowest party catches up, and resume
+  compute the moment the barrier opens — the parent's accounting of the
+  previous bank overlaps the workers' compute instead of gating it;
+* boards are stepped by the **fused engine** by default
+  (:class:`~repro.cluster.fused.FusedBoardEngine`: per-model stacked
+  state blocks, one shared event ring, one scatter per batch list);
+  ``engine="percore"`` selects the reference per-core
+  :class:`~repro.cluster.shard.BoardEngine`, which computes the
+  bit-identical run one core at a time.
 
 Three properties the tests and benchmark E19 rely on:
 
@@ -41,6 +53,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
@@ -52,6 +65,7 @@ from repro.cluster.exchange import (
     SharedMemoryExchange,
     superstep_schedule,
 )
+from repro.cluster.fused import FusedBoardEngine
 from repro.cluster.shard import BoardEngine, ShardResult
 from repro.compile import MappingPipeline
 from repro.compile.context import BoardContext
@@ -72,6 +86,10 @@ PROFILE_ENV = "REPRO_CLUSTER_PROFILE"
 #: shared memory / draining + applying inbound regions / blocked waiting
 #: for the next barrier command.
 STAGES = ("compute", "serialize", "exchange", "barrier_wait")
+
+#: The selectable board-engine implementations; both produce
+#: bit-identical results (pinned by ``tests/test_cluster_fused.py``).
+ENGINES = {"fused": FusedBoardEngine, "percore": BoardEngine}
 
 
 class ClusterWorkerError(RuntimeError):
@@ -102,6 +120,8 @@ class ClusterReport:
     wall_s: float = 0.0
     #: Ticks per super-step this run used (``1 + d_min`` unless capped).
     lookahead: int = 1
+    #: Board-engine implementation the run used (:data:`ENGINES` key).
+    engine: str = "fused"
     #: Minimum cross-board synaptic delay (``0``: no synapse crosses a
     #: board boundary, so lookahead was unconstrained).
     d_min: int = 0
@@ -213,33 +233,64 @@ def _apply_inbound(engines: Dict[int, BoardEngine], my_boards: List[int],
             engine.apply_remote(exchange.read(src, dst, bank))
 
 
+def _watch_workers(processes, stop_conn, barrier) -> None:
+    """Parent-side watchdog: break the split barrier if a worker dies.
+
+    Blocks on the worker process sentinels plus a stop pipe; a sentinel
+    firing while the run is live means a worker died mid-barrier-cycle,
+    so every other party would wait forever — ``barrier.abort()`` turns
+    the hang into a ``BrokenBarrierError`` in the parent and the
+    surviving workers.  (After the run the parent signals the stop pipe
+    first, so normal worker exits never abort anything that matters —
+    nobody waits on the barrier again.)
+    """
+    sentinels = [process.sentinel for process in processes]
+    ready = connection_wait(sentinels + [stop_conn])
+    if stop_conn in ready:
+        return
+    barrier.abort()
+
+
 def _shard_worker(conn, contexts: Dict[int, BoardContext], populations,
                   seed: Optional[int], timestep_ms: float,
                   plan: ExchangePlan, exchange: SharedMemoryExchange,
-                  profile: bool) -> None:
-    """Worker-process loop: run super-steps, exchanging through shared
-    memory; the pipe carries only barrier commands and acks."""
-    engines = {board: BoardEngine(context, populations, seed, timestep_ms,
-                                  export_keys=plan.export_keys[board])
+                  barrier, engine_name: str, profile: bool) -> None:
+    """Worker-process loop: run the whole super-step schedule against a
+    shared split barrier; the pipe carries only the run request and the
+    final results.
+
+    Per super-step: wait at the barrier (every writer of the previous
+    bank has finished), apply the previous bank's inbound batches, then
+    compute and publish this super-step — while the parent accounts the
+    previous bank concurrently.  Before blocking on the next barrier the
+    worker prefetches the coming super-step's stimulus masks, so barrier
+    wait time does useful work.  A broken barrier means some process
+    died; the worker just exits (the parent diagnoses who).
+    """
+    engine_cls = ENGINES[engine_name]
+    engines = {board: engine_cls(context, populations, seed, timestep_ms,
+                                 export_keys=plan.export_keys[board])
                for board, context in sorted(contexts.items())}
     my_boards = sorted(contexts)
     stages = dict.fromkeys(STAGES, 0.0)
     clock = time.perf_counter
     try:
-        while True:
-            if profile:
-                waited = clock()
-                message = conn.recv()
-                stages["barrier_wait"] += clock() - waited
-            else:
-                message = conn.recv()
-            kind = message[0]
-            if kind == "superstep":
-                _, start, length, bank, inbound_bank = message
-                if inbound_bank is not None:
+        message = conn.recv()
+        if message[0] != "run":  # pragma: no cover - protocol misuse
+            raise ValueError("unknown worker message %r" % (message[0],))
+        _, n_ticks, duration_ms = message
+        prev_bank = None
+        try:
+            for index, (start, length) in enumerate(
+                    superstep_schedule(n_ticks, plan.lookahead)):
+                bank = index % 2
+                waited = clock() if profile else 0.0
+                barrier.wait()
+                if profile:
+                    stages["barrier_wait"] += clock() - waited
+                if prev_bank is not None:
                     began = clock() if profile else 0.0
-                    _apply_inbound(engines, my_boards, exchange,
-                                   inbound_bank)
+                    _apply_inbound(engines, my_boards, exchange, prev_bank)
                     if profile:
                         stages["exchange"] += clock() - began
                 exchange.begin(bank, my_boards)
@@ -252,25 +303,30 @@ def _shard_worker(conn, contexts: Dict[int, BoardContext], populations,
                                                          exported)
                             if profile:
                                 stages["serialize"] += clock() - began
-                conn.send(("ok",))
-            elif kind == "drain":
-                _, inbound_bank = message
-                began = clock() if profile else 0.0
-                _apply_inbound(engines, my_boards, exchange, inbound_bank)
-                if profile:
-                    stages["exchange"] += clock() - began
-                conn.send(("ok",))
-            elif kind == "finish":
-                _, duration_ms = message
-                results = {board: engine.finish(duration_ms)
-                           for board, engine in engines.items()}
-                if profile:
-                    stages["compute"] = sum(engine.compute_s
-                                            for engine in engines.values())
-                conn.send((results, stages if profile else None))
-                return
-            else:  # pragma: no cover - protocol misuse
-                raise ValueError("unknown worker message %r" % (kind,))
+                upto = min(start + 2 * length, n_ticks) - 1
+                for board in my_boards:
+                    engines[board].prefetch_sources(upto)
+                prev_bank = bank
+            # Final barrier: every writer of the last bank is done, so
+            # the in-flight deliveries can be drained (the on-machine
+            # run drains after halting, too).
+            waited = clock() if profile else 0.0
+            barrier.wait()
+            if profile:
+                stages["barrier_wait"] += clock() - waited
+        except threading.BrokenBarrierError:
+            return
+        if prev_bank is not None:
+            began = clock() if profile else 0.0
+            _apply_inbound(engines, my_boards, exchange, prev_bank)
+            if profile:
+                stages["exchange"] += clock() - began
+        results = {board: engine.finish(duration_ms)
+                   for board, engine in engines.items()}
+        if profile:
+            stages["compute"] = sum(engine.compute_s
+                                    for engine in engines.values())
+        conn.send((results, stages if profile else None))
     finally:
         conn.close()
 
@@ -286,13 +342,17 @@ class ClusterApplication:
                  account_transport: bool = False,
                  lookahead: Optional[int] = None,
                  assignment: str = "lpt",
-                 profile: Optional[bool] = None) -> None:
+                 profile: Optional[bool] = None,
+                 engine: str = "fused") -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if lookahead is not None and lookahead < 1:
             raise ValueError("lookahead must be at least 1")
         if assignment not in ("lpt", "round-robin"):
             raise ValueError("unknown assignment strategy %r" % (assignment,))
+        if engine not in ENGINES:
+            raise ValueError("unknown engine %r (one of %s)"
+                             % (engine, sorted(ENGINES)))
         self.machine = machine
         self.network = network
         self.timestep_ms = network.timestep_ms
@@ -306,6 +366,9 @@ class ClusterApplication:
         #: an explicit depth is clamped to that bound.
         self.lookahead = lookahead
         self.assignment = assignment
+        #: Board-engine implementation (:data:`ENGINES` key) — the
+        #: fused engine unless the per-core reference is requested.
+        self.engine = engine
         self.profile = (os.environ.get(PROFILE_ENV, "") not in ("", "0")
                         if profile is None else bool(profile))
 
@@ -358,15 +421,20 @@ class ClusterApplication:
     # Execution
     # ------------------------------------------------------------------
     def run(self, duration_ms: float, workers: Optional[int] = None,
-            lookahead: Optional[int] = None) -> ApplicationResult:
+            lookahead: Optional[int] = None,
+            engine: Optional[str] = None) -> ApplicationResult:
         """Run for ``duration_ms`` of biological time; return the merged
         result (also kept on :attr:`result`, statistics on
-        :attr:`report`).  ``workers`` and ``lookahead`` override the
-        constructor's values for this run only."""
+        :attr:`report`).  ``workers``, ``lookahead`` and ``engine``
+        override the constructor's values for this run only."""
         if duration_ms < 0:
             raise ValueError("duration must be non-negative")
         if lookahead is not None and lookahead < 1:
             raise ValueError("lookahead must be at least 1")
+        engine = engine if engine is not None else self.engine
+        if engine not in ENGINES:
+            raise ValueError("unknown engine %r (one of %s)"
+                             % (engine, sorted(ENGINES)))
         self.prepare()
         n_ticks = int(round(duration_ms / self.timestep_ms))
         effective = workers if workers is not None else self.workers
@@ -382,7 +450,7 @@ class ClusterApplication:
                    for board in boards}
         report = ClusterReport(
             n_boards=len(boards), workers=effective, n_ticks=n_ticks,
-            lookahead=plan.lookahead, d_min=plan.d_min or 0,
+            lookahead=plan.lookahead, engine=engine, d_min=plan.d_min or 0,
             supersteps=len(superstep_schedule(n_ticks, plan.lookahead)),
             assignment=_assign_boards(boards, effective, weights,
                                       self.assignment))
@@ -393,10 +461,10 @@ class ClusterApplication:
         began = time.perf_counter()
         if effective == 1:
             shard_results = self._run_serial(n_ticks, duration_ms, report,
-                                             plan)
+                                             plan, engine)
         else:
             shard_results = self._run_pool(n_ticks, duration_ms, report,
-                                           plan)
+                                           plan, engine)
         report.wall_s = time.perf_counter() - began
         if self.fabric is not None:
             report.inter_board_traversals = (
@@ -448,12 +516,13 @@ class ClusterApplication:
     # Serial path (workers=1: same super-step schedule, no processes)
     # ------------------------------------------------------------------
     def _run_serial(self, n_ticks: int, duration_ms: float,
-                    report: ClusterReport,
-                    plan: ExchangePlan) -> List[ShardResult]:
+                    report: ClusterReport, plan: ExchangePlan,
+                    engine: str) -> List[ShardResult]:
         populations = self._populations()
-        engines = {board: BoardEngine(context, populations, self.seed,
-                                      self.timestep_ms,
-                                      export_keys=plan.export_keys[board])
+        engine_cls = ENGINES[engine]
+        engines = {board: engine_cls(context, populations, self.seed,
+                                     self.timestep_ms,
+                                     export_keys=plan.export_keys[board])
                    for board, context in self.board_contexts.items()}
         my_boards = sorted(engines)
         exchange = InProcessExchange(plan)
@@ -495,8 +564,8 @@ class ClusterApplication:
     # Pool path
     # ------------------------------------------------------------------
     def _run_pool(self, n_ticks: int, duration_ms: float,
-                  report: ClusterReport,
-                  plan: ExchangePlan) -> List[ShardResult]:
+                  report: ClusterReport, plan: ExchangePlan,
+                  engine: str) -> List[ShardResult]:
         populations = self._populations()
         try:
             mp_context = multiprocessing.get_context("fork")
@@ -511,8 +580,15 @@ class ClusterApplication:
         exchange = SharedMemoryExchange(plan)
         self.last_exchange_segments = [exchange.name]
         report.exchange_segment_bytes = 4 * plan.total_words
+        # One split barrier shared by every worker plus the parent: the
+        # wait at super-step ``s`` is the only synchronisation point —
+        # it certifies every bank-``(s-1) % 2`` write is published and
+        # every bank-``s % 2`` read (two super-steps ago) retired.
+        barrier = mp_context.Barrier(len(by_worker) + 1)
         connections: List = []
         processes: List = []
+        watcher: Optional[threading.Thread] = None
+        stop_reader, stop_writer = mp_context.Pipe(duplex=False)
         try:
             for worker in sorted(by_worker):
                 parent_end, child_end = mp_context.Pipe()
@@ -520,33 +596,39 @@ class ClusterApplication:
                     target=_shard_worker,
                     args=(child_end, by_worker[worker], populations,
                           self.seed, self.timestep_ms, plan, exchange,
-                          self.profile),
+                          barrier, engine, self.profile),
                     daemon=True)
                 process.start()
                 child_end.close()
                 connections.append(parent_end)
                 processes.append(process)
+            # A worker dying mid-run would leave every other party stuck
+            # at the barrier forever; the watcher turns the death into a
+            # BrokenBarrierError for everyone instead.
+            watcher = threading.Thread(
+                target=_watch_workers,
+                args=(processes, stop_reader, barrier), daemon=True)
+            watcher.start()
+            self._broadcast(connections, processes, worker_boards,
+                            ("run", n_ticks, duration_ms))
             prev_bank = None
-            for index, (start, length) in enumerate(
-                    superstep_schedule(n_ticks, plan.lookahead)):
-                bank = index % 2
-                self._broadcast(connections, processes, worker_boards,
-                                ("superstep", start, length, bank,
-                                 prev_bank))
-                # Account the previous bank while the workers overlap it
-                # as *their* inbound read — both only read it, and the
-                # bank is not recycled before the next barrier.
-                if prev_bank is not None:
-                    self._account_bank(exchange, prev_bank, plan, report)
-                self._collect_acks(connections, processes, worker_boards)
-                prev_bank = bank
+            try:
+                for index, _ in enumerate(
+                        superstep_schedule(n_ticks, plan.lookahead)):
+                    bank = index % 2
+                    barrier.wait()
+                    # Account the previous bank while the workers
+                    # compute the new super-step — both only read it,
+                    # and it is not recycled before the next barrier.
+                    if prev_bank is not None:
+                        self._account_bank(exchange, prev_bank, plan,
+                                           report)
+                    prev_bank = bank
+                barrier.wait()
+            except threading.BrokenBarrierError:
+                self._fail_dead_worker(processes, worker_boards)
             if prev_bank is not None:
                 self._account_bank(exchange, prev_bank, plan, report)
-                self._broadcast(connections, processes, worker_boards,
-                                ("drain", prev_bank))
-                self._collect_acks(connections, processes, worker_boards)
-            self._broadcast(connections, processes, worker_boards,
-                            ("finish", duration_ms))
             shard_results: Dict[int, ShardResult] = {}
             for worker in range(len(connections)):
                 results, stages = self._recv_checked(
@@ -556,6 +638,15 @@ class ClusterApplication:
                     report.worker_stages[worker] = stages
             return [shard_results[board] for board in sorted(shard_results)]
         finally:
+            stop_writer.send(True)
+            stop_writer.close()
+            if watcher is not None:
+                watcher.join(timeout=5.0)
+            stop_reader.close()
+            # A parent-side error must not leave workers blocked at the
+            # barrier until the join timeout; the run is over either
+            # way, so breaking the barrier is always safe here.
+            barrier.abort()
             for connection in connections:
                 connection.close()
             for process in processes:
@@ -576,10 +667,22 @@ class ClusterApplication:
             except (BrokenPipeError, OSError):
                 self._fail_pool(worker, processes, worker_boards)
 
-    def _collect_acks(self, connections, processes, worker_boards) -> None:
-        for worker in range(len(connections)):
-            self._recv_checked(worker, connections, processes,
-                               worker_boards)
+    def _fail_dead_worker(self, processes, worker_boards) -> None:
+        """The barrier broke: find which worker died and raise for it.
+
+        Goes by the fired sentinel, not ``is_alive()`` — an exiting
+        process closes its sentinel before it becomes reapable, so a
+        liveness poll in that window would miss it (``_fail_pool``'s
+        join then waits out the window and gets the real exit code).
+        """
+        sentinels = {process.sentinel: worker
+                     for worker, process in enumerate(processes)}
+        ready = connection_wait(list(sentinels), timeout=10.0)
+        for fired in ready:
+            self._fail_pool(sentinels[fired], processes, worker_boards)
+        # No sentinel fired: the abort had another cause (e.g. a
+        # parent-side interrupt); blame worker 0 with no exit code.
+        raise ClusterWorkerError(0, worker_boards.get(0, ()), None)
 
     def _recv_checked(self, worker: int, connections, processes,
                       worker_boards):

@@ -1,0 +1,431 @@
+"""The fused board engine (:class:`FusedBoardEngine`).
+
+:class:`~repro.cluster.shard.BoardEngine` replays Figure 7 with one
+Python-level loop iteration per core per tick — faithful, but the loop
+itself is the cluster's remaining hot path now that the exchange is
+cheap.  This engine computes the *same run* with the per-core loops
+hoisted out of the tick path:
+
+* cores are grouped by neuron model and their state stacked into
+  ``(n_lanes, n_neurons)`` blocks (:class:`~repro.neuron.lif.LIFBlock`,
+  :class:`~repro.neuron.izhikevich.IzhikevichBlock`) — one set of array
+  operations steps every core of a model at once;
+* all cores share one :class:`~repro.neuron.synapse.FusedDeferredEventBuffer`
+  whose columns are the stacked blocks' cells, so one ``drain()`` hands
+  every core its tick inputs;
+* spike delivery goes through the board-level
+  :class:`~repro.compile.context.BoardDeliveryIndex` built by the
+  ShardByBoard pass — one slot gather and one ring scatter per batch
+  list, replacing the per-key/per-leg loops of ``apply``/``apply_remote``;
+* spike sources stay per-core (each owns its ``core_rng`` stream) but
+  their masks can be *prefetched* ahead of a barrier wait
+  (:meth:`FusedBoardEngine.prefetch_sources`) — draws stay in tick
+  order per generator, so the spikes are unchanged.
+
+Bit-identity with the per-core engine is the design constraint, not a
+best effort: stacked steps are elementwise (broadcast parameter columns
+perform the identical IEEE-754 scalar operations), ring accumulation of
+the fixed-point weights is exact and therefore independent of how
+events are batched, per-core generators are independent streams, and
+per-label recording order is preserved because one population maps to
+exactly one model group whose lanes sit in canonical core order.  The
+suite in ``tests/test_cluster_fused.py`` pins all of it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from itertools import repeat
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.compile.context import BoardContext
+from repro.neuron.izhikevich import IzhikevichBlock
+from repro.neuron.lif import LIFBlock
+from repro.neuron.population import (
+    Population,
+    SpikeSourceArray,
+    SpikeSourcePoisson,
+    core_rng,
+)
+from repro.neuron.synapse import MAX_DELAY_TICKS, FusedDeferredEventBuffer
+from repro.runtime.application import ApplicationResult
+from repro.cluster.shard import ShardResult, SpikeBatch
+
+__all__ = ["FusedBoardEngine"]
+
+#: model name -> stacked block implementation.
+_BLOCKS = {"lif": LIFBlock, "izhikevich": IzhikevichBlock}
+
+
+class _FusedGroup:
+    """All of a board's cores of one neuron model, stepped as a block."""
+
+    __slots__ = ("model", "specs", "block", "bias", "base", "n_lanes",
+                 "width")
+
+    def __init__(self, model: str, specs: List, states: List,
+                 biases: List[Optional[float]]) -> None:
+        self.model = model
+        self.specs = specs
+        self.block = _BLOCKS[model](states)
+        self.n_lanes = self.block.n_lanes
+        self.width = self.block.width
+        #: Ring column of lane 0, cell 0 (set by the engine's layout).
+        self.base = 0
+        # A zero bias column is bit-safe: the only consumer adds it to
+        # the synaptic current, and ``x + 0.0`` only differs from ``x``
+        # at ``-0.0``, which no downstream comparison can distinguish.
+        self.bias = np.zeros((self.n_lanes, self.width), dtype=float)
+        for lane, (spec, bias) in enumerate(zip(specs, biases)):
+            if bias:
+                self.bias[lane, :spec.vertex.n_neurons] = bias
+
+
+class _ScalarCore:
+    """A core kept on the per-core path: spike sources (which own their
+    generator stream) and any model without a stacked block."""
+
+    __slots__ = ("spec", "population", "rng", "state", "bias", "ring_start",
+                 "queued", "next_tick", "is_source")
+
+    def __init__(self, spec, population: Population, timestep_ms: float,
+                 seed: Optional[int]) -> None:
+        self.spec = spec
+        self.population = population
+        self.rng = core_rng(seed, spec.chip.x, spec.chip.y, spec.core_id)
+        self.is_source = population.is_spike_source
+        self.state = None
+        if not self.is_source:
+            sliced = Population(
+                spec.vertex.n_neurons, population.parameters,
+                label="%s-shard-%d" % (population.label, spec.vertex.index))
+            self.state = sliced.build_state(timestep_ms, self.rng)
+        self.bias = None
+        if population.bias_current_na:
+            self.bias = np.full(spec.vertex.n_neurons,
+                                population.bias_current_na)
+        self.ring_start = 0
+        #: Prefetched source masks, oldest first (sources only).
+        self.queued: deque = deque()
+        #: Next tick a mask would be generated for.
+        self.next_tick = 0
+
+
+class FusedBoardEngine:
+    """Vectorised executor of one board's compiled sub-context.
+
+    Drop-in replacement for :class:`~repro.cluster.shard.BoardEngine`
+    (same constructor, ``apply``/``apply_remote``/``step``/``finish``
+    surface, stage counters and result) producing bit-identical runs.
+    """
+
+    def __init__(self, context: BoardContext,
+                 populations: Dict[str, Population],
+                 seed: Optional[int], timestep_ms: float,
+                 export_keys: Optional[Set[int]] = None) -> None:
+        self.context = context
+        self.board = context.board
+        self.timestep_ms = timestep_ms
+        self.export_keys = export_keys
+        self.local_delivery = export_keys is not None
+
+        # ---- group the board's cores ---------------------------------
+        grouped: Dict[str, Tuple[List, List, List]] = {}
+        group_order: List[str] = []
+        self._scalars: List[_ScalarCore] = []
+        #: Local core index -> ("group", group, lane) | ("scalar", core).
+        self._locations: List[Tuple] = []
+        for spec in context.cores:
+            population = populations[spec.vertex.population_label]
+            model = population.model_name
+            if population.is_spike_source or model not in _BLOCKS:
+                core = _ScalarCore(spec, population, timestep_ms, seed)
+                self._scalars.append(core)
+                self._locations.append(("scalar", core))
+                continue
+            if model not in grouped:
+                grouped[model] = ([], [], [])
+                group_order.append(model)
+            specs, states, biases = grouped[model]
+            # The exact per-core construction of the reference engine:
+            # same sliced population, same per-core generator.
+            rng = core_rng(seed, spec.chip.x, spec.chip.y, spec.core_id)
+            sliced = Population(
+                spec.vertex.n_neurons, population.parameters,
+                label="%s-shard-%d" % (population.label, spec.vertex.index))
+            specs.append(spec)
+            states.append(sliced.build_state(timestep_ms, rng))
+            biases.append(population.bias_current_na or None)
+            self._locations.append(("group", model, len(specs) - 1))
+        self._groups = [_FusedGroup(model, *grouped[model])
+                        for model in group_order]
+        groups_by_model = {group.model: group for group in self._groups}
+        self._locations = [
+            entry if entry[0] == "scalar"
+            else ("group", groups_by_model[entry[1]], entry[2])
+            for entry in self._locations]
+
+        # ---- fused ring layout ---------------------------------------
+        # Group blocks first (lane-major, padded), then one contiguous
+        # tail cell range per scalar core.  ``translate`` maps a
+        # board-flat neuron index (the delivery arena's numbering) to
+        # its ring column.
+        ring_width = 0
+        for group in self._groups:
+            group.base = ring_width
+            ring_width += group.n_lanes * group.width
+        for core in self._scalars:
+            core.ring_start = ring_width
+            ring_width += core.spec.vertex.n_neurons
+        index = context.delivery_index
+        if index is None:
+            index = context.build_delivery_index()
+        self._index = index
+        translate = np.zeros(max(index.total_neurons, 1), dtype=np.intp)
+        for local, entry in enumerate(self._locations):
+            flat = index.core_offsets[local]
+            n = context.cores[local].vertex.n_neurons
+            if entry[0] == "scalar":
+                base = entry[1].ring_start
+            else:
+                _, group, lane = entry
+                base = group.base + lane * group.width
+            translate[flat:flat + n] = base + np.arange(n)
+        self._ring = FusedDeferredEventBuffer(max(ring_width, 1),
+                                              MAX_DELAY_TICKS)
+        # Pre-translate the arena's targets to ring columns once.
+        self._arena_cells = translate[index.targets]
+        self._arena_weights = index.weights
+        self._arena_delays = index.delay_ticks
+
+        # ---- recording -----------------------------------------------
+        self.result = ApplicationResult(duration_ms=0.0)
+        self._spike_chunks: Dict[str, List[Tuple[float, np.ndarray]]] = {}
+        for label, population in populations.items():
+            self.result.spike_counts[label] = np.zeros(population.size,
+                                                       dtype=int)
+            if population.record_spikes:
+                self.result.spikes[label] = []
+                self._spike_chunks[label] = []
+        self.unmatched_packets = 0
+        self.step_s = 0.0
+        self.local_apply_s = 0.0
+        self.remote_apply_s = 0.0
+        self.ticks_run = 0
+
+    @property
+    def compute_s(self) -> float:
+        """Seconds spent stepping neurons and scattering events."""
+        return self.step_s + self.local_apply_s + self.remote_apply_s
+
+    @property
+    def stage_s(self) -> Dict[str, float]:
+        """The engine-stage split reported in :class:`ShardResult`."""
+        return {"step": self.step_s, "local_apply": self.local_apply_s,
+                "remote_apply": self.remote_apply_s}
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _scatter_batches(
+            self, batches: Iterable[Tuple[int, int, np.ndarray]]) -> None:
+        """Deliver ``(key, age, spiking)`` batches in one fused scatter.
+
+        Gathers every batch's arena slots, concatenates, and lands the
+        lot with a single ring update — result-exact versus the per-leg
+        path because ring accumulation of the fixed-point weights is an
+        exact sum (see the fused buffer's docstring for the mid-batch
+        saturation caveat).
+        """
+        index = self._index
+        none_legs = index.none_legs
+        row_ptr_map = index.row_ptr
+        result = self.result
+        start_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        ages: List[int] = []
+        sizes: List[int] = []
+        for key, age, spiking in batches:
+            matchless = none_legs.get(key)
+            if matchless:
+                self.unmatched_packets += matchless * int(spiking.size)
+            row_ptr = row_ptr_map.get(key)
+            if row_ptr is None:
+                continue
+            starts = row_ptr[spiking]
+            counts = row_ptr[spiking + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            start_parts.append(starts)
+            count_parts.append(counts)
+            ages.append(age)
+            sizes.append(total)
+        if not start_parts:
+            return
+        # One merged row expansion for the whole batch list — the same
+        # (batch, spiking source)-major slot order ``slots_for`` yields
+        # per batch, without the per-key expansion overhead.
+        starts = (start_parts[0] if len(start_parts) == 1
+                  else np.concatenate(start_parts))
+        counts = (count_parts[0] if len(count_parts) == 1
+                  else np.concatenate(count_parts))
+        total = sum(sizes)
+        offsets = np.cumsum(counts) - counts
+        slots = np.arange(total, dtype=np.intp)
+        slots += np.repeat(starts - offsets, counts)
+        weights = self._arena_weights[slots]
+        delays = self._arena_delays[slots]
+        if any(ages):
+            delays = delays - np.repeat(np.asarray(ages, dtype=np.intp),
+                                        sizes)
+        result.synaptic_events += total
+        # One charge sum over the merged batches: every weight is an
+        # exact multiple of 2^-4 in float64, so the total is exact and
+        # grouping-independent — bit-equal to the per-leg accumulation.
+        result.delivered_charge_na += float(weights.sum())
+        self._ring.add_events(self._arena_cells[slots], weights, delays)
+
+    def apply(self, batches: List[SpikeBatch]) -> None:
+        """Scatter inbound same-tick spike batches into the fused ring."""
+        began = time.perf_counter()
+        self._scatter_batches(
+            (key, 0, spiking) for key, spiking in batches)
+        self.local_apply_s += time.perf_counter() - began
+
+    def apply_remote(self,
+                     batches: Iterable[Tuple[int, int, np.ndarray]]) -> None:
+        """Scatter exchanged cross-board batches, re-based by their age
+        (see :meth:`BoardEngine.apply_remote`)."""
+        began = time.perf_counter()
+        current = self.ticks_run
+        self._scatter_batches(
+            (key, current - 1 - send_tick, spiking)
+            for key, send_tick, spiking in batches)
+        self.remote_apply_s += time.perf_counter() - began
+
+    # ------------------------------------------------------------------
+    # One tick
+    # ------------------------------------------------------------------
+    def step(self, tick: int,
+             inbound: Optional[List[SpikeBatch]] = None) -> List[SpikeBatch]:
+        """Apply ``inbound``, then run one tick over every core —
+        one block step per model instead of one call per core."""
+        if inbound:
+            self.apply(inbound)
+        began = time.perf_counter()
+        time_ms = tick * self.timestep_ms
+        outbound: List[SpikeBatch] = []
+        local: List[SpikeBatch] = []
+        row = self._ring.drain()
+        for group in self._groups:
+            grid = row[group.base:group.base + group.n_lanes * group.width]
+            group.block.inject_synaptic_input(
+                grid.reshape(group.n_lanes, group.width))
+            spikes = group.block.step(group.bias)
+            lanes, cols = np.nonzero(spikes)
+            if lanes.size == 0:
+                continue
+            # Row-major nonzero: lanes ascend, so slicing per lane keeps
+            # the canonical core order within the group (and therefore
+            # within every population, which maps to exactly one group).
+            bounds = np.searchsorted(lanes, np.arange(group.n_lanes + 1))
+            for lane, spec in enumerate(group.specs):
+                lo, hi = int(bounds[lane]), int(bounds[lane + 1])
+                if lo == hi:
+                    continue
+                self._emit(spec, cols[lo:hi], time_ms, outbound, local)
+        for core in self._scalars:
+            if core.is_source:
+                if core.queued:
+                    mask = core.queued.popleft()
+                else:
+                    mask = self._source_mask(core, tick)
+                    core.next_tick = tick + 1
+            else:
+                n = core.spec.vertex.n_neurons
+                core.state.inject_synaptic_input(
+                    row[core.ring_start:core.ring_start + n])
+                mask = core.state.step(core.bias)
+            spiking = np.flatnonzero(mask)
+            if spiking.size:
+                self._emit(core.spec, spiking, time_ms, outbound, local)
+        self.step_s += time.perf_counter() - began
+        self.ticks_run = tick + 1
+        if local:
+            self.apply(local)
+        return outbound
+
+    def _emit(self, spec, spiking: np.ndarray, time_ms: float,
+              outbound: List[SpikeBatch], local: List[SpikeBatch]) -> None:
+        """Record one core's tick spikes and route its batch."""
+        result = self.result
+        label = spec.vertex.population_label
+        global_indices = spiking + spec.vertex.slice_start
+        result.spike_counts[label][global_indices] += 1
+        if label in self._spike_chunks:
+            self._spike_chunks[label].append((time_ms, global_indices))
+        if spec.has_outgoing:
+            result.packets_sent += int(spiking.size)
+            if self.local_delivery:
+                if spec.base_key in self.context.deliveries:
+                    local.append((spec.base_key, spiking))
+                if spec.base_key in self.export_keys:
+                    outbound.append((spec.base_key, spiking))
+            else:
+                outbound.append((spec.base_key, spiking))
+
+    def _source_mask(self, core: _ScalarCore, tick: int) -> np.ndarray:
+        population = core.population
+        vertex = core.spec.vertex
+        if isinstance(population, SpikeSourcePoisson):
+            probability = SpikeSourcePoisson.spike_probability(
+                population.rate_hz, self.timestep_ms)
+            return core.rng.random(vertex.n_neurons) < probability
+        if isinstance(population, SpikeSourceArray):
+            mask = population.spikes_for_tick(tick, self.timestep_ms)
+            return mask[vertex.slice_start:vertex.slice_stop]
+        return np.zeros(vertex.n_neurons, dtype=bool)
+
+    def prefetch_sources(self, upto_tick: int) -> None:
+        """Precompute source masks up to and including ``upto_tick``.
+
+        Worth calling right before a barrier wait: the generator draws
+        happen while the engine would otherwise block, and stay in tick
+        order per stream, so the spikes are unchanged.
+        """
+        for core in self._scalars:
+            if not core.is_source:
+                continue
+            while core.next_tick <= upto_tick:
+                core.queued.append(self._source_mask(core, core.next_tick))
+                core.next_tick += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / completion
+    # ------------------------------------------------------------------
+    def core_voltages(self, core_index: int) -> Optional[np.ndarray]:
+        """The membrane potentials of one local core (``None`` for a
+        spike source) — the per-core view into the stacked state."""
+        entry = self._locations[core_index]
+        if entry[0] == "scalar":
+            state = entry[1].state
+            return None if state is None else state.v
+        _, group, lane = entry
+        return group.block.lane_voltages(lane)
+
+    def finish(self, duration_ms: float) -> ShardResult:
+        """Close out the shard's recording and return its result."""
+        self.result.duration_ms = duration_ms
+        for label, chunks in self._spike_chunks.items():
+            out = self.result.spikes[label]
+            for time_ms, indices in chunks:
+                out.extend(zip(repeat(time_ms), indices.tolist()))
+            chunks.clear()
+        return ShardResult(board=self.board, result=self.result,
+                           unmatched_packets=self.unmatched_packets,
+                           compute_s=self.compute_s,
+                           stage_s=self.stage_s)

@@ -29,7 +29,8 @@ sharded run is spike-train-equivalent to the unsharded engine
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -61,6 +62,12 @@ class ShardResult:
     unmatched_packets: int = 0
     #: Seconds this shard spent stepping neurons and scattering events.
     compute_s: float = 0.0
+    #: Engine-side split of :attr:`compute_s` — ``step`` (tick loop),
+    #: ``local_apply`` (same-board scatters) and ``remote_apply``
+    #: (cross-board scatters).  Both apply stages run through one
+    #: scatter path, so the split is symmetric; the old accounting
+    #: timed local applies but not remote ones.
+    stage_s: Dict[str, float] = field(default_factory=dict)
 
 
 class _ShardCoreState:
@@ -114,63 +121,46 @@ class BoardEngine:
                             timestep_ms, seed)
             for spec in context.cores]
         self.result = ApplicationResult(duration_ms=0.0)
+        self._spike_chunks: Dict[str, List[Tuple[float, np.ndarray]]] = {}
         for label, population in populations.items():
             self.result.spike_counts[label] = np.zeros(population.size,
                                                        dtype=int)
             if population.record_spikes:
                 self.result.spikes[label] = []
+                self._spike_chunks[label] = []
         self.unmatched_packets = 0
-        self.compute_s = 0.0
+        self.step_s = 0.0
+        self.local_apply_s = 0.0
+        self.remote_apply_s = 0.0
         self.ticks_run = 0
+
+    @property
+    def compute_s(self) -> float:
+        """Seconds spent stepping neurons and scattering events.
+
+        Sums every engine stage — unlike the pre-fused accounting,
+        cross-board scatters (``remote_apply``) count as board compute
+        too, keeping serial and pooled compute totals comparable.
+        """
+        return self.step_s + self.local_apply_s + self.remote_apply_s
+
+    @property
+    def stage_s(self) -> Dict[str, float]:
+        """The engine-stage split reported in :class:`ShardResult`."""
+        return {"step": self.step_s, "local_apply": self.local_apply_s,
+                "remote_apply": self.remote_apply_s}
 
     # ------------------------------------------------------------------
     # Delivery (the packet-received + DMA-complete half of Figure 7)
     # ------------------------------------------------------------------
-    def apply(self, batches: List[SpikeBatch]) -> None:
-        """Scatter inbound spike batches into the ring buffers.
-
-        Called at the tick barrier with the previous tick's batches, so
-        the buffers' current tick is already one past the send tick and
-        a delay-``d`` synapse lands ``d`` ticks ahead — the arrival slot
-        of the fabric transport.
-        """
-        began = time.perf_counter()
+    def _scatter_batches(
+            self, batches: Iterable[Tuple[int, int, np.ndarray]]) -> None:
+        """Deliver ``(key, age, spiking)`` batches through the per-leg
+        blocks — the single scatter path behind both :meth:`apply`
+        (age 0) and :meth:`apply_remote` (age from the send tick)."""
         deliveries = self.context.deliveries
         result = self.result
-        for key, spiking in batches:
-            for core_index, csr in deliveries.get(key, ()):
-                if csr is None:
-                    self.unmatched_packets += int(spiking.size)
-                    continue
-                core = self.cores[core_index]
-                slots = csr.synapse_slots(spiking)
-                if slots.size:
-                    core.buffer.add_events(csr.targets[slots],
-                                           csr.weights[slots],
-                                           csr.delay_ticks[slots])
-                    result.synaptic_events += int(slots.size)
-                    result.delivered_charge_na += float(
-                        csr.weights[slots].sum())
-        self.compute_s += time.perf_counter() - began
-
-    def apply_remote(self,
-                     batches: Iterable[Tuple[int, int, np.ndarray]]) -> None:
-        """Scatter exchanged cross-board batches at a super-step barrier.
-
-        Each batch carries its *send tick*: under conservative lookahead
-        the barrier may be up to ``L - 1`` ticks later than the per-tick
-        exchange would have been, so every event's programmable delay is
-        re-based by the batch's age (``delay - age``; the lookahead
-        bound ``L <= 1 + d_min`` guarantees this never goes negative).
-        Timing of this path is accounted by the caller as exchange work,
-        not board compute — it is the cost of the data path, not of the
-        neuron model.
-        """
-        deliveries = self.context.deliveries
-        result = self.result
-        current = self.ticks_run
-        for key, send_tick, spiking in batches:
-            age = current - 1 - send_tick
+        for key, age, spiking in batches:
             for core_index, csr in deliveries.get(key, ()):
                 if csr is None:
                     self.unmatched_packets += int(spiking.size)
@@ -185,6 +175,36 @@ class BoardEngine:
                     result.synaptic_events += int(slots.size)
                     result.delivered_charge_na += float(
                         csr.weights[slots].sum())
+
+    def apply(self, batches: List[SpikeBatch]) -> None:
+        """Scatter inbound spike batches into the ring buffers.
+
+        Called at the tick barrier with the previous tick's batches, so
+        the buffers' current tick is already one past the send tick and
+        a delay-``d`` synapse lands ``d`` ticks ahead — the arrival slot
+        of the fabric transport.
+        """
+        began = time.perf_counter()
+        self._scatter_batches(
+            (key, 0, spiking) for key, spiking in batches)
+        self.local_apply_s += time.perf_counter() - began
+
+    def apply_remote(self,
+                     batches: Iterable[Tuple[int, int, np.ndarray]]) -> None:
+        """Scatter exchanged cross-board batches at a super-step barrier.
+
+        Each batch carries its *send tick*: under conservative lookahead
+        the barrier may be up to ``L - 1`` ticks later than the per-tick
+        exchange would have been, so every event's programmable delay is
+        re-based by the batch's age (``delay - age``; the lookahead
+        bound ``L <= 1 + d_min`` guarantees this never goes negative).
+        """
+        began = time.perf_counter()
+        current = self.ticks_run
+        self._scatter_batches(
+            (key, current - 1 - send_tick, spiking)
+            for key, send_tick, spiking in batches)
+        self.remote_apply_s += time.perf_counter() - began
 
     # ------------------------------------------------------------------
     # One tick (the millisecond-timer half of Figure 7)
@@ -215,9 +235,11 @@ class BoardEngine:
             label = spec.vertex.population_label
             global_indices = spiking + spec.vertex.slice_start
             result.spike_counts[label][global_indices] += 1
-            if label in result.spikes:
-                result.spikes[label].extend(
-                    (time_ms, int(index)) for index in global_indices)
+            if label in self._spike_chunks:
+                # Recorded as (tick, index-array) chunks; finish()
+                # expands them into the per-spike tuples of the
+                # ApplicationResult surface off the hot path.
+                self._spike_chunks[label].append((time_ms, global_indices))
             if spec.has_outgoing:
                 result.packets_sent += int(spiking.size)
                 if self.local_delivery:
@@ -227,7 +249,7 @@ class BoardEngine:
                         outbound.append((spec.base_key, spiking))
                 else:
                     outbound.append((spec.base_key, spiking))
-        self.compute_s += time.perf_counter() - began
+        self.step_s += time.perf_counter() - began
         self.ticks_run = tick + 1
         # Same-board legs are delivered after every core has drained
         # tick ``t`` (all ring buffers now sit at ``t + 1``), which is
@@ -249,12 +271,35 @@ class BoardEngine:
             return mask[vertex.slice_start:vertex.slice_stop]
         return np.zeros(vertex.n_neurons, dtype=bool)
 
+    def prefetch_sources(self, upto_tick: int) -> None:
+        """Hook for engines that can precompute stimulus spikes ahead of
+        a barrier wait (see the fused engine); a no-op here."""
+
+    def core_voltages(self, core_index: int) -> Optional[np.ndarray]:
+        """The membrane potentials of one local core (``None`` for a
+        spike source) — the surface the fused engine's bit-identity
+        tests compare against."""
+        state = self.cores[core_index].state
+        return None if state is None else state.v
+
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
     def finish(self, duration_ms: float) -> ShardResult:
-        """Close out the shard's recording and return its result."""
+        """Close out the shard's recording and return its result.
+
+        Materialises the per-tick spike chunks into the per-spike
+        ``(time_ms, index)`` tuples of the ApplicationResult surface —
+        chunks were appended in tick order with in-tick indices already
+        sorted, so the expansion is the canonical recording order.
+        """
         self.result.duration_ms = duration_ms
+        for label, chunks in self._spike_chunks.items():
+            out = self.result.spikes[label]
+            for time_ms, indices in chunks:
+                out.extend(zip(repeat(time_ms), indices.tolist()))
+            chunks.clear()
         return ShardResult(board=self.board, result=self.result,
                            unmatched_packets=self.unmatched_packets,
-                           compute_s=self.compute_s)
+                           compute_s=self.compute_s,
+                           stage_s=self.stage_s)

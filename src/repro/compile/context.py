@@ -34,6 +34,7 @@ from repro.router.routing_table import RoutingEntry
 
 __all__ = [
     "BoardContext",
+    "BoardDeliveryIndex",
     "MappingContext",
     "RouteRecord",
     "ShardCore",
@@ -139,6 +140,66 @@ class ShardCore:
 
 
 @dataclass
+class BoardDeliveryIndex:
+    """One board's per-leg delivery blocks merged into a flat arena.
+
+    The per-core delivery path walks ``deliveries[key]`` leg by leg —
+    a Python loop per (key, destination core) pair.  This index merges
+    every leg of a key into one board-wide CSR: target neuron indices
+    are pre-offset into a *board-flat* numbering (core 0's neurons
+    first, then core 1's, in canonical core order), and each key's rows
+    carry *absolute* bounds into a single targets/weights/delays arena
+    shared by every key.  A fused engine can then scatter a whole
+    batch list with one gather + one ring update instead of the
+    per-key/per-leg loop.
+
+    Merging legs is result-exact: ring accumulation of the fixed-point
+    weights is an exact float64 sum, so grouping events per key instead
+    of per leg lands identical charge (the per-core path's documented
+    mid-batch saturation caveat is the only divergence, and it applies
+    equally there).
+    """
+
+    #: First board-flat neuron index of each local core.
+    core_offsets: np.ndarray
+    #: Total neurons across the board's cores (the arena's index space).
+    total_neurons: int
+    #: One slot per synapse of every delivery leg: board-flat target
+    #: neuron, fixed-point weight and programmable delay.
+    targets: np.ndarray
+    weights: np.ndarray
+    delay_ticks: np.ndarray
+    #: key -> ``(n_pre + 1,)`` *absolute* arena bounds of each source
+    #: row (rows of a key's several legs are merged, leg-ordered within
+    #: a row).  Keys whose every leg is matchless are absent.
+    row_ptr: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: key -> number of matchless legs (``None`` blocks); a batch of
+    #: ``n`` spikes on such a key counts ``n`` unmatched packets per
+    #: matchless leg, exactly like the per-leg path.
+    none_legs: Dict[int, int] = field(default_factory=dict)
+
+    def slots_for(self, key: int, spiking: np.ndarray) -> Optional[np.ndarray]:
+        """Absolute arena slots of a batch's synapses, or ``None`` when
+        the key has no real legs on this board.
+
+        Same expansion as :meth:`CSRMatrix.synapse_slots`, just against
+        absolute row bounds — slot order is (spiking source)-major, so
+        per-slot sums match the per-leg path exactly.
+        """
+        row_ptr = self.row_ptr.get(key)
+        if row_ptr is None:
+            return None
+        starts = row_ptr[spiking]
+        counts = row_ptr[spiking + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.intp)
+        offsets = np.cumsum(counts) - counts
+        return (np.arange(total, dtype=np.intp)
+                - np.repeat(offsets, counts) + np.repeat(starts, counts))
+
+
+@dataclass
 class BoardContext:
     """The per-board sub-context the ShardByBoard pass produces.
 
@@ -157,6 +218,9 @@ class BoardContext:
     #: population-table entry for the key (counted as unmatched).
     deliveries: Dict[int, List[Tuple[int, Optional[CSRMatrix]]]] = field(
         default_factory=dict)
+    #: The deliveries flattened for the fused engine (built by the
+    #: ShardByBoard pass via :meth:`build_delivery_index`).
+    delivery_index: Optional[BoardDeliveryIndex] = None
 
     @property
     def n_cores(self) -> int:
@@ -167,6 +231,63 @@ class BoardContext:
     def placed_vertices(self) -> int:
         """Alias of :attr:`n_cores` — the LPT assignment weight."""
         return len(self.cores)
+
+    def build_delivery_index(self) -> BoardDeliveryIndex:
+        """Merge :attr:`deliveries` into a :class:`BoardDeliveryIndex`.
+
+        Row merge order within a key follows the key's leg order (the
+        canonical delivery order of the per-core path); arena segments
+        follow the key insertion order of :attr:`deliveries`.
+        """
+        sizes = np.array([core.vertex.n_neurons for core in self.cores],
+                         dtype=np.intp)
+        core_offsets = np.zeros(len(self.cores), dtype=np.intp)
+        if sizes.size:
+            core_offsets[1:] = np.cumsum(sizes)[:-1]
+        arena_targets: List[np.ndarray] = []
+        arena_weights: List[np.ndarray] = []
+        arena_delays: List[np.ndarray] = []
+        row_ptr: Dict[int, np.ndarray] = {}
+        none_legs: Dict[int, int] = {}
+        base = 0
+        for key, legs in self.deliveries.items():
+            matchless = sum(1 for _, csr in legs if csr is None)
+            if matchless:
+                none_legs[key] = matchless
+            real = [(index, csr) for index, csr in legs if csr is not None]
+            if not real:
+                continue
+            n_pre = max(csr.n_pre for _, csr in real)
+            pre = np.concatenate([csr.pre_index for _, csr in real])
+            order = np.argsort(pre, kind="stable")
+            arena_targets.append(np.concatenate(
+                [core_offsets[index] + csr.targets
+                 for index, csr in real])[order])
+            arena_weights.append(np.concatenate(
+                [csr.weights for _, csr in real])[order])
+            arena_delays.append(np.concatenate(
+                [csr.delay_ticks for _, csr in real])[order])
+            counts = np.bincount(pre, minlength=n_pre)
+            bounds = np.zeros(n_pre + 1, dtype=np.intp)
+            bounds[1:] = np.cumsum(counts)
+            row_ptr[key] = base + bounds
+            base += int(pre.size)
+
+        def arena(chunks: List[np.ndarray], dtype) -> np.ndarray:
+            if not chunks:
+                return np.zeros(0, dtype=dtype)
+            return np.concatenate(chunks).astype(dtype, copy=False)
+
+        self.delivery_index = BoardDeliveryIndex(
+            core_offsets=core_offsets,
+            total_neurons=int(sizes.sum()),
+            targets=arena(arena_targets, np.intp),
+            weights=arena(arena_weights, float),
+            delay_ticks=arena(arena_delays, np.intp),
+            row_ptr=row_ptr,
+            none_legs=none_legs,
+        )
+        return self.delivery_index
 
 
 @dataclass

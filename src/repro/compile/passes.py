@@ -574,6 +574,10 @@ class ShardByBoardPass(MappingPass):
                     known = ctx.board_pair_min_delay.get(pair)
                     if known is None or leg_min < known:
                         ctx.board_pair_min_delay[pair] = leg_min
+        # Flatten each board's legs into the arena the fused engine
+        # scatters through (cheap: one argsort per key, built once).
+        for context in ctx.board_contexts.values():
+            context.build_delivery_index()
         ctx.last_scope[self.name] = "%d boards, %d deliveries" % (
             len(ctx.board_contexts), n_deliveries)
 

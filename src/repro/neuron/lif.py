@@ -144,3 +144,94 @@ class LIFPopulation:
         self.synaptic_current[:] = 0.0
         self.refractory_ticks_left[:] = 0
         self.spike_count[:] = 0
+
+
+class LIFBlock:
+    """Many LIF populations stacked into one ``(n_lanes, width)`` state.
+
+    A board's fused engine steps every LIF core with a single set of
+    array operations instead of one :meth:`LIFPopulation.step` call per
+    core.  Each lane holds one population, zero-padded to the widest
+    lane; per-population parameters become ``(n_lanes, 1)`` columns that
+    broadcast across the row.
+
+    Bit-identity with the per-core path: every operation in
+    :meth:`step` is elementwise, and broadcasting a parameter column
+    over a row performs the identical IEEE-754 scalar operation the
+    per-core step performs with a Python float — so the valid cells of
+    the stacked state evolve bit-for-bit like the corresponding
+    per-core states.  Padded cells sit at their lane's resting
+    potential, receive no input, and have their spikes masked out, so
+    they can never influence a valid cell.
+    """
+
+    model_name = "lif"
+
+    def __init__(self, states: "list[LIFPopulation]") -> None:
+        if not states:
+            raise ValueError("LIFBlock needs at least one population")
+        self.n_lanes = len(states)
+        self.lane_sizes = np.array([s.size for s in states], dtype=np.intp)
+        self.width = int(self.lane_sizes.max())
+        self.timestep_ms = states[0].timestep_ms
+
+        shape = (self.n_lanes, self.width)
+        self.valid = np.zeros(shape, dtype=bool)
+        self.v = np.zeros(shape, dtype=float)
+        self.synaptic_current = np.zeros(shape, dtype=float)
+        self.refractory_ticks_left = np.zeros(shape, dtype=int)
+        for lane, state in enumerate(states):
+            n = state.size
+            self.valid[lane, :n] = True
+            self.v[lane, :n] = state.v
+            self.synaptic_current[lane, :n] = state.synaptic_current
+            self.refractory_ticks_left[lane, :n] = state.refractory_ticks_left
+            # Park the padding at rest so it stays numerically quiet.
+            self.v[lane, n:] = state.parameters.v_rest_mv
+
+        def column(values: "list[float]") -> np.ndarray:
+            return np.array(values, dtype=float).reshape(-1, 1)
+
+        self._v_rest = column([s.parameters.v_rest_mv for s in states])
+        self._v_reset = column([s.parameters.v_reset_mv for s in states])
+        self._v_threshold = column([s.parameters.v_threshold_mv
+                                    for s in states])
+        self._r_m = column([s.parameters.r_m_mohm for s in states])
+        # Reuse the exact decay factors the per-core states computed.
+        self._alpha_m = column([s._alpha_m for s in states])
+        self._alpha_syn = column([s._alpha_syn for s in states])
+        self._refractory_ticks = np.array(
+            [s.refractory_ticks for s in states], dtype=int).reshape(-1, 1)
+
+    def inject_synaptic_input(self, charge_na: np.ndarray) -> None:
+        """Add synaptic charge, one ``(n_lanes, width)`` array per tick."""
+        self.synaptic_current += charge_na
+
+    def step(self, external_current_na: Optional[np.ndarray] = None
+             ) -> np.ndarray:
+        """Advance every lane one timestep; return the masked spike grid."""
+        i_total = self.synaptic_current.copy()
+        if external_current_na is not None:
+            i_total = i_total + external_current_na
+
+        v_infinity = self._v_rest + self._r_m * i_total
+        new_v = v_infinity + (self.v - v_infinity) * self._alpha_m
+
+        refractory = self.refractory_ticks_left > 0
+        new_v = np.where(refractory, self._v_reset, new_v)
+        self.refractory_ticks_left = np.maximum(
+            self.refractory_ticks_left - 1, 0)
+
+        spikes = new_v >= self._v_threshold
+        spikes &= self.valid
+        new_v = np.where(spikes, self._v_reset, new_v)
+        self.refractory_ticks_left = np.where(
+            spikes, self._refractory_ticks, self.refractory_ticks_left)
+
+        self.v = new_v
+        self.synaptic_current *= self._alpha_syn
+        return spikes
+
+    def lane_voltages(self, lane: int) -> np.ndarray:
+        """The valid cells of one lane's membrane potentials."""
+        return self.v[lane, :self.lane_sizes[lane]]

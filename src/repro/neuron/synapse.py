@@ -356,3 +356,137 @@ class DeferredEventBuffer:
         self._current_tick = 0
         self.events_deferred = 0
         self.saturations = 0
+
+
+class FusedDeferredEventBuffer:
+    """One deferred-event ring shared by every core of a board.
+
+    The per-core :class:`DeferredEventBuffer` gives each core its own
+    ``(n_slots, n_neurons)`` ring; a board's fused engine instead packs
+    all of its cores' columns into a single ``(n_slots, total_width)``
+    array at caller-chosen per-core column offsets, so one vectorized
+    scatter per tick can deliver events to every core at once and one
+    row drain hands every core its inputs.
+
+    Events address the ring by *cell* — the fused column index, i.e.
+    ``core_offset + target`` — so the caller resolves core offsets once
+    at build time (see ``BoardDeliveryIndex``) and the hot path carries
+    no per-core indirection.  Delays may arrive pre-aged by the
+    conservative-lookahead exchange: an effective delay of ``0`` is
+    legal and means "drains this tick", exactly as
+    :meth:`DeferredEventBuffer.add_events_aged` defines it.
+
+    Bit-identity with the per-core rings: weights are fixed-point
+    multiples of ``2^-4`` held in float64, so ring accumulation is an
+    exact sum and independent of event order or batch grouping — a
+    single fused scatter lands the same values as many per-core ones.
+    Saturation is clamped once per touched cell after each call (the
+    per-core vector path clamps per ``add_events`` call), so the two
+    layouts agree exactly whenever accumulated charge stays inside the
+    16-bit weight range; a cell that saturates mid-batch from
+    mixed-sign weights may land differently, mirroring the documented
+    :meth:`DeferredEventBuffer.add_events` caveat.
+    """
+
+    def __init__(self, total_width: int,
+                 max_delay_ticks: int = MAX_DELAY_TICKS) -> None:
+        if total_width <= 0:
+            raise ValueError("total_width must be positive")
+        if max_delay_ticks < 1:
+            raise ValueError("max_delay_ticks must be at least 1")
+        self.total_width = total_width
+        self.max_delay_ticks = max_delay_ticks
+        self.n_slots = max_delay_ticks + 1
+        self._buffer = np.zeros((self.n_slots, total_width), dtype=float)
+        self._current_tick = 0
+        self.events_deferred = 0
+        self.saturations = 0
+
+    @property
+    def current_tick(self) -> int:
+        """The tick whose inputs will be drained next."""
+        return self._current_tick
+
+    def add_events(self, cells: np.ndarray, weights: np.ndarray,
+                   effective_delays: np.ndarray) -> None:
+        """Accumulate a batch of events addressed by fused cell index.
+
+        ``effective_delays`` are already re-based by the batch's age
+        (``delay - age``); ``0`` means the event drains this tick.  The
+        whole batch is validated before any mutation, matching the
+        per-core buffer's all-or-nothing contract.
+        """
+        cells = np.asarray(cells, dtype=np.intp)
+        effective_delays = np.asarray(effective_delays, dtype=np.intp)
+        weights = np.asarray(weights, dtype=float)
+        if cells.size == 0:
+            return
+        if cells.min() < 0 or cells.max() >= self.total_width:
+            raise IndexError("event cells outside the fused width of %d"
+                             % (self.total_width,))
+        if (effective_delays.min() < 0
+                or effective_delays.max() > self.max_delay_ticks):
+            raise ValueError("effective delays outside 0..%d (lookahead "
+                             "bound violated)" % (self.max_delay_ticks,))
+        flat_cells = effective_delays + self._current_tick
+        np.remainder(flat_cells, self.n_slots, out=flat_cells)
+        flat_cells *= self.total_width
+        flat_cells += cells
+        flat = self._buffer.ravel()
+        self.events_deferred += int(cells.size)
+        # Clamping happens once per touched cell after the batch, per
+        # the per-core vector path's rule (cells clamped by earlier
+        # calls sit exactly at the limit and are not re-counted).  For
+        # batches smaller than the ring width, scatter in place and
+        # clamp the deduplicated cells; a dense batch instead pre-sums
+        # per cell (exact: fixed-point weights in float64) and clamps
+        # by scanning the touched slot rows, skipping the O(n log n)
+        # dedup that would dominate large fused scatters.
+        if cells.size < self.total_width:
+            np.add.at(flat, flat_cells, weights)
+            unique_cells = np.unique(flat_cells)
+            values = flat[unique_cells]
+            over = np.abs(values) > WEIGHT_SATURATION_NA
+            if over.any():
+                self.saturations += int(over.sum())
+                flat[unique_cells[over]] = (np.sign(values[over])
+                                            * WEIGHT_SATURATION_NA)
+            return
+        flat += np.bincount(flat_cells, weights=weights,
+                            minlength=flat.size)
+        delay_counts = np.bincount(effective_delays,
+                                   minlength=self.n_slots)
+        touched_slots = ((self._current_tick
+                          + np.flatnonzero(delay_counts)) % self.n_slots)
+        for slot in touched_slots:
+            row = self._buffer[slot]
+            n_over = int(np.count_nonzero(
+                np.abs(row) > WEIGHT_SATURATION_NA))
+            if n_over:
+                self.saturations += n_over
+                np.clip(row, -WEIGHT_SATURATION_NA, WEIGHT_SATURATION_NA,
+                        out=row)
+
+    def drain(self) -> np.ndarray:
+        """Return and clear every core's inputs for the current tick.
+
+        One ``(total_width,)`` copy; the caller slices it into per-core
+        (or per-group) views.  Advances the ring exactly as the
+        per-core :meth:`DeferredEventBuffer.drain` does.
+        """
+        slot = self._current_tick % self.n_slots
+        inputs = self._buffer[slot].copy()
+        self._buffer[slot] = 0.0
+        self._current_tick += 1
+        return inputs
+
+    def pending_charge(self) -> float:
+        """Total charge currently waiting in the ring (for tests)."""
+        return float(np.sum(self._buffer))
+
+    def reset(self) -> None:
+        """Clear the ring and rewind the tick and counters."""
+        self._buffer[:] = 0.0
+        self._current_tick = 0
+        self.events_deferred = 0
+        self.saturations = 0

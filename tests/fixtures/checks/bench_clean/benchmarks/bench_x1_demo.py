@@ -1,8 +1,11 @@
-"""Fixture: a benchmark that reports under its filename id."""
+"""Fixture: a benchmark that reports under its filename id and
+records the speedup it gates on."""
 
 from .reporting import emit_json
 
 
 def test_x1_demo(benchmark):
-    metrics = {"speedup": 2.0}
+    speedup = 2.0
+    metrics = {"speedup": speedup}
     emit_json("x1", metrics)
+    assert speedup >= 1.5

@@ -1,0 +1,9 @@
+"""Fixture: a benchmark gating on a speedup it never records."""
+
+from .reporting import emit_json
+
+
+def test_x4_demo(benchmark):
+    fast_speedup = 4.0
+    emit_json("x4", {"events_per_s": 1e6})
+    assert fast_speedup >= 2.0

@@ -150,6 +150,8 @@ def test_bench_hygiene_flags_silent_and_mislabelled_benches():
     by_path = {os.path.basename(v.path): v.message for v in violations}
     assert "emits no machine-readable results" in by_path["bench_x2_demo.py"]
     assert "disagrees with the filename" in by_path["bench_x3_demo.py"]
+    assert "records no related metric key" in by_path["bench_x4_demo.py"]
+    assert "'fast_speedup'" in by_path["bench_x4_demo.py"]
     gate_messages = [v.message for v in violations
                      if v.path.endswith("check_regression.py")]
     assert any("no baseline" in m for m in gate_messages)          # x9

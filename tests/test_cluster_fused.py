@@ -1,0 +1,452 @@
+"""Bit-identity and unit tests for the fused board engine.
+
+The fused engine (:mod:`repro.cluster.fused`) is a performance
+transform, not a new semantics: every run must be *bit-identical* to
+the per-core :class:`~repro.cluster.shard.BoardEngine` — same spike
+trains, same membrane voltages, same counters — whatever the neuron
+model mix, worker count, lookahead depth or plasticity setting.  This
+module pins that matrix and unit-tests the two structures the engine
+leans on: the shared :class:`~repro.neuron.synapse.FusedDeferredEventBuffer`
+ring and the :class:`~repro.compile.context.BoardDeliveryIndex` arena.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterApplication, ENGINES, FusedBoardEngine
+from repro.cluster.shard import BoardEngine
+from repro.compile.context import BoardDeliveryIndex
+from repro.core.machine import MachineConfig, SpiNNakerMachine
+from repro.neuron.connectors import FixedProbabilityConnector
+from repro.neuron.network import Network
+from repro.neuron.population import (
+    Population,
+    SpikeSourceArray,
+    SpikeSourcePoisson,
+)
+from repro.neuron.stdp import STDPMechanism
+from repro.neuron.synapse import (
+    MAX_DELAY_TICKS,
+    WEIGHT_SATURATION_NA,
+    DeferredEventBuffer,
+    FusedDeferredEventBuffer,
+)
+from repro.runtime.application import ApplicationResult
+from repro.runtime.boot import BootController
+
+SEED = 11
+
+
+# ----------------------------------------------------------------------
+# Fixtures: one machine, four representative networks
+# ----------------------------------------------------------------------
+def cluster_machine() -> SpiNNakerMachine:
+    machine = SpiNNakerMachine(MachineConfig.multi_board(
+        2, 2, board_width=4, board_height=3, cores_per_chip=4))
+    BootController(machine, seed=1).boot()
+    return machine
+
+
+def lif_network() -> Network:
+    """Poisson->LIF pairs chained in a ring (cross-board traffic)."""
+    network = Network(seed=SEED)
+    excitatory = []
+    for pair in range(3):
+        stimulus = SpikeSourcePoisson(64, rate_hz=50.0,
+                                      label="f-stim-%d" % pair)
+        population = Population(64, "lif", label="f-exc-%d" % pair)
+        population.record(spikes=True)
+        network.connect(stimulus, population,
+                        FixedProbabilityConnector(0.3, weight=0.9,
+                                                  delay_range=(1, 6)))
+        excitatory.append(population)
+    for index, population in enumerate(excitatory):
+        network.connect(population,
+                        excitatory[(index + 1) % len(excitatory)],
+                        FixedProbabilityConnector(0.15, weight=0.5,
+                                                  delay_range=(1, 12)))
+    return network
+
+
+def izhikevich_network() -> Network:
+    """Poisson->Izhikevich ring: exercises the quadratic block."""
+    network = Network(seed=SEED)
+    bursting = []
+    for pair in range(3):
+        stimulus = SpikeSourcePoisson(48, rate_hz=80.0,
+                                      label="z-stim-%d" % pair)
+        population = Population(48, "izhikevich", label="z-exc-%d" % pair)
+        population.record(spikes=True)
+        network.connect(stimulus, population,
+                        FixedProbabilityConnector(0.3, weight=1.4,
+                                                  delay_range=(1, 6)))
+        bursting.append(population)
+    for index, population in enumerate(bursting):
+        network.connect(population,
+                        bursting[(index + 1) % len(bursting)],
+                        FixedProbabilityConnector(0.15, weight=0.8,
+                                                  delay_range=(1, 8)))
+    return network
+
+
+def mixed_network() -> Network:
+    """LIF + Izhikevich + Poisson + array source + inhibition in one
+    net: every engine path (both blocks, both scalar source kinds)."""
+    network = Network(seed=SEED)
+    poisson = SpikeSourcePoisson(48, rate_hz=60.0, label="m-stim")
+    replay = SpikeSourceArray(
+        [[float(t) for t in range(2 + (i % 5), 80, 7)] for i in range(48)],
+        label="m-replay")
+    excitatory = Population(96, "lif", label="m-exc")
+    excitatory.bias_current_na = 0.15
+    inhibitory = Population(48, "izhikevich", label="m-inh")
+    excitatory.record(spikes=True)
+    inhibitory.record(spikes=True)
+    network.connect(poisson, excitatory,
+                    FixedProbabilityConnector(0.25, weight=1.0,
+                                              delay_range=(1, 8)))
+    network.connect(replay, excitatory,
+                    FixedProbabilityConnector(0.2, weight=0.7,
+                                              delay_range=(1, 4)))
+    network.connect(excitatory, inhibitory,
+                    FixedProbabilityConnector(0.2, weight=0.8,
+                                              delay_range=(1, 4)))
+    network.connect(inhibitory, excitatory,
+                    FixedProbabilityConnector(0.3, weight=-0.9))
+    return network
+
+
+def stdp_network() -> Network:
+    """The LIF ring with a plasticity mechanism attached to its input
+    projections — the cluster compiles plastic projections through the
+    same decoded synaptic blocks, and both engines must agree."""
+    network = Network(seed=SEED)
+    excitatory = []
+    for pair in range(3):
+        stimulus = SpikeSourcePoisson(64, rate_hz=50.0,
+                                      label="p-stim-%d" % pair)
+        population = Population(64, "lif", label="p-exc-%d" % pair)
+        population.record(spikes=True)
+        network.connect(stimulus, population,
+                        FixedProbabilityConnector(0.3, weight=0.9,
+                                                  delay_range=(1, 6)),
+                        plasticity=STDPMechanism(64, 64))
+        excitatory.append(population)
+    for index, population in enumerate(excitatory):
+        network.connect(population,
+                        excitatory[(index + 1) % len(excitatory)],
+                        FixedProbabilityConnector(0.15, weight=0.5,
+                                                  delay_range=(1, 12)))
+    return network
+
+
+NETWORKS = {
+    "lif": lif_network,
+    "izhikevich": izhikevich_network,
+    "mixed": mixed_network,
+    "stdp": stdp_network,
+}
+
+DURATION_MS = 80.0
+
+
+def run_cluster(name: str, engine: str, workers: int,
+                lookahead) -> ApplicationResult:
+    cluster = ClusterApplication(cluster_machine(), NETWORKS[name](),
+                                 seed=SEED, max_neurons_per_core=32,
+                                 workers=workers, lookahead=lookahead,
+                                 engine=engine)
+    result = cluster.run(DURATION_MS)
+    assert cluster.report.engine == engine
+    return result
+
+
+_references = {}
+
+
+def percore_reference(name: str, lookahead) -> ApplicationResult:
+    """The serial per-core run every fused run must reproduce (cached:
+    the per-core engine is worker-count independent by its own tests)."""
+    key = (name, lookahead)
+    if key not in _references:
+        _references[key] = run_cluster(name, "percore", 1, lookahead)
+    return _references[key]
+
+
+def assert_bit_identical(fused: ApplicationResult,
+                         reference: ApplicationResult) -> None:
+    assert reference.total_spikes() > 0
+    assert fused.spikes == reference.spikes
+    assert set(fused.spike_counts) == set(reference.spike_counts)
+    for label in reference.spike_counts:
+        assert np.array_equal(fused.spike_counts[label],
+                              reference.spike_counts[label])
+    assert fused.synaptic_events == reference.synaptic_events
+    assert fused.delivered_charge_na == reference.delivered_charge_na
+    assert fused.packets_sent == reference.packets_sent
+
+
+# ----------------------------------------------------------------------
+# The bit-identity matrix: models x workers x lookahead x plasticity
+# ----------------------------------------------------------------------
+class TestFusedBitIdentity:
+    @pytest.mark.parametrize("lookahead", [1, None])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("name", sorted(NETWORKS))
+    def test_fused_matches_percore(self, name, workers, lookahead):
+        fused = run_cluster(name, "fused", workers, lookahead)
+        assert_bit_identical(fused, percore_reference(name, lookahead))
+
+    def test_unmatched_packets_agree(self):
+        """The fused none-leg bookkeeping must count exactly what the
+        per-leg path counts (zero on a fully-matched network)."""
+        fused = ClusterApplication(cluster_machine(), lif_network(),
+                                   seed=SEED, max_neurons_per_core=32,
+                                   engine="fused")
+        percore = ClusterApplication(cluster_machine(), lif_network(),
+                                     seed=SEED, max_neurons_per_core=32,
+                                     engine="percore")
+        fused.run(DURATION_MS)
+        percore.run(DURATION_MS)
+        assert fused.unmatched_packets == percore.unmatched_packets
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterApplication(cluster_machine(), lif_network(),
+                               seed=SEED, engine="simd")
+        cluster = ClusterApplication(cluster_machine(), lif_network(),
+                                     seed=SEED, max_neurons_per_core=32)
+        with pytest.raises(ValueError):
+            cluster.run(10.0, engine="simd")
+
+    def test_engines_registry(self):
+        assert ENGINES["fused"] is FusedBoardEngine
+        assert ENGINES["percore"] is BoardEngine
+
+
+# ----------------------------------------------------------------------
+# Tick-by-tick state equivalence (voltages, not just spikes)
+# ----------------------------------------------------------------------
+class TestFusedStateEquivalence:
+    @staticmethod
+    def single_board_engines():
+        """Both engines over the same single-board context: every
+        delivery is local, so the engines can be stepped standalone."""
+        machine = SpiNNakerMachine(MachineConfig.multi_board(
+            1, 1, board_width=4, board_height=3, cores_per_chip=4))
+        BootController(machine, seed=1).boot()
+        cluster = ClusterApplication(machine, mixed_network(), seed=SEED,
+                                     max_neurons_per_core=32)
+        cluster.prepare()
+        (context,) = cluster.board_contexts.values()
+        populations = cluster._populations()
+        return (
+            BoardEngine(context, populations, SEED, cluster.timestep_ms,
+                        export_keys=set()),
+            FusedBoardEngine(context, populations, SEED,
+                             cluster.timestep_ms, export_keys=set()),
+            context)
+
+    def test_voltages_bit_identical_every_tick(self):
+        percore, fused, context = self.single_board_engines()
+        for tick in range(120):
+            assert percore.step(tick) == []
+            assert fused.step(tick) == []
+            for core_index in range(len(context.cores)):
+                reference = percore.core_voltages(core_index)
+                voltages = fused.core_voltages(core_index)
+                if reference is None:
+                    assert voltages is None
+                    continue
+                assert np.array_equal(voltages, reference)
+        assert fused.result.synaptic_events > 0
+        assert fused.result.synaptic_events == percore.result.synaptic_events
+
+    def test_prefetched_sources_change_nothing(self):
+        percore, fused, context = self.single_board_engines()
+        fused.prefetch_sources(59)
+        for tick in range(90):
+            percore.step(tick)
+            fused.step(tick)
+            # Re-prefetch mid-run: draws stay in tick order per stream.
+            if tick == 70:
+                fused.prefetch_sources(85)
+        identical = assert_bit_identical
+        identical(fused.finish(90.0).result, percore.finish(90.0).result)
+
+    def test_stage_counters_cover_compute(self):
+        percore, fused, _ = self.single_board_engines()
+        for engine in (percore, fused):
+            for tick in range(30):
+                engine.step(tick)
+            stages = engine.stage_s
+            assert set(stages) == {"step", "local_apply", "remote_apply"}
+            assert engine.compute_s == pytest.approx(
+                sum(stages.values()))
+            assert stages["step"] > 0.0
+            assert engine.finish(30.0).stage_s == stages
+
+
+# ----------------------------------------------------------------------
+# The fused ring buffer
+# ----------------------------------------------------------------------
+class TestFusedDeferredEventBuffer:
+    def test_ring_offsets_land_in_the_right_columns(self):
+        ring = FusedDeferredEventBuffer(7)
+        ring.add_events(np.array([0, 3, 6]), np.array([0.5, 1.0, 2.0]),
+                        np.array([0, 0, 1]))
+        now = ring.drain()
+        assert np.array_equal(now, [0.5, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0])
+        later = ring.drain()
+        assert np.array_equal(later, [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0])
+        assert ring.events_deferred == 3
+
+    def test_matches_percore_rings_exactly(self):
+        """One fused ring at per-core column offsets replays two
+        per-core rings event for event, whatever the batch grouping."""
+        rng = np.random.default_rng(3)
+        widths = [5, 9]
+        offsets = [0, 5]
+        cores = [DeferredEventBuffer(width, MAX_DELAY_TICKS)
+                 for width in widths]
+        ring = FusedDeferredEventBuffer(sum(widths), MAX_DELAY_TICKS)
+        for _ in range(40):
+            cells, weights, delays = [], [], []
+            for core, (buffer, width, base) in enumerate(
+                    zip(cores, widths, offsets)):
+                n = int(rng.integers(0, 12))
+                targets = rng.integers(0, width, size=n)
+                # Fixed-point weights: exact multiples of 2^-4.
+                charge = rng.integers(-40, 40, size=n) / 16.0
+                delay = rng.integers(1, MAX_DELAY_TICKS + 1, size=n)
+                age = int(rng.integers(0, 2))
+                buffer.add_events_aged(targets, charge, delay, age)
+                cells.append(targets + base)
+                weights.append(charge)
+                delays.append(delay - age)
+            ring.add_events(np.concatenate(cells), np.concatenate(weights),
+                            np.concatenate(delays))
+            row = ring.drain()
+            split = np.concatenate([buffer.drain() for buffer in cores])
+            assert np.array_equal(row, split)
+        assert ring.events_deferred == sum(b.events_deferred for b in cores)
+
+    def test_effective_delay_bounds_enforced(self):
+        ring = FusedDeferredEventBuffer(4)
+        with pytest.raises(ValueError, match="lookahead"):
+            ring.add_events(np.array([0]), np.array([1.0]),
+                            np.array([-1]))
+        with pytest.raises(ValueError, match="lookahead"):
+            ring.add_events(np.array([0]), np.array([1.0]),
+                            np.array([MAX_DELAY_TICKS + 1]))
+        with pytest.raises(IndexError):
+            ring.add_events(np.array([4]), np.array([1.0]), np.array([0]))
+        assert ring.pending_charge() == 0.0
+
+    def test_empty_batch_is_a_no_op(self):
+        ring = FusedDeferredEventBuffer(4)
+        ring.add_events(np.zeros(0, dtype=np.intp), np.zeros(0),
+                        np.zeros(0, dtype=np.intp))
+        assert ring.events_deferred == 0
+
+    def test_saturation_clamped_once_per_cell(self):
+        ring = FusedDeferredEventBuffer(3)
+        big = WEIGHT_SATURATION_NA * 0.75
+        ring.add_events(np.array([1, 1]), np.array([big, big]),
+                        np.array([0, 0]))
+        assert ring.saturations == 1
+        row = ring.drain()
+        assert row[1] == WEIGHT_SATURATION_NA
+
+    def test_reset_rewinds_everything(self):
+        ring = FusedDeferredEventBuffer(3)
+        ring.add_events(np.array([0]), np.array([1.0]), np.array([2]))
+        ring.drain()
+        ring.reset()
+        assert ring.current_tick == 0
+        assert ring.pending_charge() == 0.0
+        assert ring.events_deferred == 0
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            FusedDeferredEventBuffer(0)
+        with pytest.raises(ValueError):
+            FusedDeferredEventBuffer(4, max_delay_ticks=0)
+
+
+# ----------------------------------------------------------------------
+# The board delivery index
+# ----------------------------------------------------------------------
+class TestBoardDeliveryIndex:
+    @staticmethod
+    def compiled_contexts():
+        cluster = ClusterApplication(cluster_machine(), mixed_network(),
+                                     seed=SEED, max_neurons_per_core=32)
+        cluster.prepare()
+        return cluster.board_contexts
+
+    def test_built_by_the_shard_pass(self):
+        for context in self.compiled_contexts().values():
+            assert isinstance(context.delivery_index, BoardDeliveryIndex)
+
+    def test_core_offsets_partition_the_board(self):
+        for context in self.compiled_contexts().values():
+            index = context.delivery_index
+            sizes = [core.vertex.n_neurons for core in context.cores]
+            assert index.total_neurons == sum(sizes)
+            expected = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+            assert np.array_equal(index.core_offsets, expected)
+
+    def test_slots_replay_every_leg(self):
+        """For every key and a fan of spike batches, the arena gather
+        must enumerate exactly the synapses the per-leg path walks —
+        same board-flat targets, weights and delays."""
+        rng = np.random.default_rng(5)
+        checked = 0
+        for context in self.compiled_contexts().values():
+            index = context.delivery_index
+            for key, legs in context.deliveries.items():
+                n_pre = max((csr.n_pre for _, csr in legs
+                             if csr is not None), default=1)
+                for batch in range(3):
+                    spiking = np.flatnonzero(rng.random(n_pre) < 0.4)
+                    slots = index.slots_for(key, spiking)
+                    per_leg = []
+                    for core_index, csr in legs:
+                        if csr is None:
+                            continue
+                        leg = csr.synapse_slots(spiking)
+                        base = index.core_offsets[core_index]
+                        per_leg.append(np.stack([
+                            csr.targets[leg] + base,
+                            csr.delay_ticks[leg],
+                            (csr.weights[leg] * 16).astype(np.int64)]))
+                    if not per_leg:
+                        assert slots is None
+                        continue
+                    reference = np.concatenate(per_leg, axis=1)
+                    fused = np.stack([
+                        index.targets[slots],
+                        index.delay_ticks[slots],
+                        (index.weights[slots] * 16).astype(np.int64)])
+                    # Leg merge reorders within a source row; compare as
+                    # multisets of (target, delay, weight) synapses.
+                    assert np.array_equal(
+                        reference[:, np.lexsort(reference)],
+                        fused[:, np.lexsort(fused)])
+                    checked += 1
+        assert checked > 0
+
+    def test_unknown_key_has_no_slots(self):
+        context = next(iter(self.compiled_contexts().values()))
+        index = context.delivery_index
+        assert index.slots_for(0x7FFFFFFF, np.array([0])) is None
+
+    def test_none_legs_match_the_delivery_table(self):
+        for context in self.compiled_contexts().values():
+            index = context.delivery_index
+            for key, legs in context.deliveries.items():
+                matchless = sum(1 for _, csr in legs if csr is None)
+                assert index.none_legs.get(key, 0) == matchless
