@@ -23,7 +23,7 @@ from repro.neuron.population import Population, SpikeSourcePoisson
 from repro.runtime.boot import BootController
 from repro.runtime.monitor import MonitorService
 
-from .reporting import emit_json, print_metrics, print_table
+from .reporting import attach_profile, emit_json, print_metrics, print_table
 
 SEED = 18
 WIDTH, HEIGHT = 8, 6            # 48 chips
@@ -105,6 +105,11 @@ def test_e18_mapping_pipeline(benchmark):
         "remap_speedup": speedup,
         "pass_cache_hit_rate": hits / considered,
     }
+    # The pipeline's always-on stage registry: per-pass seconds plus the
+    # gated profile_pass_total_s roll-up (and the global registry's
+    # stages when REPRO_PROFILE=1).
+    attach_profile(metrics, pipeline.profile)
+    attach_profile(metrics)
     print_metrics("E18: mapping-pipeline compile times "
                   "(48 chips, %d vertices)" % n_vertices, metrics)
     emit_json("e18", metrics)

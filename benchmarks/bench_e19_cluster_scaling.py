@@ -37,7 +37,7 @@ from repro.neuron.population import Population, SpikeSourcePoisson
 from repro.runtime.application import NeuralApplication
 from repro.runtime.boot import BootController
 
-from .reporting import emit_json, print_metrics
+from .reporting import attach_profile, emit_json, print_metrics
 
 SEED = 19
 BOARDS_X, BOARDS_Y = 4, 1      # a row of four production 48-chip boards
@@ -143,6 +143,7 @@ def test_e19_cluster_scaling(benchmark):
     serial_report = cluster.report
     pooled = cluster.run(SCALING_MS, workers=WORKERS)
     pooled_report = cluster.report
+    pooled_registry = cluster.registry
 
     # Bit-identical results whatever the worker count...
     _assert_bit_identical(serial, pooled)
@@ -187,6 +188,9 @@ def test_e19_cluster_scaling(benchmark):
         "exchange_segment_bytes": pooled_report.exchange_segment_bytes,
         "host_cpus": os.cpu_count() or 1,
     }
+    # Stage registry of the pooled run (merged worker snapshots), as
+    # profile_* keys beside the report-shaped stage totals above.
+    attach_profile(metrics, pooled_registry)
     print_metrics("E19: cluster scaling (%d boards, %d workers)"
                   % (cluster.n_boards, WORKERS), metrics)
     emit_json("e19", metrics)

@@ -38,7 +38,7 @@ from repro.neuron.network import Network
 from repro.neuron.population import Population, SpikeSourcePoisson
 from repro.runtime.boot import BootController
 
-from .reporting import emit_json, print_metrics
+from .reporting import attach_profile, emit_json, print_metrics
 
 SEED = 19                      # the E19 workload, byte for byte
 BOARDS_X, BOARDS_Y = 4, 1
@@ -167,6 +167,9 @@ def test_e20_fused_engine(benchmark):
         "pool_barrier_share": barrier_share,
         "host_cpus": os.cpu_count() or 1,
     }
+    # Merged stage registry of the pooled run — carries the gated
+    # profile_compute_s beside the report-shaped pool_* figures.
+    attach_profile(metrics, apps["fused"].registry)
     print_metrics("E20: fused board engine (%d vertices, %d ticks)"
                   % (int(metrics["vertices"]), n_ticks), metrics)
     emit_json("e20", metrics)

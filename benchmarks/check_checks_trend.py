@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Invariant-linter trend gate: no rule's violation count may grow.
+
+``repro.checks report --json`` emits ``CHECKS_report.json`` with a
+``counts_by_rule`` map.  The blocking linter gate already fails the
+build on any violation, but a rule downgraded to warning-severity (or a
+future advisory rule) would otherwise be free to accumulate debt
+silently.  This gate pins the checked-in baseline
+(``benchmarks/baselines/CHECKS_baseline.json``) as a ratchet:
+
+* a rule whose count **increased** vs the baseline fails the build;
+* a rule **missing from the baseline** (a freshly added rule) is gated
+  against zero, so new rules start clean;
+* counts that **decreased** are reported as a hint to ratchet the
+  baseline down (copy the fresh report over the baseline and commit).
+
+Usage::
+
+    python benchmarks/check_checks_trend.py
+    python benchmarks/check_checks_trend.py --report CHECKS_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Optional, Sequence
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+DEFAULT_REPORT = os.path.join(REPO_ROOT, "CHECKS_report.json")
+DEFAULT_BASELINE = os.path.join(HERE, "baselines", "CHECKS_baseline.json")
+
+
+def load_counts(path: str) -> Dict[str, int]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    counts = payload.get("counts_by_rule")
+    if not isinstance(counts, dict):
+        raise SystemExit("%s: no counts_by_rule map — is this a "
+                         "repro.checks report?" % path)
+    return {rule: int(count) for rule, count in counts.items()}
+
+
+def compare(baseline: Dict[str, int],
+            current: Dict[str, int]) -> Dict[str, Sequence[str]]:
+    """Classify every rule seen on either side.
+
+    Returns ``{"increased": [...], "decreased": [...], "steady": [...]}``
+    with rule names; a rule absent from one side counts as zero there.
+    """
+    verdicts: Dict[str, list] = {"increased": [], "decreased": [],
+                                 "steady": []}
+    for rule in sorted(set(baseline) | set(current)):
+        base = baseline.get(rule, 0)
+        now = current.get(rule, 0)
+        if now > base:
+            verdicts["increased"].append(rule)
+        elif now < base:
+            verdicts["decreased"].append(rule)
+        else:
+            verdicts["steady"].append(rule)
+    return verdicts
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when any invariant-linter rule count grew "
+                    "versus the checked-in baseline.")
+    parser.add_argument("--report", default=DEFAULT_REPORT,
+                        help="fresh CHECKS_report.json (default: repo "
+                             "root)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.report):
+        print("MISSING: %s — run `python -m repro.checks report --json "
+              "CHECKS_report.json src tests benchmarks` first."
+              % args.report)
+        return 1
+    baseline = load_counts(args.baseline)
+    current = load_counts(args.report)
+    verdicts = compare(baseline, current)
+
+    width = max(len(rule) for rule in set(baseline) | set(current))
+    print("Invariant-linter trend gate (baseline: %s)"
+          % os.path.relpath(args.baseline, REPO_ROOT))
+    for rule in sorted(set(baseline) | set(current)):
+        base, now = baseline.get(rule, 0), current.get(rule, 0)
+        marker = ("REGRESSED" if now > base
+                  else "improved" if now < base else "ok")
+        print("  %-*s  %3d -> %3d  %s" % (width, rule, base, now, marker))
+
+    if verdicts["decreased"]:
+        print("note: %d rule(s) improved; ratchet the baseline down by "
+              "copying the fresh report over %s."
+              % (len(verdicts["decreased"]),
+                 os.path.relpath(args.baseline, REPO_ROOT)))
+    if verdicts["increased"]:
+        print("FAIL: violation count grew for: %s"
+              % ", ".join(verdicts["increased"]))
+        return 1
+    print("PASS: no rule count increased.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

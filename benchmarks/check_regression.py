@@ -59,8 +59,15 @@ class GatedMetric:
 KEY_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
     "e16": (GatedMetric("speedup"),),
     "e17": (GatedMetric("speedup"),),
+    # profile_pass_total_s is the compile pipeline's whole-pass stage
+    # roll-up from repro.profile — an absolute-seconds figure against
+    # the gate's ratio philosophy, so it carries the loose stage-timing
+    # tolerance: it exists to catch a pass going several times slower,
+    # not runner-to-runner drift.
     "e18": (GatedMetric("remap_speedup"),
-            GatedMetric("pass_cache_hit_rate")),
+            GatedMetric("pass_cache_hit_rate"),
+            GatedMetric("profile_pass_total_s", higher_is_better=False,
+                        tolerance=1.5)),
     # e19 gates the load-balance bound plus the exchange-overhead ratio
     # (worker seconds spent serialising/exchanging/waiting per second of
     # compute).  The ratio is scheduler-sensitive, so it carries a loose
@@ -72,8 +79,12 @@ KEY_METRICS: Dict[str, Tuple[GatedMetric, ...]] = {
     # the per-core reference (jitter-suppressed best-of-rounds, so the
     # default tolerance holds) and its bit-identity verdict, whose 1.0
     # baseline means any divergence trips the gate outright.
+    # profile_compute_s is the pooled workers' merged compute stage —
+    # absolute seconds, same loose stage-timing tolerance as e18's.
     "e20": (GatedMetric("fused_speedup"),
-            GatedMetric("bit_identical")),
+            GatedMetric("bit_identical"),
+            GatedMetric("profile_compute_s", higher_is_better=False,
+                        tolerance=1.5)),
     # a7 gates the service-quality ratios: every paced tenant completes
     # (completion_rate), nobody is starved (fairness_jain), and the
     # zero-baseline 5xx count means any internal error trips the gate.

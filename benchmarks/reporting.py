@@ -61,6 +61,34 @@ def emit_json(bench_id: str, metrics: Dict[str, float],
     return path
 
 
+def attach_profile(metrics: Dict[str, float], *sources,
+                   prefix: str = "profile_") -> Dict[str, float]:
+    """Fold stage-profiler timings into a bench's metrics dict.
+
+    The one hook through which ``repro.profile`` stage registries reach
+    the BENCH JSONs: each source (a ``ProfileRegistry``, or anything
+    with a ``flatten(prefix)``) contributes its ``profile_<stage>_s`` /
+    ``_self_s`` / ``_calls`` keys; with no sources the process-global
+    registry is used when it is enabled (so ``REPRO_PROFILE=1`` runs
+    emit stage keys and unprofiled runs emit none).  Keys already in
+    ``metrics`` are not overwritten — a bench's own figure wins.
+    Returns ``metrics`` for chaining into :func:`emit_json`.
+    """
+    from repro import profile
+
+    registries = list(sources)
+    if not registries:
+        global_registry = profile.get_registry()
+        if global_registry.enabled:
+            registries = [global_registry]
+    for registry in registries:
+        if registry is None:
+            continue
+        for name, value in registry.flatten(prefix).items():
+            metrics.setdefault(name, value)
+    return metrics
+
+
 def print_table(title: str, rows: Iterable[Sequence], headers: Sequence[str]) -> None:
     """Print a fixed-width results table to the benchmark log."""
     rows = [tuple(str(cell) for cell in row) for row in rows]

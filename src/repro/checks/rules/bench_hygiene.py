@@ -15,6 +15,11 @@ both, so a regression in it lands silently.  This rule flags:
   module — the bench would hard-fail below the threshold but the
   *measured* value would be invisible to the regression gate and the
   trend artifact, so slow erosion towards the threshold lands silently;
+* a bench that *enables profiling* (``profile=True`` anywhere, or a
+  call to ``repro.profile.enable``) but records no ``profile_*`` metric
+  key and never calls ``reporting.attach_profile`` — the stage timings
+  it paid to collect would be invisible to the regression gate and the
+  trend artifact;
 * a gated key in ``check_regression.py``'s ``KEY_METRICS`` whose
   checked-in baseline JSON is absent or lacks that metric — the gate
   would silently skip it, which reads as "protected" when it is not.
@@ -28,10 +33,16 @@ import os
 import re
 from typing import Iterable, List, Optional
 
+from repro.checks.asthelpers import ImportMap
 from repro.checks.framework import (CheckContext, Checker, Project,
                                     Violation, register)
 
 BENCH_FILE_RE = re.compile(r"(^|/)benchmarks/bench_([a-z0-9]+)_[^/]*\.py$")
+
+#: Resolved calls that switch the stage profiler on.
+PROFILE_ENABLE_CALLS = frozenset({
+    "repro.profile.enable", "repro.profile.registry.enable",
+})
 
 
 def _emit_json_calls(tree: ast.Module) -> List[ast.Call]:
@@ -86,6 +97,48 @@ class BenchHygieneChecker(Checker):
                     "id %r — the JSON would land under the wrong "
                     "BENCH_<id>.json" % (literal, bench_id))
         yield from self._check_speedup_asserts(ctx)
+        yield from self._check_profile_emission(ctx)
+
+    def _check_profile_emission(self, ctx: CheckContext) -> Iterable[Violation]:
+        """A bench that enables profiling must surface the stage timings.
+
+        Enabling is either a ``profile=True`` keyword on any call (the
+        cluster runner's opt-in) or a resolved ``repro.profile.enable``
+        call.  Surfacing is a string dict key starting with ``profile_``
+        anywhere in the module, or a ``reporting.attach_profile`` call
+        (which injects those keys wholesale).
+        """
+        imports = ImportMap(ctx.tree)
+        enabler = None
+        emits = False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                attr = (func.attr if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name) else None)
+                if attr == "attach_profile":
+                    emits = True
+                dotted = imports.resolve(func)
+                if dotted in PROFILE_ENABLE_CALLS:
+                    enabler = enabler or node
+                for keyword in node.keywords:
+                    if (keyword.arg == "profile"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is True):
+                        enabler = enabler or node
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if (isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and key.value.startswith("profile_")):
+                        emits = True
+        if enabler is not None and not emits:
+            yield ctx.violation(
+                self.name, enabler,
+                "enables profiling but emits no profile_* metric key — "
+                "pass the stage timings through reporting.attach_profile "
+                "(or record profile_* keys) so the regression gate and "
+                "the trend artifact see what was measured")
 
     def _check_speedup_asserts(self, ctx: CheckContext) -> Iterable[Violation]:
         """A bench gating on a speedup must also *record* it.

@@ -15,11 +15,16 @@ harnesses:
 * ``time.time()`` / ``time.monotonic()`` (and their ``_ns`` variants),
 * argless ``datetime.now()`` and ``datetime.utcnow()`` / ``today()``.
 
-``time.perf_counter()`` stays legal everywhere: it measures *durations*
-(profiling), and its absolute value is meaningless, so it cannot leak
-into scheduling decisions the way an absolute "now" can.  Simulation
-code takes simulated microseconds from the event kernel; service-side
-helpers use :func:`repro.service.runtime.wall_now`.
+``time.perf_counter()`` measures *durations* (its absolute value is
+meaningless, so it cannot leak into scheduling decisions the way an
+absolute "now" can) and stays legal in tests and benchmarks — but
+inside the shipped packages (``src/repro``) its one sanctioned home is
+:mod:`repro.profile`: everything else takes durations through
+``repro.profile.perf_now`` or a ``profile_stage``, so there is exactly
+one seam where timing behaviour can drift and every measured span can
+reach the stage registry.  Simulation code takes simulated microseconds
+from the event kernel; service-side helpers use
+:func:`repro.service.runtime.wall_now`.
 """
 
 from __future__ import annotations
@@ -37,6 +42,12 @@ FORBIDDEN_TIME_CALLS = frozenset({
     "time.clock_gettime", "time.clock_gettime_ns",
 })
 
+#: Duration reads — legal outside the shipped packages, and inside them
+#: only in :mod:`repro.profile` (the seam that re-exports ``perf_now``).
+PERF_COUNTER_CALLS = frozenset({
+    "time.perf_counter", "time.perf_counter_ns",
+})
+
 #: The sanctioned wall-clock seam (plus the benchmark harnesses).
 ALLOWED_SUFFIXES = ("repro/service/runtime.py",)
 
@@ -48,17 +59,26 @@ def _is_exempt(ctx: CheckContext) -> bool:
     return path.startswith("benchmarks/") or "/benchmarks/" in path
 
 
+def _perf_counter_restricted(ctx: CheckContext) -> bool:
+    """Shipped-package files outside the profiler seam itself."""
+    path = ctx.posix_path
+    in_shipped = "src/repro/" in path or path.startswith("repro/")
+    return in_shipped and "repro/profile/" not in path
+
+
 @register
 class ClockDisciplineChecker(Checker):
     name = "clock-discipline"
     description = ("wall-clock reads only in repro.service.runtime and "
                    "benchmark harnesses; everything else runs on "
-                   "simulated time")
+                   "simulated time; in src/repro, perf_counter only "
+                   "via the repro.profile seam")
 
     def check_file(self, ctx: CheckContext) -> Iterable[Violation]:
         if _is_exempt(ctx):
             return ()
         imports = ImportMap(ctx.tree)
+        perf_restricted = _perf_counter_restricted(ctx)
         out: List[Violation] = []
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -66,7 +86,14 @@ class ClockDisciplineChecker(Checker):
             dotted = imports.resolve(node.func)
             if dotted is None:
                 continue
-            if dotted in FORBIDDEN_TIME_CALLS:
+            if perf_restricted and dotted in PERF_COUNTER_CALLS:
+                out.append(ctx.violation(
+                    self.name, node,
+                    "`%s()` in a shipped package outside repro.profile — "
+                    "measure through repro.profile.perf_now() or a "
+                    "profile_stage so the span reaches the stage "
+                    "registry" % dotted))
+            elif dotted in FORBIDDEN_TIME_CALLS:
                 out.append(ctx.violation(
                     self.name, node,
                     "`%s()` outside the clock seam — take simulated-us "

@@ -42,6 +42,7 @@ from repro.link.codes import LinkPerformanceModel
 from repro.neuron.connectors import FixedProbabilityConnector
 from repro.neuron.network import Network
 from repro.neuron.population import Population, SpikeSourcePoisson
+from repro.profile import perf_now
 from repro.runtime.application import NeuralApplication
 from repro.runtime.boot import BootController
 
@@ -272,12 +273,12 @@ def cmd_alloc_client(args: argparse.Namespace) -> int:
     try:
         for number in range(args.jobs):
             client = clients[number % args.tenants]
-            started = time.perf_counter()
+            started = perf_now()
             try:
                 with client.session(args.side, args.side,
                                     keepalive_ms=args.keepalive_ms) as run:
                     ready = run.wait_ready(timeout_s=10.0)
-                    elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    elapsed_ms = (perf_now() - started) * 1000.0
                     rows.append([str(ready["job_id"]), client.tenant,
                                  ready["lease"], "%.1f" % elapsed_ms,
                                  "%.2f" % ready["wait_ms"]])
@@ -429,9 +430,9 @@ def cmd_transport(args: argparse.Namespace) -> int:
             max_neurons_per_core=args.neurons_per_core, seed=args.seed,
             transport=transport, stagger_us=0.0)
         application.prepare()
-        start = time.perf_counter()
+        start = perf_now()
         result = application.run(args.duration)
-        results[transport] = (result, time.perf_counter() - start)
+        results[transport] = (result, perf_now() - start)
 
     event, event_wall = results["event"]
     fabric, fabric_wall = results["fabric"]

@@ -54,7 +54,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -71,14 +70,19 @@ from repro.compile import MappingPipeline
 from repro.compile.context import BoardContext
 from repro.core.machine import SpiNNakerMachine
 from repro.neuron.network import Network
+from repro.profile import ProfileRegistry, perf_now
+from repro.profile import enabled as profile_enabled
 from repro.router.fabric import TransportFabric
 from repro.runtime.application import ApplicationResult
 
 __all__ = ["ClusterApplication", "ClusterReport", "ClusterWorkerError"]
 
 #: Set (to anything but ``0``/empty) to enable the per-stage worker
-#: timers without touching code — the env-flag gate keeps four
-#: ``perf_counter`` pairs out of the tick loop on production runs.
+#: timers without touching code.  Kept as the cluster-specific alias of
+#: the process-wide ``REPRO_PROFILE`` flag (either enables them); the
+#: counters themselves now live on a :class:`repro.profile.ProfileRegistry`
+#: per worker, merged into :attr:`ClusterApplication.registry` over the
+#: existing result pipes.
 PROFILE_ENV = "REPRO_CLUSTER_PROFILE"
 
 #: The per-worker wall-clock decomposition the profiler reports:
@@ -219,6 +223,21 @@ def _assign_boards(boards: List[int], workers: int,
     return {board: assignment[board] for board in boards}
 
 
+def _stage_dict(snapshot) -> Dict[str, float]:
+    """A registry snapshot as the stable ``worker_stages`` shape.
+
+    Every :data:`STAGES` key is present (0.0 when the stage never ran);
+    stage names outside the canonical set — e.g. the parent's own
+    accounting span on the serial path — are left to the registry.
+    """
+    stages = dict.fromkeys(STAGES, 0.0)
+    for path, _calls, cum_s, _self_s in snapshot:
+        name = path[-1]
+        if name in stages:
+            stages[name] += cum_s
+    return stages
+
+
 def _apply_inbound(engines: Dict[int, BoardEngine], my_boards: List[int],
                    exchange, bank: int) -> None:
     """Drain a bank's inbound regions into the owned engines.
@@ -272,8 +291,13 @@ def _shard_worker(conn, contexts: Dict[int, BoardContext], populations,
                                  export_keys=plan.export_keys[board])
                for board, context in sorted(contexts.items())}
     my_boards = sorted(contexts)
-    stages = dict.fromkeys(STAGES, 0.0)
-    clock = time.perf_counter
+    # A worker-local registry; its snapshot rides the existing result
+    # pipe and the parent merges it.  A disabled stage entry is one flag
+    # check, so the un-profiled tick loop stays clean of clock reads.
+    registry = ProfileRegistry(enabled=profile)
+    barrier_stage = registry.stage("barrier_wait")
+    exchange_stage = registry.stage("exchange")
+    serialize_stage = registry.stage("serialize")
     try:
         message = conn.recv()
         if message[0] != "run":  # pragma: no cover - protocol misuse
@@ -284,25 +308,20 @@ def _shard_worker(conn, contexts: Dict[int, BoardContext], populations,
             for index, (start, length) in enumerate(
                     superstep_schedule(n_ticks, plan.lookahead)):
                 bank = index % 2
-                waited = clock() if profile else 0.0
-                barrier.wait()
-                if profile:
-                    stages["barrier_wait"] += clock() - waited
+                with barrier_stage:
+                    barrier.wait()
                 if prev_bank is not None:
-                    began = clock() if profile else 0.0
-                    _apply_inbound(engines, my_boards, exchange, prev_bank)
-                    if profile:
-                        stages["exchange"] += clock() - began
+                    with exchange_stage:
+                        _apply_inbound(engines, my_boards, exchange,
+                                       prev_bank)
                 exchange.begin(bank, my_boards)
                 for tick in range(start, start + length):
                     for board in my_boards:
                         exported = engines[board].step(tick)
                         if exported:
-                            began = clock() if profile else 0.0
-                            exchange.write_board_batches(board, bank, tick,
-                                                         exported)
-                            if profile:
-                                stages["serialize"] += clock() - began
+                            with serialize_stage:
+                                exchange.write_board_batches(board, bank,
+                                                             tick, exported)
                 upto = min(start + 2 * length, n_ticks) - 1
                 for board in my_boards:
                     engines[board].prefetch_sources(upto)
@@ -310,23 +329,21 @@ def _shard_worker(conn, contexts: Dict[int, BoardContext], populations,
             # Final barrier: every writer of the last bank is done, so
             # the in-flight deliveries can be drained (the on-machine
             # run drains after halting, too).
-            waited = clock() if profile else 0.0
-            barrier.wait()
-            if profile:
-                stages["barrier_wait"] += clock() - waited
+            with barrier_stage:
+                barrier.wait()
         except threading.BrokenBarrierError:
             return
         if prev_bank is not None:
-            began = clock() if profile else 0.0
-            _apply_inbound(engines, my_boards, exchange, prev_bank)
-            if profile:
-                stages["exchange"] += clock() - began
+            with exchange_stage:
+                _apply_inbound(engines, my_boards, exchange, prev_bank)
         results = {board: engine.finish(duration_ms)
                    for board, engine in engines.items()}
         if profile:
-            stages["compute"] = sum(engine.compute_s
-                                    for engine in engines.values())
-        conn.send((results, stages if profile else None))
+            # The engines keep their own always-on counters; adopt them
+            # so "compute" sits beside the stage spans.
+            registry.add("compute", sum(engine.compute_s
+                                        for engine in engines.values()))
+        conn.send((results, registry.snapshot() if profile else None))
     finally:
         conn.close()
 
@@ -369,8 +386,14 @@ class ClusterApplication:
         #: Board-engine implementation (:data:`ENGINES` key) — the
         #: fused engine unless the per-core reference is requested.
         self.engine = engine
-        self.profile = (os.environ.get(PROFILE_ENV, "") not in ("", "0")
-                        if profile is None else bool(profile))
+        self.profile = (
+            os.environ.get(PROFILE_ENV, "") not in ("", "0")
+            or profile_enabled()
+            if profile is None else bool(profile))
+        #: Merged stage registry of the most recent :meth:`run` — worker
+        #: snapshots plus the parent's accounting span; feeds
+        #: ``flatten()`` -> ``profile_*`` bench keys.
+        self.registry = ProfileRegistry(enabled=self.profile)
 
         self.pipeline: Optional[MappingPipeline] = None
         self.board_contexts: Dict[int, BoardContext] = {}
@@ -458,14 +481,16 @@ class ClusterApplication:
         # lifetime; the report carries this run's delta.
         traversals_before = (self.fabric.inter_board_traversals
                              if self.fabric is not None else 0)
-        began = time.perf_counter()
+        # Fresh per run, so a bench flattening it sees this run only.
+        self.registry = ProfileRegistry(enabled=self.profile)
+        began = perf_now()
         if effective == 1:
             shard_results = self._run_serial(n_ticks, duration_ms, report,
                                              plan, engine)
         else:
             shard_results = self._run_pool(n_ticks, duration_ms, report,
                                            plan, engine)
-        report.wall_s = time.perf_counter() - began
+        report.wall_s = perf_now() - began
         if self.fabric is not None:
             report.inter_board_traversals = (
                 self.fabric.inter_board_traversals - traversals_before)
@@ -492,7 +517,7 @@ class ClusterApplication:
         exactly once: cross-board batches from their first destination's
         region, local-only batches from their count-only stub record.
         """
-        began = time.perf_counter()
+        began = perf_now()
         fabric = self.fabric
         first_cross = plan.first_cross_destination
         for src in plan.boards:
@@ -510,7 +535,10 @@ class ClusterApplication:
                         program = fabric.program_for(key)
                         if program is not None:
                             fabric.account_batch(program, count)
-        report.parent_exchange_s += time.perf_counter() - began
+        elapsed = perf_now() - began
+        report.parent_exchange_s += elapsed
+        if self.registry.enabled:
+            self.registry.add("parent_account", elapsed)
 
     # ------------------------------------------------------------------
     # Serial path (workers=1: same super-step schedule, no processes)
@@ -527,27 +555,24 @@ class ClusterApplication:
         my_boards = sorted(engines)
         exchange = InProcessExchange(plan)
         profile = self.profile
-        stages = dict.fromkeys(STAGES, 0.0)
-        clock = time.perf_counter
+        registry = self.registry
+        exchange_stage = registry.stage("exchange")
+        serialize_stage = registry.stage("serialize")
         prev_bank = None
         for index, (start, length) in enumerate(
                 superstep_schedule(n_ticks, plan.lookahead)):
             bank = index % 2
             if prev_bank is not None:
-                began = clock() if profile else 0.0
-                _apply_inbound(engines, my_boards, exchange, prev_bank)
-                if profile:
-                    stages["exchange"] += clock() - began
+                with exchange_stage:
+                    _apply_inbound(engines, my_boards, exchange, prev_bank)
             exchange.begin(bank, my_boards)
             for tick in range(start, start + length):
                 for board in my_boards:
                     exported = engines[board].step(tick)
                     if exported:
-                        began = clock() if profile else 0.0
-                        exchange.write_board_batches(board, bank, tick,
-                                                     exported)
-                        if profile:
-                            stages["serialize"] += clock() - began
+                        with serialize_stage:
+                            exchange.write_board_batches(board, bank, tick,
+                                                         exported)
             self._account_bank(exchange, bank, plan, report)
             prev_bank = bank
         # The final super-step's batches still land in the ring buffers
@@ -555,9 +580,9 @@ class ClusterApplication:
         if prev_bank is not None:
             _apply_inbound(engines, my_boards, exchange, prev_bank)
         if profile:
-            stages["compute"] = sum(engine.compute_s
-                                    for engine in engines.values())
-            report.worker_stages[0] = stages
+            registry.add("compute", sum(engine.compute_s
+                                        for engine in engines.values()))
+            report.worker_stages[0] = _stage_dict(registry.snapshot())
         return [engines[board].finish(duration_ms) for board in my_boards]
 
     # ------------------------------------------------------------------
@@ -631,11 +656,12 @@ class ClusterApplication:
                 self._account_bank(exchange, prev_bank, plan, report)
             shard_results: Dict[int, ShardResult] = {}
             for worker in range(len(connections)):
-                results, stages = self._recv_checked(
+                results, snapshot = self._recv_checked(
                     worker, connections, processes, worker_boards)
                 shard_results.update(results)
-                if stages is not None:
-                    report.worker_stages[worker] = stages
+                if snapshot is not None:
+                    report.worker_stages[worker] = _stage_dict(snapshot)
+                    self.registry.merge(snapshot)
             return [shard_results[board] for board in sorted(shard_results)]
         finally:
             stop_writer.send(True)

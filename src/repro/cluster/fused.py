@@ -34,7 +34,6 @@ suite in ``tests/test_cluster_fused.py`` pins all of it.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from itertools import repeat
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -51,6 +50,7 @@ from repro.neuron.population import (
     core_rng,
 )
 from repro.neuron.synapse import MAX_DELAY_TICKS, FusedDeferredEventBuffer
+from repro.profile import perf_now
 from repro.runtime.application import ApplicationResult
 from repro.cluster.shard import ShardResult, SpikeBatch
 
@@ -291,21 +291,21 @@ class FusedBoardEngine:
 
     def apply(self, batches: List[SpikeBatch]) -> None:
         """Scatter inbound same-tick spike batches into the fused ring."""
-        began = time.perf_counter()
+        began = perf_now()
         self._scatter_batches(
             (key, 0, spiking) for key, spiking in batches)
-        self.local_apply_s += time.perf_counter() - began
+        self.local_apply_s += perf_now() - began
 
     def apply_remote(self,
                      batches: Iterable[Tuple[int, int, np.ndarray]]) -> None:
         """Scatter exchanged cross-board batches, re-based by their age
         (see :meth:`BoardEngine.apply_remote`)."""
-        began = time.perf_counter()
+        began = perf_now()
         current = self.ticks_run
         self._scatter_batches(
             (key, current - 1 - send_tick, spiking)
             for key, send_tick, spiking in batches)
-        self.remote_apply_s += time.perf_counter() - began
+        self.remote_apply_s += perf_now() - began
 
     # ------------------------------------------------------------------
     # One tick
@@ -316,7 +316,7 @@ class FusedBoardEngine:
         one block step per model instead of one call per core."""
         if inbound:
             self.apply(inbound)
-        began = time.perf_counter()
+        began = perf_now()
         time_ms = tick * self.timestep_ms
         outbound: List[SpikeBatch] = []
         local: List[SpikeBatch] = []
@@ -353,7 +353,7 @@ class FusedBoardEngine:
             spiking = np.flatnonzero(mask)
             if spiking.size:
                 self._emit(core.spec, spiking, time_ms, outbound, local)
-        self.step_s += time.perf_counter() - began
+        self.step_s += perf_now() - began
         self.ticks_run = tick + 1
         if local:
             self.apply(local)

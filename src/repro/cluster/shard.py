@@ -28,7 +28,6 @@ sharded run is spike-train-equivalent to the unsharded engine
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from itertools import repeat
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -43,6 +42,7 @@ from repro.neuron.population import (
     core_rng,
 )
 from repro.neuron.synapse import MAX_DELAY_TICKS, DeferredEventBuffer
+from repro.profile import perf_now
 from repro.runtime.application import ApplicationResult
 
 __all__ = ["BoardEngine", "ShardResult", "SpikeBatch"]
@@ -184,10 +184,10 @@ class BoardEngine:
         a delay-``d`` synapse lands ``d`` ticks ahead — the arrival slot
         of the fabric transport.
         """
-        began = time.perf_counter()
+        began = perf_now()
         self._scatter_batches(
             (key, 0, spiking) for key, spiking in batches)
-        self.local_apply_s += time.perf_counter() - began
+        self.local_apply_s += perf_now() - began
 
     def apply_remote(self,
                      batches: Iterable[Tuple[int, int, np.ndarray]]) -> None:
@@ -199,12 +199,12 @@ class BoardEngine:
         re-based by the batch's age (``delay - age``; the lookahead
         bound ``L <= 1 + d_min`` guarantees this never goes negative).
         """
-        began = time.perf_counter()
+        began = perf_now()
         current = self.ticks_run
         self._scatter_batches(
             (key, current - 1 - send_tick, spiking)
             for key, send_tick, spiking in batches)
-        self.remote_apply_s += time.perf_counter() - began
+        self.remote_apply_s += perf_now() - began
 
     # ------------------------------------------------------------------
     # One tick (the millisecond-timer half of Figure 7)
@@ -215,7 +215,7 @@ class BoardEngine:
         tick over every core.  Returns the board's outbound batches."""
         if inbound:
             self.apply(inbound)
-        began = time.perf_counter()
+        began = perf_now()
         time_ms = tick * self.timestep_ms
         outbound: List[SpikeBatch] = []
         local: List[SpikeBatch] = []
@@ -249,7 +249,7 @@ class BoardEngine:
                         outbound.append((spec.base_key, spiking))
                 else:
                     outbound.append((spec.base_key, spiking))
-        self.step_s += time.perf_counter() - began
+        self.step_s += perf_now() - began
         self.ticks_run = tick + 1
         # Same-board legs are delivered after every core has drained
         # tick ``t`` (all ring buffers now sit at ``t + 1``), which is

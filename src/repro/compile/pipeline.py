@@ -21,7 +21,6 @@ Three entry points:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -30,6 +29,7 @@ from repro.compile.passes import DEFAULT_PASSES, MappingPass
 from repro.mapping.keys import KeyAllocator
 from repro.mapping.placement import Placement, Vertex
 from repro.neuron.network import Network
+from repro.profile import ProfileRegistry
 
 __all__ = ["PassRecord", "MappingPipeline"]
 
@@ -88,6 +88,14 @@ class MappingPipeline:
         self.passes: List[MappingPass] = [cls() for cls in DEFAULT_PASSES]
         self.records: Dict[str, PassRecord] = {
             p.name: PassRecord() for p in self.passes}
+        # Always-enabled: PassRecord timings and the compile report need
+        # per-pass seconds regardless of REPRO_PROFILE.  Passes nest
+        # under one "pass_total" stage, so flatten() yields both
+        # profile_pass_total_s and a profile_<pass>_s per pass.
+        self.profile = ProfileRegistry(enabled=True)
+        self._pass_total_stage = self.profile.stage("pass_total")
+        self._pass_stages = {p.name: self.profile.stage(p.name)
+                             for p in self.passes}
 
     # ------------------------------------------------------------------
     # Construction from pre-pipeline artifacts
@@ -172,21 +180,22 @@ class MappingPipeline:
         raise KeyError(name)
 
     def _execute(self, start: int) -> None:
-        for p in self.passes[start:]:
-            record = self.records[p.name]
-            signature = p.signature(self.ctx)
-            if record.runs and record.signature == signature:
-                record.cache_hits += 1
-                record.last_scope = "cached"
-                continue
-            began = time.perf_counter()
-            p.run(self.ctx)
-            elapsed = time.perf_counter() - began
-            record.runs += 1
-            record.signature = signature
-            record.last_s = elapsed
-            record.total_s += elapsed
-            record.last_scope = self.ctx.last_scope.get(p.name, "full")
+        with self._pass_total_stage:
+            for p in self.passes[start:]:
+                record = self.records[p.name]
+                signature = p.signature(self.ctx)
+                if record.runs and record.signature == signature:
+                    record.cache_hits += 1
+                    record.last_scope = "cached"
+                    continue
+                with self._pass_stages[p.name] as frame:
+                    p.run(self.ctx)
+                elapsed = frame.elapsed_s
+                record.runs += 1
+                record.signature = signature
+                record.last_s = elapsed
+                record.total_s += elapsed
+                record.last_scope = self.ctx.last_scope.get(p.name, "full")
 
     # ------------------------------------------------------------------
     # Reporting

@@ -18,9 +18,16 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.profile import profile_stage
+
 #: Number of simulated microseconds in one millisecond; the neuron update
 #: tick of the real-time application model is 1 ms (Section 3.1).
 MICROSECONDS_PER_MILLISECOND = 1000.0
+
+# Whole-loop stages (per-event spans would swamp the heap pop itself);
+# hoisted so repeated runs re-enter the same objects.
+_RUN_STAGE = profile_stage("kernel_run")
+_RUN_UNTIL_STAGE = profile_stage("kernel_run_until")
 
 
 @dataclass(order=False)
@@ -221,11 +228,12 @@ class EventKernel:
         Returns the number of events executed by this call.
         """
         executed = 0
-        while self._queue:
-            if max_events is not None and executed >= max_events:
-                break
-            if self.step():
-                executed += 1
+        with _RUN_STAGE:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                if self.step():
+                    executed += 1
         return executed
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
@@ -245,16 +253,17 @@ class EventKernel:
                 % (end_time, self._now)
             )
         executed = 0
-        while self._queue:
-            next_time = self._peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            if max_events is not None and executed >= max_events:
-                # Cut short with executable events still pending: leave
-                # the clock at the last executed event.
-                return executed
-            if self.step():
-                executed += 1
+        with _RUN_UNTIL_STAGE:
+            while self._queue:
+                next_time = self._peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                if max_events is not None and executed >= max_events:
+                    # Cut short with executable events still pending: leave
+                    # the clock at the last executed event.
+                    return executed
+                if self.step():
+                    executed += 1
         self._now = max(self._now, end_time)
         return executed
 

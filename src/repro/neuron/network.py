@@ -28,6 +28,15 @@ from repro.neuron.population import (
     simulation_rng,
 )
 from repro.neuron.synapse import DeferredEventBuffer, MAX_DELAY_TICKS
+from repro.profile import profile_stage
+
+# The Fig. 7 timer-tick phases, hoisted so the loop re-enters the same
+# stage objects (a disabled entry is one flag check).
+_TICK_STAGE = profile_stage("tick")
+_STIMULUS_STAGE = profile_stage("stimulus")
+_NEURON_UPDATE_STAGE = profile_stage("neuron_update")
+_RECORD_STAGE = profile_stage("record")
+_PROPAGATE_STAGE = profile_stage("propagate")
 
 
 def expand_projections(network: "Network", seed: Optional[int],
@@ -214,72 +223,84 @@ class Network:
                 self, effective_seed, compile_csr=(propagation == "csr"))]
 
         for tick in range(n_ticks):
-            time_ms = tick * self.timestep_ms
-            spikes_this_tick: Dict[str, np.ndarray] = {}
+            with _TICK_STAGE:
+                time_ms = tick * self.timestep_ms
+                spikes_this_tick: Dict[str, np.ndarray] = {}
 
-            # Stimulus populations generate their spikes first.
-            for population in self.populations:
-                if isinstance(population, SpikeSourcePoisson):
-                    spikes_this_tick[population.label] = population.spikes_for_tick(
-                        self.timestep_ms, rng)
-                elif isinstance(population, SpikeSourceArray):
-                    spikes_this_tick[population.label] = population.spikes_for_tick(
-                        tick, self.timestep_ms)
+                # Stimulus populations generate their spikes first.
+                with _STIMULUS_STAGE:
+                    for population in self.populations:
+                        if isinstance(population, SpikeSourcePoisson):
+                            spikes_this_tick[population.label] = \
+                                population.spikes_for_tick(
+                                    self.timestep_ms, rng)
+                        elif isinstance(population, SpikeSourceArray):
+                            spikes_this_tick[population.label] = \
+                                population.spikes_for_tick(
+                                    tick, self.timestep_ms)
 
-            # Neuron populations: drain deferred inputs and integrate.
-            for population in self.populations:
-                if population.is_spike_source:
-                    continue
-                state = states[population.label]
-                inputs = buffers[population.label].drain()
-                state.inject_synaptic_input(inputs)
-                bias = None
-                if population.bias_current_na:
-                    bias = np.full(population.size, population.bias_current_na)
-                spikes = state.step(bias)
-                spikes_this_tick[population.label] = spikes
-                if population.record_voltages:
-                    result.voltages[population.label][tick] = state.v
+                # Neuron populations: drain deferred inputs and integrate.
+                with _NEURON_UPDATE_STAGE:
+                    for population in self.populations:
+                        if population.is_spike_source:
+                            continue
+                        state = states[population.label]
+                        inputs = buffers[population.label].drain()
+                        state.inject_synaptic_input(inputs)
+                        bias = None
+                        if population.bias_current_na:
+                            bias = np.full(population.size,
+                                           population.bias_current_na)
+                        spikes = state.step(bias)
+                        spikes_this_tick[population.label] = spikes
+                        if population.record_voltages:
+                            result.voltages[population.label][tick] = state.v
 
-            # Record and propagate the spikes.
-            for population in self.populations:
-                spikes = spikes_this_tick.get(population.label)
-                if spikes is None:
-                    continue
-                spiking_neurons = np.flatnonzero(spikes)
-                if spiking_neurons.size == 0:
-                    continue
-                result.spike_counts[population.label][spiking_neurons] += 1
-                if population.record_spikes:
-                    result.spikes[population.label].extend(
-                        (time_ms, int(neuron)) for neuron in spiking_neurons)
+                # Record and propagate the spikes.
+                with _RECORD_STAGE:
+                    for population in self.populations:
+                        spikes = spikes_this_tick.get(population.label)
+                        if spikes is None:
+                            continue
+                        spiking_neurons = np.flatnonzero(spikes)
+                        if spiking_neurons.size == 0:
+                            continue
+                        result.spike_counts[population.label][
+                            spiking_neurons] += 1
+                        if population.record_spikes:
+                            result.spikes[population.label].extend(
+                                (time_ms, int(neuron))
+                                for neuron in spiking_neurons)
 
-            for projection, rows, csr in rows_by_projection:
-                pre_spikes = spikes_this_tick.get(projection.pre.label)
-                if pre_spikes is None:
-                    continue
-                target_buffer = buffers.get(projection.post.label)
-                if target_buffer is None:
-                    continue
-                if csr is not None:
-                    spiking = np.flatnonzero(pre_spikes)
-                    if spiking.size:
-                        csr.scatter(spiking, target_buffer)
-                else:
-                    for neuron in np.flatnonzero(pre_spikes):
-                        for synapse in rows.get(int(neuron), ()):
-                            target_buffer.add_synapse(synapse)
-                if projection.plasticity is not None:
-                    post_spikes = spikes_this_tick.get(projection.post.label)
-                    if post_spikes is None:
-                        post_spikes = np.zeros(projection.post.size,
-                                               dtype=bool)
-                    if csr is not None:
-                        projection.plasticity.update_csr(
-                            csr, pre_spikes, post_spikes, time_ms)
-                    else:
-                        projection.plasticity.update(
-                            rows, pre_spikes, post_spikes, time_ms)
+                with _PROPAGATE_STAGE:
+                    for projection, rows, csr in rows_by_projection:
+                        pre_spikes = spikes_this_tick.get(
+                            projection.pre.label)
+                        if pre_spikes is None:
+                            continue
+                        target_buffer = buffers.get(projection.post.label)
+                        if target_buffer is None:
+                            continue
+                        if csr is not None:
+                            spiking = np.flatnonzero(pre_spikes)
+                            if spiking.size:
+                                csr.scatter(spiking, target_buffer)
+                        else:
+                            for neuron in np.flatnonzero(pre_spikes):
+                                for synapse in rows.get(int(neuron), ()):
+                                    target_buffer.add_synapse(synapse)
+                        if projection.plasticity is not None:
+                            post_spikes = spikes_this_tick.get(
+                                projection.post.label)
+                            if post_spikes is None:
+                                post_spikes = np.zeros(projection.post.size,
+                                                       dtype=bool)
+                            if csr is not None:
+                                projection.plasticity.update_csr(
+                                    csr, pre_spikes, post_spikes, time_ms)
+                            else:
+                                projection.plasticity.update(
+                                    rows, pre_spikes, post_spikes, time_ms)
 
         # Commit plasticity-modified CSR weights back into the cached rows
         # so the object view (mapping layer, post-run inspection) agrees —

@@ -36,6 +36,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.geometry import ChipCoordinate, Direction
 from repro.core.packets import MC_PACKET_BITS
+from repro.profile import profile_stage
+
+# One span per spike batch (counter replay is the fabric's entire
+# per-tick cost); hoisted so every account_batch re-enters it.
+_ACCOUNT_STAGE = profile_stage("fabric_account")
 
 __all__ = [
     "ChipVisit",
@@ -255,27 +260,30 @@ class TransportFabric:
         """
         if n_packets <= 0:
             return
-        self.batches_accounted += 1
-        self.packets_accounted += n_packets
-        self.inter_board_traversals += n_packets * program.n_inter_board_hops
-        machine = self.machine
-        for visit in program.chip_visits:
-            machine.chips[visit.chip].router.account_batch(
-                n_packets,
-                link_directions=visit.link_directions,
-                n_local_cores=visit.n_local_cores,
-                table_hit=visit.table_hit,
-                injected=visit.injected,
-                dropped=visit.dropped,
-                aged_out=visit.aged_out)
-        # Spike batches are plain (payload-less) multicast packets; derive
-        # the wire size from the packet format rather than assuming it.
-        for coordinate, direction in program.link_hops:
-            machine.links[(coordinate, direction)].record_batch(
-                n_packets, bit_length=MC_PACKET_BITS)
-        for coordinate, multiplier in program.noc_batches:
-            machine.chips[coordinate].comms_noc.record_batch(
-                n_packets * multiplier, bit_length=MC_PACKET_BITS)
+        with _ACCOUNT_STAGE:
+            self.batches_accounted += 1
+            self.packets_accounted += n_packets
+            self.inter_board_traversals += (n_packets
+                                            * program.n_inter_board_hops)
+            machine = self.machine
+            for visit in program.chip_visits:
+                machine.chips[visit.chip].router.account_batch(
+                    n_packets,
+                    link_directions=visit.link_directions,
+                    n_local_cores=visit.n_local_cores,
+                    table_hit=visit.table_hit,
+                    injected=visit.injected,
+                    dropped=visit.dropped,
+                    aged_out=visit.aged_out)
+            # Spike batches are plain (payload-less) multicast packets;
+            # derive the wire size from the packet format rather than
+            # assuming it.
+            for coordinate, direction in program.link_hops:
+                machine.links[(coordinate, direction)].record_batch(
+                    n_packets, bit_length=MC_PACKET_BITS)
+            for coordinate, multiplier in program.noc_batches:
+                machine.chips[coordinate].comms_noc.record_batch(
+                    n_packets * multiplier, bit_length=MC_PACKET_BITS)
 
     # ------------------------------------------------------------------
     # Introspection

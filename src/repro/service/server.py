@@ -23,7 +23,6 @@ the wire never sees a 500 for a malformed or over-rate request.
 from __future__ import annotations
 
 import threading
-import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -35,6 +34,7 @@ from repro.host.host_system import HostSystem
 from repro.service import api
 from repro.service.api import ServiceError
 from repro.service.backpressure import AdmissionGate, BackpressureConfig
+from repro.profile import perf_now, record_stage
 from repro.service.metrics import MetricsRegistry
 from repro.service.runtime import ServiceRuntime
 
@@ -356,7 +356,7 @@ def _build_handler(service: AllocationService):
             self.wfile.write(body)
 
         def _handle(self, method: str) -> None:
-            started = time.perf_counter()
+            started = perf_now()
             endpoint = "unrouted"
             try:
                 self.server_service.runtime.begin_request()
@@ -389,8 +389,13 @@ def _build_handler(service: AllocationService):
 
         def _observe(self, endpoint: str, status: int,
                      started: float) -> None:
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
-            self.server_service.metrics.observe(endpoint, status, elapsed_ms)
+            elapsed_s = perf_now() - started
+            self.server_service.metrics.observe(endpoint, status,
+                                                elapsed_s * 1000.0)
+            # The endpoint is only known after dispatch, so the profiler
+            # adopts the measured span instead of wrapping a stage (a
+            # single flag check when profiling is off).
+            record_stage("service_" + endpoint, elapsed_s)
 
         # -- verbs ------------------------------------------------------
         def do_GET(self) -> None:

@@ -1,0 +1,9 @@
+"""Fixture: a bench that pays for profiling but hides the timings."""
+
+from .reporting import emit_json
+
+
+def test_x6_profiled(cluster_factory):
+    cluster = cluster_factory(profile=True)
+    cluster.run(100.0)
+    emit_json("x6", {"wall_s": cluster.report.wall_s})

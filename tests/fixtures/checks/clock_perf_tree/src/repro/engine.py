@@ -1,0 +1,9 @@
+"""Fixture: shipped code timing itself around the profiler seam."""
+
+import time
+
+
+def step(kernel):
+    began = time.perf_counter()
+    kernel.advance()
+    return time.perf_counter() - began

@@ -1,0 +1,10 @@
+"""Fixture: the profiler seam itself may read the duration clock."""
+
+import time
+
+perf_now = time.perf_counter
+
+
+def span():
+    began = perf_now()
+    return perf_now() - began

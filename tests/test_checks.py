@@ -92,6 +92,16 @@ def test_clocks_seam_and_benchmarks_are_exempt():
     assert rules == set()
 
 
+def test_clocks_restricts_perf_counter_to_the_profile_seam():
+    violations, rules = rules_hit([fixture("clock_perf_tree")])
+    # Shipped code times itself through repro.profile; the seam module
+    # itself is the one sanctioned perf_counter site.
+    assert rules == {"clock-discipline"}
+    assert all(v.path.endswith("engine.py") for v in violations)
+    assert len(violations) == 2
+    assert "repro.profile.perf_now" in violations[0].message
+
+
 # ---------------------------------------------------------------------------
 # lock-discipline
 # ---------------------------------------------------------------------------
@@ -152,10 +162,17 @@ def test_bench_hygiene_flags_silent_and_mislabelled_benches():
     assert "disagrees with the filename" in by_path["bench_x3_demo.py"]
     assert "records no related metric key" in by_path["bench_x4_demo.py"]
     assert "'fast_speedup'" in by_path["bench_x4_demo.py"]
+    assert "emits no profile_* metric key" in by_path["bench_x6_profiled.py"]
     gate_messages = [v.message for v in violations
                      if v.path.endswith("check_regression.py")]
     assert any("no baseline" in m for m in gate_messages)          # x9
     assert any("no such key" in m for m in gate_messages)          # x8
+
+
+def test_bench_hygiene_profiling_bench_with_attach_profile_passes():
+    violations, _ = rules_hit([fixture("bench_clean")])
+    assert not any(v.path.endswith("bench_x5_profiled.py")
+                   for v in violations)
 
 
 # ---------------------------------------------------------------------------
